@@ -1,0 +1,307 @@
+(* mbrc — the command-line driver for the MBR-composition library.
+
+   Subcommands:
+     run       run the full flow on one design profile
+     table1    regenerate the paper's Table 1 on D1-D5
+     fig5      MBR bit-width histograms before/after
+     fig6      ILP vs heuristic allocator comparison
+     ablations partition bound / weights / incomplete / skew / decompose
+     export    write a design as Verilog + DEF + Liberty
+     compose   run the flow on Verilog + DEF + Liberty files from disk
+     example   the paper's Figs. 1-3 worked example *)
+
+open Cmdliner
+module P = Mbr_designgen.Profile
+module Flow = Mbr_core.Flow
+module Metrics = Mbr_core.Metrics
+module Allocate = Mbr_core.Allocate
+module Candidate = Mbr_core.Candidate
+module E = Mbr_harness.Experiments
+
+let profile_of_name name seed scale =
+  let base =
+    match String.lowercase_ascii name with
+    | "d1" -> P.d1
+    | "d2" -> P.d2
+    | "d3" -> P.d3
+    | "d4" -> P.d4
+    | "d5" -> P.d5
+    | "tiny" -> P.tiny ~seed:(match seed with Some s -> s | None -> 1)
+    | other -> failwith (Printf.sprintf "unknown profile %S (d1..d5, tiny)" other)
+  in
+  let base = match seed with Some s -> { base with P.seed = s } | None -> base in
+  P.scaled base scale
+
+let options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose =
+  let mode =
+    match String.lowercase_ascii mode with
+    | "ilp" -> `Ilp
+    | "greedy" -> `Greedy_share
+    | "clique" -> `Clique
+    | other -> failwith (Printf.sprintf "unknown mode %S (ilp|greedy|clique)" other)
+  in
+  {
+    Flow.default_options with
+    Flow.mode;
+    decompose;
+    skew = (if no_skew then None else Flow.default_options.Flow.skew);
+    allocate =
+      {
+        Allocate.default_config with
+        Allocate.partition_bound = bound;
+        candidate =
+          {
+            Candidate.default_config with
+            Candidate.allow_incomplete = not no_incomplete;
+          };
+      };
+  }
+
+(* shared args *)
+let profile_arg =
+  Arg.(value & opt string "d1" & info [ "p"; "profile" ] ~docv:"NAME"
+         ~doc:"Design profile: d1..d5 or tiny.")
+
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+         ~doc:"Override the profile's RNG seed.")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F"
+         ~doc:"Scale the register count (e.g. 0.25 for a quick run).")
+
+let mode_arg =
+  Arg.(value & opt string "ilp" & info [ "mode" ] ~docv:"M"
+         ~doc:"Allocator: ilp, greedy (weighted heuristic) or clique.")
+
+let no_skew_arg =
+  Arg.(value & flag & info [ "no-skew" ] ~doc:"Disable useful skew after composition.")
+
+let no_incomplete_arg =
+  Arg.(value & flag & info [ "no-incomplete" ] ~doc:"Disallow incomplete MBRs.")
+
+let bound_arg =
+  Arg.(value & opt int 30 & info [ "bound" ] ~docv:"N"
+         ~doc:"K-partition node bound (paper: 30).")
+
+let decompose_arg =
+  Arg.(value & flag & info [ "decompose" ]
+         ~doc:"Decompose max-width MBRs before composing (paper's future work).")
+
+let run_cmd =
+  let run profile seed scale mode no_skew no_incomplete bound decompose =
+    let p = profile_of_name profile seed scale in
+    let options = options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose in
+    Printf.printf "running %s (%d registers)...\n%!" p.P.name p.P.n_registers;
+    let r = E.run_profile ~options p in
+    Format.printf "before: %a@." Metrics.pp_row r.E.result.Flow.before;
+    Format.printf "after : %a@." Metrics.pp_row r.E.result.Flow.after;
+    Printf.printf
+      "%d split, %d MBRs from %d registers (%d incomplete, %d resized), %d blocks, %.1f s\n"
+      r.E.result.Flow.n_split r.E.result.Flow.n_merges
+      r.E.result.Flow.n_regs_merged r.E.result.Flow.n_incomplete
+      r.E.result.Flow.n_resized r.E.result.Flow.n_blocks r.E.result.Flow.runtime_s
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run the MBR-composition flow on one design.")
+    Term.(const run $ profile_arg $ seed_arg $ scale_arg $ mode_arg
+          $ no_skew_arg $ no_incomplete_arg $ bound_arg $ decompose_arg)
+
+let profiles_scaled scale = List.map (fun p -> P.scaled p scale) P.all
+
+let table1_cmd =
+  let run scale =
+    let runs = List.map E.run_profile (profiles_scaled scale) in
+    print_string (E.table1 runs);
+    print_newline ();
+    print_string (E.table1_summary runs)
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1 on D1-D5.")
+    Term.(const run $ scale_arg)
+
+let fig5_cmd =
+  let run scale =
+    let runs = List.map E.run_profile (profiles_scaled scale) in
+    print_string (E.fig5 runs)
+  in
+  Cmd.v (Cmd.info "fig5" ~doc:"MBR bit-width histograms before/after (Fig. 5).")
+    Term.(const run $ scale_arg)
+
+let fig6_cmd =
+  let run scale =
+    let _, s = E.fig6 (profiles_scaled scale) in
+    print_string s
+  in
+  Cmd.v (Cmd.info "fig6" ~doc:"ILP vs heuristic allocator (Fig. 6).")
+    Term.(const run $ scale_arg)
+
+let ablations_cmd =
+  let run profile seed scale =
+    let p = profile_of_name profile seed scale in
+    print_endline "--- partition bound (section 3) ---";
+    print_string (E.ablation_partition_bound p [ 10; 20; 30; 40 ]);
+    print_endline "\n--- placement-aware weights (section 3.2) ---";
+    print_string (E.ablation_weights p);
+    print_endline "\n--- incomplete MBRs (section 3) ---";
+    print_string (E.ablation_incomplete p);
+    print_endline "\n--- useful skew (Fig. 4) ---";
+    print_string (E.ablation_skew p);
+    print_endline "\n--- decompose + recompose (section 5 future work) ---";
+    print_string (E.ablation_decompose p);
+    print_endline "\n--- global vs detailed placement entry ---";
+    print_string (E.ablation_global_entry p)
+  in
+  Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablation studies.")
+    Term.(const run $ profile_arg $ seed_arg $ scale_arg)
+
+let export_cmd =
+  let run profile seed scale dir compose svg =
+    let p = profile_of_name profile seed scale in
+    let g = Mbr_designgen.Generate.generate p in
+    let write path content =
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    let base = Filename.concat dir (String.lowercase_ascii p.P.name) in
+    if svg && compose then
+      write (base ^ "_before.svg")
+        (Mbr_export.Svg.render ~title:(p.P.name ^ " before composition")
+           g.Mbr_designgen.Generate.placement);
+    let highlight =
+      if compose then begin
+        let r =
+          Flow.run ~design:g.Mbr_designgen.Generate.design
+            ~placement:g.Mbr_designgen.Generate.placement
+            ~library:g.Mbr_designgen.Generate.library
+            ~sta_config:g.Mbr_designgen.Generate.sta_config ()
+        in
+        Printf.printf "composed: %d MBRs from %d registers\n" r.Flow.n_merges
+          r.Flow.n_regs_merged;
+        r.Flow.new_mbrs
+      end
+      else []
+    in
+    if svg then
+      write
+        (base ^ (if compose then "_after.svg" else ".svg"))
+        (Mbr_export.Svg.render ~highlight
+           ~title:(p.P.name ^ if compose then " after composition" else "")
+           g.Mbr_designgen.Generate.placement);
+    write (base ^ ".v")
+      (Mbr_export.Verilog.to_verilog g.Mbr_designgen.Generate.design);
+    write (base ^ ".def") (Mbr_export.Def.to_def g.Mbr_designgen.Generate.placement);
+    write (base ^ ".lib")
+      (Mbr_liberty.Liberty_io.to_liberty
+         ~gates:(Mbr_designgen.Generate.gate_cells ())
+         g.Mbr_designgen.Generate.library)
+  in
+  let dir_arg =
+    Arg.(value & opt string "." & info [ "o"; "outdir" ] ~docv:"DIR"
+           ~doc:"Output directory for the .v/.def/.lib files.")
+  in
+  let compose_arg =
+    Arg.(value & flag & info [ "composed" ]
+           ~doc:"Run MBR composition before exporting.")
+  in
+  let svg_arg =
+    Arg.(value & flag & info [ "svg" ]
+           ~doc:"Also render the placement as SVG (before/after with \
+                 $(b,--composed), new MBRs outlined).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a design as structural Verilog + DEF + Liberty (+ SVG).")
+    Term.(const run $ profile_arg $ seed_arg $ scale_arg $ dir_arg $ compose_arg
+          $ svg_arg)
+
+let compose_cmd =
+  let run netlist def lib outdir period mode no_skew no_incomplete bound decompose =
+    let read path =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let library, gate_cells = Mbr_liberty.Liberty_io.of_liberty_full (read lib) in
+    let design =
+      Mbr_export.Verilog.of_verilog ~library
+        ~gates:(Mbr_export.Verilog.resolver_of_gates gate_cells)
+        (read netlist)
+    in
+    let placement = Mbr_export.Def.of_def design (read def) in
+    let options = options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose in
+    Printf.printf "loaded %s: %d cells, %d registers\n%!"
+      (Mbr_netlist.Design.name design)
+      (Mbr_netlist.Design.n_cells design)
+      (List.length (Mbr_netlist.Design.registers design));
+    let sta_config =
+      { Mbr_sta.Engine.default_config with Mbr_sta.Engine.clock_period = period }
+    in
+    let r = Flow.run ~options ~design ~placement ~library ~sta_config () in
+    Format.printf "before: %a@." Metrics.pp_row r.Flow.before;
+    Format.printf "after : %a@." Metrics.pp_row r.Flow.after;
+    let write path content =
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    let base =
+      Filename.concat outdir (Mbr_netlist.Design.name design ^ "_composed")
+    in
+    write (base ^ ".v") (Mbr_export.Verilog.to_verilog design);
+    write (base ^ ".def") (Mbr_export.Def.to_def placement)
+  in
+  let netlist_arg =
+    Arg.(required & opt (some string) None & info [ "netlist" ] ~docv:"FILE.v"
+           ~doc:"Structural Verilog netlist (see mbrc export).")
+  in
+  let def_arg =
+    Arg.(required & opt (some string) None & info [ "def" ] ~docv:"FILE.def"
+           ~doc:"DEF placement.")
+  in
+  let lib_arg =
+    Arg.(required & opt (some string) None & info [ "lib" ] ~docv:"FILE.lib"
+           ~doc:"Liberty register library.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "." & info [ "o"; "outdir" ] ~docv:"DIR"
+           ~doc:"Where to write the composed netlist/placement.")
+  in
+  let period_arg =
+    Arg.(value & opt float 800.0 & info [ "period" ] ~docv:"PS"
+           ~doc:"Clock period for timing analysis (ps).")
+  in
+  Cmd.v
+    (Cmd.info "compose"
+       ~doc:"Run MBR composition on a Verilog+DEF+Liberty design from disk.")
+    Term.(const run $ netlist_arg $ def_arg $ lib_arg $ dir_arg $ period_arg
+          $ mode_arg $ no_skew_arg $ no_incomplete_arg $ bound_arg
+          $ decompose_arg)
+
+let example_cmd =
+  let run () =
+    let module PE = Mbr_core.Paper_example in
+    let t = PE.build () in
+    print_endline "paper worked example (Figs. 1-3); see also examples/quickstart.exe";
+    List.iter
+      (fun names ->
+        Printf.printf "  w(%s) = %.3f\n" (String.concat "" names)
+          (PE.weight_of t names))
+      [ [ "A"; "B" ]; [ "B"; "C" ]; [ "A"; "B"; "D" ]; [ "A"; "B"; "C" ];
+        [ "A"; "B"; "C"; "D" ]; [ "A"; "E" ]; [ "A"; "C"; "E" ] ];
+    let groups, cost = PE.solve ~allow_incomplete:false t in
+    Printf.printf "ILP (complete only): %d registers, cost %.4f\n"
+      (List.length groups) cost
+  in
+  Cmd.v (Cmd.info "example" ~doc:"The paper's worked example (Figs. 1-3).")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "timing-driven incremental multi-bit register composition (DAC'17)" in
+  let info = Cmd.info "mbrc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ run_cmd; table1_cmd; fig5_cmd; fig6_cmd; ablations_cmd; export_cmd;
+      compose_cmd; example_cmd ]))

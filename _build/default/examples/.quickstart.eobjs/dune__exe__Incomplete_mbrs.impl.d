@@ -1,0 +1,1 @@
+examples/incomplete_mbrs.ml: List Mbr_core Mbr_designgen Mbr_liberty Mbr_util Printf

@@ -1,0 +1,1 @@
+examples/incomplete_mbrs.mli:

@@ -1,0 +1,1 @@
+examples/interchange.ml: Float List Mbr_core Mbr_designgen Mbr_export Mbr_liberty Mbr_netlist Mbr_place Mbr_sta Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Mbr_core Mbr_graph Mbr_netlist Mbr_util Printf String

@@ -1,0 +1,1 @@
+examples/scan_chains.ml: Mbr_core Mbr_geom Mbr_liberty Mbr_netlist Mbr_place Printf

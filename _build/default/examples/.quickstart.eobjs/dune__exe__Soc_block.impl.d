@@ -1,0 +1,1 @@
+examples/soc_block.ml: List Mbr_core Mbr_designgen Mbr_netlist Mbr_place Mbr_sta Mbr_util Printf String

@@ -1,0 +1,1 @@
+examples/useful_skew.ml: Mbr_core Mbr_designgen Mbr_geom Mbr_sta Printf

@@ -1,0 +1,1 @@
+examples/useful_skew.mli:

@@ -1,0 +1,1 @@
+lib/core/allocate.ml: Array Baseline Candidate Compat Hashtbl List Mbr_geom Mbr_graph Mbr_ilp

@@ -1,0 +1,1 @@
+lib/core/allocate.mli: Candidate Compat Mbr_liberty Mbr_netlist Spatial

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Compat Hashtbl List Mbr_geom Mbr_graph Mbr_liberty

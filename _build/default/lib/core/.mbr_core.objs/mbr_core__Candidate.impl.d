@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Array Compat Float Hashtbl List Mapping Mbr_geom Mbr_graph Mbr_liberty Mbr_netlist Weight

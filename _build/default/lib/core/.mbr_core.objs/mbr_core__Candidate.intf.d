@@ -1,0 +1,1 @@
+lib/core/candidate.mli: Compat Mbr_geom Mbr_liberty Mbr_netlist Spatial

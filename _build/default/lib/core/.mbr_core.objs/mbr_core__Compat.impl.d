@@ -1,0 +1,1 @@
+lib/core/compat.ml: Array Float Hashtbl List Mbr_geom Mbr_graph Mbr_liberty Mbr_netlist Mbr_place Mbr_sta

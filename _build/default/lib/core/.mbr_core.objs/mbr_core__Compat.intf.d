@@ -1,0 +1,1 @@
+lib/core/compat.mli: Mbr_geom Mbr_graph Mbr_liberty Mbr_netlist Mbr_sta

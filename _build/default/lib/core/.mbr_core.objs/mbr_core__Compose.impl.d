@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array List Mbr_geom Mbr_liberty Mbr_netlist Mbr_place Printf

@@ -1,0 +1,1 @@
+lib/core/compose.mli: Mbr_geom Mbr_liberty Mbr_netlist Mbr_place

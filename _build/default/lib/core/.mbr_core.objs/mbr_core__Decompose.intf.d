@@ -1,0 +1,1 @@
+lib/core/decompose.mli: Mbr_liberty Mbr_netlist Mbr_place

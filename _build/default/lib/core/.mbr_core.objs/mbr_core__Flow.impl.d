@@ -1,0 +1,1 @@
+lib/core/flow.ml: Allocate Candidate Compat Compose Decompose Float List Mapping Mbr_cts Mbr_dft Mbr_geom Mbr_liberty Mbr_netlist Mbr_place Mbr_placer Mbr_route Mbr_sta Metrics Resize Spatial Unix

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Allocate Compat Mbr_cts Mbr_liberty Mbr_netlist Mbr_place Mbr_route Mbr_sta Metrics Resize

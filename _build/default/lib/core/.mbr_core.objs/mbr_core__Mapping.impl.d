@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Compat Float List Mbr_liberty

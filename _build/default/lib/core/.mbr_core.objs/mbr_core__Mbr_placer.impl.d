@@ -1,0 +1,1 @@
+lib/core/mbr_placer.ml: Array Float List Mbr_geom Mbr_liberty Mbr_lp Mbr_netlist Mbr_place

@@ -1,0 +1,1 @@
+lib/core/mbr_placer.mli: Mbr_geom Mbr_liberty Mbr_netlist Mbr_place

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Compat Format List Mbr_cts Mbr_netlist Mbr_place Mbr_route Mbr_sta Mbr_util Power

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Format Mbr_cts Mbr_liberty Mbr_route Mbr_sta

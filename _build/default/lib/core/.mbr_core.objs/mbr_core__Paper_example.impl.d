@@ -1,0 +1,1 @@
+lib/core/paper_example.ml: Array Candidate Compat List Mbr_geom Mbr_graph Mbr_ilp Mbr_liberty Mbr_netlist Mbr_place Printf Spatial Weight

@@ -1,0 +1,1 @@
+lib/core/paper_example.mli: Candidate Compat Mbr_liberty Mbr_netlist Mbr_place Spatial

@@ -1,0 +1,1 @@
+lib/core/power.ml: List Mbr_cts Mbr_liberty Mbr_netlist Mbr_place Mbr_route Mbr_sta

@@ -1,0 +1,1 @@
+lib/core/power.mli: Mbr_place Mbr_sta

@@ -1,0 +1,1 @@
+lib/core/resize.ml: Float List Mbr_liberty Mbr_netlist Mbr_place Mbr_sta

@@ -1,0 +1,1 @@
+lib/core/resize.mli: Mbr_liberty Mbr_netlist Mbr_sta

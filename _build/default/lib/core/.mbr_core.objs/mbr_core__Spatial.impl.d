@@ -1,0 +1,1 @@
+lib/core/spatial.ml: Float Hashtbl List Mbr_geom

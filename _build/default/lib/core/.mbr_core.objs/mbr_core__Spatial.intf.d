@@ -1,0 +1,1 @@
+lib/core/spatial.mli: Mbr_geom

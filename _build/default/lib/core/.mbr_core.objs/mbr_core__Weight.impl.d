@@ -1,0 +1,1 @@
+lib/core/weight.ml: List Mbr_geom Spatial

@@ -1,0 +1,1 @@
+lib/core/weight.mli: Mbr_geom Mbr_netlist Spatial

@@ -1,0 +1,189 @@
+module Ugraph = Mbr_graph.Ugraph
+module Kpart = Mbr_graph.Kpart
+module Sp = Mbr_ilp.Set_partition
+
+type config = {
+  candidate : Candidate.config;
+  partition_bound : int;
+  node_limit : int;
+}
+
+let default_config =
+  { candidate = Candidate.default_config; partition_bound = 30; node_limit = 300_000 }
+
+type selection = {
+  merges : Candidate.t list;
+  kept : int list;
+  cost : float;
+  n_blocks : int;
+  n_candidates : int;
+  all_optimal : bool;
+}
+
+let solve_block_ilp cfg block cands =
+  (* element ids = positions of nodes within the block *)
+  let pos = Hashtbl.create 32 in
+  List.iteri (fun k v -> Hashtbl.replace pos v k) block;
+  let problem =
+    {
+      Sp.n_elems = List.length block;
+      candidates =
+        Array.of_list
+          (List.map
+             (fun (c : Candidate.t) ->
+               {
+                 Sp.weight = c.Candidate.weight;
+                 elems = List.map (Hashtbl.find pos) c.Candidate.members;
+               })
+             cands);
+    }
+  in
+  let result = Sp.solve ~node_limit:cfg.node_limit problem in
+  let cand_arr = Array.of_list cands in
+  match result.Sp.status with
+  | Sp.Infeasible ->
+    (* cannot happen: singletons cover everything; keep all as-is *)
+    (List.map (fun v -> Candidate.{
+         members = [ v ];
+         member_cids = [];
+         bits = 0;
+         target_bits = 0;
+         incomplete = false;
+         weight = 1.0;
+         region = Mbr_geom.Rect.make ~lx:0. ~ly:0. ~hx:0. ~hy:0.;
+         func_class = "";
+       }) block
+     |> fun keeps -> (keeps, float_of_int (List.length block), false))
+  | Sp.Optimal | Sp.Feasible ->
+    ( List.map (fun i -> cand_arr.(i)) result.Sp.chosen,
+      result.Sp.cost,
+      result.Sp.status = Sp.Optimal )
+
+(* Greedy weighted set-partitioning on the same candidate set as the
+   ILP: repeatedly commit the disjoint candidate with the best
+   weight-per-register share. This is the heuristic allocator Fig. 6
+   compares the ILP against — same formulation, no global optimization. *)
+let solve_block_share block cands =
+  let order =
+    List.sort
+      (fun (a : Candidate.t) (b : Candidate.t) ->
+        compare
+          (a.Candidate.weight /. float_of_int (List.length a.Candidate.members),
+           a.Candidate.weight)
+          (b.Candidate.weight /. float_of_int (List.length b.Candidate.members),
+           b.Candidate.weight))
+      cands
+  in
+  let taken = Hashtbl.create 32 in
+  let chosen =
+    List.filter
+      (fun (c : Candidate.t) ->
+        let free =
+          List.for_all (fun v -> not (Hashtbl.mem taken v)) c.Candidate.members
+        in
+        if free then
+          List.iter (fun v -> Hashtbl.replace taken v ()) c.Candidate.members;
+        free)
+      order
+  in
+  ignore block;
+  let cost =
+    List.fold_left (fun acc (c : Candidate.t) -> acc +. c.Candidate.weight) 0.0 chosen
+  in
+  (chosen, cost, true)
+
+(* The external [8]/[12]-style heuristic: maximal-clique merging on the
+   raw compatibility subgraph (see Baseline), converted into the same
+   selection shape the ILP path produces. *)
+let solve_block_greedy graph lib block =
+  let infos = graph.Compat.infos in
+  let groups = Baseline.solve_block graph ~block ~lib in
+  let taken = Hashtbl.create 32 in
+  let to_candidate group =
+    List.iter (fun v -> Hashtbl.replace taken v ()) group;
+    let bits = List.fold_left (fun acc v -> acc + infos.(v).Compat.bits) 0 group in
+    let region =
+      match
+        Mbr_geom.Rect.inter_all (List.map (fun v -> infos.(v).Compat.feasible) group)
+      with
+      | Some r -> r
+      | None -> infos.(List.nth group 0).Compat.feasible
+    in
+    {
+      Candidate.members = List.sort compare group;
+      member_cids = List.map (fun v -> infos.(v).Compat.cid) (List.sort compare group);
+      bits;
+      target_bits = bits;
+      incomplete = false;
+      weight = 1.0 /. float_of_int bits;
+      region;
+      func_class = infos.(List.nth group 0).Compat.func_class;
+    }
+  in
+  let merges = List.map to_candidate groups in
+  let singles =
+    List.filter_map
+      (fun v ->
+        if Hashtbl.mem taken v then None
+        else
+          Some
+            {
+              Candidate.members = [ v ];
+              member_cids = [ infos.(v).Compat.cid ];
+              bits = infos.(v).Compat.bits;
+              target_bits = infos.(v).Compat.bits;
+              incomplete = false;
+              weight = 1.0;
+              region = infos.(v).Compat.feasible;
+              func_class = infos.(v).Compat.func_class;
+            })
+      block
+  in
+  let all = merges @ singles in
+  let cost =
+    List.fold_left (fun acc (c : Candidate.t) -> acc +. c.Candidate.weight) 0.0 all
+  in
+  (all, cost, true)
+
+let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
+    ?(config = default_config) graph ~lib ~blocker_index =
+  let infos = graph.Compat.infos in
+  let position i = infos.(i).Compat.center in
+  let blocks =
+    Kpart.partition ~bound:config.partition_bound graph.Compat.ugraph ~position
+  in
+  let merges = ref [] in
+  let kept = ref [] in
+  let cost = ref 0.0 in
+  let n_candidates = ref 0 in
+  let all_optimal = ref true in
+  List.iter
+    (fun block ->
+      let chosen, block_cost, opt =
+        match mode with
+        | `Ilp | `Greedy_share ->
+          let cands =
+            Candidate.enumerate config.candidate graph ~block ~lib ~blocker_index
+          in
+          n_candidates := !n_candidates + List.length cands;
+          if mode = `Ilp then solve_block_ilp config block cands
+          else solve_block_share block cands
+        | `Clique -> solve_block_greedy graph lib block
+      in
+      cost := !cost +. block_cost;
+      if not opt then all_optimal := false;
+      List.iter
+        (fun (c : Candidate.t) ->
+          match c.Candidate.members with
+          | [ v ] -> kept := v :: !kept
+          | _ -> merges := c :: !merges)
+        chosen)
+    blocks;
+  {
+    merges = List.rev !merges;
+    kept = List.sort compare !kept;
+    cost = !cost;
+    n_blocks = List.length blocks;
+    n_candidates = !n_candidates;
+    all_optimal = !all_optimal;
+  }

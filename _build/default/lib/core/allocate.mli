@@ -1,0 +1,39 @@
+(** MBR allocation: K-partition the compatibility graph (bound 30,
+    §3), enumerate candidates per block, and pick the winning subset.
+
+    Three allocators:
+    - [`Ilp]: the paper's weighted set-partitioning ILP (§3.1), solved
+      exactly per block by {!Mbr_ilp.Set_partition};
+    - [`Greedy_share]: greedy weighted set partitioning over the {e
+      same} candidates and weights (best weight-per-register first) —
+      the Fig. 6 comparison, isolating what exact optimization buys;
+    - [`Clique]: the external [8]/[12]-style maximal-clique merging
+      heuristic ({!Baseline}), which ignores the weights entirely.
+
+    Every composable register is covered exactly once: either by a
+    selected merge or by its singleton. *)
+
+type config = {
+  candidate : Candidate.config;
+  partition_bound : int;  (** default 30 *)
+  node_limit : int;  (** branch-and-bound cap per block *)
+}
+
+val default_config : config
+
+type selection = {
+  merges : Candidate.t list;  (** selected multi-register candidates *)
+  kept : int list;  (** graph nodes kept as they are *)
+  cost : float;  (** ILP objective over all blocks *)
+  n_blocks : int;
+  n_candidates : int;  (** enumerated across all blocks *)
+  all_optimal : bool;  (** every block solved to proven optimality *)
+}
+
+val run :
+  ?mode:[ `Ilp | `Greedy_share | `Clique ] ->
+  ?config:config ->
+  Compat.graph ->
+  lib:Mbr_liberty.Library.t ->
+  blocker_index:Mbr_netlist.Types.cell_id Spatial.t ->
+  selection

@@ -1,0 +1,20 @@
+(** The comparison heuristic of the paper's Fig. 6 — "a maximal clique
+    identification and MBR mapping heuristic", in the spirit of
+    Wang/Liang/Kuo/Mak (TCAD'12) and Lin/Hsu/Chen (TCAD'15):
+
+    repeatedly take the maximal clique with the most register bits from
+    the remaining compatibility subgraph, pack its members
+    (nearest-first around the clique centroid, keeping the common
+    feasible region non-empty) down to the largest {e complete} library
+    width, merge, remove, and continue. No candidate weights, no global
+    optimization, no incomplete MBRs — those are the proposed method's
+    contributions, which is precisely what Fig. 6 measures. *)
+
+val solve_block :
+  Compat.graph ->
+  block:int list ->
+  lib:Mbr_liberty.Library.t ->
+  int list list
+(** Merge groups (node lists, each a clique with >= 2 members mapping
+    exactly to a library width) plus implicit singletons: nodes of the
+    block not covered by any returned group stay as they are. *)

@@ -1,0 +1,29 @@
+(** Netlist surgery for a selected merge: tombstone the member
+    registers, instantiate the mapped MBR cell at its legalized
+    location, and rewire every connected D/Q/control net onto the new
+    pins.
+
+    Bit order inside the MBR follows the scan-section positions when
+    the members belong to an ordered section (so the internal scan
+    chain preserves the required order, §2), and the members' spatial
+    order (x, then y) otherwise. Incomplete bits stay unconnected. *)
+
+type spec = {
+  member_cids : Mbr_netlist.Types.cell_id list;
+  cell : Mbr_liberty.Cell.t;  (** mapped library cell *)
+  corner : Mbr_geom.Point.t;  (** legalized lower-left corner *)
+}
+
+val bit_assignment :
+  Mbr_place.Placement.t ->
+  Mbr_netlist.Types.cell_id list ->
+  (int * Mbr_netlist.Types.net_id option * Mbr_netlist.Types.net_id option) list
+(** The (new-cell bit → D net / Q net) map that {!execute} will apply,
+    exposed so the placer can be driven by the same assignment. Bits
+    are numbered 0.. in merged order; unconnected member pins yield
+    [None] entries. *)
+
+val execute : Mbr_place.Placement.t -> spec -> Mbr_netlist.Types.cell_id
+(** Performs the merge and returns the new register's cell id. Raises
+    [Invalid_argument] when members total more bits than the cell has,
+    or members disagree on clock/reset/scan-enable nets. *)

@@ -1,0 +1,29 @@
+(** MBR decomposition — the paper's §5 future work, implemented:
+
+    "To optimize such designs \[rich in max-width MBRs, like D4\], we
+    plan in the future to consider the decomposition of the initial
+    8-bit MBRs and their recomposition using the proposed methodology,
+    instead of skipping them completely."
+
+    A max-width MBR is not composable (nothing larger exists), so the
+    flow skips it and its clock capacitance is frozen. Splitting it
+    into two half-width registers wired to the same nets re-opens the
+    search space: the halves can re-merge with {e better} partners (or
+    with each other, reproducing the original at no loss beyond the
+    split's small cap overhead).
+
+    Registers that are fixed/size-only, carry an ordered-scan section,
+    or have no half-width library cell are left untouched. *)
+
+type report = {
+  n_split : int;  (** registers decomposed *)
+  new_ids : Mbr_netlist.Types.cell_id list;  (** 2 per split *)
+}
+
+val split_max_width :
+  Mbr_place.Placement.t -> Mbr_liberty.Library.t -> report
+(** Split every eligible live register whose width equals its class's
+    maximum into two half-width registers, placed legally at/near the
+    original location (lower bits keep the original corner). The
+    netlist stays valid; connectivity, clock, reset, scan-enable and
+    gating attributes are preserved bit-for-bit. *)

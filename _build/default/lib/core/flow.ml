@@ -1,0 +1,238 @@
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+module Design = Mbr_netlist.Design
+module Placement = Mbr_place.Placement
+module Legalizer = Mbr_place.Legalizer
+module Engine = Mbr_sta.Engine
+module Skew = Mbr_sta.Skew
+module Cell_lib = Mbr_liberty.Cell
+
+type options = {
+  compat : Compat.config;
+  allocate : Allocate.config;
+  mode : [ `Ilp | `Greedy_share | `Clique ];
+  skew : Skew.config option;
+  resize : Resize.config option;
+  decompose : bool;
+  route_config : Mbr_route.Estimator.config option;
+  cts_config : Mbr_cts.Synth.config option;
+}
+
+let default_options =
+  {
+    compat = Compat.default_config;
+    allocate = Allocate.default_config;
+    mode = `Ilp;
+    skew = Some Skew.default_config;
+    resize = Some Resize.default_config;
+    decompose = false;
+    route_config = None;
+    cts_config = None;
+  }
+
+type result = {
+  before : Metrics.t;
+  after : Metrics.t;
+  n_split : int;
+  scan_chain_wl : float;
+  merge_displacement : float;
+  n_merges : int;
+  n_regs_merged : int;
+  n_incomplete : int;
+  n_resized : int;
+  ilp_cost : float;
+  n_blocks : int;
+  n_candidates : int;
+  all_optimal : bool;
+  skew_report : Skew.report option;
+  new_mbrs : Mbr_netlist.Types.cell_id list;
+  runtime_s : float;
+  stage_times : (string * float) list;
+}
+
+(* All live register centers: the blocker population for the weight
+   heuristic (§3.2 counts any register inside the test polygon). *)
+let blocker_index_of pl =
+  let dsg = Placement.design pl in
+  let index = Spatial.create () in
+  List.iter
+    (fun cid ->
+      if Placement.is_placed pl cid then
+        Spatial.add index cid (Placement.center pl cid))
+    (Design.registers dsg);
+  index
+
+(* Find a legal spot for the mapped cell, preferring the LP optimum
+   inside the feasible region, then widening the search. *)
+let legalize_merge occ ~(cell : Cell_lib.t) ~region ~desired =
+  let w = cell.Cell_lib.width and h = cell.Cell_lib.height in
+  let grown = Rect.expand region (Float.max w h) in
+  let try_region r = Legalizer.Occupancy.find_nearest occ ?region:r ~w desired in
+  match try_region (Some region) with
+  | Some p -> Some p
+  | None -> (
+    match try_region (Some grown) with
+    | Some p -> Some p
+    | None -> try_region None)
+
+let run ?(options = default_options) ~design ~placement ~library ~sta_config () =
+  let t0 = Unix.gettimeofday () in
+  let stage_times = ref [] in
+  let stage name f =
+    let s0 = Unix.gettimeofday () in
+    let r = f () in
+    stage_times := (name, Unix.gettimeofday () -. s0) :: !stage_times;
+    r
+  in
+  let eng = Engine.build ~config:sta_config placement in
+  Engine.analyze eng;
+  let before =
+    stage "metrics-before" (fun () ->
+        Metrics.collect ?route_config:options.route_config
+          ?cts_config:options.cts_config eng library)
+  in
+  (* optional pre-pass: open up max-width MBRs for recomposition *)
+  let n_split, eng =
+    stage "decompose" (fun () ->
+        if options.decompose then begin
+          let report = Decompose.split_max_width placement library in
+          let eng' = Engine.build ~config:sta_config placement in
+          Engine.analyze eng';
+          (report.Decompose.n_split, eng')
+        end
+        else (0, eng))
+  in
+  let graph =
+    stage "compat-graph" (fun () ->
+        Compat.build_graph ~config:options.compat eng library)
+  in
+  let blocker_index = blocker_index_of placement in
+  let selection =
+    stage "allocate" (fun () ->
+        Allocate.run ~mode:options.mode ~config:options.allocate graph
+          ~lib:library ~blocker_index)
+  in
+  let merge_t0 = Unix.gettimeofday () in
+  let occ = Legalizer.Occupancy.of_placement placement in
+  let infos = graph.Compat.infos in
+  let new_mbrs = ref [] in
+  let n_incomplete = ref 0 in
+  let n_regs_merged = ref 0 in
+  let merge_displacement = ref 0.0 in
+  List.iter
+    (fun (c : Candidate.t) ->
+      let members = c.Candidate.member_cids in
+      let member_centroid =
+        match
+          List.filter_map (fun cid -> Placement.location_opt placement cid) members
+        with
+        | [] -> None
+        | _ ->
+          Some
+            (Point.centroid
+               (List.filter_map
+                  (fun cid ->
+                    if Placement.is_placed placement cid then
+                      Some (Placement.center placement cid)
+                    else None)
+                  members))
+      in
+      match
+        Mapping.for_members library infos ~members:c.Candidate.members
+          ~target_bits:c.Candidate.target_bits
+      with
+      | None -> () (* no cell (cannot happen for enumerated candidates) *)
+      | Some cell ->
+        (* free the members' sites first: the best MBR spot usually is
+           where its registers were *)
+        List.iter
+          (fun cid ->
+            if Placement.is_placed placement cid then
+              Legalizer.Occupancy.remove occ (Placement.footprint placement cid))
+          members;
+        let assignment = Compose.bit_assignment placement members in
+        let conns =
+          Mbr_placer.conn_boxes placement ~cell ~assignment ~exclude:members
+        in
+        let desired, _ =
+          Mbr_placer.optimal_corner ~cell ~conns ~region:c.Candidate.region
+        in
+        (match legalize_merge occ ~cell ~region:c.Candidate.region ~desired with
+        | Some corner ->
+          let id =
+            Compose.execute placement
+              { Compose.member_cids = members; cell; corner }
+          in
+          Legalizer.Occupancy.add occ (Placement.footprint placement id);
+          new_mbrs := id :: !new_mbrs;
+          (match member_centroid with
+          | Some old_center ->
+            merge_displacement :=
+              !merge_displacement
+              +. Point.manhattan old_center (Placement.center placement id)
+          | None -> ());
+          if c.Candidate.incomplete then incr n_incomplete;
+          n_regs_merged := !n_regs_merged + List.length members
+        | None ->
+          (* nowhere to put it: abandon the merge, restore occupancy *)
+          List.iter
+            (fun cid ->
+              if Placement.is_placed placement cid then
+                Legalizer.Occupancy.add occ (Placement.footprint placement cid))
+            members))
+    selection.Allocate.merges;
+  let new_mbrs = List.rev !new_mbrs in
+  stage_times := ("merge", Unix.gettimeofday () -. merge_t0) :: !stage_times;
+  (* Re-stitch the scan chains the composition broke: removed members
+     leave dangling SI/SO hops, and new MBRs need threading (§2's scan
+     rules guaranteed this stays possible). No-op without scan cells. *)
+  let scan_report =
+    stage "scan-restitch" (fun () -> Mbr_dft.Scan_stitch.stitch placement)
+  in
+  (* rebuild timing over the edited netlist, then useful skew + sizing *)
+  let eng2 = Engine.build ~config:sta_config placement in
+  let skew_report =
+    stage "skew" (fun () ->
+        match options.skew with
+        | Some cfg -> Some (Skew.optimize ~config:cfg eng2)
+        | None ->
+          Engine.analyze eng2;
+          None)
+  in
+  let n_resized =
+    stage "resize" (fun () ->
+        match options.resize with
+        | Some cfg -> Resize.downsize ~config:cfg eng2 library new_mbrs
+        | None -> 0)
+  in
+  (* pin caps changed: rebuild once more for final metrics, carrying the
+     skews over *)
+  let after =
+    stage "metrics-after" (fun () ->
+        let eng3 = Engine.build ~config:sta_config placement in
+        List.iter
+          (fun cid -> Engine.set_skew eng3 cid (Engine.skew eng2 cid))
+          (Design.registers design);
+        Engine.analyze eng3;
+        Metrics.collect ?route_config:options.route_config
+          ?cts_config:options.cts_config eng3 library)
+  in
+  {
+    before;
+    after;
+    n_split;
+    scan_chain_wl = scan_report.Mbr_dft.Scan_stitch.wirelength;
+    merge_displacement = !merge_displacement;
+    n_merges = List.length new_mbrs;
+    n_regs_merged = !n_regs_merged;
+    n_incomplete = !n_incomplete;
+    n_resized;
+    ilp_cost = selection.Allocate.cost;
+    n_blocks = selection.Allocate.n_blocks;
+    n_candidates = selection.Allocate.n_candidates;
+    all_optimal = selection.Allocate.all_optimal;
+    skew_report;
+    new_mbrs;
+    runtime_s = Unix.gettimeofday () -. t0;
+    stage_times = List.rev !stage_times;
+  }

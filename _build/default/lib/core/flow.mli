@@ -1,0 +1,65 @@
+(** The incremental MBR-composition flow of Fig. 4:
+
+    placement snapshot → compatibility graph → K-partition → candidate
+    enumeration + weights → ILP allocation → mapping → LP placement +
+    legalization → netlist rewrite → useful skew → MBR sizing →
+    metrics.
+
+    The flow mutates the design and placement it is given; callers
+    wanting a before/after comparison in hand get both metric bundles
+    in the result. *)
+
+type options = {
+  compat : Compat.config;
+  allocate : Allocate.config;
+  mode : [ `Ilp | `Greedy_share | `Clique ];
+      (** allocator: exact ILP, the Fig. 6 greedy on the same weighted
+          candidates, or the external clique heuristic *)
+  skew : Mbr_sta.Skew.config option;  (** None disables useful skew *)
+  resize : Resize.config option;  (** None disables MBR sizing *)
+  decompose : bool;
+      (** split max-width MBRs first and let composition rebuild better
+          groupings — the paper's §5 future work (off by default, as in
+          the paper's experiments) *)
+  route_config : Mbr_route.Estimator.config option;
+  cts_config : Mbr_cts.Synth.config option;
+}
+
+val default_options : options
+
+type result = {
+  before : Metrics.t;
+  after : Metrics.t;
+  n_split : int;  (** max-width MBRs decomposed before composition *)
+  scan_chain_wl : float;
+      (** wirelength of the re-stitched scan chains, µm (0 when the
+          design has no scan cells) *)
+  merge_displacement : float;
+      (** total Manhattan distance between each merge's member centroid
+          and the placed MBR's center, µm — the placement disturbance
+          §3.2 aims to keep small *)
+  n_merges : int;  (** MBRs created *)
+  n_regs_merged : int;  (** registers absorbed into them *)
+  n_incomplete : int;  (** merges using an incomplete MBR *)
+  n_resized : int;
+  ilp_cost : float;
+  n_blocks : int;
+  n_candidates : int;
+  all_optimal : bool;
+  skew_report : Mbr_sta.Skew.report option;
+  new_mbrs : Mbr_netlist.Types.cell_id list;
+  runtime_s : float;
+  stage_times : (string * float) list;
+      (** seconds per stage, in execution order: "metrics-before",
+          "decompose", "compat-graph", "allocate", "merge",
+          "scan-restitch", "skew", "resize", "metrics-after" *)
+}
+
+val run :
+  ?options:options ->
+  design:Mbr_netlist.Design.t ->
+  placement:Mbr_place.Placement.t ->
+  library:Mbr_liberty.Library.t ->
+  sta_config:Mbr_sta.Engine.config ->
+  unit ->
+  result

@@ -1,0 +1,30 @@
+module Library = Mbr_liberty.Library
+
+let scan_need infos members =
+  if List.exists (fun i -> (infos.(i) : Compat.reg_info).Compat.scan <> None) members
+  then `Internal
+  else `No
+
+let min_drive_res infos members =
+  List.fold_left
+    (fun acc i -> Float.min acc (infos.(i) : Compat.reg_info).Compat.drive_res)
+    infinity members
+
+let best_for lib ~func_class ~bits ~max_drive_res ~need =
+  let need_scan = (need :> [ `No | `Internal | `Any_scan ]) in
+  match Library.best_cell lib ~func_class ~bits ~max_drive_res ~need_scan with
+  | Some c -> Some c
+  | None ->
+    if need = `Internal then
+      Library.best_cell lib ~func_class ~bits ~max_drive_res ~need_scan:`Any_scan
+    else None
+
+let for_members lib infos ~members ~target_bits =
+  let func_class =
+    match members with
+    | m :: _ -> (infos.(m) : Compat.reg_info).Compat.func_class
+    | [] -> invalid_arg "Mapping.for_members: empty member list"
+  in
+  best_for lib ~func_class ~bits:target_bits
+    ~max_drive_res:(min_drive_res infos members)
+    ~need:(scan_need infos members)

@@ -1,0 +1,35 @@
+(** MBR mapping (§4.1): bind a selected candidate to a concrete library
+    cell.
+
+    Rules, in order: the cell's drive resistance must not exceed the
+    {e minimum} drive resistance of the replaced registers (so no
+    replaced output gets weaker — timing cannot degrade, at some area
+    cost); among those, the lowest clock-pin capacitance wins (clock
+    power); per-bit-scan cells are penalized and used only when no
+    internal-scan cell of the width exists (external scan chains burn
+    routing). *)
+
+val scan_need :
+  Compat.reg_info array -> int list -> [ `No | `Internal ]
+(** [`Internal] as soon as any member is a scan register. *)
+
+val best_for :
+  Mbr_liberty.Library.t ->
+  func_class:string ->
+  bits:int ->
+  max_drive_res:float ->
+  need:[ `No | `Internal ] ->
+  Mbr_liberty.Cell.t option
+(** Library choice with the per-bit-scan fallback. *)
+
+val for_members :
+  Mbr_liberty.Library.t ->
+  Compat.reg_info array ->
+  members:int list ->
+  target_bits:int ->
+  Mbr_liberty.Cell.t option
+(** The cell a finished candidate maps to ([None] should not occur for
+    candidates produced by candidate enumeration, which validates cell
+    existence). *)
+
+val min_drive_res : Compat.reg_info array -> int list -> float

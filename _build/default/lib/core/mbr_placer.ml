@@ -1,0 +1,114 @@
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+module Placement = Mbr_place.Placement
+module Cell_lib = Mbr_liberty.Cell
+module Piecewise = Mbr_lp.Piecewise
+module Simplex = Mbr_lp.Simplex
+
+type conn_box = { offset : Point.t; box : Rect.t }
+
+let net_box pl ~exclude nid =
+  let dsg = Placement.design pl in
+  let pts =
+    List.filter_map
+      (fun pid ->
+        let p = Design.pin dsg pid in
+        if List.mem p.Types.p_cell exclude then None
+        else if (Design.cell dsg p.Types.p_cell).Types.c_dead then None
+        else
+          match Placement.location_opt pl p.Types.p_cell with
+          | Some _ -> Some (Placement.pin_location pl pid)
+          | None -> None)
+      (Design.net dsg nid).Types.n_pins
+  in
+  match pts with [] -> None | _ -> Some (Rect.of_points pts)
+
+let conn_boxes pl ~cell ~assignment ~exclude =
+  List.concat_map
+    (fun (bit, d_net, q_net) ->
+      let of_net offset nid =
+        match net_box pl ~exclude nid with
+        | Some box -> [ { offset; box } ]
+        | None -> []
+      in
+      let d =
+        match d_net with
+        | Some nid -> of_net (Cell_lib.d_pin_offset cell bit) nid
+        | None -> []
+      in
+      let q =
+        match q_net with
+        | Some nid -> of_net (Cell_lib.q_pin_offset cell bit) nid
+        | None -> []
+      in
+      d @ q)
+    assignment
+
+let corner_bounds ~cell ~(region : Rect.t) =
+  let xlo = region.Rect.lx and xhi = region.Rect.hx -. cell.Cell_lib.width in
+  let ylo = region.Rect.ly and yhi = region.Rect.hy -. cell.Cell_lib.height in
+  (* A region tighter than the footprint degenerates to its corner. *)
+  let xhi = Float.max xlo xhi and yhi = Float.max ylo yhi in
+  ((xlo, xhi), (ylo, yhi))
+
+let optimal_corner ~cell ~conns ~region =
+  let (xlo, xhi), (ylo, yhi) = corner_bounds ~cell ~region in
+  let xterms =
+    List.map
+      (fun c ->
+        Piecewise.
+          {
+            lo = c.box.Rect.lx;
+            hi = c.box.Rect.hx;
+            offset = c.offset.Point.x;
+            weight = 1.0;
+          })
+      conns
+  in
+  let yterms =
+    List.map
+      (fun c ->
+        Piecewise.
+          {
+            lo = c.box.Rect.ly;
+            hi = c.box.Rect.hy;
+            offset = c.offset.Point.y;
+            weight = 1.0;
+          })
+      conns
+  in
+  let x, fx = Piecewise.minimize ~bounds:(xlo, xhi) xterms in
+  let y, fy = Piecewise.minimize ~bounds:(ylo, yhi) yterms in
+  (Point.make x y, fx +. fy)
+
+let lp_corner ~cell ~conns ~region =
+  let (xlo, xhi), (ylo, yhi) = corner_bounds ~cell ~region in
+  if xhi < xlo || yhi < ylo then None
+  else begin
+    let lp = Simplex.create () in
+    let x = Simplex.add_var ~lb:xlo ~ub:xhi lp in
+    let y = Simplex.add_var ~lb:ylo ~ub:yhi lp in
+    (* wl_i = (zxh - zxl) + (zyh - zyl) with
+       zxh >= box.hx, zxh >= x + dx; zxl <= box.lx, zxl <= x + dx *)
+    List.iter
+      (fun c ->
+        let zxh = Simplex.add_var ~lb:neg_infinity ~obj:1.0 lp in
+        let zxl = Simplex.add_var ~lb:neg_infinity ~obj:(-1.0) lp in
+        let zyh = Simplex.add_var ~lb:neg_infinity ~obj:1.0 lp in
+        let zyl = Simplex.add_var ~lb:neg_infinity ~obj:(-1.0) lp in
+        Simplex.add_constraint lp [ (zxh, 1.0) ] Simplex.Ge c.box.Rect.hx;
+        Simplex.add_constraint lp [ (zxh, 1.0); (x, -1.0) ] Simplex.Ge c.offset.Point.x;
+        Simplex.add_constraint lp [ (zxl, 1.0) ] Simplex.Le c.box.Rect.lx;
+        Simplex.add_constraint lp [ (zxl, 1.0); (x, -1.0) ] Simplex.Le c.offset.Point.x;
+        Simplex.add_constraint lp [ (zyh, 1.0) ] Simplex.Ge c.box.Rect.hy;
+        Simplex.add_constraint lp [ (zyh, 1.0); (y, -1.0) ] Simplex.Ge c.offset.Point.y;
+        Simplex.add_constraint lp [ (zyl, 1.0) ] Simplex.Le c.box.Rect.ly;
+        Simplex.add_constraint lp [ (zyl, 1.0); (y, -1.0) ] Simplex.Le c.offset.Point.y)
+      conns;
+    match Simplex.solve lp with
+    | { Simplex.status = Simplex.Optimal; objective; values } ->
+      Some (Point.make values.(x) values.(y), objective)
+    | { Simplex.status = Simplex.Infeasible | Simplex.Unbounded; _ } -> None
+  end

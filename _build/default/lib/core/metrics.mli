@@ -1,0 +1,38 @@
+(** The Table 1 measurement bundle: one snapshot of a placed design,
+    collected identically before and after composition so the Save
+    percentages are apples-to-apples. *)
+
+type t = {
+  cells : int;  (** live cells *)
+  area : float;  (** µm², cell area + clock-tree buffer area *)
+  clk_wl : float;  (** clock-tree wirelength, µm *)
+  other_wl : float;  (** signal (star) wirelength, µm *)
+  total_regs : int;
+  comp_regs : int;  (** composable under {!Compat.is_composable} *)
+  clk_bufs : int;
+  clk_cap : float;  (** fF: sinks + clock wire + buffers *)
+  clk_power : float;  (** µW at the design's clock period (see {!Power}) *)
+  clk_power_frac : float;  (** clock share of dynamic power (§1: 20–40 %) *)
+  tns : float;  (** ps, <= 0 *)
+  wns : float;  (** ps *)
+  failing : int;
+  endpoints : int;
+  ovfl : int;  (** overflow edges *)
+  utilization : float;
+}
+
+val collect :
+  ?route_config:Mbr_route.Estimator.config ->
+  ?cts_config:Mbr_cts.Synth.config ->
+  Mbr_sta.Engine.t ->
+  Mbr_liberty.Library.t ->
+  t
+(** Runs STA (with whatever useful skew the engine carries), CTS and
+    the congestion estimate on the engine's placement. *)
+
+val pp_row : Format.formatter -> t -> unit
+(** One-line human-readable summary. *)
+
+val save_pct : before:t -> after:t -> (string * float) list
+(** The paper's "Save" row: percent improvement per column (positive =
+    better). *)

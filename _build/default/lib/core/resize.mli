@@ -1,0 +1,23 @@
+(** Post-composition MBR sizing (Fig. 4, "MBR sizing").
+
+    Useful skew widens the worst slack of each new MBR; any remaining
+    positive margin is spent on a weaker drive of the same cell family,
+    reducing area and clock-pin capacitance. The delay increase of
+    every Q output is bounded by (Δdrive_res × measured load) and must
+    fit inside the available slack minus the configured margin. *)
+
+type config = {
+  margin : float;  (** ps of slack never spent (default 20) *)
+}
+
+val default_config : config
+
+val downsize :
+  ?config:config ->
+  Mbr_sta.Engine.t ->
+  Mbr_liberty.Library.t ->
+  Mbr_netlist.Types.cell_id list ->
+  int
+(** Try to downsize each given register; returns how many were swapped.
+    The engine must be rebuilt by the caller afterwards (pin caps and
+    drive resistances changed). *)

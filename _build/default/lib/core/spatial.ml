@@ -1,0 +1,61 @@
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+
+type 'a t = {
+  bucket : float;
+  cells : (int * int, ('a * Point.t) list) Hashtbl.t;
+  mutable n : int;
+}
+
+let create ?(bucket = 25.0) () =
+  if bucket <= 0.0 then invalid_arg "Spatial.create: bucket <= 0";
+  { bucket; cells = Hashtbl.create 256; n = 0 }
+
+let key t (p : Point.t) =
+  ( int_of_float (Float.floor (p.x /. t.bucket)),
+    int_of_float (Float.floor (p.y /. t.bucket)) )
+
+let add t v p =
+  let k = key t p in
+  let cur = match Hashtbl.find_opt t.cells k with Some l -> l | None -> [] in
+  Hashtbl.replace t.cells k ((v, p) :: cur);
+  t.n <- t.n + 1
+
+let remove t v p =
+  let k = key t p in
+  match Hashtbl.find_opt t.cells k with
+  | None -> ()
+  | Some l ->
+    let removed = ref false in
+    let l' =
+      List.filter
+        (fun (v', p') ->
+          if (not !removed) && v' = v && Point.equal ~eps:0.0 p' p then begin
+            removed := true;
+            false
+          end
+          else true)
+        l
+    in
+    if !removed then begin
+      Hashtbl.replace t.cells k l';
+      t.n <- t.n - 1
+    end
+
+let query_rect t (r : Rect.t) =
+  let i0 = int_of_float (Float.floor (r.Rect.lx /. t.bucket)) in
+  let i1 = int_of_float (Float.floor (r.Rect.hx /. t.bucket)) in
+  let j0 = int_of_float (Float.floor (r.Rect.ly /. t.bucket)) in
+  let j1 = int_of_float (Float.floor (r.Rect.hy /. t.bucket)) in
+  let acc = ref [] in
+  for i = i0 to i1 do
+    for j = j0 to j1 do
+      match Hashtbl.find_opt t.cells (i, j) with
+      | Some l ->
+        List.iter (fun ((_, p) as entry) -> if Rect.contains r p then acc := entry :: !acc) l
+      | None -> ()
+    done
+  done;
+  !acc
+
+let size t = t.n

@@ -1,0 +1,18 @@
+(** Point index on a uniform grid: blocker lookups for the weight
+    heuristic (which registers' centers fall inside a candidate's test
+    polygon) and other range queries over cell centers. *)
+
+type 'a t
+
+val create : ?bucket:float -> unit -> 'a t
+(** [bucket] is the grid pitch in µm (default 25). *)
+
+val add : 'a t -> 'a -> Mbr_geom.Point.t -> unit
+
+val remove : 'a t -> 'a -> Mbr_geom.Point.t -> unit
+(** Removes one occurrence of the (value, point) pair, if present. *)
+
+val query_rect : 'a t -> Mbr_geom.Rect.t -> ('a * Mbr_geom.Point.t) list
+(** All entries whose point lies in the closed rectangle. *)
+
+val size : 'a t -> int

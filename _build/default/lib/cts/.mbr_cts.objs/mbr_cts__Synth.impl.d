@@ -1,0 +1,1 @@
+lib/cts/synth.ml: Float Hashtbl List Mbr_geom Mbr_liberty Mbr_netlist Mbr_place

@@ -1,0 +1,1 @@
+lib/cts/synth.mli: Mbr_geom Mbr_netlist Mbr_place

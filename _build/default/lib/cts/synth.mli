@@ -1,0 +1,53 @@
+(** Clock-tree synthesis substrate.
+
+    MBR composition's headline benefit is a lighter clock tree: fewer
+    sinks ⇒ less leaf wire, lower total pin capacitance ⇒ fewer and
+    smaller buffers (§1). Table 1 reports clock buffers, clock
+    capacitance and clock wirelength before/after composition, so this
+    module builds a deterministic buffered tree over the register clock
+    pins and reports exactly those metrics.
+
+    Algorithm: per clock domain (registers grouped by clock net), sinks
+    are clustered bottom-up — recursive median bisection until every
+    cluster respects the fanout and capacitance limits, a buffer at each
+    cluster's centroid, repeated level by level until a single node
+    remains, then connected to the clock root. Wire is star-routed
+    inside each cluster. *)
+
+type config = {
+  max_fanout : int;  (** sinks a buffer may drive (default 16) *)
+  max_cap : float;  (** fF a buffer may drive (default 48) *)
+  buf_input_cap : float;  (** fF (default 1.2) *)
+  buf_area : float;  (** µm² (default 1.4) *)
+  wire_cap : float;  (** fF per µm (default 0.2) *)
+}
+
+val default_config : config
+
+type node =
+  | Sink of { reg : Mbr_netlist.Types.cell_id; at : Mbr_geom.Point.t; cap : float }
+  | Buffer of { at : Mbr_geom.Point.t; children : node list }
+
+type domain = {
+  clock_net : Mbr_netlist.Types.net_id;
+  root : node;
+  n_sinks : int;
+  n_buffers : int;
+  wirelength : float;
+  sink_cap : float;  (** sum of register clock-pin caps *)
+  wire_capacitance : float;
+  buffer_cap : float;  (** sum of buffer input caps *)
+  depth : int;  (** buffer levels above the sinks *)
+}
+
+type result = {
+  domains : domain list;
+  n_sinks : int;
+  n_buffers : int;
+  wirelength : float;
+  total_cap : float;  (** sink + wire + buffer capacitance, all domains *)
+}
+
+val synthesize : ?config:config -> Mbr_place.Placement.t -> result
+(** Unplaced registers are skipped; a domain with no placed sinks is
+    omitted. *)

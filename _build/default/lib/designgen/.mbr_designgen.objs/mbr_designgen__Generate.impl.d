@@ -1,0 +1,1 @@
+lib/designgen/generate.ml: Array Fun Hashtbl List Mbr_dft Mbr_geom Mbr_liberty Mbr_netlist Mbr_place Mbr_sta Mbr_util Printf Profile Seq

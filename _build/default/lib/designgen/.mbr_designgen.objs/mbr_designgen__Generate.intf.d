@@ -1,0 +1,1 @@
+lib/designgen/generate.mli: Mbr_liberty Mbr_netlist Mbr_place Mbr_sta Profile

@@ -1,0 +1,1 @@
+lib/designgen/profile.mli:

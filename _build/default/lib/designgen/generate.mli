@@ -1,0 +1,49 @@
+(** Synthetic placed-design generation (the repo's stand-in for the
+    paper's 28 nm industrial benchmarks; see DESIGN.md §2).
+
+    Given a {!Profile.t}, produces a legal, placed, MBR-rich design:
+
+    - registers drawn from the profile's bit-width mix and functional
+      classes (plain / async-reset / scan), grouped into spatial
+      clusters of compatible banks (same class, clock domain, scan
+      partition), as placed RTL modules would be;
+    - a clock root plus ICG-gated subdomains; a shared reset; scan
+      partitions with a fraction of ordered scan sections;
+    - random combinational cones (1–3 levels) between register banks,
+      with a profile-controlled fraction of long cross-cluster paths;
+    - everything placed on rows without overlaps;
+    - the clock period calibrated so that the profile's target fraction
+      of endpoints fails setup (the paper reports ≈38 % failing
+      endpoints on its mid-optimization snapshots). *)
+
+type t = {
+  design : Mbr_netlist.Design.t;
+  placement : Mbr_place.Placement.t;
+  library : Mbr_liberty.Library.t;
+  sta_config : Mbr_sta.Engine.config;
+  profile : Profile.t;
+}
+
+val generate : Profile.t -> t
+(** Deterministic for a given profile (including its seed). *)
+
+val width_histogram : Mbr_netlist.Design.t -> (int * int) list
+(** [(bits, count)] over live registers, ascending bits — the data
+    behind Fig. 5. *)
+
+val gate_resolver : string -> Mbr_netlist.Types.comb_attrs option
+(** Electrical model of the combinational gate masters this generator
+    instantiates (NAND2_X1, INV_X1, ...). Lets netlists exported to
+    Verilog be re-imported (see {!Mbr_export.Verilog.of_verilog}). *)
+
+val gate_cells : unit -> Mbr_liberty.Liberty_io.gate list
+(** The same gate masters in Liberty form, so an exported library file
+    is self-sufficient (see {!Mbr_liberty.Liberty_io.to_liberty}). *)
+
+val to_global_placement : ?sigma:float -> ?seed:int -> t -> unit
+(** Turn the legalized placement into a {e global-placement} snapshot:
+    every movable cell is jittered by a Gaussian of [sigma] µm (default
+    1.5) and taken off the site grid, so cells overlap the way they do
+    before detailed placement. The paper applies MBR composition "both
+    after global and detailed placement"; this produces the former
+    entry point from a generated design. *)

@@ -1,0 +1,54 @@
+(** Knobs of the synthetic-design generator and the five profiles
+    calibrated to the paper's Table 1 "Base" rows (at ~1/20 scale; see
+    DESIGN.md §2 for the substitution argument).
+
+    The distributions that matter to MBR composition are reproduced per
+    design: total register count, composable fraction, initial MBR
+    bit-width mix (Fig. 5 "before"), spatial clustering of register
+    banks, clock gating domains, scan partitions/order constraints, and
+    a slack profile with roughly the paper's ~38 % failing endpoints. *)
+
+type t = {
+  name : string;
+  n_registers : int;  (** register cells (an n-bit MBR counts once) *)
+  composable_frac : float;
+      (** fraction not fixed/size-only (Table 1 Comp-Regs / Total-Regs) *)
+  width_mix : (int * float) list;
+      (** initial bit width -> fraction of register cells *)
+  gates_per_reg : float;  (** combinational cells per register *)
+  n_gated_domains : int;  (** ICG-gated clock subdomains *)
+  ungated_frac : float;  (** registers on the raw clock root *)
+  n_scan_partitions : int;
+  ordered_scan_frac : float;
+      (** fraction of scannable registers inside ordered scan sections *)
+  scan_class_frac : float;  (** fraction of registers that are scan flops *)
+  latch_frac : float;  (** fraction of registers that are latches (class dlat) *)
+  cluster_size_mean : int;  (** registers per placement cluster *)
+  target_util : float;  (** placement utilization *)
+  failing_frac : float;  (** calibrated fraction of failing endpoints *)
+  cross_cluster_frac : float;  (** cones sourced from far-away clusters *)
+  seed : int;
+}
+
+val d1 : t
+
+val d2 : t
+
+val d3 : t
+(** D3's published row is similar to D5 but with congestion pressure:
+    denser placement. *)
+
+val d4 : t
+(** Rich in 8-bit MBRs already (Fig. 5): composition finds less. *)
+
+val d5 : t
+
+val all : t list
+(** \[d1; d2; d3; d4; d5\]. *)
+
+val tiny : seed:int -> t
+(** A fast small profile for tests and the quickstart example. *)
+
+val scaled : t -> float -> t
+(** [scaled p f] multiplies the register count by [f] (for quick runs:
+    [scaled d1 0.25]). *)

@@ -1,0 +1,1 @@
+lib/dft/scan_stitch.ml: Fun Hashtbl List Mbr_geom Mbr_liberty Mbr_netlist Mbr_place Printf

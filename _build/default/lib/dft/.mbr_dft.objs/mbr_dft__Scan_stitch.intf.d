@@ -1,0 +1,1 @@
+lib/dft/scan_stitch.mli: Mbr_netlist Mbr_place

@@ -1,0 +1,33 @@
+(** Scan-chain stitching and verification.
+
+    The paper's scan-compatibility rules (§2) exist to keep the scan
+    chains stitchable after composition; this module makes that
+    concrete: it wires one chain per scan partition (SI port → SI/SO
+    hops → SO port), re-wires after composition, and verifies chain
+    integrity.
+
+    Ordering inside a partition: ordered sections first, section by
+    section, each in ascending position (§2's order constraint), then
+    the unordered registers, greedily nearest-neighbour from the last
+    endpoint (short chains = less routing — the §4.1 concern about
+    external chains). Internal-scan MBRs contribute one hop (the chain
+    enters SI0 and leaves SO0 through the cell's internal chain);
+    per-bit-scan cells contribute one hop per bit, wired externally. *)
+
+type report = {
+  n_chains : int;
+  n_hops : int;  (** SI/SO pin pairs threaded *)
+  wirelength : float;  (** Manhattan length of the stitched nets, µm *)
+}
+
+val stitch : Mbr_place.Placement.t -> report
+(** (Re)stitch every partition of the design. Existing scan wiring is
+    dropped first, so the call is idempotent; chain ports are created
+    on demand (named [scan_si<p>] / [scan_so<p>]). Unplaced scannable
+    registers are appended at the end of their partition's chain. *)
+
+val verify : Mbr_netlist.Design.t -> string list
+(** Chain-integrity violations (empty = healthy): every scannable
+    register reachable from its partition's SI port exactly once,
+    chains terminate at the SO port, and ordered-section members appear
+    in ascending position order along the chain. *)

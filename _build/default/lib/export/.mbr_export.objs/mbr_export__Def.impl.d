@@ -1,0 +1,1 @@
+lib/export/def.ml: Buffer Float Hashtbl List Mbr_geom Mbr_liberty Mbr_netlist Mbr_place Printf String

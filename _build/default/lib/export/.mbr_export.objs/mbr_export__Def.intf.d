@@ -1,0 +1,1 @@
+lib/export/def.mli: Mbr_netlist Mbr_place

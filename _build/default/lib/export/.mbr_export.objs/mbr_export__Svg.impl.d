@@ -1,0 +1,1 @@
+lib/export/svg.ml: Buffer List Mbr_geom Mbr_liberty Mbr_netlist Mbr_place Printf

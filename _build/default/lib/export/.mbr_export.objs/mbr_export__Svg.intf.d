@@ -1,0 +1,1 @@
+lib/export/svg.mli: Mbr_netlist Mbr_place

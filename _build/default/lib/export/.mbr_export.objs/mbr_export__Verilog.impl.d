@@ -1,0 +1,1 @@
+lib/export/verilog.ml: Array Buffer Hashtbl List Mbr_liberty Mbr_netlist Option Printf String

@@ -1,0 +1,142 @@
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+module Floorplan = Mbr_place.Floorplan
+module Placement = Mbr_place.Placement
+
+exception Parse_error of string
+
+let dbu = 1000.0
+
+let to_dbu x = int_of_float (Float.round (x *. dbu))
+
+let master_of dsg cid =
+  let c = Design.cell dsg cid in
+  match c.Types.c_kind with
+  | Types.Register a -> a.Types.lib_cell.Mbr_liberty.Cell.name
+  | Types.Comb g -> g.Types.gate
+  | Types.Clock_root -> "CLKROOT"
+  | Types.Clock_gate _ -> "CLKGATE"
+  | Types.Port Types.In_port -> "PORT_IN"
+  | Types.Port Types.Out_port -> "PORT_OUT"
+
+let to_def ?design_name pl =
+  let dsg = Placement.design pl in
+  let fp = Placement.floorplan pl in
+  let core = fp.Floorplan.core in
+  let name =
+    match design_name with Some n -> n | None -> Design.name dsg
+  in
+  let buf = Buffer.create 16384 in
+  Printf.bprintf buf "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n"
+    name (int_of_float dbu);
+  Printf.bprintf buf "DIEAREA ( %d %d ) ( %d %d ) ;\n" (to_dbu core.Rect.lx)
+    (to_dbu core.Rect.ly) (to_dbu core.Rect.hx) (to_dbu core.Rect.hy);
+  Printf.bprintf buf "ROW core_rows %d %d ;\n"
+    (to_dbu fp.Floorplan.row_height)
+    (to_dbu fp.Floorplan.site_width);
+  let placed = ref [] in
+  Placement.iter (fun cid p -> placed := (cid, p) :: !placed) pl;
+  let placed = List.rev !placed in
+  Printf.bprintf buf "COMPONENTS %d ;\n" (List.length placed);
+  List.iter
+    (fun (cid, (p : Point.t)) ->
+      Printf.bprintf buf "- %s %s + PLACED ( %d %d ) N ;\n"
+        (Design.cell dsg cid).Types.c_name (master_of dsg cid) (to_dbu p.Point.x)
+        (to_dbu p.Point.y))
+    placed;
+  Buffer.add_string buf "END COMPONENTS\nEND DESIGN\n";
+  Buffer.contents buf
+
+(* ---- reader: token stream of whitespace-separated words ---- *)
+
+let words src =
+  String.split_on_char '\n' src
+  |> List.concat_map (fun line -> String.split_on_char ' ' line)
+  |> List.filter (fun w -> w <> "")
+
+let of_def dsg src =
+  let toks = ref (words src) in
+  let next () =
+    match !toks with
+    | [] -> raise (Parse_error "unexpected end of DEF")
+    | w :: rest ->
+      toks := rest;
+      w
+  in
+  let num what w =
+    match int_of_string_opt w with
+    | Some v -> float_of_int v /. dbu
+    | None -> raise (Parse_error ("expected a number for " ^ what ^ ", got " ^ w))
+  in
+  let die = ref None in
+  let row = ref None in
+  let components = ref [] in
+  let rec scan () =
+    match !toks with
+    | [] -> ()
+    | _ -> (
+      match next () with
+      | "DIEAREA" ->
+        (* ( x0 y0 ) ( x1 y1 ) ; *)
+        let expect w =
+          let got = next () in
+          if got <> w then raise (Parse_error ("DIEAREA: expected " ^ w))
+        in
+        expect "(";
+        let x0 = num "die x0" (next ()) in
+        let y0 = num "die y0" (next ()) in
+        expect ")";
+        expect "(";
+        let x1 = num "die x1" (next ()) in
+        let y1 = num "die y1" (next ()) in
+        expect ")";
+        die := Some (Rect.make ~lx:x0 ~ly:y0 ~hx:x1 ~hy:y1);
+        scan ()
+      | "ROW" ->
+        let _name = next () in
+        let rh = num "row height" (next ()) in
+        let sw = num "site width" (next ()) in
+        row := Some (rh, sw);
+        scan ()
+      | "-" -> (
+        (* - name master + PLACED ( x y ) N ; *)
+        let cname = next () in
+        let _master = next () in
+        let rec to_placed () =
+          match next () with
+          | "PLACED" -> ()
+          | ";" -> raise (Parse_error (cname ^ ": component without PLACED"))
+          | _ -> to_placed ()
+        in
+        to_placed ();
+        match next () with
+        | "(" ->
+          let x = num "x" (next ()) in
+          let y = num "y" (next ()) in
+          components := (cname, Point.make x y) :: !components;
+          scan ()
+        | w -> raise (Parse_error ("expected ( after PLACED, got " ^ w)))
+      | _ -> scan ())
+  in
+  scan ();
+  let core =
+    match !die with
+    | Some r -> r
+    | None -> raise (Parse_error "DEF without DIEAREA")
+  in
+  let row_height, site_width = match !row with Some p -> p | None -> (1.2, 0.2) in
+  let fp = Floorplan.make ~core ~row_height ~site_width in
+  let pl = Placement.create fp dsg in
+  let by_name = Hashtbl.create 1024 in
+  List.iter
+    (fun cid -> Hashtbl.replace by_name (Design.cell dsg cid).Types.c_name cid)
+    (Design.live_cells dsg);
+  List.iter
+    (fun (cname, p) ->
+      match Hashtbl.find_opt by_name cname with
+      | Some cid -> Placement.set pl cid p
+      | None -> raise (Parse_error ("DEF places unknown component " ^ cname)))
+    (List.rev !components);
+  pl

@@ -1,0 +1,17 @@
+(** DEF-style placement interchange.
+
+    {!to_def} writes the floorplan (DIEAREA, row/site pitch) and every
+    placed live cell as a [COMPONENTS] entry with a [PLACED] location;
+    {!of_def} reads it back onto a design whose cell names match
+    (typically one reconstructed from the matching Verilog netlist).
+    Coordinates use the customary 1000 database units per micron. *)
+
+val to_def : ?design_name:string -> Mbr_place.Placement.t -> string
+
+exception Parse_error of string
+
+val of_def : Mbr_netlist.Design.t -> string -> Mbr_place.Placement.t
+(** Builds the floorplan from DIEAREA/ROW pitch and places every
+    component found by name. Unknown component names and malformed
+    input raise {!Parse_error}; cells of the design absent from the
+    file are simply left unplaced. *)

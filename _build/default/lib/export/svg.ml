@@ -1,0 +1,101 @@
+module Rect = Mbr_geom.Rect
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+module Placement = Mbr_place.Placement
+module Floorplan = Mbr_place.Floorplan
+module Cell_lib = Mbr_liberty.Cell
+
+let scale = 8.0
+
+let width_color = function
+  | 1 -> "#7aa6c2" (* 1-bit: blue-grey *)
+  | 2 -> "#5d9b68" (* 2-bit: green *)
+  | 3 | 4 -> "#d4a24c" (* 4-bit: amber *)
+  | _ -> "#c25b4e" (* 8-bit+: red *)
+
+let render ?(highlight = []) ?(title = "") pl =
+  let dsg = Placement.design pl in
+  let fp = Placement.floorplan pl in
+  let core = fp.Floorplan.core in
+  let buf = Buffer.create 65536 in
+  let margin = 12.0 in
+  let legend_h = 28.0 in
+  let w = (Rect.width core *. scale) +. (2.0 *. margin) in
+  let h = (Rect.height core *. scale) +. (2.0 *. margin) +. legend_h in
+  (* SVG y grows downward; flip so the core's ly sits at the bottom *)
+  let x_of v = margin +. ((v -. core.Rect.lx) *. scale) in
+  let y_of v = margin +. ((core.Rect.hy -. v) *. scale) in
+  Printf.bprintf buf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     viewBox=\"0 0 %.0f %.0f\">\n"
+    w h w h;
+  Printf.bprintf buf "<rect width=\"%.0f\" height=\"%.0f\" fill=\"#fbfaf7\"/>\n" w h;
+  if title <> "" then
+    Printf.bprintf buf
+      "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"11\" \
+       fill=\"#333\">%s</text>\n"
+      margin (margin -. 3.0) title;
+  (* core outline *)
+  Printf.bprintf buf
+    "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" \
+     stroke=\"#888\" stroke-width=\"1\"/>\n"
+    (x_of core.Rect.lx) (y_of core.Rect.hy) (Rect.width core *. scale)
+    (Rect.height core *. scale);
+  let emit_rect ?(stroke = "none") ?(stroke_w = 0.0) r fill opacity =
+    Printf.bprintf buf
+      "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\" \
+       fill-opacity=\"%.2f\" stroke=\"%s\" stroke-width=\"%.1f\"/>\n"
+      (x_of r.Rect.lx) (y_of r.Rect.hy) (Rect.width r *. scale)
+      (Rect.height r *. scale) fill opacity stroke stroke_w
+  in
+  (* combinational cells first (background layer) *)
+  Placement.iter
+    (fun cid _ ->
+      match (Design.cell dsg cid).Types.c_kind with
+      | Types.Comb _ -> emit_rect (Placement.footprint pl cid) "#d8d5ce" 0.8
+      | Types.Register _ | Types.Clock_root | Types.Clock_gate _ | Types.Port _
+        ->
+        ())
+    pl;
+  (* registers by width *)
+  Placement.iter
+    (fun cid _ ->
+      match (Design.cell dsg cid).Types.c_kind with
+      | Types.Register a ->
+        let bits = a.Types.lib_cell.Cell_lib.bits in
+        emit_rect (Placement.footprint pl cid) (width_color bits) 0.95
+      | Types.Comb _ | Types.Clock_root | Types.Clock_gate _ | Types.Port _ ->
+        ())
+    pl;
+  (* highlights on top *)
+  List.iter
+    (fun cid ->
+      match Design.cell dsg cid with
+      | c ->
+        if (not c.Types.c_dead) && Placement.is_placed pl cid then
+          emit_rect
+            (Placement.footprint pl cid)
+            "none" 1.0 ~stroke:"#111" ~stroke_w:1.6
+      | exception Invalid_argument _ -> () (* unknown ids are ignored *))
+    highlight;
+  (* legend *)
+  let ly = h -. legend_h +. 8.0 in
+  List.iteri
+    (fun i (label, color) ->
+      let x = margin +. (float_of_int i *. 72.0) in
+      Printf.bprintf buf
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"10\" height=\"10\" fill=\"%s\"/>\n" x ly
+        color;
+      Printf.bprintf buf
+        "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"10\" \
+         fill=\"#333\">%s</text>\n"
+        (x +. 14.0) (ly +. 9.0) label)
+    [
+      ("1-bit", width_color 1);
+      ("2-bit", width_color 2);
+      ("4-bit", width_color 4);
+      ("8-bit", width_color 8);
+      ("logic", "#d8d5ce");
+    ];
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** SVG rendering of a placement — the Fig. 2-style view: the core
+    outline, combinational cells in grey, registers coloured by bit
+    width, optional highlights (e.g. the MBRs a flow run created).
+    Written for visual inspection of before/after composition. *)
+
+val render :
+  ?highlight:Mbr_netlist.Types.cell_id list ->
+  ?title:string ->
+  Mbr_place.Placement.t ->
+  string
+(** A standalone SVG document. [highlight]ed cells get a strong outline
+    (unknown or unplaced ids are ignored). Scale: 8 px per µm, plus a
+    legend of register widths. *)

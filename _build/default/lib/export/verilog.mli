@@ -1,0 +1,36 @@
+(** Structural Verilog interchange.
+
+    {!to_verilog} writes a gate-level netlist: one module whose ports
+    are the design's primary IOs, a [wire] per internal net, and one
+    instance per live cell with named port connections. Register
+    attributes that Verilog cannot express (fixed/size-only, scan
+    partition and section, clock-gating enable) ride on standard
+    [(* attribute *)] annotations, so {!of_verilog} reconstructs the
+    design losslessly given the same register library and a resolver
+    for combinational gate names.
+
+    Pin naming follows the library model: [D<i>]/[Q<i>], [CK], [R],
+    [SE], [SI<i>]/[SO<i>] for registers; [A<i>]/[Y] for gates. *)
+
+val to_verilog : ?module_name:string -> Mbr_netlist.Design.t -> string
+
+exception Parse_error of string
+
+type gate_resolver = string -> Mbr_netlist.Types.comb_attrs option
+(** Maps an instantiated gate master name (e.g. "NAND2_X1") to its
+    electrical model. *)
+
+val resolver_of_gates : Mbr_liberty.Liberty_io.gate list -> gate_resolver
+(** Build a resolver from the combinational cells of a Liberty file
+    (see {!Mbr_liberty.Liberty_io.of_liberty_full}); footprints assume
+    the standard 1.2 µm row height. *)
+
+val of_verilog :
+  library:Mbr_liberty.Library.t ->
+  gates:gate_resolver ->
+  string ->
+  Mbr_netlist.Design.t
+(** Parse a netlist written by {!to_verilog} (or equivalent structural
+    Verilog in the same subset: module/wire/instances with named
+    connections, [(* *)] attributes). Raises {!Parse_error} on
+    malformed input, unknown masters, or unresolvable gates. *)

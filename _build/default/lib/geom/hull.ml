@@ -1,0 +1,74 @@
+let dedup_sorted pts =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | [ p ] -> List.rev (p :: acc)
+    | p :: (q :: _ as rest) ->
+      if Point.equal ~eps:0.0 p q then go acc rest else go (p :: acc) rest
+  in
+  go [] pts
+
+(* Andrew's monotone chain. Returns CCW vertices, first vertex not
+   repeated. Strictly convex output: collinear boundary points dropped. *)
+let convex pts =
+  let pts = dedup_sorted (List.sort Point.compare_lex pts) in
+  match pts with
+  | [] | [ _ ] | [ _; _ ] -> pts
+  | _ ->
+    let build input =
+      List.fold_left
+        (fun chain p ->
+          let rec pop = function
+            | b :: a :: rest when Point.cross ~o:a b p <= 0.0 -> pop (a :: rest)
+            | chain -> chain
+          in
+          p :: pop chain)
+        [] input
+    in
+    let lower = build pts in
+    let upper = build (List.rev pts) in
+    (* Each chain ends with its endpoint duplicated in the other chain. *)
+    let drop_last l = List.rev (List.tl (List.rev l)) in
+    let hull = drop_last (List.rev lower) @ drop_last (List.rev upper) in
+    (match hull with
+    | [] | [ _ ] -> dedup_sorted (List.sort Point.compare_lex hull)
+    | _ -> hull)
+
+let seg_distance (a : Point.t) (b : Point.t) (p : Point.t) =
+  let abx = b.x -. a.x and aby = b.y -. a.y in
+  let len2 = (abx *. abx) +. (aby *. aby) in
+  if len2 <= 0.0 then Point.euclid a p
+  else begin
+    let t = (((p.x -. a.x) *. abx) +. ((p.y -. a.y) *. aby)) /. len2 in
+    let t = Float.max 0.0 (Float.min 1.0 t) in
+    Point.euclid (Point.make (a.x +. (t *. abx)) (a.y +. (t *. aby))) p
+  end
+
+let contains hull p =
+  match hull with
+  | [] -> false
+  | [ a ] -> Point.euclid a p <= 1e-9
+  | [ a; b ] -> seg_distance a b p <= 1e-9
+  | _ ->
+    let n = List.length hull in
+    let arr = Array.of_list hull in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) in
+      if Point.cross ~o:a b p < -1e-9 then ok := false
+    done;
+    !ok
+
+let area hull =
+  match hull with
+  | [] | [ _ ] | [ _; _ ] -> 0.0
+  | _ ->
+    let arr = Array.of_list hull in
+    let n = Array.length arr in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let a : Point.t = arr.(i) and b : Point.t = arr.((i + 1) mod n) in
+      acc := !acc +. ((a.x *. b.y) -. (b.x *. a.y))
+    done;
+    Float.abs !acc /. 2.0
+
+let of_rects rects = convex (List.concat_map Rect.corners rects)

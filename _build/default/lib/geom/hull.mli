@@ -1,0 +1,25 @@
+(** Convex hulls and convex-polygon containment.
+
+    The paper's weight heuristic (§3.2) builds, for every candidate MBR,
+    the convex hull of the corner points of its constituent registers and
+    counts foreign registers whose center lies inside that "test
+    polygon". *)
+
+val convex : Point.t list -> Point.t list
+(** Convex hull by Andrew's monotone chain, counter-clockwise, without
+    repeating the first vertex. Collinear points on the boundary are
+    dropped. Degenerate inputs yield the degenerate hull: 0, 1 or 2
+    distinct points (a segment). *)
+
+val contains : Point.t list -> Point.t -> bool
+(** [contains hull p]: closed containment of [p] in the convex polygon
+    given in counter-clockwise order. Handles degenerate hulls (point,
+    segment) by distance-to-set with a 1e-9 tolerance. *)
+
+val area : Point.t list -> float
+(** Shoelace area of a counter-clockwise simple polygon; 0 for fewer
+    than 3 vertices. *)
+
+val of_rects : Rect.t list -> Point.t list
+(** Convex hull of all corner points of the rectangles — the paper's
+    test polygon for a clique of register footprints. *)

@@ -1,0 +1,38 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let origin = { x = 0.0; y = 0.0 }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+
+let scale k p = { x = k *. p.x; y = k *. p.y }
+
+let manhattan a b = Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y)
+
+let euclid a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let midpoint a b = { x = (a.x +. b.x) /. 2.0; y = (a.y +. b.y) /. 2.0 }
+
+let centroid = function
+  | [] -> invalid_arg "Point.centroid: empty"
+  | ps ->
+    let n = float_of_int (List.length ps) in
+    let sum = List.fold_left add origin ps in
+    scale (1.0 /. n) sum
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.x -. b.x) <= eps && Float.abs (a.y -. b.y) <= eps
+
+let compare_lex a b =
+  let c = compare a.x b.x in
+  if c <> 0 then c else compare a.y b.y
+
+let cross ~o a b =
+  ((a.x -. o.x) *. (b.y -. o.y)) -. ((a.y -. o.y) *. (b.x -. o.x))
+
+let pp ppf p = Format.fprintf ppf "(%.3f, %.3f)" p.x p.y

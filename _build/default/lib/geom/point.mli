@@ -1,0 +1,34 @@
+(** 2-D points in micrometres (floats). *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+
+val origin : t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val manhattan : t -> t -> float
+(** |dx| + |dy| — the routing distance metric used throughout. *)
+
+val euclid : t -> t -> float
+
+val midpoint : t -> t -> t
+
+val centroid : t list -> t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Component-wise comparison with tolerance (default 1e-9). *)
+
+val compare_lex : t -> t -> int
+(** Lexicographic (x then y); total order used by hull construction. *)
+
+val cross : o:t -> t -> t -> float
+(** Z-component of (a-o) x (b-o): >0 when o→a→b turns left. *)
+
+val pp : Format.formatter -> t -> unit

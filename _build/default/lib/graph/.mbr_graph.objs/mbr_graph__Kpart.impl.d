@@ -1,0 +1,1 @@
+lib/graph/kpart.ml: Components Float List Mbr_geom

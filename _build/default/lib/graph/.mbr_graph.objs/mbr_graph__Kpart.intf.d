@@ -1,0 +1,1 @@
+lib/graph/kpart.mli: Mbr_geom Ugraph

@@ -1,0 +1,1 @@
+lib/graph/ugraph.ml: Array Hashtbl Int List Set

@@ -1,0 +1,108 @@
+module Int_set = Set.Make (Int)
+
+type t = { n : int; adj : Int_set.t array; mutable m : int }
+
+let create n =
+  if n < 0 then invalid_arg "Ugraph.create";
+  { n; adj = Array.make n Int_set.empty; m = 0 }
+
+let n_nodes t = t.n
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Ugraph: node out of range"
+
+let add_edge t a b =
+  check t a;
+  check t b;
+  if a = b then invalid_arg "Ugraph.add_edge: self-loop";
+  if not (Int_set.mem b t.adj.(a)) then begin
+    t.adj.(a) <- Int_set.add b t.adj.(a);
+    t.adj.(b) <- Int_set.add a t.adj.(b);
+    t.m <- t.m + 1
+  end
+
+let has_edge t a b =
+  check t a;
+  check t b;
+  Int_set.mem b t.adj.(a)
+
+let neighbors t i =
+  check t i;
+  Int_set.elements t.adj.(i)
+
+let degree t i =
+  check t i;
+  Int_set.cardinal t.adj.(i)
+
+let n_edges t = t.m
+
+let edges t =
+  let acc = ref [] in
+  for a = t.n - 1 downto 0 do
+    Int_set.iter (fun b -> if a < b then acc := (a, b) :: !acc) t.adj.(a)
+  done;
+  List.sort compare !acc
+
+let induced t nodes =
+  let k = Array.length nodes in
+  let index = Hashtbl.create k in
+  Array.iteri
+    (fun i v ->
+      check t v;
+      if Hashtbl.mem index v then invalid_arg "Ugraph.induced: duplicate node";
+      Hashtbl.add index v i)
+    nodes;
+  let sub = create k in
+  Array.iteri
+    (fun i v ->
+      Int_set.iter
+        (fun w ->
+          match Hashtbl.find_opt index w with
+          | Some j when i < j -> add_edge sub i j
+          | Some _ | None -> ())
+        t.adj.(v))
+    nodes;
+  sub
+
+let is_clique t nodes =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | v :: rest -> List.for_all (fun w -> has_edge t v w) rest && go rest
+  in
+  go nodes
+
+let degeneracy_order t =
+  let n = t.n in
+  let deg = Array.init n (fun i -> Int_set.cardinal t.adj.(i)) in
+  let removed = Array.make n false in
+  let order = Array.make n 0 in
+  (* Buckets by current degree; O(n + m) with lazy deletion. *)
+  let max_deg = Array.fold_left max 0 deg in
+  let buckets = Array.make (max_deg + 1) [] in
+  for i = 0 to n - 1 do
+    buckets.(deg.(i)) <- i :: buckets.(deg.(i))
+  done;
+  let cursor = ref 0 in
+  for k = 0 to n - 1 do
+    (* find a live minimum-degree node *)
+    if !cursor > 0 then cursor := 0;
+    let rec next () =
+      match buckets.(!cursor) with
+      | [] ->
+        incr cursor;
+        next ()
+      | v :: rest ->
+        buckets.(!cursor) <- rest;
+        if removed.(v) || deg.(v) <> !cursor then next () else v
+    in
+    let v = next () in
+    removed.(v) <- true;
+    order.(k) <- v;
+    Int_set.iter
+      (fun w ->
+        if not removed.(w) then begin
+          deg.(w) <- deg.(w) - 1;
+          buckets.(deg.(w)) <- w :: buckets.(deg.(w))
+        end)
+      t.adj.(v)
+  done;
+  order

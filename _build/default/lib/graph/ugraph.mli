@@ -1,0 +1,36 @@
+(** Simple undirected graphs over integer nodes \[0, n). The register
+    compatibility graph G of the paper is an instance: nodes are
+    composable registers, edges are pairwise compatibility. *)
+
+type t
+
+val create : int -> t
+(** [create n]: n isolated nodes. *)
+
+val n_nodes : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent; self-loops are rejected with [Invalid_argument]. *)
+
+val has_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+(** Ascending order. *)
+
+val degree : t -> int -> int
+
+val n_edges : t -> int
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, as (lo, hi), lexicographically sorted. *)
+
+val induced : t -> int array -> t
+(** [induced g nodes]: subgraph on [nodes]; node [i] of the result is
+    [nodes.(i)]. Duplicate entries are rejected. *)
+
+val is_clique : t -> int list -> bool
+(** All pairs adjacent (singletons and empty are cliques). *)
+
+val degeneracy_order : t -> int array
+(** Degeneracy ordering (repeatedly remove a minimum-degree node); used
+    to make Bron–Kerbosch near-optimal on sparse graphs. *)

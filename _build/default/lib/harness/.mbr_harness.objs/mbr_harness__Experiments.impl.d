@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Buffer List Mbr_core Mbr_designgen Mbr_sta Mbr_util Printf

@@ -1,0 +1,63 @@
+(** The experiment harness behind `bench/main.exe` and `bin/mbrc`:
+    regenerates every table and figure of the paper's evaluation (§5)
+    on the synthetic D1–D5 designs. See DESIGN.md §4 for the experiment
+    index and EXPERIMENTS.md for recorded paper-vs-measured results. *)
+
+type design_run = {
+  profile : Mbr_designgen.Profile.t;
+  result : Mbr_core.Flow.result;
+  hist_before : (int * int) list;  (** Fig. 5 "before" (bits, count) *)
+  hist_after : (int * int) list;
+}
+
+val run_profile :
+  ?options:Mbr_core.Flow.options -> Mbr_designgen.Profile.t -> design_run
+(** Generate the design and run the full Fig. 4 flow. *)
+
+val table1 : design_run list -> string
+(** The paper's Table 1: Base / Ours / Save rows per design. *)
+
+val table1_summary : design_run list -> string
+(** The §5 headline averages (register count, clock cap, buffers, ...)
+    next to the paper's reported numbers. *)
+
+val fig5 : design_run list -> string
+(** MBR bit-width breakdown before/after per design. *)
+
+type fig6_row = {
+  name : string;
+  base_regs : int;
+  ilp_regs : int;
+  heuristic_regs : int;
+}
+
+val fig6 : Mbr_designgen.Profile.t list -> fig6_row list * string
+(** Runs each profile twice (ILP vs the greedy allocator on the same
+    weighted candidates) and renders the normalized comparison. *)
+
+val ablation_partition_bound :
+  Mbr_designgen.Profile.t -> int list -> string
+(** §3's partition-bound discussion: QoR and runtime for each bound. *)
+
+val ablation_weights : Mbr_designgen.Profile.t -> string
+(** §3.2's weighting: with the placement-aware weights vs without
+    (every merge weighted 1/bits), reporting blocked-hull merges and
+    congestion alongside register count. *)
+
+val ablation_incomplete : Mbr_designgen.Profile.t -> string
+(** Incomplete MBRs off/on (§3, §5's 5 % rule). *)
+
+val ablation_skew : Mbr_designgen.Profile.t -> string
+(** Useful skew off/on after composition (Fig. 4). *)
+
+val ablation_global_entry : Mbr_designgen.Profile.t -> string
+(** The conclusion's claim that composition "can be applied
+    incrementally both after global and detailed placement": the same
+    design composed from a legalized snapshot and from a jittered
+    global-placement snapshot. *)
+
+val ablation_decompose : Mbr_designgen.Profile.t -> string
+(** The paper's §5 future work, implemented: decompose max-width MBRs
+    before composition and recompose. Most interesting on the
+    8-bit-rich D4, where the paper says plain composition helps
+    least. *)

@@ -1,0 +1,1 @@
+lib/ilp/set_partition.ml: Array Float Fun List Mbr_lp Mbr_util

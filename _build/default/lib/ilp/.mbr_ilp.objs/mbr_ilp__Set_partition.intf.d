@@ -1,0 +1,1 @@
+lib/ilp/set_partition.mli:

@@ -1,0 +1,184 @@
+module Bitset = Mbr_util.Bitset
+
+type candidate = { weight : float; elems : int list }
+
+type problem = { n_elems : int; candidates : candidate array }
+
+type status = Optimal | Feasible | Infeasible
+
+type result = { status : status; cost : float; chosen : int list; nodes : int }
+
+let dedup_elems elems = List.sort_uniq compare elems
+
+(* Internal candidate with its element bitset. *)
+type cand = { idx : int; w : float; set : Bitset.t; size : int }
+
+let prepare p =
+  let cands = ref [] in
+  Array.iteri
+    (fun idx c ->
+      if Float.is_finite c.weight then begin
+        let elems = dedup_elems c.elems in
+        let set = Bitset.of_list p.n_elems elems in
+        if not (Bitset.is_empty set) then
+          cands := { idx; w = c.weight; set; size = List.length elems } :: !cands
+      end)
+    p.candidates;
+  Array.of_list (List.rev !cands)
+
+let lp_relaxation p =
+  let module S = Mbr_lp.Simplex in
+  let lp = S.create () in
+  let cands = prepare p in
+  (* No explicit x <= 1 bounds: every candidate covers at least one
+     element, whose equality row already caps its variable at 1 — and
+     each bound would otherwise cost a simplex row. *)
+  let vars = Array.map (fun c -> S.add_var ~lb:0.0 ~obj:c.w lp) cands in
+  let covering = Array.make p.n_elems [] in
+  Array.iteri
+    (fun k c ->
+      Bitset.iter (fun e -> covering.(e) <- (vars.(k), 1.0) :: covering.(e)) c.set)
+    cands;
+  let feasible = ref true in
+  Array.iter
+    (fun terms ->
+      if terms = [] then feasible := false
+      else S.add_constraint lp terms S.Eq 1.0)
+    covering;
+  if not !feasible then None
+  else begin
+    match S.solve lp with
+    | { S.status = S.Optimal; objective; _ } -> Some objective
+    | { S.status = S.Infeasible | S.Unbounded; _ } -> None
+  end
+
+(* Depth-first branch-and-bound with O(n)-per-node bookkeeping:
+
+   - branching element: the first uncovered one in a static order
+     (fewest covering candidates first — fail-first);
+   - lower bound: per-element static share bound,
+     sum over uncovered e of min_{c covering e} w_c/|c|.
+     The static minimum is taken over ALL candidates covering e, a
+     subset-minimum of the available ones, so the bound stays valid
+     (weaker but O(1) per element via a prefix table);
+   - candidates at the branch element tried cheapest-share first so the
+     greedy incumbent appears immediately;
+   - root LP-relaxation bound: once the incumbent matches it, the
+     search stops with a proven optimum. *)
+let solve ?(node_limit = 2_000_000) ?(lp_bound = true) p =
+  let cands = prepare p in
+  let n = p.n_elems in
+  let covering = Array.make n [] in
+  Array.iteri
+    (fun k c -> Bitset.iter (fun e -> covering.(e) <- k :: covering.(e)) c.set)
+    cands;
+  Array.iteri (fun e l -> covering.(e) <- List.rev l) covering;
+  if n = 0 then { status = Optimal; cost = 0.0; chosen = []; nodes = 0 }
+  else if Array.exists (fun l -> l = []) covering then
+    { status = Infeasible; cost = nan; chosen = []; nodes = 0 }
+  else begin
+    let share k = cands.(k).w /. float_of_int cands.(k).size in
+    let static_min_share =
+      Array.map
+        (fun ks -> List.fold_left (fun acc k -> Float.min acc (share k)) infinity ks)
+        covering
+    in
+    (* branch order: fewest covering candidates first *)
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b -> compare (List.length covering.(a)) (List.length covering.(b)))
+      order;
+    (* candidates at each element sorted cheapest share first *)
+    let covering_sorted =
+      Array.map
+        (fun ks -> List.sort (fun a b -> compare (share a) (share b)) ks)
+        covering
+    in
+    let root_lp = if lp_bound then lp_relaxation p else None in
+    let best_cost = ref infinity in
+    let best_sel = ref None in
+    let nodes = ref 0 in
+    let limit_hit = ref false in
+    let full = Bitset.of_list n (List.init n Fun.id) in
+    let proved_by_lp () =
+      match root_lp with Some b -> !best_cost <= b +. 1e-9 | None -> false
+    in
+    let rec branch covered cost selection lb_rest =
+      (* lb_rest = static share sum over uncovered elements *)
+      incr nodes;
+      if !nodes > node_limit then limit_hit := true
+      else if proved_by_lp () then ()
+      else if Bitset.equal covered full then begin
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best_sel := Some selection
+        end
+      end
+      else if cost +. lb_rest < !best_cost -. 1e-9 then begin
+        (* first uncovered element in the static order *)
+        let rec pick i = if Bitset.mem covered order.(i) then pick (i + 1) else order.(i) in
+        let e = pick 0 in
+        List.iter
+          (fun k ->
+            if (not !limit_hit) && not (proved_by_lp ()) then begin
+              let c = cands.(k) in
+              if Bitset.disjoint c.set covered then begin
+                let lb' =
+                  Bitset.fold
+                    (fun e' acc ->
+                      if Bitset.mem covered e' then acc
+                      else acc -. static_min_share.(e'))
+                    c.set lb_rest
+                in
+                branch (Bitset.union covered c.set) (cost +. c.w) (k :: selection) lb'
+              end
+            end)
+          covering_sorted.(e)
+      end
+    in
+    let lb0 = Array.fold_left ( +. ) 0.0 static_min_share in
+    branch (Bitset.create n) 0.0 [] lb0;
+    match !best_sel with
+    | None ->
+      let status = if !limit_hit then Feasible else Infeasible in
+      { status; cost = nan; chosen = []; nodes = !nodes }
+    | Some sel ->
+      let chosen = List.sort compare (List.map (fun k -> cands.(k).idx) sel) in
+      let status = if !limit_hit then Feasible else Optimal in
+      { status; cost = !best_cost; chosen; nodes = !nodes }
+  end
+
+let brute_force p =
+  let cands = prepare p in
+  let n = p.n_elems in
+  let m = Array.length cands in
+  if m > 25 then invalid_arg "Set_partition.brute_force: too many candidates";
+  let full = Bitset.of_list n (List.init n Fun.id) in
+  let best_cost = ref infinity in
+  let best_sel = ref None in
+  for mask = 0 to (1 lsl m) - 1 do
+    let covered = ref (Bitset.create n) in
+    let cost = ref 0.0 in
+    let ok = ref true in
+    for k = 0 to m - 1 do
+      if mask land (1 lsl k) <> 0 then begin
+        if not (Bitset.disjoint !covered cands.(k).set) then ok := false
+        else begin
+          covered := Bitset.union !covered cands.(k).set;
+          cost := !cost +. cands.(k).w
+        end
+      end
+    done;
+    if !ok && Bitset.equal !covered full && !cost < !best_cost then begin
+      best_cost := !cost;
+      best_sel := Some mask
+    end
+  done;
+  match !best_sel with
+  | None -> { status = Infeasible; cost = nan; chosen = []; nodes = 1 lsl m }
+  | Some mask ->
+    let chosen = ref [] in
+    for k = m - 1 downto 0 do
+      if mask land (1 lsl k) <> 0 then chosen := cands.(k).idx :: !chosen
+    done;
+    { status = Optimal; cost = !best_cost; chosen = !chosen; nodes = 1 lsl m }

@@ -1,0 +1,49 @@
+(** Exact solver for the paper's ILP (§3.1):
+
+    {v minimize   sum_i w_i x_i
+       subject to for every register j: sum_{i : j in M_i} x_i = 1
+                  x_i in {0, 1} v}
+
+    i.e. weighted set partitioning over MBR candidates. Because the
+    compatibility graph is K-partitioned into blocks of at most 30
+    registers (§3), each instance is small and is solved to proven
+    optimality by depth-first branch-and-bound:
+
+    - branch on the uncovered element with the fewest remaining
+      candidates (fail-first);
+    - per-element share lower bound
+      [sum_e min_{c ∋ e} w_c / |c|] for pruning;
+    - optional LP-relaxation root bound via {!Mbr_lp.Simplex}.
+
+    Callers must include a candidate for every element that can stand
+    alone (the paper's "Original" singletons), otherwise the instance
+    may be infeasible — which is detected and reported, not an error. *)
+
+type candidate = { weight : float; elems : int list }
+(** [elems] are register indices in \[0, n_elems); duplicates are
+    ignored. Candidates with [weight = infinity] (the paper's
+    [n_i >= b_i] case) are skipped by the solver. *)
+
+type problem = { n_elems : int; candidates : candidate array }
+
+type status = Optimal | Feasible | Infeasible
+
+type result = {
+  status : status;
+  cost : float;  (** total weight of [chosen]; [nan] when infeasible *)
+  chosen : int list;  (** indices into [candidates], ascending *)
+  nodes : int;  (** search-tree nodes explored *)
+}
+
+val solve : ?node_limit:int -> ?lp_bound:bool -> problem -> result
+(** [node_limit] (default 2_000_000) caps the search; when hit, the best
+    incumbent is returned with [status = Feasible]. [lp_bound] (default
+    [true]) computes the root LP relaxation for pruning. *)
+
+val lp_relaxation : problem -> float option
+(** Optimal value of the LP relaxation, [None] when LP-infeasible.
+    Exposed for tests and for the benchmark's ILP-vs-LP gap report. *)
+
+val brute_force : problem -> result
+(** Exhaustive oracle for tests. Exponential: use only with a handful of
+    candidates. *)

@@ -1,0 +1,1 @@
+lib/liberty/cell.ml: Format Mbr_geom

@@ -1,0 +1,1 @@
+lib/liberty/liberty_io.ml: Buffer Cell Fun Library List Printf String

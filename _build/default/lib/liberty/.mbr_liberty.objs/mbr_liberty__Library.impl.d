@@ -1,0 +1,1 @@
+lib/liberty/library.ml: Cell Hashtbl List

@@ -1,0 +1,1 @@
+lib/liberty/presets.ml: Cell Library List Printf

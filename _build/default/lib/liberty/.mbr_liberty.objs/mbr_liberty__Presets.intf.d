@@ -1,0 +1,1 @@
+lib/liberty/presets.mli: Library

@@ -1,0 +1,47 @@
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+
+type scan_style = No_scan | Internal_scan | Per_bit_scan
+
+type t = {
+  name : string;
+  func_class : string;
+  bits : int;
+  drive : int;
+  area : float;
+  width : float;
+  height : float;
+  clock_pin_cap : float;
+  data_pin_cap : float;
+  drive_res : float;
+  intrinsic : float;
+  setup : float;
+  leakage : float;
+  scan : scan_style;
+}
+
+let area_per_bit c = c.area /. float_of_int c.bits
+
+let check_bit c i =
+  if i < 0 || i >= c.bits then invalid_arg "Cell: bit index out of range"
+
+let pitch c = c.width /. float_of_int c.bits
+
+let d_pin_offset c i =
+  check_bit c i;
+  Point.make ((float_of_int i +. 0.25) *. pitch c) (0.1 *. c.height)
+
+let q_pin_offset c i =
+  check_bit c i;
+  Point.make ((float_of_int i +. 0.75) *. pitch c) (0.9 *. c.height)
+
+let clock_pin_offset c = Point.make (c.width /. 2.0) (c.height /. 2.0)
+
+let clk_to_q c ~load = c.intrinsic +. (c.drive_res *. load)
+
+let footprint_at c (p : Point.t) =
+  Rect.make ~lx:p.x ~ly:p.y ~hx:(p.x +. c.width) ~hy:(p.y +. c.height)
+
+let pp ppf c =
+  Format.fprintf ppf "%s(%s, %db, X%d, %.2fum2)" c.name c.func_class c.bits
+    c.drive c.area

@@ -1,0 +1,55 @@
+(** Register standard-cell model — the library-side view of single- and
+    multi-bit registers. Timing follows the linear approximation the
+    paper states it reasons in (§4.1): delay = intrinsic + drive
+    resistance × load capacitance.
+
+    Units: distance µm, capacitance fF, resistance kΩ, time ps,
+    area µm², leakage nW. With these, kΩ × fF = ps directly. *)
+
+type scan_style =
+  | No_scan  (** not scannable *)
+  | Internal_scan
+      (** one SI/SO pin pair; bits form a fixed internal chain, so scan
+          order inside the MBR is the bit order *)
+  | Per_bit_scan
+      (** independent SI/SO per bit; several chains may cross the cell
+          (costlier in routing, penalized during mapping §4.1) *)
+
+type t = {
+  name : string;
+  func_class : string;
+      (** registers merge only within a functional-equivalence class,
+          e.g. "dff", "dffr", "sdffr" (§2) *)
+  bits : int;  (** number of D/Q pin pairs *)
+  drive : int;  (** drive-strength grade (X1 = 1, X2 = 2, ...) *)
+  area : float;
+  width : float;
+  height : float;
+  clock_pin_cap : float;  (** the single shared CK pin *)
+  data_pin_cap : float;  (** per D pin *)
+  drive_res : float;  (** per Q output, kΩ *)
+  intrinsic : float;  (** clk→Q intrinsic delay, ps *)
+  setup : float;  (** D setup before clk, ps *)
+  leakage : float;
+  scan : scan_style;
+}
+
+val area_per_bit : t -> float
+
+val d_pin_offset : t -> int -> Mbr_geom.Point.t
+(** Offset of the i-th D pin from the cell's lower-left corner. Pins are
+    laid out on a per-bit pitch: D pins along the bottom edge, Q pins
+    along the top edge, clock pin at the cell center. Raises
+    [Invalid_argument] for a bit index outside \[0, bits). *)
+
+val q_pin_offset : t -> int -> Mbr_geom.Point.t
+
+val clock_pin_offset : t -> Mbr_geom.Point.t
+
+val clk_to_q : t -> load:float -> float
+(** clk→Q delay under [load] fF: [intrinsic + drive_res * load]. *)
+
+val footprint_at : t -> Mbr_geom.Point.t -> Mbr_geom.Rect.t
+(** Cell rectangle when the lower-left corner is at the given point. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,443 @@
+(* Liberty subset: groups, simple attributes, string/number values.
+
+     library (name) {
+       cell (DFF2_X1) {
+         area : 2.97 ;
+         cell_leakage_power : 3.27 ;
+         user_func_class : "dff" ;
+         user_drive : 1 ;
+         user_width : 2.48 ;
+         user_height : 1.2 ;
+         ff (IQ, IQN) { next_state : "D" ; clocked_on : "CK" ; }
+         pin (CK) { direction : input ; clock : true ; capacitance : 1.0 ; }
+         pin (D0) { direction : input ; capacitance : 0.6 ; }
+         pin (Q0) {
+           direction : output ;
+           timing () {
+             related_pin : "CK" ;
+             intrinsic_rise : 62.0 ;
+             rise_resistance : 2.0 ;
+             timing_type : rising_edge ;
+           }
+         }
+         pin (SI0) { direction : input ; capacitance : 0.42 ; }
+         pin (SO0) { direction : output ; }
+         pin (SE)  { direction : input ; capacitance : 0.42 ; }
+         setup_time : 25.0 ;   (as user attribute on the cell)
+       }
+     }
+
+   Scan style: SE pin present => scannable; one SI/SO pair => internal
+   scan; one pair per bit => per-bit scan. *)
+
+type value = Num of float | Str of string | Ident of string
+
+type node = {
+  group : string;
+  args : string list;
+  attrs : (string * value) list;
+  children : node list;
+}
+
+exception Parse_error of string
+
+(* ---------- lexer ---------- *)
+
+type token =
+  | Tident of string
+  | Tnum of float
+  | Tstr of string
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tcolon
+  | Tsemi
+  | Tcomma
+  | Teof
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "line %d: %s" !line msg)) in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '-' || c = '+'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment *)
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then fail "unterminated comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then incr line;
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if c = '"' then begin
+      let start = !i + 1 in
+      let rec scan j =
+        if j >= n then fail "unterminated string"
+        else if src.[j] = '"' then j
+        else scan (j + 1)
+      in
+      let stop = scan start in
+      tokens := Tstr (String.sub src start (stop - start)) :: !tokens;
+      i := stop + 1
+    end
+    else if c = '(' then (tokens := Tlparen :: !tokens; incr i)
+    else if c = ')' then (tokens := Trparen :: !tokens; incr i)
+    else if c = '{' then (tokens := Tlbrace :: !tokens; incr i)
+    else if c = '}' then (tokens := Trbrace :: !tokens; incr i)
+    else if c = ':' then (tokens := Tcolon :: !tokens; incr i)
+    else if c = ';' then (tokens := Tsemi :: !tokens; incr i)
+    else if c = ',' then (tokens := Tcomma :: !tokens; incr i)
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match float_of_string_opt word with
+      | Some f -> tokens := Tnum f :: !tokens
+      | None -> tokens := Tident word :: !tokens
+    end
+    else fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev (Teof :: !tokens)
+
+(* ---------- parser ---------- *)
+
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with t :: _ -> t | [] -> Teof
+
+let advance s = match s.toks with _ :: rest -> s.toks <- rest | [] -> ()
+
+let expect s tok what =
+  if peek s = tok then advance s
+  else raise (Parse_error (Printf.sprintf "expected %s" what))
+
+(* group := IDENT '(' args ')' '{' (attribute | group)* '}' *)
+let rec parse_group s name =
+  expect s Tlparen "'('";
+  let rec args acc =
+    match peek s with
+    | Trparen ->
+      advance s;
+      List.rev acc
+    | Tident id ->
+      advance s;
+      (match peek s with Tcomma -> advance s | _ -> ());
+      args (id :: acc)
+    | Tstr str ->
+      advance s;
+      (match peek s with Tcomma -> advance s | _ -> ());
+      args (str :: acc)
+    | Tnum f ->
+      advance s;
+      (match peek s with Tcomma -> advance s | _ -> ());
+      args (Printf.sprintf "%g" f :: acc)
+    | _ -> raise (Parse_error "malformed group arguments")
+  in
+  let args = args [] in
+  expect s Tlbrace "'{'";
+  let attrs = ref [] in
+  let children = ref [] in
+  let rec body () =
+    match peek s with
+    | Trbrace -> advance s
+    | Tident id -> (
+      advance s;
+      match peek s with
+      | Tcolon ->
+        advance s;
+        let v =
+          match peek s with
+          | Tnum f ->
+            advance s;
+            Num f
+          | Tstr str ->
+            advance s;
+            Str str
+          | Tident w ->
+            advance s;
+            Ident w
+          | _ -> raise (Parse_error (Printf.sprintf "bad value for %s" id))
+        in
+        (match peek s with Tsemi -> advance s | _ -> ());
+        attrs := (id, v) :: !attrs;
+        body ()
+      | Tlparen ->
+        children := parse_group s id :: !children;
+        body ()
+      | _ -> raise (Parse_error (Printf.sprintf "expected ':' or '(' after %s" id)))
+    | Teof -> raise (Parse_error "unexpected end of file")
+    | _ -> raise (Parse_error "unexpected token in group body")
+  in
+  body ();
+  { group = name; args; attrs = List.rev !attrs; children = List.rev !children }
+
+let parse_top src =
+  let s = { toks = tokenize src } in
+  match peek s with
+  | Tident "library" ->
+    advance s;
+    let g = parse_group s "library" in
+    expect s Teof "end of file";
+    g
+  | _ -> raise (Parse_error "expected a 'library' group")
+
+(* ---------- writer ---------- *)
+
+let scan_suffix (c : Cell.t) =
+  match c.Cell.scan with
+  | Cell.No_scan -> []
+  | Cell.Internal_scan -> [ 0 ]
+  | Cell.Per_bit_scan -> List.init c.Cell.bits Fun.id
+
+type gate = {
+  g_name : string;
+  g_inputs : int;
+  g_drive_res : float;
+  g_intrinsic : float;
+  g_input_cap : float;
+  g_area : float;
+}
+
+let gate_to_buf buf g =
+  Printf.bprintf buf "  cell (%s) {\n" g.g_name;
+  Printf.bprintf buf "    area : %.9g ;\n" g.g_area;
+  for i = 0 to g.g_inputs - 1 do
+    Printf.bprintf buf
+      "    pin (A%d) { direction : input ; capacitance : %.9g ; }\n" i
+      g.g_input_cap
+  done;
+  Printf.bprintf buf "    pin (Y) {\n";
+  Printf.bprintf buf "      direction : output ;\n";
+  Printf.bprintf buf "      timing () {\n";
+  Printf.bprintf buf "        intrinsic_rise : %.9g ;\n" g.g_intrinsic;
+  Printf.bprintf buf "        rise_resistance : %.9g ;\n" g.g_drive_res;
+  Printf.bprintf buf "      }\n    }\n  }\n"
+
+let to_liberty ?(name = "mbr_library") ?(gates = []) lib =
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf "library (%s) {\n" name;
+  Printf.bprintf buf "  time_unit : \"1ps\" ;\n";
+  Printf.bprintf buf "  capacitive_load_unit : \"1ff\" ;\n";
+  List.iter (gate_to_buf buf) gates;
+  List.iter
+    (fun (c : Cell.t) ->
+      Printf.bprintf buf "  cell (%s) {\n" c.Cell.name;
+      Printf.bprintf buf "    area : %.9g ;\n" c.Cell.area;
+      Printf.bprintf buf "    cell_leakage_power : %.9g ;\n" c.Cell.leakage;
+      Printf.bprintf buf "    user_func_class : \"%s\" ;\n" c.Cell.func_class;
+      Printf.bprintf buf "    user_drive : %d ;\n" c.Cell.drive;
+      Printf.bprintf buf "    user_width : %.9g ;\n" c.Cell.width;
+      Printf.bprintf buf "    user_height : %.9g ;\n" c.Cell.height;
+      Printf.bprintf buf "    user_setup : %.9g ;\n" c.Cell.setup;
+      Printf.bprintf buf "    ff (IQ, IQN) { next_state : \"D0\" ; clocked_on : \"CK\" ; }\n";
+      Printf.bprintf buf
+        "    pin (CK) { direction : input ; clock : true ; capacitance : %.9g ; }\n"
+        c.Cell.clock_pin_cap;
+      for b = 0 to c.Cell.bits - 1 do
+        Printf.bprintf buf
+          "    pin (D%d) { direction : input ; capacitance : %.9g ; }\n" b
+          c.Cell.data_pin_cap;
+        Printf.bprintf buf "    pin (Q%d) {\n" b;
+        Printf.bprintf buf "      direction : output ;\n";
+        Printf.bprintf buf "      timing () {\n";
+        Printf.bprintf buf "        related_pin : \"CK\" ;\n";
+        Printf.bprintf buf "        timing_type : rising_edge ;\n";
+        Printf.bprintf buf "        intrinsic_rise : %.9g ;\n" c.Cell.intrinsic;
+        Printf.bprintf buf "        rise_resistance : %.9g ;\n" c.Cell.drive_res;
+        Printf.bprintf buf "      }\n";
+        Printf.bprintf buf "    }\n"
+      done;
+      List.iter
+        (fun b ->
+          Printf.bprintf buf
+            "    pin (SI%d) { direction : input ; capacitance : %.9g ; }\n" b
+            (c.Cell.data_pin_cap *. 0.7);
+          Printf.bprintf buf "    pin (SO%d) { direction : output ; }\n" b)
+        (scan_suffix c);
+      if c.Cell.scan <> Cell.No_scan then
+        Printf.bprintf buf
+          "    pin (SE) { direction : input ; capacitance : %.9g ; }\n"
+          (c.Cell.data_pin_cap *. 0.7);
+      Buffer.add_string buf "  }\n")
+    (Library.cells lib);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ---------- reader ---------- *)
+
+let num_attr node key =
+  match List.assoc_opt key node.attrs with
+  | Some (Num f) -> Some f
+  | Some (Str s) -> float_of_string_opt s
+  | Some (Ident s) -> float_of_string_opt s
+  | None -> None
+
+let str_attr node key =
+  match List.assoc_opt key node.attrs with
+  | Some (Str s) -> Some s
+  | Some (Ident s) -> Some s
+  | Some (Num f) -> Some (Printf.sprintf "%g" f)
+  | None -> None
+
+let require what = function
+  | Some v -> v
+  | None -> raise (Parse_error ("missing " ^ what))
+
+let cell_of_node node =
+  let cell_name = match node.args with a :: _ -> a | [] -> raise (Parse_error "cell without a name") in
+  let pins = List.filter (fun g -> g.group = "pin") node.children in
+  let pin_named name = List.find_opt (fun p -> p.args = [ name ]) pins in
+  let count prefix =
+    List.length
+      (List.filter
+         (fun p ->
+           match p.args with
+           | [ a ] ->
+             String.length a > String.length prefix
+             && String.sub a 0 (String.length prefix) = prefix
+             && (match
+                   int_of_string_opt
+                     (String.sub a (String.length prefix)
+                        (String.length a - String.length prefix))
+                 with
+                | Some _ -> true
+                | None -> false)
+           | _ -> false)
+         pins)
+  in
+  let bits = count "D" in
+  if bits = 0 then raise (Parse_error (cell_name ^ ": no D pins"));
+  if count "Q" <> bits then raise (Parse_error (cell_name ^ ": D/Q pin mismatch"));
+  let n_si = count "SI" in
+  let scan =
+    if pin_named "SE" = None then Cell.No_scan
+    else if n_si >= bits && bits > 1 then Cell.Per_bit_scan
+    else if n_si = bits && bits = 1 then
+      (* ambiguous for 1-bit cells; internal and per-bit coincide *)
+      Cell.Internal_scan
+    else Cell.Internal_scan
+  in
+  let ck = require (cell_name ^ ": CK pin") (pin_named "CK") in
+  let d0 = require (cell_name ^ ": D0 pin") (pin_named "D0") in
+  let q0 = require (cell_name ^ ": Q0 pin") (pin_named "Q0") in
+  let timing =
+    match List.find_opt (fun g -> g.group = "timing") q0.children with
+    | Some t -> t
+    | None -> raise (Parse_error (cell_name ^ ": Q0 has no timing group"))
+  in
+  let area = require (cell_name ^ ": area") (num_attr node "area") in
+  let height =
+    match num_attr node "user_height" with Some h -> h | None -> 1.2
+  in
+  let width =
+    match num_attr node "user_width" with Some w -> w | None -> area /. height
+  in
+  Cell.
+    {
+      name = cell_name;
+      func_class =
+        (match str_attr node "user_func_class" with Some s -> s | None -> "dff");
+      bits;
+      drive =
+        (match num_attr node "user_drive" with Some d -> int_of_float d | None -> 1);
+      area;
+      width;
+      height;
+      clock_pin_cap = require (cell_name ^ ": CK cap") (num_attr ck "capacitance");
+      data_pin_cap = require (cell_name ^ ": D0 cap") (num_attr d0 "capacitance");
+      drive_res =
+        require (cell_name ^ ": rise_resistance") (num_attr timing "rise_resistance");
+      intrinsic =
+        require (cell_name ^ ": intrinsic_rise") (num_attr timing "intrinsic_rise");
+      setup = (match num_attr node "user_setup" with Some s -> s | None -> 25.0);
+      leakage =
+        (match num_attr node "cell_leakage_power" with Some l -> l | None -> 0.0);
+      scan;
+    }
+
+let count_pins node prefix =
+  List.length
+    (List.filter
+       (fun p ->
+         p.group = "pin"
+         &&
+         match p.args with
+         | [ a ] ->
+           String.length a > String.length prefix
+           && String.sub a 0 (String.length prefix) = prefix
+           && (match
+                 int_of_string_opt
+                   (String.sub a (String.length prefix)
+                      (String.length a - String.length prefix))
+               with
+              | Some _ -> true
+              | None -> false)
+         | _ -> false)
+       node.children)
+
+let is_gate_node node =
+  count_pins node "D" = 0
+  && List.exists (fun p -> p.group = "pin" && p.args = [ "Y" ]) node.children
+
+let gate_of_node node =
+  let g_name =
+    match node.args with a :: _ -> a | [] -> raise (Parse_error "cell without a name")
+  in
+  let pins = List.filter (fun g -> g.group = "pin") node.children in
+  let g_inputs = count_pins node "A" in
+  if g_inputs = 0 then raise (Parse_error (g_name ^ ": gate without inputs"));
+  let a0 =
+    match List.find_opt (fun p -> p.args = [ "A0" ]) pins with
+    | Some p -> p
+    | None -> raise (Parse_error (g_name ^ ": missing A0"))
+  in
+  let y =
+    match List.find_opt (fun p -> p.args = [ "Y" ]) pins with
+    | Some p -> p
+    | None -> raise (Parse_error (g_name ^ ": missing Y"))
+  in
+  let timing =
+    match List.find_opt (fun g -> g.group = "timing") y.children with
+    | Some t -> t
+    | None -> raise (Parse_error (g_name ^ ": Y has no timing group"))
+  in
+  {
+    g_name;
+    g_inputs;
+    g_drive_res =
+      require (g_name ^ ": rise_resistance") (num_attr timing "rise_resistance");
+    g_intrinsic =
+      require (g_name ^ ": intrinsic_rise") (num_attr timing "intrinsic_rise");
+    g_input_cap = require (g_name ^ ": A0 cap") (num_attr a0 "capacitance");
+    g_area = require (g_name ^ ": area") (num_attr node "area");
+  }
+
+let of_liberty_full src =
+  let top = parse_top src in
+  let cell_nodes = List.filter (fun g -> g.group = "cell") top.children in
+  let gate_nodes, reg_nodes = List.partition is_gate_node cell_nodes in
+  let cells = List.map cell_of_node reg_nodes in
+  if cells = [] then raise (Parse_error "library contains no register cells");
+  (Library.make cells, List.map gate_of_node gate_nodes)
+
+let of_liberty src = fst (of_liberty_full src)

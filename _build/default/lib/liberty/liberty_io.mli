@@ -1,0 +1,44 @@
+(** Liberty-format interchange for register libraries.
+
+    Production flows describe cells in Synopsys Liberty; this module
+    writes our register libraries as a well-formed Liberty subset and
+    parses that subset back (recursive-descent over the generic
+    [group(args) { attribute : value; ... }] syntax).
+
+    The timing model maps onto Liberty's classic CMOS attributes —
+    [rise_resistance] (our drive resistance) and [intrinsic_rise]
+    (our clk→Q intrinsic); pin capacitances, area, leakage and cell
+    footprint map directly. Scan style is encoded structurally (SI/SO
+    pins plus the [test_cell]-style [scan_enable] pin) and the
+    functional class rides on the [ff] group's banks. Writing then
+    parsing reproduces the library exactly (see the round-trip
+    property test). *)
+
+(** A combinational cell, the non-register complement of {!Cell.t}
+    (same linear timing model). *)
+type gate = {
+  g_name : string;
+  g_inputs : int;
+  g_drive_res : float;  (** kΩ *)
+  g_intrinsic : float;  (** ps *)
+  g_input_cap : float;  (** fF per input *)
+  g_area : float;  (** µm² *)
+}
+
+val to_liberty : ?name:string -> ?gates:gate list -> Library.t -> string
+(** Render the library as Liberty text; [gates] adds combinational
+    cells (pins A0..A(n-1) and Y), making the file self-sufficient for
+    re-importing a full netlist. *)
+
+exception Parse_error of string
+(** Raised with a descriptive message (line number included) on
+    malformed input. *)
+
+val of_liberty : string -> Library.t
+(** Parse Liberty text produced by {!to_liberty} (or hand-written text
+    within the same subset); combinational cells are skipped. Raises
+    {!Parse_error}. *)
+
+val of_liberty_full : string -> Library.t * gate list
+(** Like {!of_liberty}, additionally returning the combinational cells
+    in the file (cells with A*/Y pins and no CK pin). *)

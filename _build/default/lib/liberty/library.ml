@@ -1,0 +1,88 @@
+type t = {
+  all : Cell.t list;
+  by_name : (string, Cell.t) Hashtbl.t;
+  by_class : (string, Cell.t list) Hashtbl.t; (* cells sorted by bits *)
+}
+
+let make cells =
+  let by_name = Hashtbl.create 64 in
+  let by_class = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Cell.t) ->
+      if Hashtbl.mem by_name c.Cell.name then
+        invalid_arg ("Library.make: duplicate cell " ^ c.Cell.name);
+      Hashtbl.add by_name c.Cell.name c;
+      let cur =
+        match Hashtbl.find_opt by_class c.Cell.func_class with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace by_class c.Cell.func_class (c :: cur))
+    cells;
+  Hashtbl.iter
+    (fun k l ->
+      Hashtbl.replace by_class k
+        (List.stable_sort (fun (a : Cell.t) b -> compare a.Cell.bits b.Cell.bits) l))
+    by_class;
+  { all = cells; by_name; by_class }
+
+let cells t = t.all
+
+let find t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some c -> c
+  | None -> raise Not_found
+
+let classes t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.by_class [])
+
+let class_cells t func_class =
+  match Hashtbl.find_opt t.by_class func_class with Some l -> l | None -> []
+
+let widths t ~func_class =
+  List.sort_uniq compare (List.map (fun (c : Cell.t) -> c.Cell.bits) (class_cells t func_class))
+
+let max_width t ~func_class =
+  List.fold_left max 0 (List.map (fun (c : Cell.t) -> c.Cell.bits) (class_cells t func_class))
+
+let cells_of t ~func_class ~bits =
+  List.filter (fun (c : Cell.t) -> c.Cell.bits = bits) (class_cells t func_class)
+
+let smallest_width_geq t ~func_class b =
+  List.find_opt (fun w -> w >= b) (widths t ~func_class)
+
+let scan_ok need (c : Cell.t) =
+  match (need, c.Cell.scan) with
+  | `No, (Cell.No_scan | Cell.Internal_scan | Cell.Per_bit_scan) -> true
+  | `Internal, Cell.Internal_scan -> true
+  | `Internal, (Cell.No_scan | Cell.Per_bit_scan) -> false
+  | `Any_scan, (Cell.Internal_scan | Cell.Per_bit_scan) -> true
+  | `Any_scan, Cell.No_scan -> false
+
+let best_cell t ~func_class ~bits ~max_drive_res ~need_scan =
+  let candidates = List.filter (scan_ok need_scan) (cells_of t ~func_class ~bits) in
+  match candidates with
+  | [] -> None
+  | _ :: _ ->
+    (* Prefer: meets resistance bound; then internal scan over per-bit
+       scan (external chains consume routing, §4.1); then min clock cap;
+       then min area. When nothing meets the bound, fall back to the
+       strongest cell. *)
+    let penalty (c : Cell.t) =
+      match c.Cell.scan with
+      | Cell.Per_bit_scan -> 1
+      | Cell.No_scan | Cell.Internal_scan -> 0
+    in
+    let fitting =
+      List.filter (fun (c : Cell.t) -> c.Cell.drive_res <= max_drive_res +. 1e-9) candidates
+    in
+    let key (c : Cell.t) = (penalty c, c.Cell.clock_pin_cap, c.Cell.area, c.Cell.name) in
+    let strongest (c : Cell.t) = (penalty c, c.Cell.drive_res, c.Cell.clock_pin_cap) in
+    let min_by f = function
+      | [] -> None
+      | c0 :: rest ->
+        Some (List.fold_left (fun best c -> if f c < f best then c else best) c0 rest)
+    in
+    (match min_by key fitting with
+    | Some _ as r -> r
+    | None -> min_by strongest candidates)

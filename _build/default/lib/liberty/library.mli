@@ -1,0 +1,46 @@
+(** A register-cell library: the set of MBR cells available per
+    functional class, with the queries MBR composition needs —
+    which bit widths exist, and which concrete cell best matches a
+    required drive resistance and scan constraint (§4.1 mapping). *)
+
+type t
+
+val make : Cell.t list -> t
+(** Raises [Invalid_argument] on duplicate cell names. *)
+
+val cells : t -> Cell.t list
+
+val find : t -> string -> Cell.t
+(** By name; raises [Not_found]. *)
+
+val classes : t -> string list
+(** All functional classes, sorted. *)
+
+val widths : t -> func_class:string -> int list
+(** Available bit widths in the class, ascending, e.g. \[1; 2; 4; 8\].
+    Empty when the class is unknown. *)
+
+val max_width : t -> func_class:string -> int
+(** 0 when the class is unknown. *)
+
+val cells_of : t -> func_class:string -> bits:int -> Cell.t list
+(** All drive/scan variants of that width. *)
+
+val smallest_width_geq : t -> func_class:string -> int -> int option
+(** Smallest library width >= the given bit count: the width an
+    incomplete MBR would be mapped to. [None] when none exists. *)
+
+val best_cell :
+  t ->
+  func_class:string ->
+  bits:int ->
+  max_drive_res:float ->
+  need_scan:[ `No | `Internal | `Any_scan ] ->
+  Cell.t option
+(** The paper's mapping rule: among cells of the class/width whose drive
+    resistance does not exceed [max_drive_res] (so timing cannot
+    degrade), pick the one with the lowest clock-pin capacitance;
+    per-bit-scan cells are penalized (selected only when no internal-
+    scan alternative fits). When no cell meets the resistance bound, the
+    strongest (lowest-resistance) candidate is returned instead, and the
+    caller decides whether the timing cost is acceptable. *)

@@ -1,0 +1,52 @@
+type term = { lo : float; hi : float; offset : float; weight : float }
+
+let check t =
+  if t.hi < t.lo then invalid_arg "Piecewise: term with hi < lo";
+  if t.weight < 0.0 then invalid_arg "Piecewise: negative weight"
+
+let eval terms u =
+  List.fold_left
+    (fun acc t ->
+      let v = u +. t.offset in
+      acc +. (t.weight *. (Float.max t.hi v -. Float.min t.lo v)))
+    0.0 terms
+
+(* f(u) = sum_t w_t * (max(h_t, u+d_t) - min(l_t, u+d_t)) is convex
+   piecewise-linear with slope -W below all breakpoints and +W above.
+   Breakpoints in u-space: (l_t - d_t) adds +w to the slope when crossed
+   (the min stops tracking), (h_t - d_t) adds +w as well (the max starts
+   tracking). Total slope at -inf is -W where W = sum w; the minimizer is
+   where the running slope first becomes >= 0. *)
+let minimize ?bounds terms =
+  List.iter check terms;
+  (match bounds with
+  | Some (lo, hi) when hi < lo -> invalid_arg "Piecewise.minimize: empty bounds"
+  | Some _ | None -> ());
+  let clamp u =
+    match bounds with
+    | None -> u
+    | Some (lo, hi) -> Float.max lo (Float.min hi u)
+  in
+  match terms with
+  | [] ->
+    let u = clamp 0.0 in
+    (u, 0.0)
+  | _ ->
+    let bps =
+      List.concat_map
+        (fun t -> [ (t.lo -. t.offset, t.weight); (t.hi -. t.offset, t.weight) ])
+        terms
+    in
+    let bps = List.sort (fun (a, _) (b, _) -> compare a b) bps in
+    (* Slope at -inf is -W (W = sum of term weights); every breakpoint,
+       whether an l- or an h-crossing, adds +w, for a total change of
+       +2W across the scan. *)
+    let total = List.fold_left (fun acc t -> acc +. t.weight) 0.0 terms in
+    let rec scan slope = function
+      | [] -> (match List.rev bps with (u, _) :: _ -> u | [] -> 0.0)
+      | (u, w) :: rest ->
+        let slope' = slope +. w in
+        if slope' >= -1e-12 then u else scan slope' rest
+    in
+    let u_star = clamp (scan (-.total) bps) in
+    (u_star, eval terms u_star)

@@ -1,0 +1,25 @@
+(** Exact minimizer for sums of interval-distance terms — the separable
+    form of the paper's §4.2 MBR-placement objective.
+
+    Each D/Q pin of a new MBR at cell corner [u] (one axis at a time,
+    HPWL is separable) contributes
+    [max(h, u + d) - min(l, u + d)] where \[[l], [h]\] is the bounding
+    interval of the pin's fan-in/fan-out pins and [d] the pin's offset in
+    the cell. Each term is convex piecewise-linear, so the sum is
+    minimized by a weighted-median scan over breakpoints — this module is
+    both the production fast path and the oracle the simplex-based LP is
+    tested against. *)
+
+type term = { lo : float; hi : float; offset : float; weight : float }
+(** One pin: box interval \[[lo], [hi]\], pin offset from the cell corner,
+    and a multiplicity weight (>= 0). Requires [lo <= hi]. *)
+
+val eval : term list -> float -> float
+(** Objective value at corner coordinate [u]. *)
+
+val minimize : ?bounds:float * float -> term list -> float * float
+(** [(u_star, f u_star)] — a minimizer (leftmost of the optimal interval) and
+    its objective, optionally clamped to [bounds = (lo_bound, hi_bound)].
+    An empty term list returns the clamp of 0. Raises
+    [Invalid_argument] on an empty bounds interval or a term with
+    [hi < lo]. *)

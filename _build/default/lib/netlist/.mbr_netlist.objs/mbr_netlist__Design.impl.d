@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Fun List Mbr_liberty Mbr_util Printf Types

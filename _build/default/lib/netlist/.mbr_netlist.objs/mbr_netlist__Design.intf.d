@@ -1,0 +1,1 @@
+lib/netlist/design.mli: Mbr_liberty Types

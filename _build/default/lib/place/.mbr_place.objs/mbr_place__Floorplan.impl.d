@@ -1,0 +1,1 @@
+lib/place/floorplan.ml: Float Mbr_geom

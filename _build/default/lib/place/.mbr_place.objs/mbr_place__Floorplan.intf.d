@@ -1,0 +1,1 @@
+lib/place/floorplan.mli: Mbr_geom

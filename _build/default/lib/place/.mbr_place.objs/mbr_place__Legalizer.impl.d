@@ -1,0 +1,1 @@
+lib/place/legalizer.ml: Array Float Floorplan List Mbr_geom Mbr_netlist Option Placement

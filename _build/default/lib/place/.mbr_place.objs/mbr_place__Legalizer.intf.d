@@ -1,0 +1,1 @@
+lib/place/legalizer.mli: Mbr_geom Placement

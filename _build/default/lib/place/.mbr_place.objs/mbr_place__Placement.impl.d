@@ -1,0 +1,1 @@
+lib/place/placement.ml: Floorplan Hashtbl List Mbr_geom Mbr_liberty Mbr_netlist

@@ -1,0 +1,1 @@
+lib/place/placement.mli: Floorplan Mbr_geom Mbr_netlist

@@ -1,0 +1,34 @@
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+
+type t = { core : Rect.t; row_height : float; site_width : float }
+
+let make ~core ~row_height ~site_width =
+  if row_height <= 0.0 || site_width <= 0.0 then
+    invalid_arg "Floorplan.make: non-positive pitch";
+  { core; row_height; site_width }
+
+let n_rows t = int_of_float (Rect.height t.core /. t.row_height)
+
+let row_y t i =
+  if i < 0 || i >= n_rows t then invalid_arg "Floorplan.row_y: out of range";
+  t.core.Rect.ly +. (float_of_int i *. t.row_height)
+
+let row_of_y t y =
+  let raw = (y -. t.core.Rect.ly) /. t.row_height in
+  let i = int_of_float (Float.round raw) in
+  max 0 (min (n_rows t - 1) i)
+
+let snap_x t x =
+  let sites = Float.round ((x -. t.core.Rect.lx) /. t.site_width) in
+  let x' = t.core.Rect.lx +. (sites *. t.site_width) in
+  Float.max t.core.Rect.lx (Float.min t.core.Rect.hx x')
+
+let snap t (p : Point.t) = Point.make (snap_x t p.x) (row_y t (row_of_y t p.y))
+
+let inside t r = Rect.contains_rect t.core r
+
+let clamp_ll t ~w ~h (p : Point.t) =
+  let x = Float.max t.core.Rect.lx (Float.min (t.core.Rect.hx -. w) p.x) in
+  let y = Float.max t.core.Rect.ly (Float.min (t.core.Rect.hy -. h) p.y) in
+  Point.make x y

@@ -1,0 +1,34 @@
+(** Row-based core area: standard-cell rows of fixed height on a site
+    grid, the coordinate frame for placement and legalization. *)
+
+type t = {
+  core : Mbr_geom.Rect.t;
+  row_height : float;
+  site_width : float;
+}
+
+val make :
+  core:Mbr_geom.Rect.t -> row_height:float -> site_width:float -> t
+(** Raises [Invalid_argument] on non-positive row height / site width. *)
+
+val n_rows : t -> int
+
+val row_y : t -> int -> float
+(** Bottom y of row [i]; raises [Invalid_argument] out of range. *)
+
+val row_of_y : t -> float -> int
+(** Row whose strip contains (or is nearest to) [y], clamped to valid
+    rows. *)
+
+val snap_x : t -> float -> float
+(** Nearest site boundary, clamped into the core. *)
+
+val snap : t -> Mbr_geom.Point.t -> Mbr_geom.Point.t
+(** Lower-left corner snapped to (site, row). *)
+
+val inside : t -> Mbr_geom.Rect.t -> bool
+(** Is the footprint fully inside the core? *)
+
+val clamp_ll : t -> w:float -> h:float -> Mbr_geom.Point.t -> Mbr_geom.Point.t
+(** Clamp a lower-left corner so a w×h footprint stays inside the
+    core. *)

@@ -1,0 +1,199 @@
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+
+module Occupancy = struct
+  type t = {
+    fp : Floorplan.t;
+    rows : (float * float) list array; (* sorted disjoint x-intervals *)
+  }
+
+  (* Rows a rectangle's interior touches: floor-based so a cell lying
+     exactly on rows [i, i+k) marks exactly those rows (row_of_y rounds
+     to the nearest row, which is the wrong semantics here). *)
+  let rows_of_rect t (r : Rect.t) =
+    let fp = t.fp in
+    let core = fp.Floorplan.core in
+    let row_floor y =
+      let i = int_of_float (Float.floor ((y -. core.Rect.ly) /. fp.Floorplan.row_height)) in
+      max 0 (min (Floorplan.n_rows fp - 1) i)
+    in
+    let lo = row_floor (r.Rect.ly +. 1e-6) in
+    let hi = row_floor (r.Rect.hy -. 1e-6) in
+    List.init (hi - lo + 1) (fun k -> lo + k)
+
+  let create fp = { fp; rows = Array.make (max 1 (Floorplan.n_rows fp)) [] }
+
+  let insert_interval intervals (lo, hi) =
+    let rec go = function
+      | [] -> [ (lo, hi) ]
+      | (a, b) :: rest when a < lo -> (a, b) :: go rest
+      | rest -> (lo, hi) :: rest
+    in
+    go intervals
+
+  let add t r =
+    List.iter
+      (fun row ->
+        t.rows.(row) <- insert_interval t.rows.(row) (r.Rect.lx, r.Rect.hx))
+      (rows_of_rect t r)
+
+  let remove t r =
+    List.iter
+      (fun row ->
+        let eq (a, b) =
+          Float.abs (a -. r.Rect.lx) < 1e-9 && Float.abs (b -. r.Rect.hx) < 1e-9
+        in
+        let rec drop_first = function
+          | [] -> []
+          | iv :: rest -> if eq iv then rest else iv :: drop_first rest
+        in
+        t.rows.(row) <- drop_first t.rows.(row))
+      (rows_of_rect t r)
+
+  let of_placement pl =
+    let t = create (Placement.floorplan pl) in
+    List.iter (fun id -> add t (Placement.footprint pl id)) (Placement.placed_registers pl);
+    t
+
+  let row_free t row (lo, hi) =
+    List.for_all (fun (a, b) -> b <= lo +. 1e-9 || a >= hi -. 1e-9) t.rows.(row)
+
+  let fits t r =
+    Floorplan.inside t.fp r
+    && List.for_all (fun row -> row_free t row (r.Rect.lx, r.Rect.hx)) (rows_of_rect t r)
+
+  (* Nearest x position in a row where a width-w cell fits, given the
+     sorted occupied intervals and the allowed x-range. *)
+  let nearest_x_in_row t row ~w ~xmin ~xmax ~desired =
+    if xmax -. xmin < w -. 1e-9 then None
+    else begin
+      let intervals = t.rows.(row) in
+      (* Build free gaps clipped to [xmin, xmax]. *)
+      let gaps = ref [] in
+      let cursor = ref xmin in
+      List.iter
+        (fun (a, b) ->
+          if a > !cursor then gaps := (!cursor, Float.min a xmax) :: !gaps;
+          cursor := Float.max !cursor b)
+        intervals;
+      if !cursor < xmax then gaps := (!cursor, xmax) :: !gaps;
+      let best = ref None in
+      List.iter
+        (fun (glo, ghi) ->
+          if ghi -. glo >= w -. 1e-9 then begin
+            let x = Float.max glo (Float.min (ghi -. w) desired) in
+            let cost = Float.abs (x -. desired) in
+            match !best with
+            | Some (_, c) when c <= cost -> ()
+            | Some _ | None -> best := Some (x, cost)
+          end)
+        !gaps;
+      Option.map fst !best
+    end
+
+  let find_nearest t ?region ~w (desired : Point.t) =
+    let fp = t.fp in
+    let core = fp.Floorplan.core in
+    let h = fp.Floorplan.row_height in
+    let xmin, xmax, ymin, ymax =
+      match region with
+      | Some r ->
+        ( Float.max core.Rect.lx r.Rect.lx,
+          Float.min (core.Rect.hx -. w) (r.Rect.hx -. w),
+          Float.max core.Rect.ly r.Rect.ly,
+          Float.min (core.Rect.hy -. h) (r.Rect.hy -. h) )
+      | None ->
+        (core.Rect.lx, core.Rect.hx -. w, core.Rect.ly, core.Rect.hy -. h)
+    in
+    if xmax < xmin -. 1e-9 || ymax < ymin -. 1e-9 then None
+    else begin
+      let n_rows = Floorplan.n_rows fp in
+      let desired_row = Floorplan.row_of_y fp desired.Point.y in
+      let best = ref None in
+      let consider row =
+        if row >= 0 && row < n_rows then begin
+          let y = Floorplan.row_y fp row in
+          if y >= ymin -. 1e-9 && y <= ymax +. 1e-9 then begin
+            let dy = Float.abs (y -. desired.Point.y) in
+            let prune =
+              match !best with Some (_, c) -> dy >= c | None -> false
+            in
+            if not prune then begin
+              match
+                nearest_x_in_row t row ~w ~xmin ~xmax:(xmax +. w) ~desired:desired.Point.x
+              with
+              | Some x ->
+                let cost = dy +. Float.abs (x -. desired.Point.x) in
+                (match !best with
+                | Some (_, c) when c <= cost -> ()
+                | Some _ | None -> best := Some (Point.make x y, cost))
+              | None -> ()
+            end
+          end
+        end
+      in
+      (* Expand outward from the desired row; dy grows monotonically so
+         the prune above terminates the scan early. *)
+      let max_radius = n_rows in
+      let rec expand r =
+        if r <= max_radius then begin
+          let continue_ =
+            match !best with
+            | Some (_, c) -> float_of_int (r - 1) *. fp.Floorplan.row_height <= c
+            | None -> true
+          in
+          if continue_ then begin
+            consider (desired_row + r);
+            if r > 0 then consider (desired_row - r);
+            expand (r + 1)
+          end
+        end
+      in
+      expand 0;
+      Option.map fst !best
+    end
+end
+
+let legalize_all pl =
+  let dsg = Placement.design pl in
+  let fp = Placement.floorplan pl in
+  let occ = Occupancy.create fp in
+  let cells =
+    List.filter (fun id -> Placement.is_placed pl id) (Design.live_cells dsg)
+  in
+  let priority id =
+    match (Design.cell dsg id).Types.c_kind with
+    | Types.Register _ -> 0
+    | Types.Clock_gate _ -> 1
+    | Types.Comb _ -> 2
+    | Types.Clock_root | Types.Port _ -> 3
+  in
+  let keyed =
+    List.map (fun id -> ((priority id, Placement.location pl id), id)) cells
+  in
+  let ordered = List.map snd (List.sort compare keyed) in
+  List.iter
+    (fun id ->
+      let w, h = Design.cell_size dsg id in
+      if w > 0.0 && h > 0.0 then begin
+        let desired = Placement.location pl id in
+        match Occupancy.find_nearest occ ~w desired with
+        | Some p ->
+          let p = Point.make (Floorplan.snap_x fp p.Point.x) p.Point.y in
+          Placement.set pl id p;
+          Occupancy.add occ (Placement.footprint pl id)
+        | None -> () (* no room: leave as-is; caller can check overlaps *)
+      end)
+    ordered
+
+let total_displacement ~before ~after =
+  let acc = ref 0.0 in
+  Placement.iter
+    (fun id p ->
+      match Placement.location_opt after id with
+      | Some q -> acc := !acc +. Point.manhattan p q
+      | None -> ())
+    before;
+  !acc

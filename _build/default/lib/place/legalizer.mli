@@ -1,0 +1,46 @@
+(** Placement legalization under the paper's simplified physical
+    constraints (§3.2/§4.2): a composed MBR needs a row-aligned,
+    in-core location that does not overlap any {e register} — smaller
+    combinational cells in the area are assumed displaceable by the
+    subsequent incremental placement pass ("registers are larger and
+    often have higher placement priority").
+
+    {!Occupancy} maintains the register footprints per row and answers
+    nearest-free-site queries; {!legalize_all} is the batch Tetris-style
+    pass used to produce a legal starting placement. *)
+
+module Occupancy : sig
+  type t
+
+  val of_placement : Placement.t -> t
+  (** Indexes the current live placed registers. *)
+
+  val add : t -> Mbr_geom.Rect.t -> unit
+  (** Mark a footprint occupied. *)
+
+  val remove : t -> Mbr_geom.Rect.t -> unit
+  (** Unmark (exact rectangle previously added); unknown rectangles are
+      ignored. *)
+
+  val fits : t -> Mbr_geom.Rect.t -> bool
+  (** In-core, row-aligned-height span with no register overlap? *)
+
+  val find_nearest :
+    t ->
+    ?region:Mbr_geom.Rect.t ->
+    w:float ->
+    Mbr_geom.Point.t ->
+    Mbr_geom.Point.t option
+  (** Nearest (Manhattan, lower-left to lower-left) legal row-aligned
+      location for a cell of width [w] and row height, optionally
+      constrained so the footprint stays inside [region]. [None] when no
+      row has a wide-enough gap. *)
+end
+
+val legalize_all : Placement.t -> unit
+(** Snap every placed live cell to a row and site with no overlaps,
+    processing registers first (priority), then the rest, each to the
+    nearest free location. Mutates the placement in place. *)
+
+val total_displacement : before:Placement.t -> after:Placement.t -> float
+(** Sum of Manhattan moves of cells placed in both snapshots. *)

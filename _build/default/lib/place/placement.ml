@@ -1,0 +1,104 @@
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+module Cell_lib = Mbr_liberty.Cell
+
+type t = {
+  fp : Floorplan.t;
+  dsg : Design.t;
+  loc : (Types.cell_id, Point.t) Hashtbl.t;
+}
+
+let create fp dsg = { fp; dsg; loc = Hashtbl.create 1024 }
+
+let floorplan t = t.fp
+
+let design t = t.dsg
+
+let set t id p = Hashtbl.replace t.loc id p
+
+let remove t id = Hashtbl.remove t.loc id
+
+let location t id =
+  match Hashtbl.find_opt t.loc id with
+  | Some p -> p
+  | None -> raise Not_found
+
+let location_opt t id = Hashtbl.find_opt t.loc id
+
+let is_placed t id = Hashtbl.mem t.loc id
+
+let footprint t id =
+  let p = location t id in
+  let w, h = Design.cell_size t.dsg id in
+  Rect.make ~lx:p.Point.x ~ly:p.Point.y ~hx:(p.Point.x +. w) ~hy:(p.Point.y +. h)
+
+let center t id = Rect.center (footprint t id)
+
+let pin_location t pid =
+  let p = Design.pin t.dsg pid in
+  let cid = p.Types.p_cell in
+  let corner = location t cid in
+  let c = Design.cell t.dsg cid in
+  match c.Types.c_kind with
+  | Types.Register a ->
+    let lib = a.Types.lib_cell in
+    let off =
+      match p.Types.p_kind with
+      | Types.Pin_d i -> Cell_lib.d_pin_offset lib i
+      | Types.Pin_q i -> Cell_lib.q_pin_offset lib i
+      | Types.Pin_clock -> Cell_lib.clock_pin_offset lib
+      | Types.Pin_reset | Types.Pin_scan_in _ | Types.Pin_scan_out _
+      | Types.Pin_scan_enable | Types.Pin_in _ | Types.Pin_out | Types.Pin_port
+        ->
+        Point.make (lib.Cell_lib.width /. 2.0) (lib.Cell_lib.height /. 2.0)
+    in
+    Point.add corner off
+  | Types.Comb _ | Types.Clock_root | Types.Clock_gate _ | Types.Port _ ->
+    let w, h = Design.cell_size t.dsg cid in
+    Point.add corner (Point.make (w /. 2.0) (h /. 2.0))
+
+let iter f t =
+  let items =
+    Hashtbl.fold
+      (fun id p acc ->
+        if (Design.cell t.dsg id).Types.c_dead then acc else (id, p) :: acc)
+      t.loc []
+  in
+  List.iter (fun (id, p) -> f id p) (List.sort compare items)
+
+let placed_registers t =
+  List.filter (fun id -> is_placed t id) (Design.registers t.dsg)
+
+let utilization t =
+  let area = ref 0.0 in
+  iter (fun id _ -> area := !area +. Design.cell_area t.dsg id) t;
+  !area /. Rect.area t.fp.Floorplan.core
+
+let overlapping_registers t =
+  let regs = placed_registers t in
+  let boxed = List.map (fun id -> (id, footprint t id)) regs in
+  (* Sweep by lx to avoid the full quadratic comparison. *)
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare a.Rect.lx b.Rect.lx) boxed
+  in
+  let rec sweep acc = function
+    | [] -> acc
+    | (id, r) :: rest ->
+      let rec scan acc = function
+        | [] -> acc
+        | (id', r') :: more ->
+          if r'.Rect.lx >= r.Rect.hx then acc
+          else begin
+            let acc =
+              if Rect.overlaps_strictly r r' then (id, id') :: acc else acc
+            in
+            scan acc more
+          end
+      in
+      sweep (scan acc rest) rest
+  in
+  List.rev (sweep [] sorted)
+
+let copy t = { t with loc = Hashtbl.copy t.loc }

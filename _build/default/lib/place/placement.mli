@@ -1,0 +1,49 @@
+(** Cell locations for a design: lower-left corners keyed by cell id,
+    with footprint and pin-location queries. A placement does not own
+    the design; composition edits both in step. *)
+
+type t
+
+val create : Floorplan.t -> Mbr_netlist.Design.t -> t
+
+val floorplan : t -> Floorplan.t
+
+val design : t -> Mbr_netlist.Design.t
+
+val set : t -> Mbr_netlist.Types.cell_id -> Mbr_geom.Point.t -> unit
+(** Place (or move) a cell's lower-left corner. *)
+
+val remove : t -> Mbr_netlist.Types.cell_id -> unit
+
+val location : t -> Mbr_netlist.Types.cell_id -> Mbr_geom.Point.t
+(** Raises [Not_found] for unplaced cells. *)
+
+val location_opt : t -> Mbr_netlist.Types.cell_id -> Mbr_geom.Point.t option
+
+val is_placed : t -> Mbr_netlist.Types.cell_id -> bool
+
+val footprint : t -> Mbr_netlist.Types.cell_id -> Mbr_geom.Rect.t
+(** Cell rectangle at its current location; raises [Not_found] when
+    unplaced. *)
+
+val center : t -> Mbr_netlist.Types.cell_id -> Mbr_geom.Point.t
+
+val pin_location : t -> Mbr_netlist.Types.pin_id -> Mbr_geom.Point.t
+(** Absolute pin coordinate: cell corner + pin offset. Register pins
+    use the library-cell pin map; other cells use their center.
+    Raises [Not_found] when the owning cell is unplaced. *)
+
+val iter : (Mbr_netlist.Types.cell_id -> Mbr_geom.Point.t -> unit) -> t -> unit
+(** Live placed cells only. *)
+
+val placed_registers : t -> Mbr_netlist.Types.cell_id list
+
+val utilization : t -> float
+(** Total placed live-cell area / core area. *)
+
+val overlapping_registers : t -> (Mbr_netlist.Types.cell_id * Mbr_netlist.Types.cell_id) list
+(** Pairs of live registers whose footprints overlap with positive area
+    — the legality check the composition flow must keep empty. *)
+
+val copy : t -> t
+(** Snapshot of the locations (shares design/floorplan). *)

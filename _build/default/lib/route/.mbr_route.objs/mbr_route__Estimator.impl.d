@@ -1,0 +1,1 @@
+lib/route/estimator.ml: Array Grid List Mbr_geom Mbr_netlist Mbr_place

@@ -1,0 +1,1 @@
+lib/route/estimator.mli: Mbr_netlist Mbr_place

@@ -1,0 +1,1 @@
+lib/route/grid.ml: Array Float Mbr_geom

@@ -1,0 +1,30 @@
+(** Design-level wirelength and congestion estimation.
+
+    Signal nets are decomposed into a star from the pin median and each
+    branch is L-routed onto the grid; wirelength is the star length
+    (a tighter estimate than pure HPWL for multi-pin nets, without a
+    full Steiner construction). Clock nets are excluded here — their
+    wire is owned by the clock tree ({!Mbr_cts}) both in the paper's
+    Table 1 ("Wirelength Clk" vs "Other") and in this reproduction. *)
+
+type config = {
+  gcell : float;  (** tile size, µm (default 10) *)
+  cap_h : float;  (** horizontal tracks per edge (default 14) *)
+  cap_v : float;  (** vertical tracks per edge (default 12) *)
+}
+
+val default_config : config
+
+type result = {
+  signal_wl : float;  (** total star wirelength of non-clock nets, µm *)
+  overflow_edges : int;
+  max_utilization : float;
+  n_routed_nets : int;
+}
+
+val net_star_wl : Mbr_place.Placement.t -> Mbr_netlist.Types.net_id -> float
+(** Star wirelength of one net (0 for fewer than 2 placed pins). *)
+
+val net_hpwl : Mbr_place.Placement.t -> Mbr_netlist.Types.net_id -> float
+
+val estimate : ?config:config -> Mbr_place.Placement.t -> result

@@ -1,0 +1,1 @@
+lib/sta/engine.ml: Array Float Hashtbl List Mbr_geom Mbr_liberty Mbr_netlist Mbr_place Queue

@@ -1,0 +1,1 @@
+lib/sta/engine.mli: Mbr_netlist Mbr_place

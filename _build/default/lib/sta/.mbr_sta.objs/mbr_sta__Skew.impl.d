@@ -1,0 +1,1 @@
+lib/sta/skew.ml: Engine Float List Mbr_netlist Mbr_place

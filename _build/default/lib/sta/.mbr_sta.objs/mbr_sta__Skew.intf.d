@@ -1,0 +1,1 @@
+lib/sta/skew.mli: Engine

@@ -1,0 +1,484 @@
+module Point = Mbr_geom.Point
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+module Placement = Mbr_place.Placement
+module Cell_lib = Mbr_liberty.Cell
+
+type config = {
+  clock_period : float;
+  wire_res : float;
+  wire_cap : float;
+  input_delay : float;
+  output_delay : float;
+}
+
+let default_config =
+  {
+    clock_period = 800.0;
+    wire_res = 0.002;
+    wire_cap = 0.2;
+    input_delay = 40.0;
+    output_delay = 40.0;
+  }
+
+(* Arc kinds: delays are recomputed at each analyze because they depend
+   on pin locations and net loads. *)
+type arc =
+  | Net_arc of Types.pin_id * Types.pin_id (* driver -> sink *)
+  | Cell_arc of Types.pin_id * Types.pin_id (* comb input -> output *)
+
+type endpoint_kind = Ep_reg_d of Types.cell_id | Ep_out_port
+
+type t = {
+  cfg : config;
+  pl : Placement.t;
+  dsg : Design.t;
+  n : int; (* pin count *)
+  in_graph : bool array;
+  succs : (Types.pin_id * arc) list array;
+  preds : (Types.pin_id * arc) list array;
+  topo : Types.pin_id array;
+  topo_pos : int array;  (** pin -> index in [topo] (-1 outside graph) *)
+  is_start : bool array;
+  ep_of : endpoint_kind option array;
+  startpoints : Types.pin_id list;
+  endpoints : (Types.pin_id * endpoint_kind) list;
+  skews : (Types.cell_id, float) Hashtbl.t;
+  arrival : float array;
+  required : float array;
+  arc_delay_cache : (arc, float) Hashtbl.t;
+  mutable analyzed : bool;
+}
+
+let config t = t.cfg
+
+let placement t = t.pl
+
+let set_skew t id s =
+  Hashtbl.replace t.skews id s;
+  t.analyzed <- false
+
+let skew t id = match Hashtbl.find_opt t.skews id with Some s -> s | None -> 0.0
+
+(* The data graph excludes clock distribution and scan pins. *)
+let data_pin dsg pid =
+  let p = Design.pin dsg pid in
+  let c = Design.cell dsg p.Types.p_cell in
+  if c.Types.c_dead then false
+  else
+    match (c.Types.c_kind, p.Types.p_kind) with
+    | Types.Register _, (Types.Pin_d _ | Types.Pin_q _) -> true
+    | Types.Register _, _ -> false
+    | Types.Comb _, (Types.Pin_in _ | Types.Pin_out) -> true
+    | Types.Comb _, _ -> false
+    | Types.Port _, Types.Pin_port -> true
+    | Types.Port _, _ -> false
+    | (Types.Clock_root | Types.Clock_gate _), _ -> false
+
+let build ?(config = default_config) pl =
+  let dsg = Placement.design pl in
+  let n = Design.n_pins dsg in
+  let in_graph = Array.make n false in
+  for pid = 0 to n - 1 do
+    in_graph.(pid) <- data_pin dsg pid
+  done;
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  let add_arc src dst arc =
+    succs.(src) <- (dst, arc) :: succs.(src);
+    preds.(dst) <- (src, arc) :: preds.(dst)
+  in
+  (* net arcs *)
+  for nid = 0 to Design.n_nets dsg - 1 do
+    let net = Design.net dsg nid in
+    if not net.Types.n_is_clock then begin
+      match Design.driver dsg nid with
+      | Some d when in_graph.(d) ->
+        List.iter
+          (fun s -> if in_graph.(s) then add_arc d s (Net_arc (d, s)))
+          (Design.sinks dsg nid)
+      | Some _ | None -> ()
+    end
+  done;
+  (* comb cell arcs *)
+  List.iter
+    (fun cid ->
+      let c = Design.cell dsg cid in
+      match c.Types.c_kind with
+      | Types.Comb _ ->
+        let outs, ins =
+          List.partition
+            (fun pid -> (Design.pin dsg pid).Types.p_dir = Types.Output)
+            c.Types.c_pins
+        in
+        List.iter
+          (fun o ->
+            List.iter
+              (fun i ->
+                if in_graph.(i) && in_graph.(o) then add_arc i o (Cell_arc (i, o)))
+              ins)
+          outs
+      | Types.Register _ | Types.Clock_root | Types.Clock_gate _ | Types.Port _
+        ->
+        ())
+    (Design.live_cells dsg);
+  (* start / end points *)
+  let startpoints = ref [] in
+  let endpoints = ref [] in
+  List.iter
+    (fun cid ->
+      let c = Design.cell dsg cid in
+      match c.Types.c_kind with
+      | Types.Register _ ->
+        List.iter
+          (fun pid ->
+            let p = Design.pin dsg pid in
+            match p.Types.p_kind with
+            | Types.Pin_q _ when p.Types.p_net <> None ->
+              startpoints := pid :: !startpoints
+            | Types.Pin_d _ when p.Types.p_net <> None ->
+              endpoints := (pid, Ep_reg_d cid) :: !endpoints
+            | _ -> ())
+          c.Types.c_pins
+      | Types.Port Types.In_port ->
+        List.iter (fun pid -> startpoints := pid :: !startpoints) c.Types.c_pins
+      | Types.Port Types.Out_port ->
+        List.iter
+          (fun pid ->
+            let p = Design.pin dsg pid in
+            if p.Types.p_net <> None then endpoints := (pid, Ep_out_port) :: !endpoints)
+          c.Types.c_pins
+      | Types.Comb _ | Types.Clock_root | Types.Clock_gate _ -> ())
+    (Design.live_cells dsg);
+  (* Kahn topological order over pins that are in the graph *)
+  let indeg = Array.make n 0 in
+  for pid = 0 to n - 1 do
+    indeg.(pid) <- List.length preds.(pid)
+  done;
+  let queue = Queue.create () in
+  for pid = 0 to n - 1 do
+    if in_graph.(pid) && indeg.(pid) = 0 then Queue.add pid queue
+  done;
+  let topo = Array.make n (-1) in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let pid = Queue.pop queue in
+    topo.(!k) <- pid;
+    incr k;
+    List.iter
+      (fun (s, _) ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      succs.(pid)
+  done;
+  let n_in_graph = ref 0 in
+  Array.iter (fun b -> if b then incr n_in_graph) in_graph;
+  if !k <> !n_in_graph then failwith "Sta.build: combinational cycle detected";
+  let topo = Array.sub topo 0 !k in
+  let topo_pos = Array.make n (-1) in
+  Array.iteri (fun idx pid -> topo_pos.(pid) <- idx) topo;
+  let is_start = Array.make n false in
+  List.iter (fun pid -> is_start.(pid) <- true) !startpoints;
+  let ep_of = Array.make n None in
+  List.iter (fun (pid, kind) -> ep_of.(pid) <- Some kind) !endpoints;
+  {
+    cfg = config;
+    pl;
+    dsg;
+    n;
+    in_graph;
+    succs;
+    preds;
+    topo;
+    topo_pos;
+    is_start;
+    ep_of;
+    startpoints = !startpoints;
+    endpoints = !endpoints;
+    skews = Hashtbl.create 64;
+    arrival = Array.make n neg_infinity;
+    required = Array.make n infinity;
+    arc_delay_cache = Hashtbl.create 1024;
+    analyzed = false;
+  }
+
+(* ---- delay computation ---- *)
+
+let net_load t nid =
+  let dsg = t.dsg in
+  let pin_caps =
+    List.fold_left
+      (fun acc s -> acc +. Design.pin_cap dsg s)
+      0.0 (Design.sinks dsg nid)
+  in
+  let pts =
+    List.filter_map
+      (fun pid ->
+        let p = Design.pin dsg pid in
+        match Placement.location_opt t.pl p.Types.p_cell with
+        | Some _ -> Some (Placement.pin_location t.pl pid)
+        | None -> None)
+      (Design.net dsg nid).Types.n_pins
+  in
+  let wire_len =
+    match pts with
+    | [] | [ _ ] -> 0.0
+    | _ -> Mbr_geom.Rect.half_perimeter (Mbr_geom.Rect.of_points pts)
+  in
+  pin_caps +. (t.cfg.wire_cap *. wire_len)
+
+let wire_delay t src dst =
+  let dsg = t.dsg in
+  let psrc = Design.pin dsg src and pdst = Design.pin dsg dst in
+  match
+    ( Placement.location_opt t.pl psrc.Types.p_cell,
+      Placement.location_opt t.pl pdst.Types.p_cell )
+  with
+  | Some _, Some _ ->
+    let a = Placement.pin_location t.pl src in
+    let b = Placement.pin_location t.pl dst in
+    let len = Point.manhattan a b in
+    let sink_cap = Design.pin_cap dsg dst in
+    t.cfg.wire_res *. len *. ((t.cfg.wire_cap *. len /. 2.0) +. sink_cap)
+  | _, _ -> 0.0
+
+let arc_delay t arc =
+  match Hashtbl.find_opt t.arc_delay_cache arc with
+  | Some d -> d
+  | None ->
+    let d =
+      match arc with
+      | Net_arc (src, dst) -> wire_delay t src dst
+      | Cell_arc (_, out) ->
+        let p = Design.pin t.dsg out in
+        let c = Design.cell t.dsg p.Types.p_cell in
+        (match c.Types.c_kind with
+        | Types.Comb a ->
+          let load =
+            match p.Types.p_net with
+            | Some nid -> net_load t nid
+            | None -> 0.0
+          in
+          a.Types.intrinsic +. (a.Types.drive_res *. load)
+        | Types.Register _ | Types.Clock_root | Types.Clock_gate _
+        | Types.Port _ ->
+          0.0)
+    in
+    Hashtbl.replace t.arc_delay_cache arc d;
+    d
+
+let clock_arrival t cid = skew t cid
+
+let launch_arrival t pid =
+  (* arrival at a startpoint *)
+  let p = Design.pin t.dsg pid in
+  let c = Design.cell t.dsg p.Types.p_cell in
+  match (c.Types.c_kind, p.Types.p_kind) with
+  | Types.Register a, Types.Pin_q _ ->
+    let load =
+      match p.Types.p_net with Some nid -> net_load t nid | None -> 0.0
+    in
+    clock_arrival t p.Types.p_cell
+    +. Cell_lib.clk_to_q a.Types.lib_cell ~load
+  | Types.Port Types.In_port, _ -> t.cfg.input_delay
+  | (Types.Register _ | Types.Comb _ | Types.Clock_root | Types.Clock_gate _
+    | Types.Port Types.Out_port), _ ->
+    0.0
+
+let endpoint_required t (pid, kind) =
+  ignore pid;
+  match kind with
+  | Ep_reg_d cid ->
+    let a = Design.reg_attrs t.dsg cid in
+    t.cfg.clock_period +. clock_arrival t cid
+    -. a.Types.lib_cell.Cell_lib.setup
+  | Ep_out_port -> t.cfg.clock_period -. t.cfg.output_delay
+
+let analyze t =
+  Hashtbl.reset t.arc_delay_cache;
+  Array.fill t.arrival 0 t.n neg_infinity;
+  Array.fill t.required 0 t.n infinity;
+  List.iter
+    (fun pid -> t.arrival.(pid) <- Float.max t.arrival.(pid) (launch_arrival t pid))
+    t.startpoints;
+  (* forward *)
+  Array.iter
+    (fun pid ->
+      if t.arrival.(pid) > neg_infinity then
+        List.iter
+          (fun (s, arc) ->
+            let a = t.arrival.(pid) +. arc_delay t arc in
+            if a > t.arrival.(s) then t.arrival.(s) <- a)
+          t.succs.(pid))
+    t.topo;
+  (* backward *)
+  List.iter
+    (fun (pid, kind) ->
+      t.required.(pid) <- Float.min t.required.(pid) (endpoint_required t (pid, kind)))
+    t.endpoints;
+  for k = Array.length t.topo - 1 downto 0 do
+    let pid = t.topo.(k) in
+    if t.required.(pid) < infinity then
+      List.iter
+        (fun (p, arc) ->
+          let r = t.required.(pid) -. arc_delay t arc in
+          if r < t.required.(p) then t.required.(p) <- r)
+        t.preds.(pid)
+  done;
+  t.analyzed <- true
+
+let ensure t = if not t.analyzed then analyze t
+
+(* Incremental re-timing after skew-only changes. Arc delays are
+   untouched (they depend on placement/loads, not on clock arrivals), so
+   only the forward cone of the changed Q pins (arrivals) and the
+   backward cone of the changed D pins (requireds) need recomputation. *)
+let update_skews t assignments =
+  if not t.analyzed then begin
+    List.iter (fun (cid, s) -> Hashtbl.replace t.skews cid s) assignments;
+    analyze t
+  end
+  else begin
+    let changed =
+      List.filter (fun (cid, s) -> skew t cid <> s) assignments
+    in
+    List.iter (fun (cid, s) -> Hashtbl.replace t.skews cid s) changed;
+    t.analyzed <- true;
+    (* seed pins *)
+    let q_seeds = ref [] and d_seeds = ref [] in
+    List.iter
+      (fun (cid, _) ->
+        List.iter
+          (fun pid ->
+            let p = Design.pin t.dsg pid in
+            match p.Types.p_kind with
+            | Types.Pin_q _ when t.in_graph.(pid) -> q_seeds := pid :: !q_seeds
+            | Types.Pin_d _ when t.in_graph.(pid) -> d_seeds := pid :: !d_seeds
+            | _ -> ())
+          (Design.pins_of t.dsg cid))
+      changed;
+    (* forward cone of the Q seeds *)
+    let in_f = Array.make t.n false in
+    let rec mark_f pid =
+      if not in_f.(pid) then begin
+        in_f.(pid) <- true;
+        List.iter (fun (s, _) -> mark_f s) t.succs.(pid)
+      end
+    in
+    List.iter mark_f !q_seeds;
+    (* backward cone of the D seeds *)
+    let in_b = Array.make t.n false in
+    let rec mark_b pid =
+      if not in_b.(pid) then begin
+        in_b.(pid) <- true;
+        List.iter (fun (p, _) -> mark_b p) t.preds.(pid)
+      end
+    in
+    List.iter mark_b !d_seeds;
+    (* arrivals forward within the cone, preds outside keep their values *)
+    Array.iter
+      (fun pid ->
+        if in_f.(pid) then begin
+          let a = if t.is_start.(pid) then launch_arrival t pid else neg_infinity in
+          let a =
+            List.fold_left
+              (fun acc (p, arc) ->
+                if t.arrival.(p) > neg_infinity then
+                  Float.max acc (t.arrival.(p) +. arc_delay t arc)
+                else acc)
+              a t.preds.(pid)
+          in
+          t.arrival.(pid) <- a
+        end)
+      t.topo;
+    (* requireds backward within the cone *)
+    for k = Array.length t.topo - 1 downto 0 do
+      let pid = t.topo.(k) in
+      if in_b.(pid) then begin
+        let r =
+          match t.ep_of.(pid) with
+          | Some kind -> endpoint_required t (pid, kind)
+          | None -> infinity
+        in
+        let r =
+          List.fold_left
+            (fun acc (s, arc) ->
+              if t.required.(s) < infinity then
+                Float.min acc (t.required.(s) -. arc_delay t arc)
+              else acc)
+            r t.succs.(pid)
+        in
+        t.required.(pid) <- r
+      end
+    done
+  end
+
+let arrival t pid =
+  ensure t;
+  if pid < 0 || pid >= t.n || not t.in_graph.(pid) then None
+  else begin
+    let a = t.arrival.(pid) in
+    if a = neg_infinity then None else Some a
+  end
+
+let required t pid =
+  ensure t;
+  if pid < 0 || pid >= t.n || not t.in_graph.(pid) then None
+  else begin
+    let r = t.required.(pid) in
+    if r = infinity then None else Some r
+  end
+
+let slack t pid =
+  match (arrival t pid, required t pid) with
+  | Some a, Some r -> Some (r -. a)
+  | _, _ -> None
+
+let endpoint_slacks t =
+  ensure t;
+  List.filter_map
+    (fun (pid, _) ->
+      match slack t pid with Some s -> Some (pid, s) | None -> None)
+    t.endpoints
+
+let wns t =
+  List.fold_left (fun acc (_, s) -> Float.min acc s) infinity (endpoint_slacks t)
+
+let tns t =
+  List.fold_left
+    (fun acc (_, s) -> if s < 0.0 then acc +. s else acc)
+    0.0 (endpoint_slacks t)
+
+let failing_endpoints t =
+  List.length (List.filter (fun (_, s) -> s < 0.0) (endpoint_slacks t))
+
+let n_endpoints t = List.length t.endpoints
+
+let output_load t pid =
+  let p = Design.pin t.dsg pid in
+  if p.Types.p_dir <> Types.Output then 0.0
+  else match p.Types.p_net with Some nid -> net_load t nid | None -> 0.0
+
+let reg_pin_slack t cid want_d =
+  let c = Design.cell t.dsg cid in
+  (match c.Types.c_kind with
+  | Types.Register _ -> ()
+  | Types.Comb _ | Types.Clock_root | Types.Clock_gate _ | Types.Port _ ->
+    invalid_arg "Sta: not a register");
+  List.fold_left
+    (fun acc pid ->
+      let p = Design.pin t.dsg pid in
+      let relevant =
+        match p.Types.p_kind with
+        | Types.Pin_d _ -> want_d && p.Types.p_net <> None
+        | Types.Pin_q _ -> (not want_d) && p.Types.p_net <> None
+        | _ -> false
+      in
+      if relevant then
+        match slack t pid with Some s -> Float.min acc s | None -> acc
+      else acc)
+    infinity c.Types.c_pins
+
+let reg_d_slack t cid = reg_pin_slack t cid true
+
+let reg_q_slack t cid = reg_pin_slack t cid false

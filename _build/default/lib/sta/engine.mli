@@ -1,0 +1,84 @@
+(** Graph-based static timing analysis over a placed design.
+
+    Model (the paper's linear approximation, §4.1): cell delay =
+    intrinsic + drive resistance × load capacitance; wire delay to a
+    sink at Manhattan distance L is r·L·(c·L/2 + C_sink) (Elmore on a
+    lumped stick); net load is the sum of sink pin caps plus HPWL wire
+    cap. Clocks are ideal with an optional per-register useful-skew
+    offset; scan pins carry no timing. Endpoints are register D pins
+    (setup checks against the capturing register's skewed clock) and
+    output ports.
+
+    Rebuild after netlist edits ({!build} is cheap); {!analyze} re-reads
+    pin locations, so placement moves only need a re-analyze. *)
+
+type config = {
+  clock_period : float;  (** ps *)
+  wire_res : float;  (** kΩ per µm *)
+  wire_cap : float;  (** fF per µm *)
+  input_delay : float;  (** arrival of primary inputs, ps *)
+  output_delay : float;  (** margin required at primary outputs, ps *)
+}
+
+val default_config : config
+
+type t
+
+val build : ?config:config -> Mbr_place.Placement.t -> t
+(** Constructs the timing graph. Raises [Failure] on a combinational
+    cycle. *)
+
+val config : t -> config
+
+val placement : t -> Mbr_place.Placement.t
+
+val set_skew : t -> Mbr_netlist.Types.cell_id -> float -> unit
+(** Useful-skew offset of a register's clock arrival (ps; positive =
+    later). Takes effect at the next {!analyze}. *)
+
+val skew : t -> Mbr_netlist.Types.cell_id -> float
+
+val analyze : t -> unit
+(** Full arrival/required propagation. *)
+
+val update_skews : t -> (Mbr_netlist.Types.cell_id * float) list -> unit
+(** Incremental re-timing after changing only clock skews: applies the
+    assignments and patches arrivals in the forward cone of the changed
+    registers' Q pins and requireds in the backward cone of their D
+    pins, reusing cached arc delays (placement and netlist must be
+    unchanged since the last {!analyze}). Orders of magnitude cheaper
+    than a full pass when few registers move; produces bit-identical
+    slacks (property-tested against {!analyze}). Falls back to a full
+    analysis when the engine has never been analyzed. *)
+
+val arrival : t -> Mbr_netlist.Types.pin_id -> float option
+(** [None] for pins outside the data graph or unreached. *)
+
+val required : t -> Mbr_netlist.Types.pin_id -> float option
+
+val slack : t -> Mbr_netlist.Types.pin_id -> float option
+
+val wns : t -> float
+(** Worst endpoint slack (+inf when there are no endpoints). *)
+
+val tns : t -> float
+(** Total negative slack (sum of negative endpoint slacks, <= 0). *)
+
+val failing_endpoints : t -> int
+
+val n_endpoints : t -> int
+
+val endpoint_slacks : t -> (Mbr_netlist.Types.pin_id * float) list
+
+val reg_d_slack : t -> Mbr_netlist.Types.cell_id -> float
+(** Worst slack over the register's connected D pins (+inf when all are
+    unconnected). Raises [Invalid_argument] for non-registers. *)
+
+val output_load : t -> Mbr_netlist.Types.pin_id -> float
+(** Capacitive load seen by an output pin (sink pins + wire), fF; 0
+    when unconnected. Used by MBR sizing to bound delay changes. *)
+
+val reg_q_slack : t -> Mbr_netlist.Types.cell_id -> float
+(** Worst slack over the register's connected Q pins — the backward-
+    propagated required minus arrival, i.e. the tightest downstream
+    endpoint seen from this register. *)

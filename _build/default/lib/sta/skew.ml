@@ -1,0 +1,79 @@
+module Design = Mbr_netlist.Design
+module Placement = Mbr_place.Placement
+
+type config = { bound : float; iterations : int; damping : float }
+
+let default_config = { bound = 120.0; iterations = 8; damping = 0.6 }
+
+type report = {
+  wns_before : float;
+  wns_after : float;
+  tns_before : float;
+  tns_after : float;
+  max_abs_skew : float;
+  sweeps_run : int;
+}
+
+(* One register's skew step given its current worst D/Q slacks: balance
+   the two sides when either violates; one-sided registers are pushed
+   whole-hog in the helpful direction. *)
+let step cfg s_d s_q =
+  if Float.is_finite s_d && Float.is_finite s_q then begin
+    if Float.min s_d s_q < 0.0 then (s_q -. s_d) /. 2.0 *. cfg.damping else 0.0
+  end
+  else if Float.is_finite s_d && s_d < 0.0 then -.s_d *. cfg.damping
+  else if Float.is_finite s_q && s_q < 0.0 then s_q *. cfg.damping
+  else 0.0
+
+let optimize ?(config = default_config) eng =
+  let dsg = Placement.design (Engine.placement eng) in
+  let regs = Design.registers dsg in
+  Engine.analyze eng;
+  let wns_before = Engine.wns eng in
+  let tns_before = Engine.tns eng in
+  let clamp v = Float.max (-.config.bound) (Float.min config.bound v) in
+  let snapshot () = List.map (fun r -> (r, Engine.skew eng r)) regs in
+  let restore snap = Engine.update_skews eng snap in
+  let best_tns = ref tns_before in
+  let best_wns = ref wns_before in
+  let best = ref (snapshot ()) in
+  let sweeps = ref 0 in
+  (try
+     for _ = 1 to config.iterations do
+       incr sweeps;
+       (* Jacobi sweep: read every slack under the current assignment,
+          then apply all moves at once; Engine.update_skews patches only
+          the affected timing cones. *)
+       let moves =
+         List.filter_map
+           (fun r ->
+             let delta =
+               step config (Engine.reg_d_slack eng r) (Engine.reg_q_slack eng r)
+             in
+             let next = clamp (Engine.skew eng r +. delta) in
+             if Float.abs (next -. Engine.skew eng r) > 0.5 then Some (r, next)
+             else None)
+           regs
+       in
+       if moves = [] then raise Exit;
+       Engine.update_skews eng moves;
+       let tns = Engine.tns eng and wns = Engine.wns eng in
+       if (tns, wns) > (!best_tns, !best_wns) then begin
+         best_tns := tns;
+         best_wns := wns;
+         best := snapshot ()
+       end
+     done
+   with Exit -> ());
+  restore !best;
+  let max_abs_skew =
+    List.fold_left (fun acc r -> Float.max acc (Float.abs (Engine.skew eng r))) 0.0 regs
+  in
+  {
+    wns_before;
+    wns_after = Engine.wns eng;
+    tns_before;
+    tns_after = Engine.tns eng;
+    max_abs_skew;
+    sweeps_run = !sweeps;
+  }

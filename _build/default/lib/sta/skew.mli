@@ -1,0 +1,35 @@
+(** Useful-skew assignment (Fishburn-style, iterative).
+
+    Shifting a register's clock later by δ adds δ of slack to the
+    paths ending at its D pins and removes δ from the paths launched
+    from its Q pins. With s_D the worst D-pin slack and s_Q the worst
+    Q-pin (downstream) slack, the per-register optimum balances the two:
+    δ* = (s_Q − s_D) / 2, clamped to the skew bound.
+    Registers interact through shared paths, so the balancing is
+    applied with damping and iterated to a fixed point (the paper's
+    Fig. 4 applies useful skew right after composition, which is why
+    composition only merges registers with {e similar} D/Q slacks:
+    a single δ must fit all merged bits). *)
+
+type config = {
+  bound : float;  (** |skew| limit, ps *)
+  iterations : int;  (** sweeps (default 8) *)
+  damping : float;  (** step fraction per sweep, in (0, 1] *)
+}
+
+val default_config : config
+
+type report = {
+  wns_before : float;
+  wns_after : float;
+  tns_before : float;
+  tns_after : float;
+  max_abs_skew : float;
+  sweeps_run : int;
+}
+
+val optimize : ?config:config -> Engine.t -> report
+(** Assign per-register skews on the engine (visible via
+    {!Engine.skew}) and re-analyze. Never returns a solution worse than
+    the zero-skew start: the final sweep keeps the best-TNS
+    assignment encountered. *)

@@ -1,0 +1,91 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = 62
+
+let nwords n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Array.make (max 1 (nwords n)) 0 }
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: element out of range"
+
+let add t i =
+  check t i;
+  let words = Array.copy t.words in
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  words.(w) <- words.(w) lor (1 lsl b);
+  { t with words }
+
+let of_list n elems =
+  let t = create n in
+  let words = t.words in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Bitset.of_list: out of range";
+      let w = i / bits_per_word and b = i mod bits_per_word in
+      words.(w) <- words.(w) lor (1 lsl b))
+    elems;
+  t
+
+let universe_size t = t.n
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let zip f a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch";
+  { n = a.n; words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) }
+
+let union = zip ( lor )
+
+let inter = zip ( land )
+
+let diff = zip (fun x y -> x land lnot y)
+
+let disjoint a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch";
+  let rec go i =
+    i >= Array.length a.words || (a.words.(i) land b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch";
+  let rec go i =
+    i >= Array.length a.words
+    || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let elements t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc

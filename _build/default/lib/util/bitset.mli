@@ -1,0 +1,42 @@
+(** Fixed-universe bitsets over \[0, n) backed by int arrays. Used for
+    fast disjointness tests between MBR-candidate register sets during
+    branch-and-bound. Immutable interface: operations return fresh sets
+    unless named [_into]. *)
+
+type t
+
+val create : int -> t
+(** Empty set over universe size [n]. *)
+
+val of_list : int -> int list -> t
+(** [of_list n elems]; raises [Invalid_argument] on out-of-range. *)
+
+val universe_size : t -> int
+
+val add : t -> int -> t
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val disjoint : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b]: is [a] ⊆ [b]. *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+
+val elements : t -> int list
+(** Ascending order. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,85 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+(* Non-negative 62-bit value, safe to use as an OCaml int (whose max is
+   2^62 - 1 on 64-bit platforms). *)
+let bits63 t = Int64.to_int (Int64.logand (bits64 t) 0x3FFFFFFFFFFFFFFFL)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits63 t mod n
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (u /. 9007199254740992.0 (* 2^53 *))
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let gaussian t ~mean ~stddev =
+  (* Box–Muller; u1 must be nonzero for the log. *)
+  let rec draw () =
+    let u1 = float t 1.0 in
+    if u1 <= 1e-300 then draw () else u1
+  in
+  let u1 = draw () in
+  let u2 = float t 1.0 in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ :: _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Rng.sample: bad k";
+  let scratch = Array.copy arr in
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = scratch.(i) in
+    scratch.(i) <- scratch.(j);
+    scratch.(j) <- tmp
+  done;
+  Array.sub scratch 0 k

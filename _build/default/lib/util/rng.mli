@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic parts of the repository (design generation, property
+    tests that need their own stream, tie-breaking) draw from this
+    splitmix64 generator so that every experiment is reproducible from a
+    seed, independent of the OCaml [Random] module state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in \[0, n). Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in \[0, x). *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in \[lo, hi). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to \[0,1\]). *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t k arr] draws [k] distinct elements (k <= length). *)

@@ -1,0 +1,56 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. log x) xs;
+    exp (!acc /. float_of_int n)
+  end
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    sqrt (!acc /. float_of_int n)
+  end
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let total = Array.fold_left ( +. ) 0.0
+
+let histogram ~bins xs =
+  let nb = Array.length bins in
+  let counts = Array.make (nb + 1) 0 in
+  let place x =
+    let rec find i = if i >= nb then nb else if x <= bins.(i) then i else find (i + 1) in
+    find 0
+  in
+  Array.iter (fun x -> let b = place x in counts.(b) <- counts.(b) + 1) xs;
+  counts
+
+let pct_change base v = if base = 0.0 then 0.0 else (base -. v) /. base *. 100.0

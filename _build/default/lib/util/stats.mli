@@ -1,0 +1,28 @@
+(** Small descriptive-statistics helpers used by reports and benchmarks. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in \[0,100\], linear interpolation.
+    Raises [Invalid_argument] on an empty array. *)
+
+val total : float array -> float
+
+val histogram : bins:float array -> float array -> int array
+(** [histogram ~bins xs] counts values per bin; [bins] are ascending
+    upper bounds, a final overflow bin is appended (result length =
+    [Array.length bins + 1]). *)
+
+val pct_change : float -> float -> float
+(** [pct_change base v] is the saving [(base - v) / base * 100.]; 0 when
+    [base = 0]. Positive means [v] improved (decreased) versus [base]. *)

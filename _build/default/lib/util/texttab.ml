@@ -1,0 +1,91 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Sep
+
+type t = {
+  headers : string list;
+  width : int;
+  mutable aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers =
+  let width = List.length headers in
+  let aligns =
+    List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { headers; width; aligns; rows = [] }
+
+let set_aligns t aligns =
+  if List.length aligns <> t.width then
+    invalid_arg "Texttab.set_aligns: width mismatch";
+  t.aligns <- aligns
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg "Texttab.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let left = (width - n) / 2 in
+      String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.make t.width 0 in
+  let note cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  note t.headers;
+  List.iter (function Cells c -> note c | Sep -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let sep_line () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (if i = 0 then "|" else "");
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '|')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth t.aligns i in
+        Buffer.add_string buf (if i = 0 then "| " else " ");
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  sep_line ();
+  List.iter (function Cells c -> emit c | Sep -> sep_line ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(dec = 2) x = Printf.sprintf "%.*f" dec x
+
+let fmt_pct x = Printf.sprintf "%+.1f %%" x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

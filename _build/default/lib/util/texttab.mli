@@ -1,0 +1,36 @@
+(** Plain-text table rendering for experiment reports.
+
+    Produces aligned, pipe-separated tables in the style of the paper's
+    Table 1 so that benchmark output is directly readable and diffable. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : headers:string list -> t
+(** New table; column count is fixed by the header row. *)
+
+val set_aligns : t -> align list -> unit
+(** Per-column alignment (default: first column [Left], rest [Right]).
+    Raises [Invalid_argument] on a length mismatch. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val add_sep : t -> unit
+(** Horizontal separator line at this position. *)
+
+val render : t -> string
+(** Full table, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val fmt_float : ?dec:int -> float -> string
+(** Fixed-point float with [dec] decimals (default 2). *)
+
+val fmt_pct : float -> string
+(** Percentage with sign and one decimal, e.g. ["+3.1 %"]. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. ["485,350"]. *)

@@ -1,0 +1,18 @@
+(** Classic disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two sets (no-op when already merged). *)
+
+val same : t -> int -> int -> bool
+
+val groups : t -> int list array
+(** All sets as member lists, indexed arbitrarily; singleton sets
+    included. Members appear in increasing order. *)

@@ -1,0 +1,260 @@
+(* Tests for Mbr_core.Compose: the netlist rewrite that replaces member
+   registers with one MBR — connectivity preservation, bit ordering,
+   incomplete bits, attribute merging, and error cases. *)
+
+module Compose = Mbr_core.Compose
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+module Library = Mbr_liberty.Library
+module Presets = Mbr_liberty.Presets
+module Cell_lib = Mbr_liberty.Cell
+module Floorplan = Mbr_place.Floorplan
+module Placement = Mbr_place.Placement
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let lib = Presets.default ()
+
+let dff1 = Library.find lib "DFF1_X1"
+
+let dff2 = Library.find lib "DFF2_X1"
+
+let dff4 = Library.find lib "DFF4_X1"
+
+let dff8 = Library.find lib "DFF8_X1"
+
+let core = Rect.make ~lx:0.0 ~ly:0.0 ~hx:60.0 ~hy:60.0
+
+let fp = Floorplan.make ~core ~row_height:1.2 ~site_width:0.2
+
+let attrs ?scan ?(enable = None) cell =
+  Types.{ lib_cell = cell; fixed = false; size_only = false; scan; gate_enable = enable }
+
+(* n single/multi-bit registers with driven D nets and loaded Q nets *)
+let setup cells =
+  let d = Design.create ~name:"c" in
+  let clk = Design.add_net ~is_clock:true d "clk" in
+  let _ = Design.add_clock_root d "uclk" clk in
+  let pl = Placement.create fp d in
+  let regs =
+    List.mapi
+      (fun i (cell : Cell_lib.t) ->
+        let bits = cell.Cell_lib.bits in
+        let dn =
+          Array.init bits (fun b ->
+              let nid = Design.add_net d (Printf.sprintf "d%d_%d" i b) in
+              let p = Design.add_port d (Printf.sprintf "pi%d_%d" i b) Types.In_port nid in
+              Placement.set pl p (Point.make 1.0 1.2);
+              Some nid)
+        in
+        let qn =
+          Array.init bits (fun b ->
+              let nid = Design.add_net d (Printf.sprintf "q%d_%d" i b) in
+              let p = Design.add_port d (Printf.sprintf "po%d_%d" i b) Types.Out_port nid in
+              Placement.set pl p (Point.make 50.0 1.2);
+              Some nid)
+        in
+        let r =
+          Design.add_register d (Printf.sprintf "r%d" i) (attrs cell)
+            (Design.simple_conn ~d:dn ~q:qn ~clock:clk)
+        in
+        Placement.set pl r (Point.make (5.0 +. (6.0 *. float_of_int i)) 2.4);
+        r)
+      cells
+  in
+  (d, pl, clk, regs)
+
+let test_merge_two_singles () =
+  let d, pl, _, regs = setup [ dff1; dff1 ] in
+  (* record the old D/Q nets *)
+  let nets r kind =
+    List.filter_map
+      (fun pid ->
+        let p = Design.pin d pid in
+        match (p.Types.p_kind, kind) with
+        | Types.Pin_d _, `D -> p.Types.p_net
+        | Types.Pin_q _, `Q -> p.Types.p_net
+        | _ -> None)
+      (Design.pins_of d r)
+  in
+  let old_d = List.concat_map (fun r -> nets r `D) regs in
+  let old_q = List.concat_map (fun r -> nets r `Q) regs in
+  let id =
+    Compose.execute pl
+      { Compose.member_cids = regs; cell = dff2; corner = Point.make 10.0 2.4 }
+  in
+  check "valid netlist" true (Design.validate d = []);
+  checki "one register left" 1 (List.length (Design.registers d));
+  (* old members dead *)
+  List.iter (fun r -> check "dead" true (Design.cell d r).Types.c_dead) regs;
+  check "members unplaced" true
+    (List.for_all (fun r -> not (Placement.is_placed pl r)) regs);
+  (* every old D/Q net now lands on the new cell *)
+  let new_d = nets id `D and new_q = nets id `Q in
+  Alcotest.(check (list int)) "D nets preserved" (List.sort compare old_d)
+    (List.sort compare new_d);
+  Alcotest.(check (list int)) "Q nets preserved" (List.sort compare old_q)
+    (List.sort compare new_q);
+  check "placed at corner" true
+    (Point.equal (Placement.location pl id) (Point.make 10.0 2.4))
+
+let test_merge_mixed_widths () =
+  (* 2-bit + 1-bit + 1-bit -> 4-bit *)
+  let d, pl, _, regs = setup [ dff2; dff1; dff1 ] in
+  let id =
+    Compose.execute pl
+      { Compose.member_cids = regs; cell = dff4; corner = Point.make 12.0 3.6 }
+  in
+  check "valid" true (Design.validate d = []);
+  checki "4 connected D pins" 4
+    (List.length
+       (List.filter
+          (fun pid ->
+            let p = Design.pin d pid in
+            Types.is_data_input p.Types.p_kind && p.Types.p_net <> None)
+          (Design.pins_of d id)))
+
+let test_merge_incomplete () =
+  (* 3 bits into a 4-bit cell: last bit unconnected *)
+  let d, pl, _, regs = setup [ dff2; dff1 ] in
+  let id =
+    Compose.execute pl
+      { Compose.member_cids = regs; cell = dff4; corner = Point.make 12.0 3.6 }
+  in
+  check "valid" true (Design.validate d = []);
+  (match Design.pin_of d id (Types.Pin_d 3) with
+  | Some pid -> check "bit 3 tied off" true ((Design.pin d pid).Types.p_net = None)
+  | None -> Alcotest.fail "pin exists");
+  (match Design.pin_of d id (Types.Pin_d 0) with
+  | Some pid -> check "bit 0 wired" true ((Design.pin d pid).Types.p_net <> None)
+  | None -> Alcotest.fail "pin exists")
+
+let test_bit_order_spatial () =
+  (* members ordered by x: r0 at x=5 gets bit 0, r1 at x=11 bit 1 *)
+  let d, pl, _, regs = setup [ dff1; dff1 ] in
+  let assign = Compose.bit_assignment pl regs in
+  (match (assign, regs) with
+  | [ (0, d0, _); (1, d1, _) ], [ r0; r1 ] ->
+    let d_net r =
+      match Design.pin_of d r (Types.Pin_d 0) with
+      | Some pid -> (Design.pin d pid).Types.p_net
+      | None -> None
+    in
+    check "bit0 from left reg" true (d0 = d_net r0);
+    check "bit1 from right reg" true (d1 = d_net r1)
+  | _ -> Alcotest.fail "two bits expected")
+
+let test_bit_order_scan_sections () =
+  (* ordered scan sections dominate spatial order *)
+  let d, pl, clk, _ = setup [] in
+  ignore clk;
+  let clk2 = Design.add_net ~is_clock:true d "clk2" in
+  let mk name pos x =
+    let scan = Types.{ partition = 0; section = Some (7, pos) } in
+    let r =
+      Design.add_register d name (attrs ~scan dff1)
+        (Design.simple_conn ~d:[| None |] ~q:[| None |] ~clock:clk2)
+    in
+    Placement.set pl r (Point.make x 4.8);
+    r
+  in
+  (* rightmost register has the SMALLER scan position *)
+  let r_right = mk "sright" 0 20.0 in
+  let r_left = mk "sleft" 1 5.0 in
+  let assign = Compose.bit_assignment pl [ r_left; r_right ] in
+  (match assign with
+  | [ (0, _, _); (1, _, _) ] -> ()
+  | _ -> Alcotest.fail "two bits");
+  (* verify bit 0 belongs to r_right (scan pos 0) despite being right *)
+  let ordered = Compose.bit_assignment pl [ r_right; r_left ] in
+  check "same order regardless of input order" true (assign = ordered);
+  ignore r_right;
+  ignore r_left
+
+let test_merged_scan_attrs () =
+  let d, pl, clk, _ = setup [] in
+  ignore clk;
+  let clk2 = Design.add_net ~is_clock:true d "clk2" in
+  let mk name pos =
+    let scan = Types.{ partition = 3; section = Some (1, pos) } in
+    let r =
+      Design.add_register d name (attrs ~scan dff1)
+        (Design.simple_conn ~d:[| None |] ~q:[| None |] ~clock:clk2)
+    in
+    Placement.set pl r (Point.make (5.0 *. float_of_int (pos + 1)) 4.8);
+    r
+  in
+  let a = mk "a" 2 in
+  let b = mk "b" 4 in
+  let id =
+    Compose.execute pl
+      { Compose.member_cids = [ a; b ]; cell = dff2; corner = Point.make 8.0 4.8 }
+  in
+  match (Design.reg_attrs d id).Types.scan with
+  | Some s ->
+    checki "partition kept" 3 s.Types.partition;
+    check "section kept with min pos" true (s.Types.section = Some (1, 2))
+  | None -> Alcotest.fail "scan info expected"
+
+let test_too_many_bits_rejected () =
+  let _, pl, _, regs = setup [ dff4; dff4; dff1 ] in
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Compose.execute: members exceed the target cell width")
+    (fun () ->
+      ignore
+        (Compose.execute pl
+           { Compose.member_cids = regs; cell = dff8; corner = Point.origin }))
+
+let test_clock_mismatch_rejected () =
+  let d, pl, _, regs = setup [ dff1 ] in
+  let clk2 = Design.add_net ~is_clock:true d "clk2" in
+  let other =
+    Design.add_register d "other" (attrs dff1)
+      (Design.simple_conn ~d:[| None |] ~q:[| None |] ~clock:clk2)
+  in
+  Placement.set pl other (Point.make 30.0 2.4);
+  (match regs with
+  | [ r ] ->
+    Alcotest.check_raises "clock mismatch"
+      (Invalid_argument "Compose: members disagree on clock net") (fun () ->
+        ignore
+          (Compose.execute pl
+             { Compose.member_cids = [ r; other ]; cell = dff2; corner = Point.origin }))
+  | _ -> Alcotest.fail "one reg")
+
+let test_total_register_count_drops () =
+  let d, pl, _, regs = setup [ dff1; dff1; dff1; dff1 ] in
+  let n0 = List.length (Design.registers d) in
+  let _ =
+    Compose.execute pl
+      { Compose.member_cids = regs; cell = dff4; corner = Point.make 10.0 2.4 }
+  in
+  checki "4 -> 1" (n0 - 3) (List.length (Design.registers d))
+
+let () =
+  Alcotest.run "mbr_core.compose"
+    [
+      ( "merging",
+        [
+          Alcotest.test_case "two singles" `Quick test_merge_two_singles;
+          Alcotest.test_case "mixed widths" `Quick test_merge_mixed_widths;
+          Alcotest.test_case "incomplete bits" `Quick test_merge_incomplete;
+          Alcotest.test_case "register count drops" `Quick
+            test_total_register_count_drops;
+        ] );
+      ( "bit_order",
+        [
+          Alcotest.test_case "spatial" `Quick test_bit_order_spatial;
+          Alcotest.test_case "scan sections" `Quick test_bit_order_scan_sections;
+          Alcotest.test_case "merged scan attrs" `Quick test_merged_scan_attrs;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "too many bits" `Quick test_too_many_bits_rejected;
+          Alcotest.test_case "clock mismatch" `Quick test_clock_mismatch_rejected;
+        ] );
+    ]

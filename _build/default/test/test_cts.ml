@@ -1,0 +1,180 @@
+(* Tests for Mbr_cts: clustering limits, metrics, and the monotonicity
+   MBR composition relies on — fewer/lighter sinks give a lighter tree. *)
+
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+module Library = Mbr_liberty.Library
+module Presets = Mbr_liberty.Presets
+module Cell_lib = Mbr_liberty.Cell
+module Floorplan = Mbr_place.Floorplan
+module Placement = Mbr_place.Placement
+module Synth = Mbr_cts.Synth
+module Rng = Mbr_util.Rng
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let lib = Presets.default ()
+
+let core = Rect.make ~lx:0.0 ~ly:0.0 ~hx:120.0 ~hy:120.0
+
+let fp = Floorplan.make ~core ~row_height:1.2 ~site_width:0.2
+
+let attrs cell =
+  Types.{ lib_cell = cell; fixed = false; size_only = false; scan = None; gate_enable = None }
+
+(* n registers of the given cell on a grid; returns (design, placement) *)
+let grid_design ?(cell_name = "DFF1_X1") n =
+  let cell = Library.find lib cell_name in
+  let d = Design.create ~name:"cts" in
+  let clk = Design.add_net ~is_clock:true d "clk" in
+  let root = Design.add_clock_root d "uclk" clk in
+  let pl = Placement.create fp d in
+  Placement.set pl root (Point.make 60.0 60.0);
+  let bits = cell.Cell_lib.bits in
+  for i = 0 to n - 1 do
+    let r =
+      Design.add_register d
+        (Printf.sprintf "r%d" i)
+        (attrs cell)
+        (Design.simple_conn ~d:(Array.make bits None) ~q:(Array.make bits None)
+           ~clock:clk)
+    in
+    Placement.set pl r
+      (Point.make (10.0 +. (10.0 *. float_of_int (i mod 10)))
+         (10.0 +. (10.0 *. float_of_int (i / 10))))
+  done;
+  (d, pl)
+
+let test_sink_count () =
+  let _, pl = grid_design 25 in
+  let r = Synth.synthesize pl in
+  checki "sinks" 25 r.Synth.n_sinks;
+  check "buffers inserted" true (r.Synth.n_buffers >= 2);
+  check "wl positive" true (r.Synth.wirelength > 0.0)
+
+let test_fanout_limit () =
+  let _, pl = grid_design 64 in
+  let cfg = { Synth.default_config with Synth.max_fanout = 4; max_cap = 1e9 } in
+  let r = Synth.synthesize ~config:cfg pl in
+  (* walk the tree: every buffer drives at most 4 children *)
+  let rec walk = function
+    | Synth.Sink _ -> true
+    | Synth.Buffer b -> List.length b.children <= 4 && List.for_all walk b.children
+  in
+  List.iter (fun d -> check "fanout bound" true (walk d.Synth.root)) r.Synth.domains
+
+let test_cap_limit () =
+  let _, pl = grid_design 64 in
+  let cfg = { Synth.default_config with Synth.max_fanout = 1000; max_cap = 3.0 } in
+  let r = Synth.synthesize ~config:cfg pl in
+  let node_cap = function
+    | Synth.Sink { cap; _ } -> cap
+    | Synth.Buffer _ -> cfg.Synth.buf_input_cap
+  in
+  let rec walk = function
+    | Synth.Sink _ -> true
+    | Synth.Buffer b ->
+      List.fold_left (fun acc c -> acc +. node_cap c) 0.0 b.children
+      <= cfg.Synth.max_cap +. 1e-9
+      && List.for_all walk b.children
+  in
+  List.iter (fun d -> check "cap bound" true (walk d.Synth.root)) r.Synth.domains
+
+let test_every_sink_in_tree () =
+  let _, pl = grid_design 30 in
+  let r = Synth.synthesize pl in
+  let rec count = function
+    | Synth.Sink _ -> 1
+    | Synth.Buffer b -> List.fold_left (fun acc c -> acc + count c) 0 b.children
+  in
+  let total = List.fold_left (fun acc d -> acc + count d.Synth.root) 0 r.Synth.domains in
+  checki "all sinks reachable" 30 total
+
+let test_fewer_sinks_lighter_tree () =
+  (* the core claim of MBR composition: 64 single-bit sinks vs 8 8-bit
+     MBR sinks covering the same bits *)
+  let _, pl1 = grid_design 64 ~cell_name:"DFF1_X1" in
+  let _, pl8 = grid_design 8 ~cell_name:"DFF8_X1" in
+  let r1 = Synth.synthesize pl1 in
+  let r8 = Synth.synthesize pl8 in
+  check "fewer buffers" true (r8.Synth.n_buffers <= r1.Synth.n_buffers);
+  check "less clock cap" true (r8.Synth.total_cap < r1.Synth.total_cap);
+  check "less wl" true (r8.Synth.wirelength < r1.Synth.wirelength)
+
+let test_empty_design () =
+  let d = Design.create ~name:"none" in
+  let pl = Placement.create fp d in
+  let r = Synth.synthesize pl in
+  checki "no sinks" 0 r.Synth.n_sinks;
+  checki "no domains" 0 (List.length r.Synth.domains);
+  checkf "no wl" 0.0 r.Synth.wirelength
+
+let test_single_sink () =
+  let _, pl = grid_design 1 in
+  let r = Synth.synthesize pl in
+  checki "one sink" 1 r.Synth.n_sinks;
+  checki "no buffers needed" 0 r.Synth.n_buffers
+
+let test_two_domains () =
+  let d = Design.create ~name:"dom" in
+  let clk1 = Design.add_net ~is_clock:true d "clk1" in
+  let clk2 = Design.add_net ~is_clock:true d "clk2" in
+  let _ = Design.add_clock_root d "u1" clk1 in
+  let _ = Design.add_clock_root d "u2" clk2 in
+  let pl = Placement.create fp d in
+  let cell = Library.find lib "DFF1_X1" in
+  let add name clk x =
+    let r =
+      Design.add_register d name (attrs cell)
+        (Design.simple_conn ~d:[| None |] ~q:[| None |] ~clock:clk)
+    in
+    Placement.set pl r (Point.make x 12.0)
+  in
+  add "a" clk1 10.0;
+  add "b" clk1 20.0;
+  add "c" clk2 30.0;
+  let r = Synth.synthesize pl in
+  checki "two domains" 2 (List.length r.Synth.domains);
+  checki "three sinks total" 3 r.Synth.n_sinks
+
+let test_total_cap_decomposition () =
+  let _, pl = grid_design 20 in
+  let r = Synth.synthesize pl in
+  let sum =
+    List.fold_left
+      (fun acc d -> acc +. d.Synth.sink_cap +. d.Synth.wire_capacitance +. d.Synth.buffer_cap)
+      0.0 r.Synth.domains
+  in
+  checkf "total = sinks + wire + buffers" sum r.Synth.total_cap
+
+let test_deterministic () =
+  let _, pl = grid_design 40 in
+  let a = Synth.synthesize pl in
+  let b = Synth.synthesize pl in
+  checki "same buffers" a.Synth.n_buffers b.Synth.n_buffers;
+  checkf "same wl" a.Synth.wirelength b.Synth.wirelength
+
+let () =
+  Alcotest.run "mbr_cts"
+    [
+      ( "synthesis",
+        [
+          Alcotest.test_case "sink count" `Quick test_sink_count;
+          Alcotest.test_case "fanout limit" `Quick test_fanout_limit;
+          Alcotest.test_case "cap limit" `Quick test_cap_limit;
+          Alcotest.test_case "all sinks in tree" `Quick test_every_sink_in_tree;
+          Alcotest.test_case "fewer sinks lighter tree" `Quick
+            test_fewer_sinks_lighter_tree;
+          Alcotest.test_case "empty design" `Quick test_empty_design;
+          Alcotest.test_case "single sink" `Quick test_single_sink;
+          Alcotest.test_case "two domains" `Quick test_two_domains;
+          Alcotest.test_case "cap decomposition" `Quick test_total_cap_decomposition;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

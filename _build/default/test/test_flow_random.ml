@@ -1,0 +1,224 @@
+(* Multi-seed robustness: the full flow must uphold its invariants on
+   any generated design, not just the seeds the other tests use. Each
+   seed runs the complete pipeline and checks the structural and
+   metric invariants; edge-case designs (no composable registers, a
+   single register, no scan, the paper's 6-register example) are
+   exercised explicitly. *)
+
+module Flow = Mbr_core.Flow
+module Metrics = Mbr_core.Metrics
+module Scan_stitch = Mbr_dft.Scan_stitch
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+module Placement = Mbr_place.Placement
+module Engine = Mbr_sta.Engine
+module G = Mbr_designgen.Generate
+module P = Mbr_designgen.Profile
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let invariants ?(check_cap = true) seed (g : G.t) (r : Flow.result) =
+  let name msg = Printf.sprintf "seed %d: %s" seed msg in
+  Alcotest.(check (list string)) (name "netlist valid") []
+    (Design.validate g.G.design);
+  checki (name "no register overlaps") 0
+    (List.length (Placement.overlapping_registers g.G.placement));
+  Alcotest.(check (list string)) (name "scan chains verified") []
+    (Scan_stitch.verify g.G.design);
+  checki (name "register accounting")
+    (r.Flow.before.Metrics.total_regs - r.Flow.n_regs_merged + r.Flow.n_merges
+    + (r.Flow.n_split (* each split adds one cell net of the original *)))
+    r.Flow.after.Metrics.total_regs;
+  check (name "tns not degraded") true
+    (r.Flow.after.Metrics.tns >= r.Flow.before.Metrics.tns -. 1e-6);
+  (* the paper's Table 1 itself shows ±1 % overflow deltas ("the
+     difference ... is marginal"); hold the flow to the same bar *)
+  check (name "overflow only marginally changed") true
+    (float_of_int r.Flow.after.Metrics.ovfl
+    <= (1.03 *. float_of_int r.Flow.before.Metrics.ovfl) +. 2.0);
+  if check_cap then
+    check (name "clock cap not degraded") true
+      (r.Flow.after.Metrics.clk_cap <= r.Flow.before.Metrics.clk_cap +. 1e-6);
+  List.iter
+    (fun cid ->
+      check (name "new MBR live") true (not (Design.cell g.G.design cid).Types.c_dead);
+      check (name "new MBR placed") true (Placement.is_placed g.G.placement cid))
+    r.Flow.new_mbrs;
+  (* every stage time is non-negative and they roughly fill the runtime *)
+  List.iter (fun (_, t) -> check (name "stage time sane") true (t >= 0.0))
+    r.Flow.stage_times
+
+let run_seed ?(options = Flow.default_options) seed =
+  let g = G.generate (P.tiny ~seed) in
+  let r =
+    Flow.run ~options ~design:g.G.design ~placement:g.G.placement
+      ~library:g.G.library ~sta_config:g.G.sta_config ()
+  in
+  (g, r)
+
+let test_many_seeds () =
+  List.iter
+    (fun seed ->
+      let g, r = run_seed seed in
+      invariants seed g r;
+      check
+        (Printf.sprintf "seed %d: merges found" seed)
+        true (r.Flow.n_merges > 0))
+    [ 11; 22; 33; 44; 55; 66; 77; 88; 99; 110 ]
+
+let test_many_seeds_with_decompose () =
+  List.iter
+    (fun seed ->
+      let g, r = run_seed ~options:{ Flow.default_options with Flow.decompose = true } seed in
+      (* stranded split halves may raise clock cap (see the decompose
+         ablation); the structural invariants must still hold *)
+      invariants ~check_cap:false seed g r)
+    [ 7; 14; 21 ]
+
+let test_latches_compose_within_class () =
+  (* latches (class dlat) merge with latches, never with flops *)
+  let g = G.generate (P.tiny ~seed:909) in
+  let class_of cid =
+    (Design.reg_attrs g.G.design cid).Types.lib_cell.Mbr_liberty.Cell.func_class
+  in
+  let latches_before =
+    List.filter (fun cid -> class_of cid = "dlat") (Design.registers g.G.design)
+  in
+  check "design has latches" true (List.length latches_before > 3);
+  let r =
+    Flow.run ~design:g.G.design ~placement:g.G.placement ~library:g.G.library
+      ~sta_config:g.G.sta_config ()
+  in
+  (* every new MBR is class-pure by construction; check it anyway *)
+  List.iter
+    (fun cid ->
+      check "new MBR has a single class" true
+        (List.mem (class_of cid) [ "dff"; "dffr"; "dlat"; "sdffr" ]))
+    r.Flow.new_mbrs;
+  let latch_mbrs =
+    List.filter (fun cid -> class_of cid = "dlat") r.Flow.new_mbrs
+  in
+  check "some latch MBRs were composed" true (latch_mbrs <> []);
+  Alcotest.(check (list string)) "valid" [] (Design.validate g.G.design)
+
+let test_global_placement_entry () =
+  (* the conclusion's claim: composition applies after global placement
+     too — overlapping, off-grid registers *)
+  let g = G.generate (P.tiny ~seed:808) in
+  G.to_global_placement g;
+  check "global snapshot has register overlaps" true
+    (Placement.overlapping_registers g.G.placement <> []);
+  let r =
+    Flow.run ~design:g.G.design ~placement:g.G.placement ~library:g.G.library
+      ~sta_config:g.G.sta_config ()
+  in
+  check "merges from global placement" true (r.Flow.n_merges > 0);
+  Alcotest.(check (list string)) "netlist valid" [] (Design.validate g.G.design);
+  Alcotest.(check (list string)) "scan chains verified" []
+    (Scan_stitch.verify g.G.design);
+  (* new MBRs must be mutually legal even though the surrounding sea of
+     unmerged cells is still a global placement *)
+  let new_set = r.Flow.new_mbrs in
+  List.iter
+    (fun (a, b) ->
+      check "no overlap among new MBRs" true
+        (not (List.mem a new_set && List.mem b new_set)))
+    (Placement.overlapping_registers g.G.placement)
+
+(* ---- edge cases ---- *)
+
+let test_flow_on_paper_example () =
+  (* six registers, no gates: the flow should still run and merge *)
+  let t = Mbr_core.Paper_example.build () in
+  let cfg = { Engine.default_config with Engine.clock_period = 2000.0 } in
+  let r =
+    Flow.run ~design:t.Mbr_core.Paper_example.design
+      ~placement:t.Mbr_core.Paper_example.placement
+      ~library:t.Mbr_core.Paper_example.library ~sta_config:cfg ()
+  in
+  check "merges on the example" true (r.Flow.n_merges > 0);
+  Alcotest.(check (list string)) "valid" []
+    (Design.validate t.Mbr_core.Paper_example.design)
+
+let test_flow_no_composable () =
+  (* all registers fixed: nothing to do, nothing broken *)
+  let g = G.generate (P.tiny ~seed:3131) in
+  List.iter
+    (fun cid ->
+      let a = Design.reg_attrs g.G.design cid in
+      (* brute-force pin them by retyping attrs through the record *)
+      let c = Design.cell g.G.design cid in
+      c.Types.c_kind <- Types.Register { a with Types.fixed = true })
+    (Design.registers g.G.design);
+  let r =
+    Flow.run ~design:g.G.design ~placement:g.G.placement ~library:g.G.library
+      ~sta_config:g.G.sta_config ()
+  in
+  checki "no merges" 0 r.Flow.n_merges;
+  checki "register count unchanged" r.Flow.before.Metrics.total_regs
+    r.Flow.after.Metrics.total_regs;
+  Alcotest.(check (list string)) "valid" [] (Design.validate g.G.design)
+
+let test_flow_empty_design () =
+  let d = Design.create ~name:"empty" in
+  let core = Mbr_geom.Rect.make ~lx:0.0 ~ly:0.0 ~hx:20.0 ~hy:20.0 in
+  let fp = Mbr_place.Floorplan.make ~core ~row_height:1.2 ~site_width:0.2 in
+  let pl = Placement.create fp d in
+  let r =
+    Flow.run ~design:d ~placement:pl
+      ~library:(Mbr_liberty.Presets.default ())
+      ~sta_config:Engine.default_config ()
+  in
+  checki "nothing merged" 0 r.Flow.n_merges;
+  checki "no registers" 0 r.Flow.after.Metrics.total_regs
+
+let test_flow_single_register () =
+  let d = Design.create ~name:"single" in
+  let clk = Design.add_net ~is_clock:true d "clk" in
+  let _ = Design.add_clock_root d "uclk" clk in
+  let lib = Mbr_liberty.Presets.default () in
+  let cell = Mbr_liberty.Library.find lib "DFF1_X1" in
+  let attrs =
+    Types.
+      { lib_cell = cell; fixed = false; size_only = false; scan = None; gate_enable = None }
+  in
+  let r =
+    Design.add_register d "lonely" attrs
+      (Design.simple_conn ~d:[| None |] ~q:[| None |] ~clock:clk)
+  in
+  let core = Mbr_geom.Rect.make ~lx:0.0 ~ly:0.0 ~hx:20.0 ~hy:20.0 in
+  let fp = Mbr_place.Floorplan.make ~core ~row_height:1.2 ~site_width:0.2 in
+  let pl = Placement.create fp d in
+  Placement.set pl r (Mbr_geom.Point.make 5.0 2.4);
+  (match Design.find_cell d "uclk" with
+  | Some id -> Placement.set pl id (Mbr_geom.Point.make 10.0 10.0)
+  | None -> ());
+  let res =
+    Flow.run ~design:d ~placement:pl ~library:lib
+      ~sta_config:Engine.default_config ()
+  in
+  checki "kept alone" 1 res.Flow.after.Metrics.total_regs;
+  checki "no merges" 0 res.Flow.n_merges
+
+let () =
+  Alcotest.run "mbr_core.flow_random"
+    [
+      ( "seeds",
+        [
+          Alcotest.test_case "ten random seeds" `Slow test_many_seeds;
+          Alcotest.test_case "with decompose" `Slow test_many_seeds_with_decompose;
+        ] );
+      ( "edge_cases",
+        [
+          Alcotest.test_case "latches compose within class" `Quick
+            test_latches_compose_within_class;
+          Alcotest.test_case "global placement entry" `Quick
+            test_global_placement_entry;
+          Alcotest.test_case "paper example design" `Quick test_flow_on_paper_example;
+          Alcotest.test_case "no composable registers" `Quick test_flow_no_composable;
+          Alcotest.test_case "empty design" `Quick test_flow_empty_design;
+          Alcotest.test_case "single register" `Quick test_flow_single_register;
+        ] );
+    ]

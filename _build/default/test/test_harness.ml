@@ -1,0 +1,95 @@
+(* Tests for Mbr_harness.Experiments: the drivers behind bench/main.exe
+   and bin/mbrc — table/figure rendering, the Fig. 6 direction, and the
+   ablation plumbing, all on down-scaled profiles to stay fast. *)
+
+module E = Mbr_harness.Experiments
+module P = Mbr_designgen.Profile
+module Flow = Mbr_core.Flow
+module Metrics = Mbr_core.Metrics
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let small = List.map (fun p -> P.scaled p 0.15) [ P.d1; P.d4 ]
+
+let runs = List.map E.run_profile small
+
+let test_run_profile_sane () =
+  List.iter
+    (fun r ->
+      let res = r.E.result in
+      check "merges happen" true (res.Flow.n_merges > 0);
+      check "registers drop" true
+        (res.Flow.after.Metrics.total_regs < res.Flow.before.Metrics.total_regs);
+      check "histograms cover all registers" true
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 r.E.hist_before
+         = res.Flow.before.Metrics.total_regs
+        && List.fold_left (fun acc (_, n) -> acc + n) 0 r.E.hist_after
+           = res.Flow.after.Metrics.total_regs))
+    runs
+
+let test_table1_renders () =
+  let s = E.table1 runs in
+  check "has Base row" true (contains_sub s "Base");
+  check "has Ours row" true (contains_sub s "Ours");
+  check "has Save row" true (contains_sub s "Save");
+  check "lists D1" true (contains_sub s "D1");
+  check "lists D4" true (contains_sub s "D4")
+
+let test_summary_renders () =
+  let s = E.table1_summary runs in
+  check "mentions paper numbers" true (contains_sub s "paper: 29 %");
+  check "mentions failing EPs" true (contains_sub s "failing EPs")
+
+let test_fig5_renders () =
+  let s = E.fig5 runs in
+  check "has before rows" true (contains_sub s "before");
+  check "has after rows" true (contains_sub s "after");
+  check "has widths" true (contains_sub s "8-bit")
+
+let test_fig6_direction () =
+  let rows, text = E.fig6 small in
+  checki "one row per profile" (List.length small) (List.length rows);
+  check "renders" true (contains_sub text "ILP");
+  List.iter
+    (fun r ->
+      check
+        (Printf.sprintf "%s: both allocators improve on base" r.E.name)
+        true
+        (r.E.ilp_regs < r.E.base_regs && r.E.heuristic_regs < r.E.base_regs);
+      check
+        (Printf.sprintf "%s: Fig. 6 direction" r.E.name)
+        true
+        (r.E.ilp_regs <= r.E.heuristic_regs))
+    rows
+
+let test_ablations_render () =
+  let p = P.scaled P.d1 0.15 in
+  check "partition bound table" true
+    (contains_sub (E.ablation_partition_bound p [ 20; 30 ]) "Partition bound");
+  check "weights table" true (contains_sub (E.ablation_weights p) "placement-aware");
+  check "incomplete table" true
+    (contains_sub (E.ablation_incomplete p) "Incomplete MBRs");
+  check "skew table" true (contains_sub (E.ablation_skew p) "Useful skew");
+  check "decompose table" true
+    (contains_sub (E.ablation_decompose p) "Decompose")
+
+let () =
+  Alcotest.run "mbr_harness"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "run_profile" `Quick test_run_profile_sane;
+          Alcotest.test_case "table1" `Quick test_table1_renders;
+          Alcotest.test_case "summary" `Quick test_summary_renders;
+          Alcotest.test_case "fig5" `Quick test_fig5_renders;
+          Alcotest.test_case "fig6 direction" `Slow test_fig6_direction;
+          Alcotest.test_case "ablations" `Slow test_ablations_render;
+        ] );
+    ]

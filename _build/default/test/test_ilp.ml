@@ -1,0 +1,232 @@
+(* Tests for Mbr_ilp.Set_partition: known instances, infeasibility,
+   weight-infinity filtering, node limits, and a property test against
+   the exhaustive oracle. *)
+
+module Sp = Mbr_ilp.Set_partition
+
+let check = Alcotest.(check bool)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let cand w elems = { Sp.weight = w; elems }
+
+let solve p = Sp.solve p
+
+let test_singletons_only () =
+  let p =
+    { Sp.n_elems = 3; candidates = [| cand 1.0 [ 0 ]; cand 1.0 [ 1 ]; cand 1.0 [ 2 ] |] }
+  in
+  let r = solve p in
+  check "optimal" true (r.Sp.status = Sp.Optimal);
+  checkf "cost" 3.0 r.Sp.cost;
+  Alcotest.(check (list int)) "all chosen" [ 0; 1; 2 ] r.Sp.chosen
+
+let test_merge_wins () =
+  (* merging both elements costs 0.5 < 2 singletons *)
+  let p =
+    {
+      Sp.n_elems = 2;
+      candidates = [| cand 1.0 [ 0 ]; cand 1.0 [ 1 ]; cand 0.5 [ 0; 1 ] |];
+    }
+  in
+  let r = solve p in
+  checkf "cost" 0.5 r.Sp.cost;
+  Alcotest.(check (list int)) "merge chosen" [ 2 ] r.Sp.chosen
+
+let test_blocked_merge_loses () =
+  (* the paper's weight logic: a pair with one blocker costs 2*2^1 = 4 >
+     two singletons (2.0), so the ILP keeps the registers separate *)
+  let p =
+    {
+      Sp.n_elems = 2;
+      candidates = [| cand 1.0 [ 0 ]; cand 1.0 [ 1 ]; cand 4.0 [ 0; 1 ] |];
+    }
+  in
+  let r = solve p in
+  checkf "cost" 2.0 r.Sp.cost;
+  Alcotest.(check (list int)) "singletons chosen" [ 0; 1 ] r.Sp.chosen
+
+let test_paper_fig3_selection () =
+  (* Fig. 3 without incomplete MBRs: elements A=0 B=1 C=2 D=3 E=4 F=5.
+     Weights from the paper; optimum = {B,F} + {A,C,D} + E = 1/3+1/3+1. *)
+  let p =
+    {
+      Sp.n_elems = 6;
+      candidates =
+        [|
+          cand 1.0 [ 0 ];
+          cand 1.0 [ 1 ];
+          cand 1.0 [ 2 ];
+          cand 1.0 [ 3 ];
+          cand 1.0 [ 4 ];
+          cand 1.0 [ 5 ];
+          cand 0.5 [ 0; 1 ] (* AB *);
+          cand 0.5 [ 0; 3 ] (* AD *);
+          cand 0.5 [ 0; 2 ] (* AC *);
+          cand 4.0 [ 1; 2 ] (* BC, blocked by D *);
+          cand 0.5 [ 1; 3 ] (* BD *);
+          cand 0.5 [ 2; 3 ] (* CD *);
+          cand (1.0 /. 3.0) [ 1; 5 ] (* BF *);
+          cand (1.0 /. 3.0) [ 2; 5 ] (* CF *);
+          cand (1.0 /. 3.0) [ 0; 1; 3 ] (* ABD *);
+          cand (1.0 /. 3.0) [ 1; 2; 3 ] (* BCD *);
+          cand 6.0 [ 0; 1; 2 ] (* ABC, blocked by D *);
+          cand (1.0 /. 3.0) [ 0; 3; 2 ] (* ADC *);
+          cand 0.25 [ 0; 1; 2; 3 ] (* ABCD *);
+          cand 8.0 [ 1; 2; 5 ] (* BCF, blocked *);
+        |];
+    }
+  in
+  let r = solve p in
+  check "optimal" true (r.Sp.status = Sp.Optimal);
+  checkf "cost = 1/3 + 1/3 + 1" (1.0 +. (2.0 /. 3.0)) r.Sp.cost;
+  (* the chosen set must cover each element exactly once *)
+  let covered = List.concat_map (fun i -> p.Sp.candidates.(i).Sp.elems) r.Sp.chosen in
+  Alcotest.(check (list int)) "exact cover" [ 0; 1; 2; 3; 4; 5 ]
+    (List.sort compare covered)
+
+let test_infeasible_uncovered () =
+  let p = { Sp.n_elems = 2; candidates = [| cand 1.0 [ 0 ] |] } in
+  check "infeasible" true ((solve p).Sp.status = Sp.Infeasible)
+
+let test_infinite_weight_skipped () =
+  let p =
+    { Sp.n_elems = 1; candidates = [| cand infinity [ 0 ]; cand 2.0 [ 0 ] |] }
+  in
+  let r = solve p in
+  checkf "finite candidate used" 2.0 r.Sp.cost;
+  Alcotest.(check (list int)) "index preserved" [ 1 ] r.Sp.chosen
+
+let test_conflicting_merges () =
+  (* two overlapping pairs: only one can be chosen *)
+  let p =
+    {
+      Sp.n_elems = 3;
+      candidates =
+        [|
+          cand 1.0 [ 0 ]; cand 1.0 [ 1 ]; cand 1.0 [ 2 ];
+          cand 0.5 [ 0; 1 ]; cand 0.5 [ 1; 2 ];
+        |];
+    }
+  in
+  let r = solve p in
+  checkf "cost 1.5" 1.5 r.Sp.cost
+
+let test_duplicate_elems_deduped () =
+  let p = { Sp.n_elems = 2; candidates = [| cand 0.7 [ 0; 0; 1; 1 ] |] } in
+  let r = solve p in
+  checkf "cost" 0.7 r.Sp.cost
+
+let test_empty_problem () =
+  let r = solve { Sp.n_elems = 0; candidates = [||] } in
+  check "optimal empty" true (r.Sp.status = Sp.Optimal);
+  checkf "zero cost" 0.0 r.Sp.cost
+
+let test_node_limit () =
+  (* tiny node limit still returns a feasible incumbent *)
+  let n = 12 in
+  let singles = List.init n (fun i -> cand 1.0 [ i ]) in
+  let pairs =
+    List.concat
+      (List.init n (fun i ->
+           List.filteri (fun j _ -> j > i) (List.init n (fun j -> cand 0.6 [ i; j ]))))
+  in
+  let p = { Sp.n_elems = n; candidates = Array.of_list (singles @ pairs) } in
+  let r = Sp.solve ~node_limit:5 ~lp_bound:false p in
+  check "feasible or optimal" true (r.Sp.status <> Sp.Infeasible)
+
+let test_lp_relaxation_bound () =
+  let p =
+    {
+      Sp.n_elems = 2;
+      candidates = [| cand 1.0 [ 0 ]; cand 1.0 [ 1 ]; cand 0.5 [ 0; 1 ] |];
+    }
+  in
+  (match Sp.lp_relaxation p with
+  | Some v -> check "lp <= ilp" true (v <= (solve p).Sp.cost +. 1e-9)
+  | None -> Alcotest.fail "lp should be feasible");
+  check "lp infeasible when uncovered" true
+    (Sp.lp_relaxation { Sp.n_elems = 2; candidates = [| cand 1.0 [ 0 ] |] } = None)
+
+(* ---- property: B&B matches the brute-force oracle ---- *)
+
+let problem_gen =
+  let open QCheck.Gen in
+  int_range 2 7 >>= fun n ->
+  let cand_gen =
+    map2
+      (fun elems w -> cand (Float.of_int w /. 4.0) elems)
+      (list_size (int_range 1 3) (int_bound (n - 1)))
+      (int_range 1 12)
+  in
+  list_size (int_range 0 8) cand_gen >>= fun extra ->
+  (* always include singletons so the instance is feasible *)
+  let singles = List.init n (fun i -> cand 1.0 [ i ]) in
+  return { Sp.n_elems = n; candidates = Array.of_list (singles @ extra) }
+
+let problem_arb =
+  QCheck.make
+    ~print:(fun p ->
+      Printf.sprintf "n=%d cands=[%s]" p.Sp.n_elems
+        (String.concat "; "
+           (Array.to_list
+              (Array.map
+                 (fun c ->
+                   Printf.sprintf "%.2f:{%s}" c.Sp.weight
+                     (String.concat "," (List.map string_of_int c.Sp.elems)))
+                 p.Sp.candidates))))
+    problem_gen
+
+let bb_matches_brute_force =
+  QCheck.Test.make ~name:"branch-and-bound = brute force optimum" ~count:300
+    problem_arb (fun p ->
+      let a = Sp.solve p in
+      let b = Sp.brute_force p in
+      match (a.Sp.status, b.Sp.status) with
+      | Sp.Optimal, Sp.Optimal -> Float.abs (a.Sp.cost -. b.Sp.cost) < 1e-9
+      | Sp.Infeasible, Sp.Infeasible -> true
+      | _, _ -> false)
+
+let bb_chosen_is_exact_cover =
+  QCheck.Test.make ~name:"chosen candidates form an exact cover" ~count:300
+    problem_arb (fun p ->
+      let r = Sp.solve p in
+      match r.Sp.status with
+      | Sp.Optimal | Sp.Feasible ->
+        let covered =
+          List.concat_map
+            (fun i -> List.sort_uniq compare p.Sp.candidates.(i).Sp.elems)
+            r.Sp.chosen
+        in
+        List.sort compare covered = List.init p.Sp.n_elems Fun.id
+      | Sp.Infeasible -> true)
+
+let lp_below_ilp =
+  QCheck.Test.make ~name:"LP relaxation lower-bounds the ILP" ~count:200
+    problem_arb (fun p ->
+      match (Sp.lp_relaxation p, Sp.solve p) with
+      | Some lp, { Sp.status = Sp.Optimal; cost; _ } -> lp <= cost +. 1e-6
+      | None, _ -> true
+      | Some _, { Sp.status = Sp.Infeasible | Sp.Feasible; _ } -> true)
+
+let () =
+  Alcotest.run "mbr_ilp"
+    [
+      ( "set_partition",
+        [
+          Alcotest.test_case "singletons only" `Quick test_singletons_only;
+          Alcotest.test_case "merge wins" `Quick test_merge_wins;
+          Alcotest.test_case "blocked merge loses" `Quick test_blocked_merge_loses;
+          Alcotest.test_case "paper Fig.3 selection" `Quick test_paper_fig3_selection;
+          Alcotest.test_case "infeasible" `Quick test_infeasible_uncovered;
+          Alcotest.test_case "infinite weight skipped" `Quick test_infinite_weight_skipped;
+          Alcotest.test_case "conflicting merges" `Quick test_conflicting_merges;
+          Alcotest.test_case "duplicate elements" `Quick test_duplicate_elems_deduped;
+          Alcotest.test_case "empty problem" `Quick test_empty_problem;
+          Alcotest.test_case "node limit" `Quick test_node_limit;
+          Alcotest.test_case "lp relaxation" `Quick test_lp_relaxation_bound;
+          QCheck_alcotest.to_alcotest bb_matches_brute_force;
+          QCheck_alcotest.to_alcotest bb_chosen_is_exact_cover;
+          QCheck_alcotest.to_alcotest lp_below_ilp;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Tests for Mbr_liberty: cell model geometry/economics, library queries
+   and the §4.1 mapping rule implemented by best_cell. *)
+
+module Cell = Mbr_liberty.Cell
+module Library = Mbr_liberty.Library
+module Presets = Mbr_liberty.Presets
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let lib = Presets.default ()
+
+let dff1 = Library.find lib "DFF1_X1"
+
+let dff8 = Library.find lib "DFF8_X1"
+
+(* ---- Cell ---- *)
+
+let test_cell_area_per_bit_decreases () =
+  (* control sharing: wider MBRs cost less area per bit *)
+  let apb w = Cell.area_per_bit (Library.find lib (Printf.sprintf "DFF%d_X1" w)) in
+  check "2 < 1" true (apb 2 < apb 1);
+  check "4 < 2" true (apb 4 < apb 2);
+  check "8 < 4" true (apb 8 < apb 4)
+
+let test_cell_clock_cap_sublinear () =
+  (* one shared clock pin: cap grows far slower than bit count *)
+  check "8-bit cap < 8x 1-bit" true
+    (dff8.Cell.clock_pin_cap < 8.0 *. dff1.Cell.clock_pin_cap);
+  check "cap grows with width" true (dff8.Cell.clock_pin_cap > dff1.Cell.clock_pin_cap)
+
+let test_cell_drive_res_vs_strength () =
+  let x1 = Library.find lib "DFF1_X1" in
+  let x2 = Library.find lib "DFF1_X2" in
+  let x4 = Library.find lib "DFF1_X4" in
+  check "x2 stronger" true (x2.Cell.drive_res < x1.Cell.drive_res);
+  check "x4 strongest" true (x4.Cell.drive_res < x2.Cell.drive_res);
+  check "strength costs area" true (x4.Cell.area > x1.Cell.area)
+
+let test_cell_pin_offsets_inside () =
+  List.iter
+    (fun (c : Cell.t) ->
+      for b = 0 to c.Cell.bits - 1 do
+        let d = Cell.d_pin_offset c b and q = Cell.q_pin_offset c b in
+        check "d inside" true
+          (d.Mbr_geom.Point.x >= 0.0 && d.Mbr_geom.Point.x <= c.Cell.width
+          && d.Mbr_geom.Point.y >= 0.0 && d.Mbr_geom.Point.y <= c.Cell.height);
+        check "q inside" true
+          (q.Mbr_geom.Point.x >= 0.0 && q.Mbr_geom.Point.x <= c.Cell.width
+          && q.Mbr_geom.Point.y >= 0.0 && q.Mbr_geom.Point.y <= c.Cell.height)
+      done)
+    (Library.cells lib)
+
+let test_cell_pin_offsets_distinct () =
+  let offsets =
+    List.init dff8.Cell.bits (fun b -> Cell.d_pin_offset dff8 b)
+  in
+  checki "8 distinct D offsets" 8 (List.length (List.sort_uniq compare offsets))
+
+let test_cell_bad_bit_index () =
+  Alcotest.check_raises "bit oob" (Invalid_argument "Cell: bit index out of range")
+    (fun () -> ignore (Cell.d_pin_offset dff1 1))
+
+let test_cell_clk_to_q_linear () =
+  let d0 = Cell.clk_to_q dff1 ~load:0.0 in
+  let d10 = Cell.clk_to_q dff1 ~load:10.0 in
+  checkf "intrinsic at zero load" dff1.Cell.intrinsic d0;
+  checkf "slope = drive_res" dff1.Cell.drive_res ((d10 -. d0) /. 10.0)
+
+let test_cell_footprint () =
+  let fp = Cell.footprint_at dff1 (Mbr_geom.Point.make 3.0 4.0) in
+  checkf "lx" 3.0 fp.Mbr_geom.Rect.lx;
+  checkf "width" dff1.Cell.width (Mbr_geom.Rect.width fp);
+  checkf "height" dff1.Cell.height (Mbr_geom.Rect.height fp)
+
+(* ---- Library ---- *)
+
+let test_library_widths () =
+  Alcotest.(check (list int)) "dff widths" [ 1; 2; 4; 8 ]
+    (Library.widths lib ~func_class:"dff");
+  checki "max width" 8 (Library.max_width lib ~func_class:"dff");
+  Alcotest.(check (list int)) "unknown class" [] (Library.widths lib ~func_class:"nope")
+
+let test_library_find_missing () =
+  check "missing raises" true
+    (try ignore (Library.find lib "NOPE"); false with Not_found -> true)
+
+let test_library_duplicate_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Library.make: duplicate cell DFF1_X1")
+    (fun () -> ignore (Library.make [ dff1; dff1 ]))
+
+let test_library_classes () =
+  Alcotest.(check (list string)) "classes" [ "dff"; "dffr"; "dlat"; "sdffr" ]
+    (Library.classes lib)
+
+let test_smallest_width_geq () =
+  check "3 -> 4" true (Library.smallest_width_geq lib ~func_class:"dff" 3 = Some 4);
+  check "5 -> 8" true (Library.smallest_width_geq lib ~func_class:"dff" 5 = Some 8);
+  check "8 -> 8" true (Library.smallest_width_geq lib ~func_class:"dff" 8 = Some 8);
+  check "9 -> none" true (Library.smallest_width_geq lib ~func_class:"dff" 9 = None)
+
+let test_best_cell_respects_drive_bound () =
+  (* requiring resistance <= 1.0 excludes X1 (2.0) *)
+  match
+    Library.best_cell lib ~func_class:"dff" ~bits:4 ~max_drive_res:1.0 ~need_scan:`No
+  with
+  | Some c ->
+    check "drive fits" true (c.Cell.drive_res <= 1.0);
+    (* among fitting drives, min clock cap = weakest fitting drive *)
+    checki "X2 chosen" 2 c.Cell.drive
+  | None -> Alcotest.fail "expected a cell"
+
+let test_best_cell_fallback_strongest () =
+  (* impossible bound: falls back to the strongest cell *)
+  match
+    Library.best_cell lib ~func_class:"dff" ~bits:2 ~max_drive_res:0.01 ~need_scan:`No
+  with
+  | Some c -> checki "strongest" 4 c.Cell.drive
+  | None -> Alcotest.fail "expected fallback"
+
+let test_best_cell_scan_requirements () =
+  (match
+     Library.best_cell lib ~func_class:"sdffr" ~bits:4 ~max_drive_res:10.0
+       ~need_scan:`Internal
+   with
+  | Some c -> check "internal scan" true (c.Cell.scan = Cell.Internal_scan)
+  | None -> Alcotest.fail "expected internal-scan cell");
+  (* per-bit-scan cells only win under `Any_scan when they beat internal
+     on the penalty ordering — they never do while internal exists *)
+  (match
+     Library.best_cell lib ~func_class:"sdffr" ~bits:4 ~max_drive_res:10.0
+       ~need_scan:`Any_scan
+   with
+  | Some c -> check "still internal (penalty)" true (c.Cell.scan = Cell.Internal_scan)
+  | None -> Alcotest.fail "expected cell")
+
+let test_best_cell_unknown () =
+  check "unknown class" true
+    (Library.best_cell lib ~func_class:"latch" ~bits:2 ~max_drive_res:10.0
+       ~need_scan:`No
+    = None);
+  check "unknown width" true
+    (Library.best_cell lib ~func_class:"dff" ~bits:3 ~max_drive_res:10.0
+       ~need_scan:`No
+    = None)
+
+let test_paper_example_library () =
+  let ex = Presets.paper_example () in
+  Alcotest.(check (list int)) "widths 1,2,3,4,8" [ 1; 2; 3; 4; 8 ]
+    (Library.widths ex ~func_class:"dff")
+
+let () =
+  Alcotest.run "mbr_liberty"
+    [
+      ( "cell",
+        [
+          Alcotest.test_case "area/bit decreases" `Quick test_cell_area_per_bit_decreases;
+          Alcotest.test_case "clock cap sublinear" `Quick test_cell_clock_cap_sublinear;
+          Alcotest.test_case "drive strength" `Quick test_cell_drive_res_vs_strength;
+          Alcotest.test_case "pin offsets inside" `Quick test_cell_pin_offsets_inside;
+          Alcotest.test_case "pin offsets distinct" `Quick test_cell_pin_offsets_distinct;
+          Alcotest.test_case "bad bit index" `Quick test_cell_bad_bit_index;
+          Alcotest.test_case "clk_to_q linear" `Quick test_cell_clk_to_q_linear;
+          Alcotest.test_case "footprint" `Quick test_cell_footprint;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "widths" `Quick test_library_widths;
+          Alcotest.test_case "find missing" `Quick test_library_find_missing;
+          Alcotest.test_case "duplicate rejected" `Quick test_library_duplicate_rejected;
+          Alcotest.test_case "classes" `Quick test_library_classes;
+          Alcotest.test_case "smallest width geq" `Quick test_smallest_width_geq;
+          Alcotest.test_case "drive bound" `Quick test_best_cell_respects_drive_bound;
+          Alcotest.test_case "fallback strongest" `Quick test_best_cell_fallback_strongest;
+          Alcotest.test_case "scan requirements" `Quick test_best_cell_scan_requirements;
+          Alcotest.test_case "unknown lookups" `Quick test_best_cell_unknown;
+          Alcotest.test_case "paper example library" `Quick test_paper_example_library;
+        ] );
+    ]

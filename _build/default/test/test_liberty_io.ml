@@ -1,0 +1,185 @@
+(* Tests for Mbr_liberty.Liberty_io: the Liberty writer/parser subset,
+   round-trip fidelity, and error reporting on malformed input. *)
+
+module Cell = Mbr_liberty.Cell
+module Library = Mbr_liberty.Library
+module Presets = Mbr_liberty.Presets
+module Io = Mbr_liberty.Liberty_io
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let lib = Presets.default ()
+
+let test_writer_shape () =
+  let s = Io.to_liberty ~name:"testlib" lib in
+  check "library group" true (contains_sub s "library (testlib) {");
+  check "a known cell" true (contains_sub s "cell (DFF8_X4) {");
+  check "clock pin marked" true (contains_sub s "clock : true");
+  check "linear model attrs" true
+    (contains_sub s "rise_resistance" && contains_sub s "intrinsic_rise");
+  check "scan pins for scan cells" true (contains_sub s "pin (SE)")
+
+let cells_equal (a : Cell.t) (b : Cell.t) =
+  a.Cell.name = b.Cell.name
+  && a.Cell.func_class = b.Cell.func_class
+  && a.Cell.bits = b.Cell.bits
+  && a.Cell.drive = b.Cell.drive
+  && Float.abs (a.Cell.area -. b.Cell.area) < 1e-6
+  && Float.abs (a.Cell.width -. b.Cell.width) < 1e-6
+  && Float.abs (a.Cell.height -. b.Cell.height) < 1e-6
+  && Float.abs (a.Cell.clock_pin_cap -. b.Cell.clock_pin_cap) < 1e-6
+  && Float.abs (a.Cell.data_pin_cap -. b.Cell.data_pin_cap) < 1e-6
+  && Float.abs (a.Cell.drive_res -. b.Cell.drive_res) < 1e-6
+  && Float.abs (a.Cell.intrinsic -. b.Cell.intrinsic) < 1e-6
+  && Float.abs (a.Cell.setup -. b.Cell.setup) < 1e-6
+  && Float.abs (a.Cell.leakage -. b.Cell.leakage) < 1e-6
+  && a.Cell.scan = b.Cell.scan
+
+let test_roundtrip_default () =
+  let parsed = Io.of_liberty (Io.to_liberty lib) in
+  checki "same cell count" (List.length (Library.cells lib))
+    (List.length (Library.cells parsed));
+  List.iter
+    (fun (c : Cell.t) ->
+      let c' = Library.find parsed c.Cell.name in
+      check (c.Cell.name ^ " roundtrips") true (cells_equal c c'))
+    (Library.cells lib)
+
+let test_roundtrip_paper_example () =
+  let ex = Presets.paper_example () in
+  let parsed = Io.of_liberty (Io.to_liberty ex) in
+  Alcotest.(check (list int)) "widths preserved" [ 1; 2; 3; 4; 8 ]
+    (Library.widths parsed ~func_class:"dff")
+
+let test_handwritten_minimal () =
+  let src =
+    {|
+/* a minimal hand-written cell */
+library (mini) {
+  cell (TOY1) {
+    area : 2.0 ;
+    user_func_class : "dff" ;
+    pin (CK) { direction : input ; clock : true ; capacitance : 0.9 ; }
+    pin (D0) { direction : input ; capacitance : 0.5 ; }
+    pin (Q0) {
+      direction : output ;
+      timing () {
+        related_pin : "CK" ;
+        intrinsic_rise : 55.0 ;
+        rise_resistance : 1.5 ;
+      }
+    }
+  }
+}
+|}
+  in
+  let parsed = Io.of_liberty src in
+  let c = Library.find parsed "TOY1" in
+  checki "bits" 1 c.Cell.bits;
+  checkf "cap" 0.9 c.Cell.clock_pin_cap;
+  checkf "res" 1.5 c.Cell.drive_res;
+  checkf "intrinsic" 55.0 c.Cell.intrinsic;
+  check "defaults fill in" true (c.Cell.scan = Cell.No_scan && c.Cell.drive = 1)
+
+let expect_error src fragment =
+  match Io.of_liberty src with
+  | _ -> Alcotest.failf "expected a parse error mentioning %S" fragment
+  | exception Io.Parse_error msg ->
+    check (Printf.sprintf "error mentions %S (got %S)" fragment msg) true
+      (contains_sub msg fragment)
+
+let test_errors () =
+  expect_error "cell (X) {}" "library";
+  expect_error "library (l) { cell (X) { } }" "no D pins";
+  expect_error
+    "library (l) { cell (X) { pin (D0) { capacitance : 0.5 ; } pin (Q0) { } \
+     pin (CK) { capacitance : 1.0 ; } } }"
+    "timing";
+  expect_error "library (l) {" "unexpected end of file";
+  expect_error "library (l) { pin } " "expected";
+  expect_error "library (l) { /* open comment " "comment"
+
+let test_comments_and_whitespace () =
+  let src =
+    "library(l){/*c*/cell(T){area:1.0;\n\n  user_func_class:\"dff\";\n\
+     pin(CK){clock:true;capacitance:1.0;}pin(D0){capacitance:0.4;}\n\
+     pin(Q0){timing(){intrinsic_rise:50;rise_resistance:2;}}}}"
+  in
+  let parsed = Io.of_liberty src in
+  checki "parsed" 1 (List.length (Library.cells parsed))
+
+let demo_gates =
+  Io.
+    [
+      { g_name = "NAND2_X1"; g_inputs = 2; g_drive_res = 2.2; g_intrinsic = 16.0;
+        g_input_cap = 0.55; g_area = 1.2 };
+      { g_name = "INV_X1"; g_inputs = 1; g_drive_res = 1.8; g_intrinsic = 12.0;
+        g_input_cap = 0.45; g_area = 0.8 };
+    ]
+
+let test_gate_cells_roundtrip () =
+  let src = Io.to_liberty ~gates:demo_gates lib in
+  check "gate cell written" true (contains_sub src "cell (NAND2_X1) {");
+  let parsed_lib, gates = Io.of_liberty_full src in
+  checki "registers preserved" (List.length (Library.cells lib))
+    (List.length (Library.cells parsed_lib));
+  checki "two gates" 2 (List.length gates);
+  (match List.find_opt (fun g -> g.Io.g_name = "NAND2_X1") gates with
+  | Some g ->
+    checki "inputs" 2 g.Io.g_inputs;
+    checkf "res" 2.2 g.Io.g_drive_res;
+    checkf "intrinsic" 16.0 g.Io.g_intrinsic;
+    checkf "input cap" 0.55 g.Io.g_input_cap;
+    checkf "area" 1.2 g.Io.g_area
+  | None -> Alcotest.fail "NAND2_X1 expected");
+  (* the registers-only reader simply skips gate cells *)
+  let only_regs = Io.of_liberty src in
+  checki "of_liberty skips gates" (List.length (Library.cells lib))
+    (List.length (Library.cells only_regs))
+
+let test_gates_only_file_rejected () =
+  let src = Io.to_liberty ~gates:demo_gates (Library.make []) in
+  ignore src;
+  match Io.of_liberty src with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Io.Parse_error msg ->
+    check "mentions register cells" true (contains_sub msg "register")
+
+let test_scan_style_detection () =
+  let parsed = Io.of_liberty (Io.to_liberty lib) in
+  let internal = Library.find parsed "SDFFR4_X1" in
+  let per_bit = Library.find parsed "SDFFR4_X1_PB" in
+  let plain = Library.find parsed "DFF4_X1" in
+  check "internal" true (internal.Cell.scan = Cell.Internal_scan);
+  check "per-bit" true (per_bit.Cell.scan = Cell.Per_bit_scan);
+  check "none" true (plain.Cell.scan = Cell.No_scan)
+
+let () =
+  Alcotest.run "liberty_io"
+    [
+      ( "writer",
+        [ Alcotest.test_case "shape" `Quick test_writer_shape ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "default library" `Quick test_roundtrip_default;
+          Alcotest.test_case "paper example" `Quick test_roundtrip_paper_example;
+          Alcotest.test_case "scan styles" `Quick test_scan_style_detection;
+          Alcotest.test_case "gate cells" `Quick test_gate_cells_roundtrip;
+          Alcotest.test_case "gates-only rejected" `Quick test_gates_only_file_rejected;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "hand-written" `Quick test_handwritten_minimal;
+          Alcotest.test_case "comments/whitespace" `Quick test_comments_and_whitespace;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

@@ -1,0 +1,270 @@
+(* Tests for Mbr_lp: two-phase simplex on known LPs (optimal, infeasible,
+   unbounded, degenerate) and the piecewise HPWL minimizer, cross-checked
+   against the simplex and a brute-force grid scan. *)
+
+module Simplex = Mbr_lp.Simplex
+module Piecewise = Mbr_lp.Piecewise
+
+let checkf = Alcotest.(check (float 1e-6))
+
+let check = Alcotest.(check bool)
+
+let solve_expect_optimal lp =
+  match Simplex.solve lp with
+  | { Simplex.status = Simplex.Optimal; _ } as s -> s
+  | { Simplex.status = Simplex.Infeasible; _ } -> Alcotest.fail "unexpected infeasible"
+  | { Simplex.status = Simplex.Unbounded; _ } -> Alcotest.fail "unexpected unbounded"
+
+(* max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 (classic Dantzig):
+   optimum x=2, y=6, objective 36 -> minimize the negation. *)
+let test_simplex_dantzig () =
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:(-3.0) lp in
+  let y = Simplex.add_var ~obj:(-5.0) lp in
+  Simplex.add_constraint lp [ (x, 1.0) ] Simplex.Le 4.0;
+  Simplex.add_constraint lp [ (y, 2.0) ] Simplex.Le 12.0;
+  Simplex.add_constraint lp [ (x, 3.0); (y, 2.0) ] Simplex.Le 18.0;
+  let s = solve_expect_optimal lp in
+  checkf "objective" (-36.0) s.Simplex.objective;
+  checkf "x" 2.0 s.Simplex.values.(x);
+  checkf "y" 6.0 s.Simplex.values.(y)
+
+let test_simplex_equality () =
+  (* min x + y s.t. x + y = 10, x - y = 2 -> x=6, y=4 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1.0 lp in
+  let y = Simplex.add_var ~obj:1.0 lp in
+  Simplex.add_constraint lp [ (x, 1.0); (y, 1.0) ] Simplex.Eq 10.0;
+  Simplex.add_constraint lp [ (x, 1.0); (y, -1.0) ] Simplex.Eq 2.0;
+  let s = solve_expect_optimal lp in
+  checkf "x" 6.0 s.Simplex.values.(x);
+  checkf "y" 4.0 s.Simplex.values.(y);
+  checkf "obj" 10.0 s.Simplex.objective
+
+let test_simplex_ge () =
+  (* min 2x + 3y s.t. x + y >= 4, x >= 1 -> x=4,y=0? obj = 8... check:
+     y=0, x=4 gives 8; x=1,y=3 gives 11. optimum (4,0) -> 8 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:2.0 lp in
+  let y = Simplex.add_var ~obj:3.0 lp in
+  Simplex.add_constraint lp [ (x, 1.0); (y, 1.0) ] Simplex.Ge 4.0;
+  Simplex.add_constraint lp [ (x, 1.0) ] Simplex.Ge 1.0;
+  let s = solve_expect_optimal lp in
+  checkf "obj" 8.0 s.Simplex.objective
+
+let test_simplex_infeasible () =
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1.0 lp in
+  Simplex.add_constraint lp [ (x, 1.0) ] Simplex.Le 1.0;
+  Simplex.add_constraint lp [ (x, 1.0) ] Simplex.Ge 2.0;
+  check "infeasible" true ((Simplex.solve lp).Simplex.status = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:(-1.0) lp in
+  Simplex.add_constraint lp [ (x, -1.0) ] Simplex.Le 0.0;
+  check "unbounded" true ((Simplex.solve lp).Simplex.status = Simplex.Unbounded)
+
+let test_simplex_bounds () =
+  (* min -x with 1 <= x <= 7 -> x = 7 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~lb:1.0 ~ub:7.0 ~obj:(-1.0) lp in
+  let s = solve_expect_optimal lp in
+  checkf "x at ub" 7.0 s.Simplex.values.(x)
+
+let test_simplex_free_var () =
+  (* min |shape|: free variable pushed negative: min x s.t. x >= -5 via
+     constraint (free var, lower bound by row) *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~lb:neg_infinity ~obj:1.0 lp in
+  Simplex.add_constraint lp [ (x, 1.0) ] Simplex.Ge (-5.0);
+  let s = solve_expect_optimal lp in
+  checkf "x" (-5.0) s.Simplex.values.(x)
+
+let test_simplex_mirrored_var () =
+  (* variable with only an upper bound: min -x, x <= 3, x >= -inf with
+     row x >= 0 -> 3 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~lb:neg_infinity ~ub:3.0 ~obj:(-1.0) lp in
+  Simplex.add_constraint lp [ (x, 1.0) ] Simplex.Ge 0.0;
+  let s = solve_expect_optimal lp in
+  checkf "x" 3.0 s.Simplex.values.(x)
+
+let test_simplex_negative_rhs () =
+  (* min x + y s.t. -x - y <= -3 (i.e. x + y >= 3) *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1.0 lp in
+  let y = Simplex.add_var ~obj:1.0 lp in
+  Simplex.add_constraint lp [ (x, -1.0); (y, -1.0) ] Simplex.Le (-3.0);
+  let s = solve_expect_optimal lp in
+  checkf "obj" 3.0 s.Simplex.objective
+
+let test_simplex_degenerate () =
+  (* degenerate vertex: multiple constraints meeting; Bland must not
+     cycle. min -x - y s.t. x <= 1, y <= 1, x + y <= 2 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:(-1.0) lp in
+  let y = Simplex.add_var ~obj:(-1.0) lp in
+  Simplex.add_constraint lp [ (x, 1.0) ] Simplex.Le 1.0;
+  Simplex.add_constraint lp [ (y, 1.0) ] Simplex.Le 1.0;
+  Simplex.add_constraint lp [ (x, 1.0); (y, 1.0) ] Simplex.Le 2.0;
+  let s = solve_expect_optimal lp in
+  checkf "obj" (-2.0) s.Simplex.objective
+
+let test_simplex_empty_box () =
+  let lp = Simplex.create () in
+  let _x = Simplex.add_var ~lb:2.0 ~ub:1.0 lp in
+  check "empty box infeasible" true
+    ((Simplex.solve lp).Simplex.status = Simplex.Infeasible)
+
+let test_simplex_resolve () =
+  (* builder reuse: add a row after a solve (branch-and-bound usage) *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~ub:10.0 ~obj:(-1.0) lp in
+  let s1 = solve_expect_optimal lp in
+  checkf "first" 10.0 s1.Simplex.values.(x);
+  Simplex.add_constraint lp [ (x, 1.0) ] Simplex.Le 4.0;
+  let s2 = solve_expect_optimal lp in
+  checkf "second" 4.0 s2.Simplex.values.(x)
+
+(* ---- Piecewise ---- *)
+
+let test_piecewise_single_interval () =
+  (* one term, offset 0: any u in [lo, hi] is optimal with value hi-lo *)
+  let terms = [ Piecewise.{ lo = 2.0; hi = 5.0; offset = 0.0; weight = 1.0 } ] in
+  let u, v = Piecewise.minimize terms in
+  check "u in interval" true (u >= 2.0 && u <= 5.0);
+  checkf "value" 3.0 v
+
+let test_piecewise_median () =
+  (* three point-intervals at 0, 10, 100: minimizer is the median 10 *)
+  let term x = Piecewise.{ lo = x; hi = x; offset = 0.0; weight = 1.0 } in
+  let u, _ = Piecewise.minimize [ term 0.0; term 10.0; term 100.0 ] in
+  checkf "median" 10.0 u
+
+let test_piecewise_weighted () =
+  (* heavy weight drags the optimum: points 0 (w=10) and 100 (w=1) *)
+  let u, _ =
+    Piecewise.minimize
+      [
+        Piecewise.{ lo = 0.0; hi = 0.0; offset = 0.0; weight = 10.0 };
+        Piecewise.{ lo = 100.0; hi = 100.0; offset = 0.0; weight = 1.0 };
+      ]
+  in
+  checkf "at heavy point" 0.0 u
+
+let test_piecewise_offset () =
+  (* single point-interval at 10, pin offset +3: cell corner at 7 *)
+  let u, v =
+    Piecewise.minimize [ Piecewise.{ lo = 10.0; hi = 10.0; offset = 3.0; weight = 1.0 } ]
+  in
+  checkf "corner" 7.0 u;
+  checkf "zero wl" 0.0 v
+
+let test_piecewise_bounds () =
+  let terms = [ Piecewise.{ lo = 10.0; hi = 10.0; offset = 0.0; weight = 1.0 } ] in
+  let u, v = Piecewise.minimize ~bounds:(0.0, 4.0) terms in
+  checkf "clamped" 4.0 u;
+  checkf "cost" 6.0 v
+
+let test_piecewise_empty () =
+  let u, v = Piecewise.minimize ~bounds:(1.0, 2.0) [] in
+  check "empty in bounds" true (u >= 1.0 && u <= 2.0);
+  checkf "zero" 0.0 v
+
+let test_piecewise_invalid () =
+  Alcotest.check_raises "bad term" (Invalid_argument "Piecewise: term with hi < lo")
+    (fun () ->
+      ignore
+        (Piecewise.minimize
+           [ Piecewise.{ lo = 2.0; hi = 1.0; offset = 0.0; weight = 1.0 } ]));
+  Alcotest.check_raises "bad bounds"
+    (Invalid_argument "Piecewise.minimize: empty bounds") (fun () ->
+      ignore
+        (Piecewise.minimize ~bounds:(2.0, 1.0)
+           [ Piecewise.{ lo = 0.0; hi = 1.0; offset = 0.0; weight = 1.0 } ]))
+
+(* property: minimize beats a fine grid scan (within tolerance) *)
+let terms_gen =
+  let open QCheck.Gen in
+  list_size (int_range 1 8)
+    (map3
+       (fun a b off ->
+         let lo = Float.of_int (min a b) and hi = Float.of_int (max a b) in
+         Piecewise.{ lo; hi; offset = Float.of_int off /. 2.0; weight = 1.0 })
+       (int_range (-20) 20) (int_range (-20) 20) (int_range (-8) 8))
+
+let terms_arb =
+  QCheck.make
+    ~print:(fun ts ->
+      String.concat ";"
+        (List.map
+           (fun t ->
+             Printf.sprintf "[%g,%g]+%g" t.Piecewise.lo t.Piecewise.hi
+               t.Piecewise.offset)
+           ts))
+    terms_gen
+
+let piecewise_beats_grid =
+  QCheck.Test.make ~name:"piecewise minimum <= grid scan minimum" ~count:300
+    terms_arb (fun terms ->
+      let _, v = Piecewise.minimize terms in
+      let grid_min = ref infinity in
+      for k = -120 to 120 do
+        let u = Float.of_int k /. 4.0 in
+        grid_min := Float.min !grid_min (Piecewise.eval terms u)
+      done;
+      v <= !grid_min +. 1e-9)
+
+let piecewise_matches_simplex =
+  (* same 1-D LP solved via simplex with helper variables *)
+  QCheck.Test.make ~name:"piecewise objective = simplex objective" ~count:200
+    terms_arb (fun terms ->
+      let _, v = Piecewise.minimize ~bounds:(-30.0, 30.0) terms in
+      let lp = Simplex.create () in
+      let u = Simplex.add_var ~lb:(-30.0) ~ub:30.0 lp in
+      List.iter
+        (fun t ->
+          let zh = Simplex.add_var ~lb:neg_infinity ~obj:1.0 lp in
+          let zl = Simplex.add_var ~lb:neg_infinity ~obj:(-1.0) lp in
+          Simplex.add_constraint lp [ (zh, 1.0) ] Simplex.Ge t.Piecewise.hi;
+          Simplex.add_constraint lp [ (zh, 1.0); (u, -1.0) ] Simplex.Ge t.Piecewise.offset;
+          Simplex.add_constraint lp [ (zl, 1.0) ] Simplex.Le t.Piecewise.lo;
+          Simplex.add_constraint lp [ (zl, 1.0); (u, -1.0) ] Simplex.Le t.Piecewise.offset)
+        terms;
+      match Simplex.solve lp with
+      | { Simplex.status = Simplex.Optimal; objective; _ } ->
+        Float.abs (objective -. v) < 1e-6
+      | { Simplex.status = Simplex.Infeasible | Simplex.Unbounded; _ } -> false)
+
+let () =
+  Alcotest.run "mbr_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "dantzig" `Quick test_simplex_dantzig;
+          Alcotest.test_case "equality" `Quick test_simplex_equality;
+          Alcotest.test_case "ge rows" `Quick test_simplex_ge;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "variable bounds" `Quick test_simplex_bounds;
+          Alcotest.test_case "free variable" `Quick test_simplex_free_var;
+          Alcotest.test_case "mirrored variable" `Quick test_simplex_mirrored_var;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "degenerate vertex" `Quick test_simplex_degenerate;
+          Alcotest.test_case "empty box" `Quick test_simplex_empty_box;
+          Alcotest.test_case "resolve after new row" `Quick test_simplex_resolve;
+        ] );
+      ( "piecewise",
+        [
+          Alcotest.test_case "single interval" `Quick test_piecewise_single_interval;
+          Alcotest.test_case "median" `Quick test_piecewise_median;
+          Alcotest.test_case "weighted" `Quick test_piecewise_weighted;
+          Alcotest.test_case "offset" `Quick test_piecewise_offset;
+          Alcotest.test_case "bounds clamp" `Quick test_piecewise_bounds;
+          Alcotest.test_case "empty terms" `Quick test_piecewise_empty;
+          Alcotest.test_case "invalid input" `Quick test_piecewise_invalid;
+          QCheck_alcotest.to_alcotest piecewise_beats_grid;
+          QCheck_alcotest.to_alcotest piecewise_matches_simplex;
+        ] );
+    ]

@@ -1,0 +1,314 @@
+(* Unit and property tests for Mbr_util: Rng, Stats, Bitset, Union_find,
+   Vec, Texttab. *)
+
+module Rng = Mbr_util.Rng
+module Stats = Mbr_util.Stats
+module Bitset = Mbr_util.Bitset
+module Union_find = Mbr_util.Union_find
+module Vec = Mbr_util.Vec
+module Texttab = Mbr_util.Texttab
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check "streams differ" true (!same < 4)
+
+let test_rng_int_range () =
+  let t = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int t 13 in
+    check "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_in () =
+  let t = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in t (-5) 5 in
+    check "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_int_invalid () =
+  let t = Rng.create 9 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int t 0))
+
+let test_rng_float_range () =
+  let t = Rng.create 10 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float t 2.5 in
+    check "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_uniformity () =
+  (* chi-square-ish sanity: 10 buckets of 10k draws each expect ~1000 *)
+  let t = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let b = Rng.int t 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter (fun n -> check "roughly uniform" true (n > 800 && n < 1200)) buckets
+
+let test_rng_gaussian_moments () =
+  let t = Rng.create 12 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian t ~mean:5.0 ~stddev:2.0) in
+  let m = Stats.mean xs and sd = Stats.stddev xs in
+  check "mean close" true (Float.abs (m -. 5.0) < 0.1);
+  check "stddev close" true (Float.abs (sd -. 2.0) < 0.1)
+
+let test_rng_split_independent () =
+  let t = Rng.create 13 in
+  let u = Rng.split t in
+  let a = Array.init 32 (fun _ -> Rng.bits64 t) in
+  let b = Array.init 32 (fun _ -> Rng.bits64 u) in
+  check "split streams differ" true (a <> b)
+
+let test_rng_shuffle_permutation () =
+  let t = Rng.create 14 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_distinct () =
+  let t = Rng.create 15 in
+  let arr = Array.init 30 Fun.id in
+  let s = Rng.sample t 10 arr in
+  checki "sample size" 10 (Array.length s);
+  let uniq = List.sort_uniq compare (Array.to_list s) in
+  checki "distinct" 10 (List.length uniq)
+
+(* ---- Stats ---- *)
+
+let test_stats_mean () = checkf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
+
+let test_stats_mean_empty () = checkf "mean empty" 0.0 (Stats.mean [||])
+
+let test_stats_geomean () =
+  checkf "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_stats_stddev () =
+  checkf "stddev" 2.0 (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |])
+
+let test_stats_minmax () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 2.0 |] in
+  checkf "min" (-1.0) lo;
+  checkf "max" 3.0 hi
+
+let test_stats_percentile () =
+  let xs = Array.init 101 float_of_int in
+  checkf "p0" 0.0 (Stats.percentile xs 0.0);
+  checkf "p50" 50.0 (Stats.percentile xs 50.0);
+  checkf "p100" 100.0 (Stats.percentile xs 100.0);
+  checkf "p25" 25.0 (Stats.percentile xs 25.0)
+
+let test_stats_percentile_interp () =
+  checkf "interpolated" 1.5 (Stats.percentile [| 1.0; 2.0 |] 50.0)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:[| 1.0; 2.0 |] [| 0.5; 1.5; 1.0; 3.0; 9.9 |] in
+  Alcotest.(check (array int)) "bins" [| 2; 1; 2 |] h
+
+let test_stats_pct_change () =
+  checkf "drop" 50.0 (Stats.pct_change 100.0 50.0);
+  checkf "rise" (-10.0) (Stats.pct_change 100.0 110.0);
+  checkf "zero base" 0.0 (Stats.pct_change 0.0 5.0)
+
+(* ---- Bitset ---- *)
+
+let test_bitset_basic () =
+  let s = Bitset.of_list 100 [ 0; 5; 63; 99 ] in
+  check "mem 0" true (Bitset.mem s 0);
+  check "mem 63" true (Bitset.mem s 63);
+  check "mem 99" true (Bitset.mem s 99);
+  check "not mem 1" false (Bitset.mem s 1);
+  checki "cardinal" 4 (Bitset.cardinal s)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 70 [ 1; 2; 3; 65 ] in
+  let b = Bitset.of_list 70 [ 3; 4; 65 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 65 ]
+    (Bitset.elements (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 3; 65 ] (Bitset.elements (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 2 ] (Bitset.elements (Bitset.diff a b));
+  check "not disjoint" false (Bitset.disjoint a b);
+  check "disjoint" true
+    (Bitset.disjoint (Bitset.of_list 70 [ 0 ]) (Bitset.of_list 70 [ 69 ]))
+
+let test_bitset_subset () =
+  let a = Bitset.of_list 10 [ 1; 2 ] in
+  let b = Bitset.of_list 10 [ 1; 2; 3 ] in
+  check "a subset b" true (Bitset.subset a b);
+  check "b not subset a" false (Bitset.subset b a);
+  check "self subset" true (Bitset.subset a a)
+
+let test_bitset_out_of_range () =
+  Alcotest.check_raises "range" (Invalid_argument "Bitset.of_list: out of range")
+    (fun () -> ignore (Bitset.of_list 4 [ 4 ]))
+
+let bitset_prop =
+  QCheck.Test.make ~name:"bitset ops mirror list-set ops" ~count:500
+    QCheck.(pair (small_list (int_bound 61)) (small_list (int_bound 61)))
+    (fun (xs, ys) ->
+      let module IS = Set.Make (Int) in
+      let a = Bitset.of_list 62 xs and b = Bitset.of_list 62 ys in
+      let sa = IS.of_list xs and sb = IS.of_list ys in
+      Bitset.elements (Bitset.union a b) = IS.elements (IS.union sa sb)
+      && Bitset.elements (Bitset.inter a b) = IS.elements (IS.inter sa sb)
+      && Bitset.elements (Bitset.diff a b) = IS.elements (IS.diff sa sb)
+      && Bitset.disjoint a b = IS.is_empty (IS.inter sa sb)
+      && Bitset.cardinal a = IS.cardinal sa)
+
+(* ---- Union_find ---- *)
+
+let test_uf_basic () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  check "same 0 2" true (Union_find.same uf 0 2);
+  check "not same 0 3" false (Union_find.same uf 0 3);
+  Union_find.union uf 3 4;
+  Union_find.union uf 2 3;
+  check "same 0 4" true (Union_find.same uf 0 4);
+  check "5 alone" false (Union_find.same uf 5 0)
+
+let test_uf_groups () =
+  let uf = Union_find.create 5 in
+  Union_find.union uf 0 2;
+  Union_find.union uf 1 3;
+  let groups = Union_find.groups uf in
+  let sorted =
+    List.sort compare (Array.to_list groups)
+  in
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 2 ]; [ 1; 3 ]; [ 4 ] ] sorted
+
+(* ---- Vec ---- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    checki "push index" i (Vec.push v (i * 2))
+  done;
+  checki "length" 100 (Vec.length v);
+  checki "get 50" 100 (Vec.get v 50);
+  Vec.set v 50 7;
+  checki "set" 7 (Vec.get v 50)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of range") (fun () ->
+      ignore (Vec.get v 2))
+
+let test_vec_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  checki "fold" 6 (Vec.fold ( + ) 0 v);
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3 ] (Vec.to_list v);
+  Alcotest.(check (array int)) "map_to_array" [| 2; 4; 6 |]
+    (Vec.map_to_array (fun x -> 2 * x) v)
+
+(* ---- Texttab ---- *)
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_texttab_renders () =
+  let t = Texttab.create ~headers:[ "a"; "b" ] in
+  Texttab.add_row t [ "x"; "1" ];
+  Texttab.add_sep t;
+  Texttab.add_row t [ "yy"; "22" ];
+  let s = Texttab.render t in
+  check "contains header a" true (contains_sub s "a");
+  check "contains row x" true (contains_sub s "x");
+  check "contains row yy" true (contains_sub s "yy");
+  (* header, separator, row, separator, row *)
+  checki "lines" 5
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' s)))
+
+let test_texttab_width_mismatch () =
+  let t = Texttab.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Texttab.add_row: width mismatch")
+    (fun () -> Texttab.add_row t [ "only one" ])
+
+let test_texttab_formats () =
+  Alcotest.(check string) "int" "1,234,567" (Texttab.fmt_int 1234567);
+  Alcotest.(check string) "small int" "42" (Texttab.fmt_int 42);
+  Alcotest.(check string) "neg int" "-1,000" (Texttab.fmt_int (-1000));
+  Alcotest.(check string) "float" "3.14" (Texttab.fmt_float 3.14159);
+  Alcotest.(check string) "pct" "+3.1 %" (Texttab.fmt_pct 3.1)
+
+let () =
+  Alcotest.run "mbr_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min_max" `Quick test_stats_minmax;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile interp" `Quick test_stats_percentile_interp;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "pct_change" `Quick test_stats_pct_change;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "ops" `Quick test_bitset_ops;
+          Alcotest.test_case "subset" `Quick test_bitset_subset;
+          Alcotest.test_case "out of range" `Quick test_bitset_out_of_range;
+          QCheck_alcotest.to_alcotest bitset_prop;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_uf_basic;
+          Alcotest.test_case "groups" `Quick test_uf_groups;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "iter/fold" `Quick test_vec_iter_fold;
+        ] );
+      ( "texttab",
+        [
+          Alcotest.test_case "renders" `Quick test_texttab_renders;
+          Alcotest.test_case "width mismatch" `Quick test_texttab_width_mismatch;
+          Alcotest.test_case "formats" `Quick test_texttab_formats;
+        ] );
+    ]
