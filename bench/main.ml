@@ -10,6 +10,9 @@
      5. Runtime scaling (flow wall time + per-stage breakdown)
      6. Kernel microbenchmarks (bechamel)
 
+   Sections 5 and 6 also emit BENCH.json (machine-readable numbers for
+   regression tracking; schema documented in EXPERIMENTS.md).
+
    Expected wall time: a few minutes. *)
 
 module E = Mbr_harness.Experiments
@@ -140,6 +143,7 @@ let section_kernels () =
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   Printf.printf "%-28s %14s %8s\n" "kernel" "time/run" "r^2";
+  let out = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
@@ -152,46 +156,130 @@ let section_kernels () =
             | Some (e :: _) -> e
             | Some [] | None -> nan
           in
-          let r2 =
-            match Analyze.OLS.r_square r with Some v -> Printf.sprintf "%.3f" v | None -> "-"
+          let r2 = Analyze.OLS.r_square r in
+          out := (name, est, r2) :: !out;
+          let r2s =
+            match r2 with Some v -> Printf.sprintf "%.3f" v | None -> "-"
           in
-          Printf.printf "%-28s %14s %8s\n%!" name (pretty_ns est) r2)
+          Printf.printf "%-28s %14s %8s\n%!" name (pretty_ns est) r2s)
         (List.sort compare rows))
-    (kernel_tests ())
+    (kernel_tests ());
+  List.rev !out
+
+type scaling_row = {
+  sc_profile : string;
+  sc_scale : float;
+  sc_registers : int;
+  sc_cells : int;
+  sc_result : Mbr_core.Flow.result;
+}
 
 let section_scaling () =
   banner "5. Runtime scaling (flow wall time vs design size, D1 profile)";
-  Printf.printf "%-10s %-10s %-9s | %s\n" "registers" "cells" "flow s"
-    "stage breakdown (s)";
-  List.iter
-    (fun scale ->
-      let p = P.scaled P.d1 scale in
-      let g = G.generate p in
-      let cells = Mbr_netlist.Design.n_cells g.G.design in
-      let r =
-        Mbr_core.Flow.run ~design:g.G.design ~placement:g.G.placement
-          ~library:g.G.library ~sta_config:g.G.sta_config ()
-      in
-      let breakdown =
-        String.concat " "
-          (List.filter_map
+  Printf.printf "%-10s %-10s %-9s %-7s | %s\n" "registers" "cells" "flow s"
+    "sta b/r" "stage breakdown (s)";
+  let rows =
+    List.map
+      (fun scale ->
+        let p = P.scaled P.d1 scale in
+        let g = G.generate p in
+        let cells = Mbr_netlist.Design.n_cells g.G.design in
+        let r =
+          Mbr_core.Flow.run ~design:g.G.design ~placement:g.G.placement
+            ~library:g.G.library ~sta_config:g.G.sta_config ()
+        in
+        let breakdown =
+          String.concat " "
+            (List.filter_map
+               (fun (name, t) ->
+                 if t >= 0.05 then Some (Printf.sprintf "%s=%.1f" name t) else None)
+               r.Mbr_core.Flow.stage_times)
+        in
+        Printf.printf "%-10d %-10d %-9.1f %d/%-5d | %s\n%!" p.P.n_registers cells
+          r.Mbr_core.Flow.runtime_s r.Mbr_core.Flow.sta_full_builds
+          r.Mbr_core.Flow.sta_refreshes breakdown;
+        {
+          sc_profile = P.d1.P.name;
+          sc_scale = scale;
+          sc_registers = p.P.n_registers;
+          sc_cells = cells;
+          sc_result = r;
+        })
+      [ 0.25; 0.5; 1.0; 2.0 ]
+  in
+  print_endline
+    "(near-linear; one full STA build per run — every later stage goes\n\
+     through Engine.refresh, which splices the composition edits into the\n\
+     existing timing graph instead of rebuilding it)";
+  rows
+
+(* ---- BENCH.json: the numbers above, machine-readable ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let emit_bench_json ~path ~kernels ~scaling =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema_version\": 1,\n";
+  p "  \"generated_by\": \"bench/main.exe\",\n";
+  p "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      p "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}%s\n"
+        (json_escape name) (json_float ns)
+        (match r2 with Some v -> json_float v | None -> "null")
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  p "  ],\n";
+  p "  \"flow_scaling\": [\n";
+  List.iteri
+    (fun i row ->
+      let r = row.sc_result in
+      let stages =
+        String.concat ", "
+          (List.map
              (fun (name, t) ->
-               if t >= 0.05 then Some (Printf.sprintf "%s=%.1f" name t) else None)
+               Printf.sprintf "\"%s\": %s" (json_escape name) (json_float t))
              r.Mbr_core.Flow.stage_times)
       in
-      Printf.printf "%-10d %-10d %-9.1f | %s\n%!" p.P.n_registers cells
-        r.Mbr_core.Flow.runtime_s breakdown)
-    [ 0.25; 0.5; 1.0; 2.0 ];
-  print_endline
-    "(near-linear; the incremental timing updates keep the useful-skew\n\
-     sweeps from dominating — see Mbr_sta.Engine.update_skews)"
+      p
+        "    {\"profile\": \"%s\", \"scale\": %s, \"registers\": %d, \
+         \"cells\": %d, \"wall_s\": %s, \"sta_full_builds\": %d, \
+         \"sta_refreshes\": %d, \"stages\": {%s}}%s\n"
+        (json_escape row.sc_profile) (json_float row.sc_scale)
+        row.sc_registers row.sc_cells
+        (json_float r.Mbr_core.Flow.runtime_s)
+        r.Mbr_core.Flow.sta_full_builds r.Mbr_core.Flow.sta_refreshes stages
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let () =
   Printf.printf "MBR composition benchmark harness (DAC'17 reproduction)\n";
   section_tables ();
   section_ablations ();
-  section_scaling ();
-  section_kernels ();
+  let scaling = section_scaling () in
+  let kernels = section_kernels () in
+  emit_bench_json ~path:"BENCH.json" ~kernels ~scaling;
   banner "done";
   print_endline
     "Recorded paper-vs-measured comparisons live in EXPERIMENTS.md;\n\

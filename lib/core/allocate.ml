@@ -90,7 +90,8 @@ let solve_block_share block cands =
   let cost =
     List.fold_left (fun acc (c : Candidate.t) -> acc +. c.Candidate.weight) 0.0 chosen
   in
-  (chosen, cost, true)
+  (* a greedy pick is never a proof of optimality *)
+  (chosen, cost, false)
 
 (* The external [8]/[12]-style heuristic: maximal-clique merging on the
    raw compatibility subgraph (see Baseline), converted into the same
@@ -143,7 +144,7 @@ let solve_block_greedy graph lib block =
   let cost =
     List.fold_left (fun acc (c : Candidate.t) -> acc +. c.Candidate.weight) 0.0 all
   in
-  (all, cost, true)
+  (all, cost, false)
 
 let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
     ?(config = default_config) graph ~lib ~blocker_index =
@@ -185,5 +186,10 @@ let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
     cost = !cost;
     n_blocks = List.length blocks;
     n_candidates = !n_candidates;
-    all_optimal = !all_optimal;
+    (* the heuristic modes never prove optimality, even over zero
+       blocks *)
+    all_optimal =
+      (match mode with
+      | `Ilp -> !all_optimal
+      | `Greedy_share | `Clique -> false);
   }

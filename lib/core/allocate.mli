@@ -27,7 +27,9 @@ type selection = {
   cost : float;  (** ILP objective over all blocks *)
   n_blocks : int;
   n_candidates : int;  (** enumerated across all blocks *)
-  all_optimal : bool;  (** every block solved to proven optimality *)
+  all_optimal : bool;
+      (** every block solved to proven optimality; only the [`Ilp] mode
+          can ever claim this — the heuristic modes report [false] *)
 }
 
 val run :

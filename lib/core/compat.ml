@@ -63,17 +63,8 @@ let net_box pl pid =
   | Some nid ->
     let pts =
       List.filter_map
-        (fun qid ->
-          if qid = pid then None
-          else begin
-            let q = Design.pin dsg qid in
-            if (Design.cell dsg q.Types.p_cell).Types.c_dead then None
-            else
-              match Placement.location_opt pl q.Types.p_cell with
-              | Some _ -> Some (Placement.pin_location pl qid)
-              | None -> None
-          end)
-        (Design.net dsg nid).Types.n_pins
+        (fun (qid, _, pt) -> if qid = pid then None else Some pt)
+        (Placement.net_pin_points pl nid)
     in
     (match pts with [] -> None | _ -> Some (Rect.of_points pts))
 
@@ -192,7 +183,7 @@ type graph = { ugraph : Ugraph.t; infos : reg_info array }
 let build_graph ?(config = default_config) eng lib =
   let pl = Engine.placement eng in
   let dsg = Placement.design pl in
-  Engine.analyze eng;
+  Engine.refresh eng;
   let composable =
     List.filter
       (fun cid -> is_composable dsg lib cid && Placement.is_placed pl cid)

@@ -48,6 +48,8 @@ type result = {
   new_mbrs : Mbr_netlist.Types.cell_id list;
   runtime_s : float;
   stage_times : (string * float) list;
+  sta_full_builds : int;
+  sta_refreshes : int;
 }
 
 (* All live register centers: the blocker population for the weight
@@ -75,7 +77,7 @@ let legalize_merge occ ~(cell : Cell_lib.t) ~region ~desired =
     | Some p -> Some p
     | None -> try_region None)
 
-let run ?(options = default_options) ~design ~placement ~library ~sta_config () =
+let run ?(options = default_options) ~design:_ ~placement ~library ~sta_config () =
   let t0 = Unix.gettimeofday () in
   let stage_times = ref [] in
   let stage name f =
@@ -84,23 +86,24 @@ let run ?(options = default_options) ~design ~placement ~library ~sta_config () 
     stage_times := (name, Unix.gettimeofday () -. s0) :: !stage_times;
     r
   in
+  (* The one full graph construction of the run: every later stage
+     brings this same engine up to date through Engine.refresh, which
+     consumes the design/placement edit logs instead of rebuilding. *)
   let eng = Engine.build ~config:sta_config placement in
-  Engine.analyze eng;
   let before =
     stage "metrics-before" (fun () ->
         Metrics.collect ?route_config:options.route_config
           ?cts_config:options.cts_config eng library)
   in
   (* optional pre-pass: open up max-width MBRs for recomposition *)
-  let n_split, eng =
+  let n_split =
     stage "decompose" (fun () ->
         if options.decompose then begin
           let report = Decompose.split_max_width placement library in
-          let eng' = Engine.build ~config:sta_config placement in
-          Engine.analyze eng';
-          (report.Decompose.n_split, eng')
+          Engine.refresh eng;
+          report.Decompose.n_split
         end
-        else (0, eng))
+        else 0)
   in
   let graph =
     stage "compat-graph" (fun () ->
@@ -189,33 +192,28 @@ let run ?(options = default_options) ~design ~placement ~library ~sta_config () 
   let scan_report =
     stage "scan-restitch" (fun () -> Mbr_dft.Scan_stitch.stitch placement)
   in
-  (* rebuild timing over the edited netlist, then useful skew + sizing *)
-  let eng2 = Engine.build ~config:sta_config placement in
+  (* splice the merge/scan edits into the timing graph, then useful
+     skew + sizing; skews live in the engine so they carry through *)
   let skew_report =
     stage "skew" (fun () ->
         match options.skew with
-        | Some cfg -> Some (Skew.optimize ~config:cfg eng2)
+        | Some cfg -> Some (Skew.optimize ~config:cfg eng)
         | None ->
-          Engine.analyze eng2;
+          Engine.refresh eng;
           None)
   in
   let n_resized =
     stage "resize" (fun () ->
         match options.resize with
-        | Some cfg -> Resize.downsize ~config:cfg eng2 library new_mbrs
+        | Some cfg -> Resize.downsize ~config:cfg eng library new_mbrs
         | None -> 0)
   in
-  (* pin caps changed: rebuild once more for final metrics, carrying the
-     skews over *)
+  (* pin caps changed under resize: the final refresh inside the metrics
+     pass absorbs the retypes *)
   let after =
     stage "metrics-after" (fun () ->
-        let eng3 = Engine.build ~config:sta_config placement in
-        List.iter
-          (fun cid -> Engine.set_skew eng3 cid (Engine.skew eng2 cid))
-          (Design.registers design);
-        Engine.analyze eng3;
         Metrics.collect ?route_config:options.route_config
-          ?cts_config:options.cts_config eng3 library)
+          ?cts_config:options.cts_config eng library)
   in
   {
     before;
@@ -235,4 +233,6 @@ let run ?(options = default_options) ~design ~placement ~library ~sta_config () 
     new_mbrs;
     runtime_s = Unix.gettimeofday () -. t0;
     stage_times = List.rev !stage_times;
+    sta_full_builds = Engine.full_builds eng;
+    sta_refreshes = Engine.refreshes eng;
   }

@@ -53,6 +53,12 @@ type result = {
       (** seconds per stage, in execution order: "metrics-before",
           "decompose", "compat-graph", "allocate", "merge",
           "scan-restitch", "skew", "resize", "metrics-after" *)
+  sta_full_builds : int;
+      (** full STA graph constructions over the whole run: 1 (the
+          initial build) unless an edit batch forced {!Mbr_sta.Engine.refresh}
+          to fall back to a rebuild *)
+  sta_refreshes : int;
+      (** STA updates that took the incremental path *)
 }
 
 val run :

@@ -10,18 +10,10 @@ module Simplex = Mbr_lp.Simplex
 type conn_box = { offset : Point.t; box : Rect.t }
 
 let net_box pl ~exclude nid =
-  let dsg = Placement.design pl in
   let pts =
     List.filter_map
-      (fun pid ->
-        let p = Design.pin dsg pid in
-        if List.mem p.Types.p_cell exclude then None
-        else if (Design.cell dsg p.Types.p_cell).Types.c_dead then None
-        else
-          match Placement.location_opt pl p.Types.p_cell with
-          | Some _ -> Some (Placement.pin_location pl pid)
-          | None -> None)
-      (Design.net dsg nid).Types.n_pins
+      (fun (_, cid, pt) -> if List.mem cid exclude then None else Some pt)
+      (Placement.net_pin_points pl nid)
   in
   match pts with [] -> None | _ -> Some (Rect.of_points pts)
 

@@ -27,7 +27,7 @@ type t = {
 let collect ?route_config ?cts_config eng lib =
   let pl = Engine.placement eng in
   let dsg = Placement.design pl in
-  Engine.analyze eng;
+  Engine.refresh eng;
   let cts = Synth.synthesize ?config:cts_config pl in
   let route = Estimator.estimate ?config:route_config pl in
   let regs = Design.registers dsg in

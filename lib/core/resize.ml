@@ -24,7 +24,7 @@ let worst_q_load eng dsg cid =
 let downsize ?(config = default_config) eng lib cids =
   let pl = Engine.placement eng in
   let dsg = Placement.design pl in
-  Engine.analyze eng;
+  Engine.refresh eng;
   let swapped = ref 0 in
   List.iter
     (fun cid ->

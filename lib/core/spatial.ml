@@ -38,7 +38,9 @@ let remove t v p =
         l
     in
     if !removed then begin
-      Hashtbl.replace t.cells k l';
+      (* drop emptied buckets so churn does not grow the table *)
+      if l' = [] then Hashtbl.remove t.cells k
+      else Hashtbl.replace t.cells k l';
       t.n <- t.n - 1
     end
 
@@ -59,3 +61,5 @@ let query_rect t (r : Rect.t) =
   !acc
 
 let size t = t.n
+
+let n_buckets t = Hashtbl.length t.cells

@@ -16,3 +16,7 @@ val query_rect : 'a t -> Mbr_geom.Rect.t -> ('a * Mbr_geom.Point.t) list
 (** All entries whose point lies in the closed rectangle. *)
 
 val size : 'a t -> int
+
+val n_buckets : 'a t -> int
+(** Grid buckets currently allocated; emptied buckets are reclaimed, so
+    this tracks the live population, not the historical footprint. *)

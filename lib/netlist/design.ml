@@ -2,17 +2,38 @@ open Types
 module Vec = Mbr_util.Vec
 module Cell_lib = Mbr_liberty.Cell
 
+type edit =
+  | Cell_added of cell_id
+  | Cell_removed of cell_id
+  | Cell_retyped of cell_id
+  | Net_changed of net_id
+
 type t = {
   d_name : string;
   cells : cell Vec.t;
   nets : net Vec.t;
   pins : pin Vec.t;
   mutable live : int;
+  edit_log : edit Vec.t;
 }
 
-let create ~name = { d_name = name; cells = Vec.create (); nets = Vec.create (); pins = Vec.create (); live = 0 }
+let create ~name =
+  {
+    d_name = name;
+    cells = Vec.create ();
+    nets = Vec.create ();
+    pins = Vec.create ();
+    live = 0;
+    edit_log = Vec.create ();
+  }
 
 let name t = t.d_name
+
+let log t e = ignore (Vec.push t.edit_log e)
+
+let revision t = Vec.length t.edit_log
+
+let edits_since t cursor = Vec.suffix t.edit_log cursor
 
 let cell t id = Vec.get t.cells id
 
@@ -29,7 +50,8 @@ let new_pin t ~cell_id ~kind ~dir ~net_id =
   (match net_id with
   | Some nid ->
     let n = net t nid in
-    n.n_pins <- pid :: n.n_pins
+    n.n_pins <- pid :: n.n_pins;
+    log t (Net_changed nid)
   | None -> ());
   pid
 
@@ -40,7 +62,8 @@ let new_cell t ~c_name ~kind =
   id
 
 let finish_cell t id pins =
-  (cell t id).c_pins <- pins
+  (cell t id).c_pins <- pins;
+  log t (Cell_added id)
 
 let add_port t pname dir nid =
   let id = new_cell t ~c_name:pname ~kind:(Port dir) in
@@ -243,11 +266,13 @@ let connect t pid nid =
   (match p.p_net with
   | Some old ->
     let n = net t old in
-    n.n_pins <- List.filter (fun q -> q <> pid) n.n_pins
+    n.n_pins <- List.filter (fun q -> q <> pid) n.n_pins;
+    log t (Net_changed old)
   | None -> ());
   p.p_net <- Some nid;
   let n = net t nid in
-  n.n_pins <- pid :: n.n_pins
+  n.n_pins <- pid :: n.n_pins;
+  log t (Net_changed nid)
 
 let disconnect t pid =
   let p = pin t pid in
@@ -255,7 +280,8 @@ let disconnect t pid =
   | Some old ->
     let n = net t old in
     n.n_pins <- List.filter (fun q -> q <> pid) n.n_pins;
-    p.p_net <- None
+    p.p_net <- None;
+    log t (Net_changed old)
   | None -> ()
 
 let retype_register t id (new_cell : Cell_lib.t) =
@@ -268,7 +294,8 @@ let retype_register t id (new_cell : Cell_lib.t) =
       || old.Cell_lib.bits <> new_cell.Cell_lib.bits
       || old.Cell_lib.scan <> new_cell.Cell_lib.scan
     then invalid_arg "Design.retype_register: incompatible replacement cell";
-    c.c_kind <- Register { a with lib_cell = new_cell }
+    c.c_kind <- Register { a with lib_cell = new_cell };
+    log t (Cell_retyped id)
   | Register _ | Comb _ | Clock_root | Clock_gate _ | Port _ ->
     invalid_arg "Design.retype_register: not a live register"
 
@@ -277,7 +304,8 @@ let remove_cell t id =
   if not c.c_dead then begin
     List.iter (fun pid -> disconnect t pid) c.c_pins;
     c.c_dead <- true;
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    log t (Cell_removed id)
   end
 
 let validate t =

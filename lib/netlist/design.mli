@@ -9,6 +9,30 @@ val create : name:string -> t
 
 val name : t -> string
 
+(** {1 Edit notifications}
+
+    Every mutation appends to an append-only edit log so that derived
+    structures (the STA engine's timing graph, the placement's net
+    bounding-box cache) can update incrementally instead of rebuilding.
+    Consumers remember the {!revision} they last saw and drain
+    {!edits_since} from it; the log is never truncated for the lifetime
+    of the design. *)
+
+type edit =
+  | Cell_added of Types.cell_id
+      (** A cell finished construction (its pins exist and are wired). *)
+  | Cell_removed of Types.cell_id  (** A cell was tombstoned. *)
+  | Cell_retyped of Types.cell_id
+      (** A register swapped library cells: pin caps, drive and setup
+          changed; connectivity did not. *)
+  | Net_changed of Types.net_id  (** A net's pin membership changed. *)
+
+val revision : t -> int
+(** Monotonically increasing edit count (the log length). *)
+
+val edits_since : t -> int -> edit list
+(** Edits appended at or after the given revision, oldest first. *)
+
 (** {1 Construction} *)
 
 val add_net : ?is_clock:bool -> t -> string -> Types.net_id

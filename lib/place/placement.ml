@@ -3,22 +3,79 @@ module Rect = Mbr_geom.Rect
 module Design = Mbr_netlist.Design
 module Types = Mbr_netlist.Types
 module Cell_lib = Mbr_liberty.Cell
+module Vec = Mbr_util.Vec
+
+(* Placed pins of one net: the points every geometric net query needs,
+   plus their bounding box. Rebuilt lazily after an invalidation. *)
+type net_cache = {
+  nc_pts : (Types.pin_id * Types.cell_id * Point.t) list;
+  nc_box : Rect.t option;
+}
 
 type t = {
   fp : Floorplan.t;
   dsg : Design.t;
   loc : (Types.cell_id, Point.t) Hashtbl.t;
+  moves : Types.cell_id Vec.t;  (* every set/remove, in order *)
+  nets : (Types.net_id, net_cache) Hashtbl.t;
+  mutable dsg_cursor : int;  (* design edits already applied to [nets] *)
 }
 
-let create fp dsg = { fp; dsg; loc = Hashtbl.create 1024 }
+let create fp dsg =
+  {
+    fp;
+    dsg;
+    loc = Hashtbl.create 1024;
+    moves = Vec.create ();
+    nets = Hashtbl.create 256;
+    dsg_cursor = Design.revision dsg;
+  }
 
 let floorplan t = t.fp
 
 let design t = t.dsg
 
-let set t id p = Hashtbl.replace t.loc id p
+let revision t = Vec.length t.moves
 
-let remove t id = Hashtbl.remove t.loc id
+let moves_since t cursor = Vec.suffix t.moves cursor
+
+(* Drop cached boxes of every net the cell's pins touch. *)
+let invalidate_cell_nets t id =
+  List.iter
+    (fun pid ->
+      match (Design.pin t.dsg pid).Types.p_net with
+      | Some nid -> Hashtbl.remove t.nets nid
+      | None -> ())
+    (Design.pins_of t.dsg id)
+
+(* Fold pending design edits into the cache before serving from it. *)
+let sync_design t =
+  let rev = Design.revision t.dsg in
+  if rev <> t.dsg_cursor then begin
+    List.iter
+      (function
+        | Design.Net_changed nid -> Hashtbl.remove t.nets nid
+        | Design.Cell_retyped id ->
+          (* pin offsets follow the library cell's pin map *)
+          invalidate_cell_nets t id
+        | Design.Cell_added _ | Design.Cell_removed _ ->
+          (* connectivity deltas arrive as Net_changed alongside *)
+          ())
+      (Design.edits_since t.dsg t.dsg_cursor);
+    t.dsg_cursor <- rev
+  end
+
+let set t id p =
+  Hashtbl.replace t.loc id p;
+  invalidate_cell_nets t id;
+  ignore (Vec.push t.moves id)
+
+let remove t id =
+  if Hashtbl.mem t.loc id then begin
+    Hashtbl.remove t.loc id;
+    invalidate_cell_nets t id;
+    ignore (Vec.push t.moves id)
+  end
 
 let location t id =
   match Hashtbl.find_opt t.loc id with
@@ -58,6 +115,33 @@ let pin_location t pid =
   | Types.Comb _ | Types.Clock_root | Types.Clock_gate _ | Types.Port _ ->
     let w, h = Design.cell_size t.dsg cid in
     Point.add corner (Point.make (w /. 2.0) (h /. 2.0))
+
+let net_cache_of t nid =
+  sync_design t;
+  match Hashtbl.find_opt t.nets nid with
+  | Some c -> c
+  | None ->
+    let pts =
+      List.filter_map
+        (fun pid ->
+          let p = Design.pin t.dsg pid in
+          let cid = p.Types.p_cell in
+          if Hashtbl.mem t.loc cid then Some (pid, cid, pin_location t pid)
+          else None)
+        (Design.net t.dsg nid).Types.n_pins
+    in
+    let box =
+      match pts with
+      | [] -> None
+      | _ -> Some (Rect.of_points (List.map (fun (_, _, p) -> p) pts))
+    in
+    let c = { nc_pts = pts; nc_box = box } in
+    Hashtbl.replace t.nets nid c;
+    c
+
+let net_pin_points t nid = (net_cache_of t nid).nc_pts
+
+let net_box t nid = (net_cache_of t nid).nc_box
 
 let iter f t =
   let items =
@@ -101,4 +185,10 @@ let overlapping_registers t =
   in
   List.rev (sweep [] sorted)
 
-let copy t = { t with loc = Hashtbl.copy t.loc }
+let copy t =
+  {
+    t with
+    loc = Hashtbl.copy t.loc;
+    moves = Vec.copy t.moves;
+    nets = Hashtbl.copy t.nets;
+  }

@@ -33,6 +33,25 @@ val pin_location : t -> Mbr_netlist.Types.pin_id -> Mbr_geom.Point.t
     use the library-cell pin map; other cells use their center.
     Raises [Not_found] when the owning cell is unplaced. *)
 
+val revision : t -> int
+(** Monotonically increasing count of {!set}/{!remove} calls. Together
+    with {!moves_since} this is the placement half of the edit
+    notification surface the incremental STA engine consumes. *)
+
+val moves_since : t -> int -> Mbr_netlist.Types.cell_id list
+(** Cells placed, moved or removed at or after the given revision,
+    oldest first (duplicates possible). *)
+
+val net_pin_points : t -> Mbr_netlist.Types.net_id -> (Mbr_netlist.Types.pin_id * Mbr_netlist.Types.cell_id * Mbr_geom.Point.t) list
+(** The net's placed pins with their absolute locations, cached per net
+    and invalidated automatically by cell moves and design edits
+    (connectivity or register retype). Dead cells never appear: their
+    pins are disconnected when tombstoned. *)
+
+val net_box : t -> Mbr_netlist.Types.net_id -> Mbr_geom.Rect.t option
+(** Bounding box of {!net_pin_points} ([None] when no pin is placed);
+    served from the same cache. *)
+
 val iter : (Mbr_netlist.Types.cell_id -> Mbr_geom.Point.t -> unit) -> t -> unit
 (** Live placed cells only. *)
 

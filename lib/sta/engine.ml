@@ -29,25 +29,85 @@ type arc =
 
 type endpoint_kind = Ep_reg_d of Types.cell_id | Ep_out_port
 
+(* A binary min-heap of (priority, pin) pairs: the dirty-pin worklists
+   process pins in topological order so every predecessor is final
+   before a pin is recomputed. *)
+module Pq = struct
+  type t = { mutable a : (int * int) array; mutable len : int }
+
+  let create () = { a = Array.make 64 (0, 0); len = 0 }
+
+  let is_empty h = h.len = 0
+
+  let push h x =
+    if h.len = Array.length h.a then begin
+      let b = Array.make (2 * h.len) (0, 0) in
+      Array.blit h.a 0 b 0 h.len;
+      h.a <- b
+    end;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.a.(!i) <- x;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if fst h.a.(p) > fst h.a.(!i) then begin
+        let tmp = h.a.(p) in
+        h.a.(p) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := p
+      end
+      else continue := false
+    done
+
+  let pop h =
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.len && fst h.a.(l) < fst h.a.(!m) then m := l;
+      if r < h.len && fst h.a.(r) < fst h.a.(!m) then m := r;
+      if !m <> !i then begin
+        let tmp = h.a.(!m) in
+        h.a.(!m) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !m
+      end
+      else continue := false
+    done;
+    snd top
+end
+
 type t = {
   cfg : config;
   pl : Placement.t;
   dsg : Design.t;
-  n : int; (* pin count *)
-  in_graph : bool array;
-  succs : (Types.pin_id * arc) list array;
-  preds : (Types.pin_id * arc) list array;
-  topo : Types.pin_id array;
-  topo_pos : int array;  (** pin -> index in [topo] (-1 outside graph) *)
-  is_start : bool array;
-  ep_of : endpoint_kind option array;
-  startpoints : Types.pin_id list;
-  endpoints : (Types.pin_id * endpoint_kind) list;
+  mutable n : int; (* pin count covered by the arrays below *)
+  mutable in_graph : bool array;
+  mutable succs : (Types.pin_id * arc) list array;
+  mutable preds : (Types.pin_id * arc) list array;
+  mutable topo : Types.pin_id array;
+  mutable topo_pos : int array;
+      (** pin -> index in [topo] (-1 outside graph) *)
+  mutable is_start : bool array;
+  mutable ep_of : endpoint_kind option array;
+  mutable startpoints : Types.pin_id list;
+  mutable endpoints : (Types.pin_id * endpoint_kind) list;
+  net_arcs : (Types.net_id, (Types.pin_id * Types.pin_id) list) Hashtbl.t;
+      (** net arcs currently spliced into succs/preds, per net *)
   skews : (Types.cell_id, float) Hashtbl.t;
-  arrival : float array;
-  required : float array;
+  mutable arrival : float array;
+  mutable required : float array;
   arc_delay_cache : (arc, float) Hashtbl.t;
   mutable analyzed : bool;
+  mutable dsg_cursor : int;  (** design edits already reflected *)
+  mutable pl_cursor : int;  (** placement moves already reflected *)
+  mutable n_full_builds : int;
+  mutable n_refreshes : int;
 }
 
 let config t = t.cfg
@@ -75,8 +135,48 @@ let data_pin dsg pid =
     | Types.Port _, _ -> false
     | (Types.Clock_root | Types.Clock_gate _), _ -> false
 
-let build ?(config = default_config) pl =
-  let dsg = Placement.design pl in
+(* Data net arcs (driver -> each sink) under the current membership;
+   clock nets and nets without an in-graph driver contribute none. *)
+let net_arc_pairs dsg in_graph nid =
+  let net = Design.net dsg nid in
+  if net.Types.n_is_clock then []
+  else
+    match Design.driver dsg nid with
+    | Some d when d < Array.length in_graph && in_graph.(d) ->
+      List.filter_map
+        (fun s -> if in_graph.(s) then Some (d, s) else None)
+        (Design.sinks dsg nid)
+    | Some _ | None -> []
+
+(* The start/endpoint status a pin should have given the current
+   connectivity (None kind for pins that are neither). *)
+let pin_start_end dsg pid =
+  let p = Design.pin dsg pid in
+  let c = Design.cell dsg p.Types.p_cell in
+  match (c.Types.c_kind, p.Types.p_kind) with
+  | Types.Register _, Types.Pin_q _ -> (p.Types.p_net <> None, None)
+  | Types.Register _, Types.Pin_d _ ->
+    (false, if p.Types.p_net <> None then Some (Ep_reg_d p.Types.p_cell) else None)
+  | Types.Port Types.In_port, _ -> (true, None)
+  | Types.Port Types.Out_port, _ ->
+    (false, if p.Types.p_net <> None then Some Ep_out_port else None)
+  | _, _ -> (false, None)
+
+type graph_parts = {
+  g_n : int;
+  g_in_graph : bool array;
+  g_succs : (Types.pin_id * arc) list array;
+  g_preds : (Types.pin_id * arc) list array;
+  g_topo : Types.pin_id array;
+  g_topo_pos : int array;
+  g_is_start : bool array;
+  g_ep_of : endpoint_kind option array;
+  g_startpoints : Types.pin_id list;
+  g_endpoints : (Types.pin_id * endpoint_kind) list;
+  g_net_arcs : (Types.net_id, (Types.pin_id * Types.pin_id) list) Hashtbl.t;
+}
+
+let compute_graph dsg =
   let n = Design.n_pins dsg in
   let in_graph = Array.make n false in
   for pid = 0 to n - 1 do
@@ -89,16 +189,13 @@ let build ?(config = default_config) pl =
     preds.(dst) <- (src, arc) :: preds.(dst)
   in
   (* net arcs *)
+  let net_arcs = Hashtbl.create 1024 in
   for nid = 0 to Design.n_nets dsg - 1 do
-    let net = Design.net dsg nid in
-    if not net.Types.n_is_clock then begin
-      match Design.driver dsg nid with
-      | Some d when in_graph.(d) ->
-        List.iter
-          (fun s -> if in_graph.(s) then add_arc d s (Net_arc (d, s)))
-          (Design.sinks dsg nid)
-      | Some _ | None -> ()
-    end
+    match net_arc_pairs dsg in_graph nid with
+    | [] -> ()
+    | pairs ->
+      Hashtbl.replace net_arcs nid pairs;
+      List.iter (fun (d, s) -> add_arc d s (Net_arc (d, s))) pairs
   done;
   (* comb cell arcs *)
   List.iter
@@ -125,31 +222,14 @@ let build ?(config = default_config) pl =
   (* start / end points *)
   let startpoints = ref [] in
   let endpoints = ref [] in
-  List.iter
-    (fun cid ->
-      let c = Design.cell dsg cid in
-      match c.Types.c_kind with
-      | Types.Register _ ->
-        List.iter
-          (fun pid ->
-            let p = Design.pin dsg pid in
-            match p.Types.p_kind with
-            | Types.Pin_q _ when p.Types.p_net <> None ->
-              startpoints := pid :: !startpoints
-            | Types.Pin_d _ when p.Types.p_net <> None ->
-              endpoints := (pid, Ep_reg_d cid) :: !endpoints
-            | _ -> ())
-          c.Types.c_pins
-      | Types.Port Types.In_port ->
-        List.iter (fun pid -> startpoints := pid :: !startpoints) c.Types.c_pins
-      | Types.Port Types.Out_port ->
-        List.iter
-          (fun pid ->
-            let p = Design.pin dsg pid in
-            if p.Types.p_net <> None then endpoints := (pid, Ep_out_port) :: !endpoints)
-          c.Types.c_pins
-      | Types.Comb _ | Types.Clock_root | Types.Clock_gate _ -> ())
-    (Design.live_cells dsg);
+  for pid = 0 to n - 1 do
+    if in_graph.(pid) then begin
+      match pin_start_end dsg pid with
+      | true, _ -> startpoints := pid :: !startpoints
+      | false, Some kind -> endpoints := (pid, kind) :: !endpoints
+      | false, None -> ()
+    end
+  done;
   (* Kahn topological order over pins that are in the graph *)
   let indeg = Array.make n 0 in
   for pid = 0 to n - 1 do
@@ -182,24 +262,48 @@ let build ?(config = default_config) pl =
   let ep_of = Array.make n None in
   List.iter (fun (pid, kind) -> ep_of.(pid) <- Some kind) !endpoints;
   {
+    g_n = n;
+    g_in_graph = in_graph;
+    g_succs = succs;
+    g_preds = preds;
+    g_topo = topo;
+    g_topo_pos = topo_pos;
+    g_is_start = is_start;
+    g_ep_of = ep_of;
+    g_startpoints = !startpoints;
+    g_endpoints = !endpoints;
+    g_net_arcs = net_arcs;
+  }
+
+let build ?(config = default_config) pl =
+  let dsg = Placement.design pl in
+  let g = compute_graph dsg in
+  let net_arcs = Hashtbl.create 1024 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace net_arcs k v) g.g_net_arcs;
+  {
     cfg = config;
     pl;
     dsg;
-    n;
-    in_graph;
-    succs;
-    preds;
-    topo;
-    topo_pos;
-    is_start;
-    ep_of;
-    startpoints = !startpoints;
-    endpoints = !endpoints;
+    n = g.g_n;
+    in_graph = g.g_in_graph;
+    succs = g.g_succs;
+    preds = g.g_preds;
+    topo = g.g_topo;
+    topo_pos = g.g_topo_pos;
+    is_start = g.g_is_start;
+    ep_of = g.g_ep_of;
+    startpoints = g.g_startpoints;
+    endpoints = g.g_endpoints;
+    net_arcs;
     skews = Hashtbl.create 64;
-    arrival = Array.make n neg_infinity;
-    required = Array.make n infinity;
+    arrival = Array.make g.g_n neg_infinity;
+    required = Array.make g.g_n infinity;
     arc_delay_cache = Hashtbl.create 1024;
     analyzed = false;
+    dsg_cursor = Design.revision dsg;
+    pl_cursor = Placement.revision pl;
+    n_full_builds = 1;
+    n_refreshes = 0;
   }
 
 (* ---- delay computation ---- *)
@@ -211,19 +315,10 @@ let net_load t nid =
       (fun acc s -> acc +. Design.pin_cap dsg s)
       0.0 (Design.sinks dsg nid)
   in
-  let pts =
-    List.filter_map
-      (fun pid ->
-        let p = Design.pin dsg pid in
-        match Placement.location_opt t.pl p.Types.p_cell with
-        | Some _ -> Some (Placement.pin_location t.pl pid)
-        | None -> None)
-      (Design.net dsg nid).Types.n_pins
-  in
   let wire_len =
-    match pts with
-    | [] | [ _ ] -> 0.0
-    | _ -> Mbr_geom.Rect.half_perimeter (Mbr_geom.Rect.of_points pts)
+    match Placement.net_box t.pl nid with
+    | Some box -> Mbr_geom.Rect.half_perimeter box
+    | None -> 0.0
   in
   pin_caps +. (t.cfg.wire_cap *. wire_len)
 
@@ -325,9 +420,360 @@ let analyze t =
           if r < t.required.(p) then t.required.(p) <- r)
         t.preds.(pid)
   done;
+  (* A full numeric pass recomputes every delay against the current
+     placement, so pending moves are absorbed. Pending *structural*
+     design edits are not: the graph arrays are untouched here, so
+     [dsg_cursor] stays where it is and a later {!refresh} repairs the
+     structure. *)
+  t.pl_cursor <- Placement.revision t.pl;
   t.analyzed <- true
 
 let ensure t = if not t.analyzed then analyze t
+
+(* ---- incremental refresh ---- *)
+
+exception Bail
+
+let grow t n' =
+  if n' > t.n then begin
+    let grow_arr a def =
+      let b = Array.make n' def in
+      Array.blit a 0 b 0 t.n;
+      b
+    in
+    t.in_graph <- grow_arr t.in_graph false;
+    t.succs <- grow_arr t.succs [];
+    t.preds <- grow_arr t.preds [];
+    t.topo_pos <- grow_arr t.topo_pos (-1);
+    t.is_start <- grow_arr t.is_start false;
+    t.ep_of <- grow_arr t.ep_of None;
+    t.arrival <- grow_arr t.arrival neg_infinity;
+    t.required <- grow_arr t.required infinity;
+    t.n <- n'
+  end
+
+(* Full fallback: recompute the graph from scratch, keep skews, rerun a
+   complete analyze. Any partial splicing a bailed refresh left behind
+   is discarded wholesale because every array is replaced. *)
+let rebuild t =
+  let g = compute_graph t.dsg in
+  t.n <- g.g_n;
+  t.in_graph <- g.g_in_graph;
+  t.succs <- g.g_succs;
+  t.preds <- g.g_preds;
+  t.topo <- g.g_topo;
+  t.topo_pos <- g.g_topo_pos;
+  t.is_start <- g.g_is_start;
+  t.ep_of <- g.g_ep_of;
+  t.startpoints <- g.g_startpoints;
+  t.endpoints <- g.g_endpoints;
+  Hashtbl.reset t.net_arcs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.net_arcs k v) g.g_net_arcs;
+  t.arrival <- Array.make g.g_n neg_infinity;
+  t.required <- Array.make g.g_n infinity;
+  t.dsg_cursor <- Design.revision t.dsg;
+  t.n_full_builds <- t.n_full_builds + 1;
+  analyze t
+
+(* Splice the edits logged since the cursors into the existing graph and
+   re-propagate only what they touched. The structural part handles
+   register/port pins exactly: those are pure sources or pure sinks of
+   the data graph (no timing arc crosses a register), so composition
+   edits never perturb the relative order of surviving pins and the
+   topological order can be repaired by prepending new sources and
+   appending new sinks. Anything that could reorder the interior — a
+   combinational cell appearing or vanishing, or a new arc that
+   contradicts the current order — bails to {!rebuild}, as does an edit
+   batch whose touched-pin estimate exceeds [rebuild_threshold] of the
+   graph. *)
+let refresh ?(rebuild_threshold = 0.75) t =
+  let dsg_rev = Design.revision t.dsg in
+  let pl_rev = Placement.revision t.pl in
+  if not t.analyzed then begin
+    if dsg_rev <> t.dsg_cursor then rebuild t else analyze t
+  end
+  else if dsg_rev = t.dsg_cursor && pl_rev = t.pl_cursor then ()
+  else begin
+    try
+      let edits = Design.edits_since t.dsg t.dsg_cursor in
+      let moved = Placement.moves_since t.pl t.pl_cursor in
+      let dirty_nets = Hashtbl.create 64 in
+      let added = ref [] and removed = ref [] and retyped = ref [] in
+      List.iter
+        (function
+          | Design.Net_changed nid -> Hashtbl.replace dirty_nets nid ()
+          | Design.Cell_added cid -> added := cid :: !added
+          | Design.Cell_removed cid -> removed := cid :: !removed
+          | Design.Cell_retyped cid -> retyped := cid :: !retyped)
+        edits;
+      (* A comb cell appearing or vanishing can reshape the interior of
+         the topological order — punt. *)
+      let is_comb cid =
+        match (Design.cell t.dsg cid).Types.c_kind with
+        | Types.Comb _ -> true
+        | _ -> false
+      in
+      if List.exists is_comb !added || List.exists is_comb !removed then
+        raise Bail;
+      let nets_of_cell cid =
+        List.filter_map
+          (fun pid -> (Design.pin t.dsg pid).Types.p_net)
+          (Design.pins_of t.dsg cid)
+      in
+      (* Moved cells change pin positions; retyped registers change pin
+         offsets, caps and drive. Either way every incident net's arc
+         delays and load are stale. *)
+      List.iter
+        (fun cid ->
+          List.iter (fun nid -> Hashtbl.replace dirty_nets nid ()) (nets_of_cell cid))
+        moved;
+      List.iter
+        (fun cid ->
+          List.iter (fun nid -> Hashtbl.replace dirty_nets nid ()) (nets_of_cell cid))
+        !retyped;
+      let estimate =
+        Hashtbl.fold
+          (fun nid () acc ->
+            acc + List.length (Design.net t.dsg nid).Types.n_pins)
+          dirty_nets 0
+        + List.fold_left
+            (fun acc cid -> acc + List.length (Design.pins_of t.dsg cid))
+            0
+            (!added @ !removed @ !retyped)
+        + List.length moved
+      in
+      if float_of_int estimate > rebuild_threshold *. float_of_int (max t.n 1)
+      then raise Bail;
+      grow t (Design.n_pins t.dsg);
+      let fwd_dirty = Array.make t.n false in
+      let bwd_dirty = Array.make t.n false in
+      let mark_fwd pid = fwd_dirty.(pid) <- true in
+      let mark_bwd pid = bwd_dirty.(pid) <- true in
+      (* 1. removed cells leave the graph *)
+      List.iter
+        (fun cid ->
+          List.iter
+            (fun pid ->
+              if t.in_graph.(pid) then begin
+                List.iter
+                  (fun (s, arc) ->
+                    t.preds.(s) <- List.filter (fun (p, _) -> p <> pid) t.preds.(s);
+                    Hashtbl.remove t.arc_delay_cache arc;
+                    mark_fwd s)
+                  t.succs.(pid);
+                List.iter
+                  (fun (p, arc) ->
+                    t.succs.(p) <- List.filter (fun (s, _) -> s <> pid) t.succs.(p);
+                    Hashtbl.remove t.arc_delay_cache arc;
+                    mark_bwd p)
+                  t.preds.(pid);
+                t.succs.(pid) <- [];
+                t.preds.(pid) <- [];
+                t.in_graph.(pid) <- false;
+                t.is_start.(pid) <- false;
+                t.ep_of.(pid) <- None;
+                t.topo_pos.(pid) <- -1;
+                t.arrival.(pid) <- neg_infinity;
+                t.required.(pid) <- infinity
+              end)
+            (Design.pins_of t.dsg cid))
+        !removed;
+      if !removed <> [] then begin
+        t.startpoints <- List.filter (fun pid -> t.in_graph.(pid)) t.startpoints;
+        t.endpoints <- List.filter (fun (pid, _) -> t.in_graph.(pid)) t.endpoints
+      end;
+      (* 2. added cells join the graph; their start/endpoint status and
+         arcs arrive through the Net_changed edits their wiring logged *)
+      let new_pins = ref [] in
+      List.iter
+        (fun cid ->
+          let c = Design.cell t.dsg cid in
+          if not c.Types.c_dead then
+            List.iter
+              (fun pid ->
+                if data_pin t.dsg pid && not t.in_graph.(pid) then begin
+                  t.in_graph.(pid) <- true;
+                  new_pins := pid :: !new_pins
+                end)
+              c.Types.c_pins)
+        !added;
+      (* 3. retyped registers: clk->q and setup changed *)
+      List.iter
+        (fun cid ->
+          List.iter
+            (fun pid ->
+              if t.in_graph.(pid) then begin
+                match (Design.pin t.dsg pid).Types.p_kind with
+                | Types.Pin_q _ -> mark_fwd pid
+                | Types.Pin_d _ -> mark_bwd pid
+                | _ -> ()
+              end)
+            (Design.pins_of t.dsg cid))
+        !retyped;
+      (* 4. resplice every dirty net *)
+      let check_status pid =
+        let should_start, should_end = pin_start_end t.dsg pid in
+        if should_start <> t.is_start.(pid) then begin
+          t.is_start.(pid) <- should_start;
+          (if should_start then t.startpoints <- pid :: t.startpoints
+           else t.startpoints <- List.filter (fun x -> x <> pid) t.startpoints);
+          mark_fwd pid
+        end;
+        match (should_end, t.ep_of.(pid)) with
+        | None, None -> ()
+        | Some k, Some k' when k = k' -> ()
+        | _ ->
+          t.ep_of.(pid) <- should_end;
+          t.endpoints <- List.filter (fun (x, _) -> x <> pid) t.endpoints;
+          (match should_end with
+          | Some k -> t.endpoints <- (pid, k) :: t.endpoints
+          | None -> ());
+          mark_bwd pid
+      in
+      Hashtbl.iter
+        (fun nid () ->
+          let old =
+            match Hashtbl.find_opt t.net_arcs nid with Some l -> l | None -> []
+          in
+          List.iter
+            (fun (d, s) ->
+              Hashtbl.remove t.arc_delay_cache (Net_arc (d, s));
+              t.succs.(d) <- List.filter (fun (x, _) -> x <> s) t.succs.(d);
+              t.preds.(s) <- List.filter (fun (x, _) -> x <> d) t.preds.(s);
+              if t.in_graph.(s) then mark_fwd s;
+              if t.in_graph.(d) then mark_bwd d)
+            old;
+          let pairs = net_arc_pairs t.dsg t.in_graph nid in
+          List.iter
+            (fun (d, s) ->
+              if
+                t.topo_pos.(d) >= 0 && t.topo_pos.(s) >= 0
+                && t.topo_pos.(d) > t.topo_pos.(s)
+              then raise Bail;
+              Hashtbl.remove t.arc_delay_cache (Net_arc (d, s));
+              t.succs.(d) <- (s, Net_arc (d, s)) :: t.succs.(d);
+              t.preds.(s) <- (d, Net_arc (d, s)) :: t.preds.(s);
+              mark_fwd s;
+              mark_bwd d)
+            pairs;
+          if pairs = [] then Hashtbl.remove t.net_arcs nid
+          else Hashtbl.replace t.net_arcs nid pairs;
+          (* the driver's output load changed: comb delay through it and
+             a startpoint's launch both depend on it *)
+          (match Design.driver t.dsg nid with
+          | Some d when t.in_graph.(d) ->
+            if t.is_start.(d) then mark_fwd d;
+            List.iter
+              (fun (p, arc) ->
+                match arc with
+                | Cell_arc _ ->
+                  Hashtbl.remove t.arc_delay_cache arc;
+                  mark_fwd d;
+                  mark_bwd p
+                | Net_arc _ -> ())
+              t.preds.(d)
+          | Some _ | None -> ());
+          (* start/endpoint status follows connectivity *)
+          List.iter
+            (fun pid -> if t.in_graph.(pid) then check_status pid)
+            (Design.net t.dsg nid).Types.n_pins;
+          List.iter
+            (fun (d, s) ->
+              if t.in_graph.(d) then check_status d;
+              if t.in_graph.(s) then check_status s)
+            old)
+        dirty_nets;
+      (* 5. local topo repair: new pins are register/port pins, i.e.
+         pure sources or pure sinks of the data graph *)
+      if !new_pins <> [] then begin
+        List.iter
+          (fun pid ->
+            if t.preds.(pid) <> [] && t.succs.(pid) <> [] then raise Bail)
+          !new_pins;
+        let sources, sinks =
+          List.partition (fun pid -> t.preds.(pid) = []) !new_pins
+        in
+        let kept =
+          List.filter (fun pid -> t.in_graph.(pid)) (Array.to_list t.topo)
+        in
+        t.topo <- Array.of_list (sources @ kept @ sinks);
+        let tp = Array.make t.n (-1) in
+        Array.iteri (fun idx pid -> tp.(pid) <- idx) t.topo;
+        t.topo_pos <- tp
+      end;
+      (* 6. worklist propagation in topological order; a pin is
+         recomputed from scratch off its (final) predecessors, and its
+         cone is chased only while values actually change *)
+      let fq = Pq.create () in
+      let fqueued = Array.make t.n false in
+      let fpush pid =
+        if t.in_graph.(pid) && t.topo_pos.(pid) >= 0 && not fqueued.(pid)
+        then begin
+          fqueued.(pid) <- true;
+          Pq.push fq (t.topo_pos.(pid), pid)
+        end
+      in
+      for pid = 0 to t.n - 1 do
+        if fwd_dirty.(pid) then fpush pid
+      done;
+      while not (Pq.is_empty fq) do
+        let pid = Pq.pop fq in
+        let a = if t.is_start.(pid) then launch_arrival t pid else neg_infinity in
+        let a =
+          List.fold_left
+            (fun acc (p, arc) ->
+              if t.arrival.(p) > neg_infinity then
+                Float.max acc (t.arrival.(p) +. arc_delay t arc)
+              else acc)
+            a t.preds.(pid)
+        in
+        if a <> t.arrival.(pid) then begin
+          t.arrival.(pid) <- a;
+          List.iter (fun (s, _) -> fpush s) t.succs.(pid)
+        end
+      done;
+      let bq = Pq.create () in
+      let bqueued = Array.make t.n false in
+      let bpush pid =
+        if t.in_graph.(pid) && t.topo_pos.(pid) >= 0 && not bqueued.(pid)
+        then begin
+          bqueued.(pid) <- true;
+          Pq.push bq (-t.topo_pos.(pid), pid)
+        end
+      in
+      for pid = 0 to t.n - 1 do
+        if bwd_dirty.(pid) then bpush pid
+      done;
+      while not (Pq.is_empty bq) do
+        let pid = Pq.pop bq in
+        let r =
+          match t.ep_of.(pid) with
+          | Some kind -> endpoint_required t (pid, kind)
+          | None -> infinity
+        in
+        let r =
+          List.fold_left
+            (fun acc (s, arc) ->
+              if t.required.(s) < infinity then
+                Float.min acc (t.required.(s) -. arc_delay t arc)
+              else acc)
+            r t.succs.(pid)
+        in
+        if r <> t.required.(pid) then begin
+          t.required.(pid) <- r;
+          List.iter (fun (p, _) -> bpush p) t.preds.(pid)
+        end
+      done;
+      t.dsg_cursor <- dsg_rev;
+      t.pl_cursor <- pl_rev;
+      t.analyzed <- true;
+      t.n_refreshes <- t.n_refreshes + 1
+    with Bail -> rebuild t
+  end
+
+let full_builds t = t.n_full_builds
+
+let refreshes t = t.n_refreshes
 
 (* Incremental re-timing after skew-only changes. Arc delays are
    untouched (they depend on placement/loads, not on clock arrivals), so

@@ -9,8 +9,15 @@
     (setup checks against the capturing register's skewed clock) and
     output ports.
 
-    Rebuild after netlist edits ({!build} is cheap); {!analyze} re-reads
-    pin locations, so placement moves only need a re-analyze. *)
+    The engine is incremental: it remembers the design revision and
+    placement revision it has absorbed and {!refresh} drains the edit
+    logs from there, splicing only the touched arcs into the graph,
+    repairing the topological order locally and re-propagating
+    arrivals/requireds with a dirty-pin worklist that stops where values
+    converge. {!analyze} remains the full-propagation fallback and is
+    what {!refresh} degrades to (via an internal rebuild) when an edit
+    batch is structural in a way local repair cannot express or touches
+    more of the graph than recomputing it would cost. *)
 
 type config = {
   clock_period : float;  (** ps *)
@@ -39,7 +46,31 @@ val set_skew : t -> Mbr_netlist.Types.cell_id -> float -> unit
 val skew : t -> Mbr_netlist.Types.cell_id -> float
 
 val analyze : t -> unit
-(** Full arrival/required propagation. *)
+(** Full arrival/required propagation over the current graph structure.
+    Absorbs pending placement moves (every delay is recomputed) but not
+    structural design edits — use {!refresh} after netlist surgery. *)
+
+val refresh : ?rebuild_threshold:float -> t -> unit
+(** Bring the analysis up to date with everything logged on the design
+    and placement since the engine last looked: cells added/removed/
+    retyped, nets rewired, cells moved. Affected net arcs are
+    unspliced/respliced in place, new register/port pins are slotted
+    into the topological order as pure sources/sinks, and arrivals/
+    requireds are re-propagated from the dirty pins only, stopping as
+    soon as values stop changing. Produces bit-identical results to a
+    fresh {!build} + {!analyze} (property-tested).
+
+    Falls back to a full rebuild — counted by {!full_builds} — when a
+    combinational cell was added or removed, when a new arc contradicts
+    the existing topological order, or when the touched-pin estimate
+    exceeds [rebuild_threshold] (default 0.75) of the graph's pins. *)
+
+val full_builds : t -> int
+(** Full graph constructions so far: 1 for {!build} plus one per
+    internal rebuild a {!refresh} fell back to. *)
+
+val refreshes : t -> int
+(** Refreshes that took the incremental path. *)
 
 val update_skews : t -> (Mbr_netlist.Types.cell_id * float) list -> unit
 (** Incremental re-timing after changing only clock skews: applies the

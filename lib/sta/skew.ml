@@ -28,7 +28,7 @@ let step cfg s_d s_q =
 let optimize ?(config = default_config) eng =
   let dsg = Placement.design (Engine.placement eng) in
   let regs = Design.registers dsg in
-  Engine.analyze eng;
+  Engine.refresh eng;
   let wns_before = Engine.wns eng in
   let tns_before = Engine.tns eng in
   let clamp v = Float.max (-.config.bound) (Float.min config.bound v) in

@@ -52,3 +52,13 @@ let of_list l =
 
 let map_to_array f t =
   Array.init t.len (fun i -> f (get t i))
+
+let suffix t from =
+  let from = max 0 from in
+  let acc = ref [] in
+  for i = t.len - 1 downto from do
+    acc := get t i :: !acc
+  done;
+  !acc
+
+let copy t = { data = Array.copy t.data; len = t.len }

@@ -1,0 +1,105 @@
+(* Spatial grid index: add/remove/query behavior under churn, in
+   particular that emptied buckets are reclaimed rather than leaking as
+   empty lists in the hashtable. *)
+
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+module Spatial = Mbr_core.Spatial
+module Rng = Mbr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_add_query () =
+  let t = Spatial.create ~bucket:10.0 () in
+  Spatial.add t 1 (Point.make 5.0 5.0);
+  Spatial.add t 2 (Point.make 15.0 5.0);
+  Spatial.add t 3 (Point.make 95.0 95.0);
+  check_int "size" 3 (Spatial.size t);
+  let hits =
+    Spatial.query_rect t (Rect.make ~lx:0.0 ~ly:0.0 ~hx:20.0 ~hy:10.0)
+  in
+  check_int "two in box" 2 (List.length hits);
+  check "ids" true
+    (List.sort compare (List.map fst hits) = [ 1; 2 ])
+
+let test_remove_exact_pair () =
+  let t = Spatial.create ~bucket:10.0 () in
+  let p = Point.make 5.0 5.0 in
+  Spatial.add t 1 p;
+  Spatial.add t 1 p;
+  Spatial.add t 2 p;
+  (* wrong point: no-op *)
+  Spatial.remove t 1 (Point.make 6.0 5.0);
+  check_int "no-op" 3 (Spatial.size t);
+  (* removes one occurrence only *)
+  Spatial.remove t 1 p;
+  check_int "one gone" 2 (Spatial.size t);
+  let hits = Spatial.query_rect t (Rect.make ~lx:0.0 ~ly:0.0 ~hx:10.0 ~hy:10.0) in
+  check "1 and 2 remain" true
+    (List.sort compare (List.map fst hits) = [ 1; 2 ])
+
+let test_empty_buckets_reclaimed () =
+  let t = Spatial.create ~bucket:10.0 () in
+  let pts =
+    List.init 100 (fun i ->
+        Point.make (float_of_int (i mod 10) *. 10.0) (float_of_int (i / 10) *. 10.0))
+  in
+  List.iteri (fun i p -> Spatial.add t i p) pts;
+  check_int "100 buckets" 100 (Spatial.n_buckets t);
+  List.iteri (fun i p -> Spatial.remove t i p) pts;
+  check_int "empty index" 0 (Spatial.size t);
+  check_int "no leaked buckets" 0 (Spatial.n_buckets t)
+
+(* Random add/remove/query churn against a naive list model. *)
+let test_churn_matches_model () =
+  let rng = Rng.create 4242 in
+  let t = Spatial.create ~bucket:7.5 () in
+  let model = ref [] in
+  let live = ref [] in
+  for step = 1 to 2000 do
+    if Rng.chance rng 0.55 || !live = [] then begin
+      let x = Rng.float_in rng 0.0 100.0 in
+      let y = Rng.float_in rng 0.0 100.0 in
+      let p = Point.make x y in
+      Spatial.add t step p;
+      model := (step, p) :: !model;
+      live := (step, p) :: !live
+    end
+    else begin
+      let k = Rng.int rng (List.length !live) in
+      let v, p = List.nth !live k in
+      Spatial.remove t v p;
+      model := List.filter (fun (v', _) -> v' <> v) !model;
+      live := List.filter (fun (v', _) -> v' <> v) !live
+    end;
+    if step mod 100 = 0 then begin
+      let lx = Rng.float_in rng 0.0 80.0 in
+      let ly = Rng.float_in rng 0.0 80.0 in
+      let r = Rect.make ~lx ~ly ~hx:(lx +. 30.0) ~hy:(ly +. 30.0) in
+      let got = List.sort compare (List.map fst (Spatial.query_rect t r)) in
+      let want =
+        List.sort compare
+          (List.filter_map
+             (fun (v, p) -> if Rect.contains r p then Some v else None)
+             !model)
+      in
+      check "query matches model" true (got = want)
+    end
+  done;
+  check_int "final size" (List.length !model) (Spatial.size t);
+  check "buckets bounded by live points" true
+    (Spatial.n_buckets t <= Spatial.size t)
+
+let () =
+  Alcotest.run "mbr_core.spatial"
+    [
+      ( "spatial",
+        [
+          Alcotest.test_case "add/query" `Quick test_add_query;
+          Alcotest.test_case "remove exact pair" `Quick test_remove_exact_pair;
+          Alcotest.test_case "empty buckets reclaimed" `Quick
+            test_empty_buckets_reclaimed;
+          Alcotest.test_case "churn vs model" `Quick test_churn_matches_model;
+        ] );
+    ]

@@ -1,0 +1,241 @@
+(* Property: Engine.refresh after an arbitrary batch of real netlist /
+   placement edits produces the same timing as throwing the engine away
+   and rebuilding from scratch. The edit batches are drawn from the
+   operations the composition flow actually performs — cell moves,
+   register retypes (sizing), Compose.execute merges and max-width
+   decomposition — applied through the public APIs so the design and
+   placement edit logs are exercised end to end. *)
+
+module Point = Mbr_geom.Point
+module Rect = Mbr_geom.Rect
+module Design = Mbr_netlist.Design
+module Types = Mbr_netlist.Types
+module Library = Mbr_liberty.Library
+module Cell_lib = Mbr_liberty.Cell
+module Floorplan = Mbr_place.Floorplan
+module Placement = Mbr_place.Placement
+module Engine = Mbr_sta.Engine
+module Compose = Mbr_core.Compose
+module Decompose = Mbr_core.Decompose
+module G = Mbr_designgen.Generate
+module P = Mbr_designgen.Profile
+module Rng = Mbr_util.Rng
+
+let close a b =
+  a = b || (Float.is_finite a && Float.is_finite b && Float.abs (a -. b) <= 1e-6)
+
+let close_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> close x y
+  | Some _, None | None, Some _ -> false
+
+(* One random edit batch against the live design/placement. *)
+let random_edits rng g =
+  let dsg = g.G.design in
+  let pl = g.G.placement in
+  let lib = g.G.library in
+  let core = (Placement.floorplan pl).Floorplan.core in
+  let random_point () =
+    Point.make
+      (Rng.float_in rng core.Rect.lx core.Rect.hx)
+      (Rng.float_in rng core.Rect.ly core.Rect.hy)
+  in
+  (* moves *)
+  List.iter
+    (fun r ->
+      if Placement.is_placed pl r && Rng.chance rng 0.15 then
+        Placement.set pl r (random_point ()))
+    (Design.registers dsg);
+  (* retype: swap a register for a pin-compatible sibling *)
+  if Rng.chance rng 0.6 then begin
+    match Design.registers dsg with
+    | [] -> ()
+    | regs ->
+      let r = Rng.pick_list rng regs in
+      let cur = (Design.reg_attrs dsg r).Types.lib_cell in
+      let siblings =
+        List.filter
+          (fun (c : Cell_lib.t) ->
+            c.Cell_lib.scan = cur.Cell_lib.scan
+            && c.Cell_lib.name <> cur.Cell_lib.name)
+          (Library.cells_of lib ~func_class:cur.Cell_lib.func_class
+             ~bits:cur.Cell_lib.bits)
+      in
+      (match siblings with
+      | [] -> ()
+      | _ -> (
+        try Design.retype_register dsg r (Rng.pick_list rng siblings)
+        with Invalid_argument _ -> ()))
+  end;
+  (* compose: merge two same-class registers into a wider MBR *)
+  if Rng.chance rng 0.7 then begin
+    let placed =
+      List.filter (fun r -> Placement.is_placed pl r) (Design.registers dsg)
+    in
+    match placed with
+    | a :: _ :: _ -> (
+      let ca = (Design.reg_attrs dsg a).Types.lib_cell in
+      let partners =
+        List.filter
+          (fun r ->
+            r <> a
+            &&
+            let c = (Design.reg_attrs dsg r).Types.lib_cell in
+            c.Cell_lib.func_class = ca.Cell_lib.func_class
+            && c.Cell_lib.scan = ca.Cell_lib.scan)
+          placed
+      in
+      match partners with
+      | [] -> ()
+      | _ -> (
+        let b = Rng.pick_list rng partners in
+        let cb = (Design.reg_attrs dsg b).Types.lib_cell in
+        let targets =
+          List.filter
+            (fun (c : Cell_lib.t) -> c.Cell_lib.scan = ca.Cell_lib.scan)
+            (Library.cells_of lib ~func_class:ca.Cell_lib.func_class
+               ~bits:(ca.Cell_lib.bits + cb.Cell_lib.bits))
+        in
+        match targets with
+        | [] -> ()
+        | cell :: _ -> (
+          let corner = Placement.location pl a in
+          try
+            ignore
+              (Compose.execute pl
+                 { Compose.member_cids = [ a; b ]; cell; corner })
+          with Invalid_argument _ -> ())))
+    | [] | [ _ ] -> ()
+  end;
+  (* decompose: reopen max-width MBRs *)
+  if Rng.chance rng 0.25 then ignore (Decompose.split_max_width pl lib)
+
+let compare_engines ~seed eng fresh dsg =
+  let fail fmt = QCheck.Test.fail_reportf fmt in
+  if not (close (Engine.wns fresh) (Engine.wns eng)) then
+    fail "seed %d: wns %g (fresh) vs %g (refresh)" seed (Engine.wns fresh)
+      (Engine.wns eng);
+  if not (close (Engine.tns fresh) (Engine.tns eng)) then
+    fail "seed %d: tns %g (fresh) vs %g (refresh)" seed (Engine.tns fresh)
+      (Engine.tns eng);
+  if Engine.n_endpoints fresh <> Engine.n_endpoints eng then
+    fail "seed %d: endpoint count %d vs %d" seed
+      (Engine.n_endpoints fresh) (Engine.n_endpoints eng);
+  if Engine.failing_endpoints fresh <> Engine.failing_endpoints eng then
+    fail "seed %d: failing count %d vs %d" seed
+      (Engine.failing_endpoints fresh)
+      (Engine.failing_endpoints eng);
+  for pid = 0 to Design.n_pins dsg - 1 do
+    if not (close_opt (Engine.arrival fresh pid) (Engine.arrival eng pid)) then
+      fail "seed %d: arrival mismatch at pin %d" seed pid;
+    if not (close_opt (Engine.required fresh pid) (Engine.required eng pid))
+    then fail "seed %d: required mismatch at pin %d" seed pid
+  done;
+  true
+
+let refresh_equivalence =
+  QCheck.Test.make ~name:"refresh = fresh build over random edit batches"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = G.generate (P.tiny ~seed:(seed mod 37)) in
+      let rng = Rng.create (seed * 7 + 1) in
+      let eng = Engine.build ~config:g.G.sta_config g.G.placement in
+      Engine.analyze eng;
+      let rounds = 1 + Rng.int rng 3 in
+      let ok = ref true in
+      for _ = 1 to rounds do
+        random_edits rng g;
+        Engine.refresh eng;
+        let fresh = Engine.build ~config:g.G.sta_config g.G.placement in
+        Engine.analyze fresh;
+        ok := !ok && compare_engines ~seed eng fresh g.G.design
+      done;
+      !ok)
+
+(* A move-only batch must take the incremental path, not rebuild. *)
+let test_moves_stay_incremental () =
+  let g = G.generate (P.tiny ~seed:5) in
+  let eng = Engine.build ~config:g.G.sta_config g.G.placement in
+  Engine.analyze eng;
+  let regs = Design.registers g.G.design in
+  let r = List.nth regs 0 in
+  let p = Placement.location g.G.placement r in
+  Placement.set g.G.placement r (Point.make (p.Point.x +. 3.0) p.Point.y);
+  Engine.refresh eng;
+  Alcotest.(check int) "no rebuild" 1 (Engine.full_builds eng);
+  Alcotest.(check int) "one refresh" 1 (Engine.refreshes eng);
+  let fresh = Engine.build ~config:g.G.sta_config g.G.placement in
+  Engine.analyze fresh;
+  Alcotest.(check bool) "wns equal" true
+    (close (Engine.wns fresh) (Engine.wns eng))
+
+(* A small compose must also stay incremental. *)
+let test_compose_stays_incremental () =
+  let g = G.generate (P.tiny ~seed:11) in
+  let pl = g.G.placement in
+  let dsg = g.G.design in
+  let lib = g.G.library in
+  let eng = Engine.build ~config:g.G.sta_config pl in
+  Engine.analyze eng;
+  let merged =
+    let placed = List.filter (fun r -> Placement.is_placed pl r) (Design.registers dsg) in
+    let rec try_pairs = function
+      | [] -> false
+      | a :: rest -> (
+        let ca = (Design.reg_attrs dsg a).Types.lib_cell in
+        let partner =
+          List.find_opt
+            (fun b ->
+              let cb = (Design.reg_attrs dsg b).Types.lib_cell in
+              cb.Cell_lib.func_class = ca.Cell_lib.func_class
+              && cb.Cell_lib.scan = ca.Cell_lib.scan
+              && Library.cells_of lib ~func_class:ca.Cell_lib.func_class
+                   ~bits:(ca.Cell_lib.bits + cb.Cell_lib.bits)
+                 <> [])
+            rest
+        in
+        match partner with
+        | None -> try_pairs rest
+        | Some b -> (
+          let cb = (Design.reg_attrs dsg b).Types.lib_cell in
+          let cell =
+            List.find
+              (fun (c : Cell_lib.t) -> c.Cell_lib.scan = ca.Cell_lib.scan)
+              (Library.cells_of lib ~func_class:ca.Cell_lib.func_class
+                 ~bits:(ca.Cell_lib.bits + cb.Cell_lib.bits))
+          in
+          try
+            ignore
+              (Compose.execute pl
+                 {
+                   Compose.member_cids = [ a; b ];
+                   cell;
+                   corner = Placement.location pl a;
+                 });
+            true
+          with Invalid_argument _ -> try_pairs rest))
+    in
+    try_pairs placed
+  in
+  Alcotest.(check bool) "found a merge" true merged;
+  Engine.refresh eng;
+  Alcotest.(check int) "no rebuild" 1 (Engine.full_builds eng);
+  let fresh = Engine.build ~config:g.G.sta_config pl in
+  Engine.analyze fresh;
+  Alcotest.(check bool) "tns equal" true
+    (close (Engine.tns fresh) (Engine.tns eng))
+
+let () =
+  Alcotest.run "mbr_sta.incremental"
+    [
+      ( "refresh",
+        [
+          Alcotest.test_case "moves stay incremental" `Quick
+            test_moves_stay_incremental;
+          Alcotest.test_case "compose stays incremental" `Quick
+            test_compose_stays_incremental;
+          QCheck_alcotest.to_alcotest refresh_equivalence;
+        ] );
+    ]
