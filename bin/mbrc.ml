@@ -32,7 +32,13 @@ let profile_of_name name seed scale =
   let base = match seed with Some s -> { base with P.seed = s } | None -> base in
   P.scaled base scale
 
-let options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose =
+(* -j 0 means "use every core the runtime recommends" *)
+let resolve_jobs = function
+  | None -> None
+  | Some 0 -> Some (Mbr_util.Pool.recommended_jobs ())
+  | Some n -> Some n
+
+let options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs =
   let mode =
     match String.lowercase_ascii mode with
     | "ilp" -> `Ilp
@@ -44,6 +50,7 @@ let options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose =
     Flow.default_options with
     Flow.mode;
     decompose;
+    jobs = resolve_jobs jobs;
     skew = (if no_skew then None else Flow.default_options.Flow.skew);
     allocate =
       {
@@ -88,10 +95,16 @@ let decompose_arg =
   Arg.(value & flag & info [ "decompose" ]
          ~doc:"Decompose max-width MBRs before composing (paper's future work).")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the per-block allocate stage (default 1 = \
+               serial; 0 = auto-detect cores). Results are identical at any \
+               setting.")
+
 let run_cmd =
-  let run profile seed scale mode no_skew no_incomplete bound decompose =
+  let run profile seed scale mode no_skew no_incomplete bound decompose jobs =
     let p = profile_of_name profile seed scale in
-    let options = options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose in
+    let options = options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs in
     Printf.printf "running %s (%d registers)...\n%!" p.P.name p.P.n_registers;
     let r = E.run_profile ~options p in
     Format.printf "before: %a@." Metrics.pp_row r.E.result.Flow.before;
@@ -100,61 +113,70 @@ let run_cmd =
       "%d split, %d MBRs from %d registers (%d incomplete, %d resized), %d blocks, %.1f s\n"
       r.E.result.Flow.n_split r.E.result.Flow.n_merges
       r.E.result.Flow.n_regs_merged r.E.result.Flow.n_incomplete
-      r.E.result.Flow.n_resized r.E.result.Flow.n_blocks r.E.result.Flow.runtime_s
+      r.E.result.Flow.n_resized r.E.result.Flow.n_blocks r.E.result.Flow.runtime_s;
+    let bt = r.E.result.Flow.alloc_block_times in
+    Printf.printf
+      "allocate: %d jobs, block solves total %.2f s (mean %.4f, max %.4f)\n"
+      r.E.result.Flow.alloc_jobs bt.Allocate.total_s bt.Allocate.mean_s
+      bt.Allocate.max_s
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the MBR-composition flow on one design.")
     Term.(const run $ profile_arg $ seed_arg $ scale_arg $ mode_arg
-          $ no_skew_arg $ no_incomplete_arg $ bound_arg $ decompose_arg)
+          $ no_skew_arg $ no_incomplete_arg $ bound_arg $ decompose_arg
+          $ jobs_arg)
 
 let profiles_scaled scale = List.map (fun p -> P.scaled p scale) P.all
 
 let table1_cmd =
-  let run scale =
-    let runs = List.map E.run_profile (profiles_scaled scale) in
+  let run scale jobs =
+    let jobs = resolve_jobs jobs in
+    let runs = List.map (E.run_profile ?jobs) (profiles_scaled scale) in
     print_string (E.table1 runs);
     print_newline ();
     print_string (E.table1_summary runs)
   in
   Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1 on D1-D5.")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg)
 
 let fig5_cmd =
-  let run scale =
-    let runs = List.map E.run_profile (profiles_scaled scale) in
+  let run scale jobs =
+    let jobs = resolve_jobs jobs in
+    let runs = List.map (E.run_profile ?jobs) (profiles_scaled scale) in
     print_string (E.fig5 runs)
   in
   Cmd.v (Cmd.info "fig5" ~doc:"MBR bit-width histograms before/after (Fig. 5).")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg)
 
 let fig6_cmd =
-  let run scale =
-    let _, s = E.fig6 (profiles_scaled scale) in
+  let run scale jobs =
+    let _, s = E.fig6 ?jobs:(resolve_jobs jobs) (profiles_scaled scale) in
     print_string s
   in
   Cmd.v (Cmd.info "fig6" ~doc:"ILP vs heuristic allocator (Fig. 6).")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg)
 
 let ablations_cmd =
-  let run profile seed scale =
+  let run profile seed scale jobs =
+    let jobs = resolve_jobs jobs in
     let p = profile_of_name profile seed scale in
     print_endline "--- partition bound (section 3) ---";
-    print_string (E.ablation_partition_bound p [ 10; 20; 30; 40 ]);
+    print_string (E.ablation_partition_bound ?jobs p [ 10; 20; 30; 40 ]);
     print_endline "\n--- placement-aware weights (section 3.2) ---";
-    print_string (E.ablation_weights p);
+    print_string (E.ablation_weights ?jobs p);
     print_endline "\n--- incomplete MBRs (section 3) ---";
-    print_string (E.ablation_incomplete p);
+    print_string (E.ablation_incomplete ?jobs p);
     print_endline "\n--- useful skew (Fig. 4) ---";
-    print_string (E.ablation_skew p);
+    print_string (E.ablation_skew ?jobs p);
     print_endline "\n--- decompose + recompose (section 5 future work) ---";
-    print_string (E.ablation_decompose p);
+    print_string (E.ablation_decompose ?jobs p);
     print_endline "\n--- global vs detailed placement entry ---";
-    print_string (E.ablation_global_entry p)
+    print_string (E.ablation_global_entry ?jobs p)
   in
   Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablation studies.")
-    Term.(const run $ profile_arg $ seed_arg $ scale_arg)
+    Term.(const run $ profile_arg $ seed_arg $ scale_arg $ jobs_arg)
 
 let export_cmd =
-  let run profile seed scale dir compose svg =
+  let run profile seed scale dir compose svg jobs =
     let p = profile_of_name profile seed scale in
     let g = Mbr_designgen.Generate.generate p in
     let write path content =
@@ -170,8 +192,11 @@ let export_cmd =
            g.Mbr_designgen.Generate.placement);
     let highlight =
       if compose then begin
+        let options =
+          { Flow.default_options with Flow.jobs = resolve_jobs jobs }
+        in
         let r =
-          Flow.run ~design:g.Mbr_designgen.Generate.design
+          Flow.run ~options ~design:g.Mbr_designgen.Generate.design
             ~placement:g.Mbr_designgen.Generate.placement
             ~library:g.Mbr_designgen.Generate.library
             ~sta_config:g.Mbr_designgen.Generate.sta_config ()
@@ -213,10 +238,11 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Export a design as structural Verilog + DEF + Liberty (+ SVG).")
     Term.(const run $ profile_arg $ seed_arg $ scale_arg $ dir_arg $ compose_arg
-          $ svg_arg)
+          $ svg_arg $ jobs_arg)
 
 let compose_cmd =
-  let run netlist def lib outdir period mode no_skew no_incomplete bound decompose =
+  let run netlist def lib outdir period mode no_skew no_incomplete bound decompose
+      jobs =
     let read path =
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -231,7 +257,7 @@ let compose_cmd =
         (read netlist)
     in
     let placement = Mbr_export.Def.of_def design (read def) in
-    let options = options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose in
+    let options = options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs in
     Printf.printf "loaded %s: %d cells, %d registers\n%!"
       (Mbr_netlist.Design.name design)
       (Mbr_netlist.Design.n_cells design)
@@ -279,11 +305,15 @@ let compose_cmd =
        ~doc:"Run MBR composition on a Verilog+DEF+Liberty design from disk.")
     Term.(const run $ netlist_arg $ def_arg $ lib_arg $ dir_arg $ period_arg
           $ mode_arg $ no_skew_arg $ no_incomplete_arg $ bound_arg
-          $ decompose_arg)
+          $ decompose_arg $ jobs_arg)
 
 let example_cmd =
-  let run () =
+  let run jobs =
     let module PE = Mbr_core.Paper_example in
+    (match jobs with
+    | Some _ ->
+      print_endline "(-j noted but irrelevant here: the worked example is 6 registers)"
+    | None -> ());
     let t = PE.build () in
     print_endline "paper worked example (Figs. 1-3); see also examples/quickstart.exe";
     List.iter
@@ -297,7 +327,7 @@ let example_cmd =
       (List.length groups) cost
   in
   Cmd.v (Cmd.info "example" ~doc:"The paper's worked example (Figs. 1-3).")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let () =
   let doc = "timing-driven incremental multi-bit register composition (DAC'17)" in

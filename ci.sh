@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 CI entry point: build, test, keep the example walkthroughs
+# honest (they are documentation that must compile AND run), and smoke
+# the parallel allocate path (domain pool, jobs = 2).
+#
+# Usage: ./ci.sh          (from the repo root)
+
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== examples (build + execute) =="
+for ex in quickstart soc_block scan_chains incomplete_mbrs useful_skew \
+          interchange; do
+  echo "-- examples/$ex.exe"
+  dune exec "examples/$ex.exe" > /dev/null
+done
+
+echo "== bench smoke (parallel allocate, jobs = 2) =="
+dune exec bench/main.exe -- --smoke
+
+echo "ci.sh: all green"

@@ -1,15 +1,32 @@
 module Ugraph = Mbr_graph.Ugraph
 module Kpart = Mbr_graph.Kpart
+module Pool = Mbr_util.Pool
 module Sp = Mbr_ilp.Set_partition
 
 type config = {
   candidate : Candidate.config;
   partition_bound : int;
   node_limit : int;
+  jobs : int;
 }
 
 let default_config =
-  { candidate = Candidate.default_config; partition_bound = 30; node_limit = 300_000 }
+  {
+    candidate = Candidate.default_config;
+    partition_bound = 30;
+    node_limit = 300_000;
+    jobs = 1;
+  }
+
+type block_result = {
+  chosen : Candidate.t list;
+  block_cost : float;
+  optimal : bool;
+  block_candidates : int;
+  solve_time_s : float;
+}
+
+type time_stats = { total_s : float; mean_s : float; max_s : float }
 
 type selection = {
   merges : Candidate.t list;
@@ -18,9 +35,23 @@ type selection = {
   n_blocks : int;
   n_candidates : int;
   all_optimal : bool;
+  block_times : time_stats;
 }
 
-let solve_block_ilp cfg block cands =
+let singleton_of (infos : Compat.reg_info array) v =
+  let info = infos.(v) in
+  {
+    Candidate.members = [ v ];
+    member_cids = [ info.Compat.cid ];
+    bits = info.Compat.bits;
+    target_bits = info.Compat.bits;
+    incomplete = false;
+    weight = 1.0;
+    region = info.Compat.feasible;
+    func_class = info.Compat.func_class;
+  }
+
+let solve_block_ilp cfg (graph : Compat.graph) block cands =
   (* element ids = positions of nodes within the block *)
   let pos = Hashtbl.create 32 in
   List.iteri (fun k v -> Hashtbl.replace pos v k) block;
@@ -42,18 +73,15 @@ let solve_block_ilp cfg block cands =
   let cand_arr = Array.of_list cands in
   match result.Sp.status with
   | Sp.Infeasible ->
-    (* cannot happen: singletons cover everything; keep all as-is *)
-    (List.map (fun v -> Candidate.{
-         members = [ v ];
-         member_cids = [];
-         bits = 0;
-         target_bits = 0;
-         incomplete = false;
-         weight = 1.0;
-         region = Mbr_geom.Rect.make ~lx:0. ~ly:0. ~hx:0. ~hy:0.;
-         func_class = "";
-       }) block
-     |> fun keeps -> (keeps, float_of_int (List.length block), false))
+    (* cannot happen when the enumeration emits every singleton; if it
+       ever fires anyway, fall back to real "keep as-is" singletons
+       built from the graph — never fabricated placeholders *)
+    Logs.warn (fun m ->
+        m "Allocate: set-partition ILP infeasible on a %d-node block; \
+           keeping its registers unmerged"
+          (List.length block));
+    let keeps = List.map (singleton_of graph.Compat.infos) block in
+    (keeps, float_of_int (List.length block), false)
   | Sp.Optimal | Sp.Feasible ->
     ( List.map (fun i -> cand_arr.(i)) result.Sp.chosen,
       result.Sp.cost,
@@ -63,7 +91,7 @@ let solve_block_ilp cfg block cands =
    ILP: repeatedly commit the disjoint candidate with the best
    weight-per-register share. This is the heuristic allocator Fig. 6
    compares the ILP against — same formulation, no global optimization. *)
-let solve_block_share block cands =
+let solve_block_share cands =
   let order =
     List.sort
       (fun (a : Candidate.t) (b : Candidate.t) ->
@@ -86,7 +114,6 @@ let solve_block_share block cands =
         free)
       order
   in
-  ignore block;
   let cost =
     List.fold_left (fun acc (c : Candidate.t) -> acc +. c.Candidate.weight) 0.0 chosen
   in
@@ -96,7 +123,7 @@ let solve_block_share block cands =
 (* The external [8]/[12]-style heuristic: maximal-clique merging on the
    raw compatibility subgraph (see Baseline), converted into the same
    selection shape the ILP path produces. *)
-let solve_block_greedy graph lib block =
+let solve_block_greedy (graph : Compat.graph) lib block =
   let infos = graph.Compat.infos in
   let groups = Baseline.solve_block graph ~block ~lib in
   let taken = Hashtbl.create 32 in
@@ -124,20 +151,7 @@ let solve_block_greedy graph lib block =
   let merges = List.map to_candidate groups in
   let singles =
     List.filter_map
-      (fun v ->
-        if Hashtbl.mem taken v then None
-        else
-          Some
-            {
-              Candidate.members = [ v ];
-              member_cids = [ infos.(v).Compat.cid ];
-              bits = infos.(v).Compat.bits;
-              target_bits = infos.(v).Compat.bits;
-              incomplete = false;
-              weight = 1.0;
-              region = infos.(v).Compat.feasible;
-              func_class = infos.(v).Compat.func_class;
-            })
+      (fun v -> if Hashtbl.mem taken v then None else Some (singleton_of infos v))
       block
   in
   let all = merges @ singles in
@@ -146,45 +160,64 @@ let solve_block_greedy graph lib block =
   in
   (all, cost, false)
 
-let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
-    ?(config = default_config) graph ~lib ~blocker_index =
-  let infos = graph.Compat.infos in
-  let position i = infos.(i).Compat.center in
-  let blocks =
-    Kpart.partition ~bound:config.partition_bound graph.Compat.ugraph ~position
+let solve_block ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp) config graph
+    ~lib ~blocker_index ~block =
+  let t0 = Unix.gettimeofday () in
+  let chosen, block_cost, optimal, block_candidates =
+    match mode with
+    | `Ilp | `Greedy_share ->
+      let cands =
+        Candidate.enumerate config.candidate graph ~block ~lib ~blocker_index
+      in
+      let n = List.length cands in
+      let chosen, cost, opt =
+        if mode = `Ilp then solve_block_ilp config graph block cands
+        else solve_block_share cands
+      in
+      (chosen, cost, opt, n)
+    | `Clique ->
+      let chosen, cost, opt = solve_block_greedy graph lib block in
+      (chosen, cost, opt, 0)
   in
+  {
+    chosen;
+    block_cost;
+    optimal;
+    block_candidates;
+    solve_time_s = Unix.gettimeofday () -. t0;
+  }
+
+let reduce ~mode results =
+  (* Fold in block (array) order: exactly the additions and consing of
+     the serial loop, so the selection is independent of how the block
+     results were computed. *)
   let merges = ref [] in
   let kept = ref [] in
   let cost = ref 0.0 in
   let n_candidates = ref 0 in
   let all_optimal = ref true in
-  List.iter
-    (fun block ->
-      let chosen, block_cost, opt =
-        match mode with
-        | `Ilp | `Greedy_share ->
-          let cands =
-            Candidate.enumerate config.candidate graph ~block ~lib ~blocker_index
-          in
-          n_candidates := !n_candidates + List.length cands;
-          if mode = `Ilp then solve_block_ilp config block cands
-          else solve_block_share block cands
-        | `Clique -> solve_block_greedy graph lib block
-      in
-      cost := !cost +. block_cost;
-      if not opt then all_optimal := false;
+  let total_s = ref 0.0 in
+  let max_s = ref 0.0 in
+  Array.iter
+    (fun r ->
+      cost := !cost +. r.block_cost;
+      n_candidates := !n_candidates + r.block_candidates;
+      if not r.optimal then all_optimal := false;
+      total_s := !total_s +. r.solve_time_s;
+      if r.solve_time_s > !max_s then max_s := r.solve_time_s;
       List.iter
         (fun (c : Candidate.t) ->
           match c.Candidate.members with
           | [ v ] -> kept := v :: !kept
           | _ -> merges := c :: !merges)
-        chosen)
-    blocks;
+        r.chosen)
+    results;
+  let n_blocks = Array.length results in
   {
     merges = List.rev !merges;
     kept = List.sort compare !kept;
     cost = !cost;
-    n_blocks = List.length blocks;
+    n_blocks;
     n_candidates = !n_candidates;
     (* the heuristic modes never prove optimality, even over zero
        blocks *)
@@ -192,4 +225,26 @@ let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
       (match mode with
       | `Ilp -> !all_optimal
       | `Greedy_share | `Clique -> false);
+    block_times =
+      {
+        total_s = !total_s;
+        mean_s = (if n_blocks = 0 then 0.0 else !total_s /. float_of_int n_blocks);
+        max_s = !max_s;
+      };
   }
+
+let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
+    ?(config = default_config) graph ~lib ~blocker_index =
+  let infos = graph.Compat.infos in
+  let position i = infos.(i).Compat.center in
+  let blocks =
+    Array.of_list
+      (Kpart.partition ~bound:config.partition_bound graph.Compat.ugraph ~position)
+  in
+  let solve block = solve_block ~mode config graph ~lib ~blocker_index ~block in
+  let results =
+    (* jobs = 1: the serial code path, no pool involved *)
+    if config.jobs <= 1 then Array.map solve blocks
+    else Pool.map_array ~jobs:config.jobs solve blocks
+  in
+  reduce ~mode results

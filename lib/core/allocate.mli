@@ -11,15 +11,60 @@
       heuristic ({!Baseline}), which ignores the weights entirely.
 
     Every composable register is covered exactly once: either by a
-    selected merge or by its singleton. *)
+    selected merge or by its singleton.
+
+    {2 The per-block pipeline}
+
+    The §3 formulation is independent per partition block, so the
+    allocator is structured as pure block-scoped pieces:
+
+    {v blocks  = Kpart.partition graph               (serial)
+       results = map (solve_block graph ...) blocks  (serial or pooled)
+       selection = reduce results                    (serial) v}
+
+    {b Read-only sharing invariant.} [solve_block] only {e reads} the
+    inputs it shares with its siblings — [graph] (both [infos] and the
+    adjacency), the library, and the blocker index. None of those are
+    written after construction: {!Compat.build_graph} freezes the
+    graph, the library is immutable, and the blocker index is fully
+    populated before {!run} is called. Everything [solve_block]
+    mutates (hash tables, refs, the branch-and-bound state) is created
+    inside the call. This is what makes it legal to fan the blocks out
+    over a {!Mbr_util.Pool} of domains, and it must be preserved by
+    future changes (see also the notes on {!Candidate.enumerate},
+    {!Weight} and {!Spatial.query_rect}).
+
+    {b Determinism.} Results are stored by block index and [reduce]
+    folds them in block order, performing exactly the additions and
+    list consing the serial loop performed — so the selection
+    (merges, kept, cost, counts) is bit-identical for every [jobs]
+    value, and [jobs = 1] takes the serial code path outright (no
+    domain is spawned, no pool is entered). *)
 
 type config = {
   candidate : Candidate.config;
   partition_bound : int;  (** default 30 *)
   node_limit : int;  (** branch-and-bound cap per block *)
+  jobs : int;
+      (** worker domains for the per-block fan-out; [1] (the default)
+          solves the blocks serially on the calling domain *)
 }
 
 val default_config : config
+
+type block_result = {
+  chosen : Candidate.t list;  (** the block's cover, merges and singletons *)
+  block_cost : float;  (** ILP objective over [chosen] *)
+  optimal : bool;  (** proven optimal (only ever true for [`Ilp]) *)
+  block_candidates : int;  (** candidates enumerated for this block *)
+  solve_time_s : float;  (** wall time of this block's solve *)
+}
+
+type time_stats = {
+  total_s : float;  (** sum of per-block solve times *)
+  mean_s : float;  (** 0 when there are no blocks *)
+  max_s : float;  (** the slowest block — the parallel critical path *)
+}
 
 type selection = {
   merges : Candidate.t list;  (** selected multi-register candidates *)
@@ -30,7 +75,29 @@ type selection = {
   all_optimal : bool;
       (** every block solved to proven optimality; only the [`Ilp] mode
           can ever claim this — the heuristic modes report [false] *)
+  block_times : time_stats;
+      (** per-block solve-time histogram; the only field of the
+          selection that is {e not} bit-identical across [jobs]
+          settings (it measures, it does not decide) *)
 }
+
+val solve_block :
+  ?mode:[ `Ilp | `Greedy_share | `Clique ] ->
+  config ->
+  Compat.graph ->
+  lib:Mbr_liberty.Library.t ->
+  blocker_index:Mbr_netlist.Types.cell_id Spatial.t ->
+  block:int list ->
+  block_result
+(** Enumerate and solve one partition block. Pure with respect to its
+    arguments (reads only — see the sharing invariant above); safe to
+    call concurrently from multiple domains on the same graph. *)
+
+val reduce :
+  mode:[ `Ilp | `Greedy_share | `Clique ] -> block_result array -> selection
+(** Deterministic merge of per-block results, in block (array) order.
+    Exposed for tests and for callers that run [solve_block]
+    themselves. *)
 
 val run :
   ?mode:[ `Ilp | `Greedy_share | `Clique ] ->
@@ -39,3 +106,6 @@ val run :
   lib:Mbr_liberty.Library.t ->
   blocker_index:Mbr_netlist.Types.cell_id Spatial.t ->
   selection
+(** [partition → solve_block per block → reduce]. With
+    [config.jobs >= 2] the blocks are fanned out over a
+    {!Mbr_util.Pool}; the selection is identical either way. *)

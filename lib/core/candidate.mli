@@ -51,4 +51,11 @@ val enumerate :
   t list
 (** Candidates of one partition block (node ids refer to the full
     graph). Singletons for every block node come first; weights of
-    infinity are filtered out. *)
+    infinity are filtered out.
+
+    {b Domain safety:} [enumerate] only reads [graph], [lib] and
+    [blocker_index]; all of its working state (the DFS frontier, seen
+    sets, tiling cover tables) is allocated per call. Concurrent calls
+    from multiple domains on the same inputs are safe as long as nobody
+    mutates those inputs — the read-only sharing invariant documented
+    in {!Allocate}. *)

@@ -83,6 +83,10 @@ type graph = {
   ugraph : Mbr_graph.Ugraph.t;  (** node i describes [infos.(i)] *)
   infos : reg_info array;  (** the composable registers *)
 }
+(** Frozen after {!build_graph} returns: neither the adjacency nor
+    [infos] is ever written afterwards, which is what lets the
+    allocate stage share one graph read-only across worker domains
+    (the invariant documented in {!Allocate}). *)
 
 val build_graph :
   ?config:config ->

@@ -11,6 +11,7 @@ type options = {
   compat : Compat.config;
   allocate : Allocate.config;
   mode : [ `Ilp | `Greedy_share | `Clique ];
+  jobs : int option;
   skew : Skew.config option;
   resize : Resize.config option;
   decompose : bool;
@@ -23,6 +24,7 @@ let default_options =
     compat = Compat.default_config;
     allocate = Allocate.default_config;
     mode = `Ilp;
+    jobs = None;
     skew = Some Skew.default_config;
     resize = Some Resize.default_config;
     decompose = false;
@@ -44,6 +46,8 @@ type result = {
   n_blocks : int;
   n_candidates : int;
   all_optimal : bool;
+  alloc_jobs : int;
+  alloc_block_times : Allocate.time_stats;
   skew_report : Skew.report option;
   new_mbrs : Mbr_netlist.Types.cell_id list;
   runtime_s : float;
@@ -51,6 +55,30 @@ type result = {
   sta_full_builds : int;
   sta_refreshes : int;
 }
+
+(* Everything the stage functions share: the run's inputs, the one STA
+   engine, and the stage-time accumulator (reversed; execution order is
+   restored when the result is assembled). *)
+type context = {
+  options : options;
+  placement : Placement.t;
+  library : Mbr_liberty.Library.t;
+  eng : Engine.t;
+  mutable stage_times_rev : (string * float) list;
+}
+
+let stage ctx name f =
+  let s0 = Unix.gettimeofday () in
+  let r = f () in
+  ctx.stage_times_rev <- (name, Unix.gettimeofday () -. s0) :: ctx.stage_times_rev;
+  r
+
+(* The effective allocate configuration: [options.jobs] (the frontends'
+   [-j]) overrides the config's own [jobs] field when given. *)
+let allocate_config options =
+  match options.jobs with
+  | None -> options.allocate
+  | Some j -> { options.allocate with Allocate.jobs = max 1 j }
 
 (* All live register centers: the blocker population for the weight
    heuristic (§3.2 counts any register inside the test polygon). *)
@@ -77,162 +105,190 @@ let legalize_merge occ ~(cell : Cell_lib.t) ~region ~desired =
     | Some p -> Some p
     | None -> try_region None)
 
-let run ?(options = default_options) ~design:_ ~placement ~library ~sta_config () =
-  let t0 = Unix.gettimeofday () in
-  let stage_times = ref [] in
-  let stage name f =
-    let s0 = Unix.gettimeofday () in
-    let r = f () in
-    stage_times := (name, Unix.gettimeofday () -. s0) :: !stage_times;
-    r
+(* ---- stages, in Fig. 4 order ---- *)
+
+let collect_metrics ctx =
+  Metrics.collect ?route_config:ctx.options.route_config
+    ?cts_config:ctx.options.cts_config ctx.eng ctx.library
+
+let stage_metrics_before ctx =
+  stage ctx "metrics-before" (fun () -> collect_metrics ctx)
+
+(* optional pre-pass: open up max-width MBRs for recomposition *)
+let stage_decompose ctx =
+  stage ctx "decompose" (fun () ->
+      if ctx.options.decompose then begin
+        let report = Decompose.split_max_width ctx.placement ctx.library in
+        Engine.refresh ctx.eng;
+        report.Decompose.n_split
+      end
+      else 0)
+
+let stage_compat_graph ctx =
+  stage ctx "compat-graph" (fun () ->
+      Compat.build_graph ~config:ctx.options.compat ctx.eng ctx.library)
+
+let stage_allocate ctx graph ~blocker_index =
+  stage ctx "allocate" (fun () ->
+      Allocate.run ~mode:ctx.options.mode ~config:(allocate_config ctx.options)
+        graph ~lib:ctx.library ~blocker_index)
+
+type merge_outcome = {
+  mo_new_mbrs : Mbr_netlist.Types.cell_id list;  (** in creation order *)
+  mo_n_incomplete : int;
+  mo_n_regs_merged : int;
+  mo_displacement : float;
+}
+
+(* Centers of the members that are actually placed; the merge loop
+   needs them once for the displacement metric. *)
+let placed_member_centers placement members =
+  List.filter_map
+    (fun cid ->
+      if Placement.is_placed placement cid then
+        Some (Placement.center placement cid)
+      else None)
+    members
+
+let execute_one_merge ctx occ infos (c : Candidate.t) outcome =
+  let placement = ctx.placement in
+  let members = c.Candidate.member_cids in
+  let member_centroid =
+    match placed_member_centers placement members with
+    | [] -> None
+    | centers -> Some (Point.centroid centers)
   in
+  match
+    Mapping.for_members ctx.library infos ~members:c.Candidate.members
+      ~target_bits:c.Candidate.target_bits
+  with
+  | None -> outcome (* no cell (cannot happen for enumerated candidates) *)
+  | Some cell -> (
+    (* free the members' sites first: the best MBR spot usually is
+       where its registers were *)
+    List.iter
+      (fun cid ->
+        if Placement.is_placed placement cid then
+          Legalizer.Occupancy.remove occ (Placement.footprint placement cid))
+      members;
+    let assignment = Compose.bit_assignment placement members in
+    let conns =
+      Mbr_placer.conn_boxes placement ~cell ~assignment ~exclude:members
+    in
+    let desired, _ =
+      Mbr_placer.optimal_corner ~cell ~conns ~region:c.Candidate.region
+    in
+    match legalize_merge occ ~cell ~region:c.Candidate.region ~desired with
+    | Some corner ->
+      let id =
+        Compose.execute placement { Compose.member_cids = members; cell; corner }
+      in
+      Legalizer.Occupancy.add occ (Placement.footprint placement id);
+      let displacement =
+        match member_centroid with
+        | Some old_center ->
+          Point.manhattan old_center (Placement.center placement id)
+        | None -> 0.0
+      in
+      {
+        mo_new_mbrs = id :: outcome.mo_new_mbrs;
+        mo_n_incomplete =
+          (outcome.mo_n_incomplete + if c.Candidate.incomplete then 1 else 0);
+        mo_n_regs_merged = outcome.mo_n_regs_merged + List.length members;
+        mo_displacement = outcome.mo_displacement +. displacement;
+      }
+    | None ->
+      (* nowhere to put it: abandon the merge, restore occupancy *)
+      List.iter
+        (fun cid ->
+          if Placement.is_placed placement cid then
+            Legalizer.Occupancy.add occ (Placement.footprint placement cid))
+        members;
+      outcome)
+
+let stage_merge ctx graph (selection : Allocate.selection) =
+  stage ctx "merge" (fun () ->
+      let occ = Legalizer.Occupancy.of_placement ctx.placement in
+      let infos = graph.Compat.infos in
+      let outcome =
+        List.fold_left
+          (fun acc c -> execute_one_merge ctx occ infos c acc)
+          {
+            mo_new_mbrs = [];
+            mo_n_incomplete = 0;
+            mo_n_regs_merged = 0;
+            mo_displacement = 0.0;
+          }
+          selection.Allocate.merges
+      in
+      { outcome with mo_new_mbrs = List.rev outcome.mo_new_mbrs })
+
+(* Re-stitch the scan chains the composition broke: removed members
+   leave dangling SI/SO hops, and new MBRs need threading (§2's scan
+   rules guaranteed this stays possible). No-op without scan cells. *)
+let stage_scan_restitch ctx =
+  stage ctx "scan-restitch" (fun () -> Mbr_dft.Scan_stitch.stitch ctx.placement)
+
+(* splice the merge/scan edits into the timing graph, then useful
+   skew + sizing; skews live in the engine so they carry through *)
+let stage_skew ctx =
+  stage ctx "skew" (fun () ->
+      match ctx.options.skew with
+      | Some cfg -> Some (Skew.optimize ~config:cfg ctx.eng)
+      | None ->
+        Engine.refresh ctx.eng;
+        None)
+
+let stage_resize ctx new_mbrs =
+  stage ctx "resize" (fun () ->
+      match ctx.options.resize with
+      | Some cfg -> Resize.downsize ~config:cfg ctx.eng ctx.library new_mbrs
+      | None -> 0)
+
+(* pin caps changed under resize: the final refresh inside the metrics
+   pass absorbs the retypes *)
+let stage_metrics_after ctx =
+  stage ctx "metrics-after" (fun () -> collect_metrics ctx)
+
+let run ?(options = default_options) ~design ~placement ~library ~sta_config () =
+  if Placement.design placement != design then
+    invalid_arg "Flow.run: placement does not belong to the given design";
+  let t0 = Unix.gettimeofday () in
   (* The one full graph construction of the run: every later stage
      brings this same engine up to date through Engine.refresh, which
      consumes the design/placement edit logs instead of rebuilding. *)
   let eng = Engine.build ~config:sta_config placement in
-  let before =
-    stage "metrics-before" (fun () ->
-        Metrics.collect ?route_config:options.route_config
-          ?cts_config:options.cts_config eng library)
-  in
-  (* optional pre-pass: open up max-width MBRs for recomposition *)
-  let n_split =
-    stage "decompose" (fun () ->
-        if options.decompose then begin
-          let report = Decompose.split_max_width placement library in
-          Engine.refresh eng;
-          report.Decompose.n_split
-        end
-        else 0)
-  in
-  let graph =
-    stage "compat-graph" (fun () ->
-        Compat.build_graph ~config:options.compat eng library)
-  in
+  let ctx = { options; placement; library; eng; stage_times_rev = [] } in
+  let before = stage_metrics_before ctx in
+  let n_split = stage_decompose ctx in
+  let graph = stage_compat_graph ctx in
   let blocker_index = blocker_index_of placement in
-  let selection =
-    stage "allocate" (fun () ->
-        Allocate.run ~mode:options.mode ~config:options.allocate graph
-          ~lib:library ~blocker_index)
-  in
-  let merge_t0 = Unix.gettimeofday () in
-  let occ = Legalizer.Occupancy.of_placement placement in
-  let infos = graph.Compat.infos in
-  let new_mbrs = ref [] in
-  let n_incomplete = ref 0 in
-  let n_regs_merged = ref 0 in
-  let merge_displacement = ref 0.0 in
-  List.iter
-    (fun (c : Candidate.t) ->
-      let members = c.Candidate.member_cids in
-      let member_centroid =
-        match
-          List.filter_map (fun cid -> Placement.location_opt placement cid) members
-        with
-        | [] -> None
-        | _ ->
-          Some
-            (Point.centroid
-               (List.filter_map
-                  (fun cid ->
-                    if Placement.is_placed placement cid then
-                      Some (Placement.center placement cid)
-                    else None)
-                  members))
-      in
-      match
-        Mapping.for_members library infos ~members:c.Candidate.members
-          ~target_bits:c.Candidate.target_bits
-      with
-      | None -> () (* no cell (cannot happen for enumerated candidates) *)
-      | Some cell ->
-        (* free the members' sites first: the best MBR spot usually is
-           where its registers were *)
-        List.iter
-          (fun cid ->
-            if Placement.is_placed placement cid then
-              Legalizer.Occupancy.remove occ (Placement.footprint placement cid))
-          members;
-        let assignment = Compose.bit_assignment placement members in
-        let conns =
-          Mbr_placer.conn_boxes placement ~cell ~assignment ~exclude:members
-        in
-        let desired, _ =
-          Mbr_placer.optimal_corner ~cell ~conns ~region:c.Candidate.region
-        in
-        (match legalize_merge occ ~cell ~region:c.Candidate.region ~desired with
-        | Some corner ->
-          let id =
-            Compose.execute placement
-              { Compose.member_cids = members; cell; corner }
-          in
-          Legalizer.Occupancy.add occ (Placement.footprint placement id);
-          new_mbrs := id :: !new_mbrs;
-          (match member_centroid with
-          | Some old_center ->
-            merge_displacement :=
-              !merge_displacement
-              +. Point.manhattan old_center (Placement.center placement id)
-          | None -> ());
-          if c.Candidate.incomplete then incr n_incomplete;
-          n_regs_merged := !n_regs_merged + List.length members
-        | None ->
-          (* nowhere to put it: abandon the merge, restore occupancy *)
-          List.iter
-            (fun cid ->
-              if Placement.is_placed placement cid then
-                Legalizer.Occupancy.add occ (Placement.footprint placement cid))
-            members))
-    selection.Allocate.merges;
-  let new_mbrs = List.rev !new_mbrs in
-  stage_times := ("merge", Unix.gettimeofday () -. merge_t0) :: !stage_times;
-  (* Re-stitch the scan chains the composition broke: removed members
-     leave dangling SI/SO hops, and new MBRs need threading (§2's scan
-     rules guaranteed this stays possible). No-op without scan cells. *)
-  let scan_report =
-    stage "scan-restitch" (fun () -> Mbr_dft.Scan_stitch.stitch placement)
-  in
-  (* splice the merge/scan edits into the timing graph, then useful
-     skew + sizing; skews live in the engine so they carry through *)
-  let skew_report =
-    stage "skew" (fun () ->
-        match options.skew with
-        | Some cfg -> Some (Skew.optimize ~config:cfg eng)
-        | None ->
-          Engine.refresh eng;
-          None)
-  in
-  let n_resized =
-    stage "resize" (fun () ->
-        match options.resize with
-        | Some cfg -> Resize.downsize ~config:cfg eng library new_mbrs
-        | None -> 0)
-  in
-  (* pin caps changed under resize: the final refresh inside the metrics
-     pass absorbs the retypes *)
-  let after =
-    stage "metrics-after" (fun () ->
-        Metrics.collect ?route_config:options.route_config
-          ?cts_config:options.cts_config eng library)
-  in
+  let selection = stage_allocate ctx graph ~blocker_index in
+  let merged = stage_merge ctx graph selection in
+  let scan_report = stage_scan_restitch ctx in
+  let skew_report = stage_skew ctx in
+  let n_resized = stage_resize ctx merged.mo_new_mbrs in
+  let after = stage_metrics_after ctx in
   {
     before;
     after;
     n_split;
     scan_chain_wl = scan_report.Mbr_dft.Scan_stitch.wirelength;
-    merge_displacement = !merge_displacement;
-    n_merges = List.length new_mbrs;
-    n_regs_merged = !n_regs_merged;
-    n_incomplete = !n_incomplete;
+    merge_displacement = merged.mo_displacement;
+    n_merges = List.length merged.mo_new_mbrs;
+    n_regs_merged = merged.mo_n_regs_merged;
+    n_incomplete = merged.mo_n_incomplete;
     n_resized;
     ilp_cost = selection.Allocate.cost;
     n_blocks = selection.Allocate.n_blocks;
     n_candidates = selection.Allocate.n_candidates;
     all_optimal = selection.Allocate.all_optimal;
+    alloc_jobs = (allocate_config options).Allocate.jobs;
+    alloc_block_times = selection.Allocate.block_times;
     skew_report;
-    new_mbrs;
+    new_mbrs = merged.mo_new_mbrs;
     runtime_s = Unix.gettimeofday () -. t0;
-    stage_times = List.rev !stage_times;
+    stage_times = List.rev ctx.stage_times_rev;
     sta_full_builds = Engine.full_builds eng;
     sta_refreshes = Engine.refreshes eng;
   }

@@ -5,6 +5,14 @@
     legalization → netlist rewrite → useful skew → MBR sizing →
     metrics.
 
+    Internally each arrow is a named stage function over one shared
+    flow context (the inputs, the single incremental STA engine, and
+    the stage-time accumulator); [run] just sequences them. The
+    allocation stage is the only parallel one: with [jobs >= 2] its
+    per-block solves fan out over a {!Mbr_util.Pool} of domains, with
+    results guaranteed identical to the serial order (see
+    {!Allocate}).
+
     The flow mutates the design and placement it is given; callers
     wanting a before/after comparison in hand get both metric bundles
     in the result. *)
@@ -15,6 +23,11 @@ type options = {
   mode : [ `Ilp | `Greedy_share | `Clique ];
       (** allocator: exact ILP, the Fig. 6 greedy on the same weighted
           candidates, or the external clique heuristic *)
+  jobs : int option;
+      (** worker domains for the allocate stage; [None] defers to
+          [allocate.jobs] (default 1 = serial), [Some j] overrides it.
+          The frontends' [-j 0] resolves to
+          {!Mbr_util.Pool.recommended_jobs} before it gets here. *)
   skew : Mbr_sta.Skew.config option;  (** None disables useful skew *)
   resize : Resize.config option;  (** None disables MBR sizing *)
   decompose : bool;
@@ -46,6 +59,11 @@ type result = {
   n_blocks : int;
   n_candidates : int;
   all_optimal : bool;
+  alloc_jobs : int;  (** worker domains the allocate stage ran with *)
+  alloc_block_times : Allocate.time_stats;
+      (** per-block solve-time histogram of the allocate stage
+          (max/mean/total seconds); [max_s] is the parallel critical
+          path, [total_s] the serial-equivalent work *)
   skew_report : Mbr_sta.Skew.report option;
   new_mbrs : Mbr_netlist.Types.cell_id list;
   runtime_s : float;
@@ -69,3 +87,5 @@ val run :
   sta_config:Mbr_sta.Engine.config ->
   unit ->
   result
+(** Raises [Invalid_argument] when [placement] was not built over
+    [design] (the two would silently drift apart mid-flow otherwise). *)

@@ -13,7 +13,13 @@ val remove : 'a t -> 'a -> Mbr_geom.Point.t -> unit
 (** Removes one occurrence of the (value, point) pair, if present. *)
 
 val query_rect : 'a t -> Mbr_geom.Rect.t -> ('a * Mbr_geom.Point.t) list
-(** All entries whose point lies in the closed rectangle. *)
+(** All entries whose point lies in the closed rectangle.
+
+    {b Domain safety:} a pure read — it never touches the index's
+    mutable state. Any number of domains may query the same index
+    concurrently provided no [add]/[remove] runs at the same time;
+    the allocate stage upholds this by fully populating the blocker
+    index before fanning out (see {!Allocate}). *)
 
 val size : 'a t -> int
 

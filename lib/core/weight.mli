@@ -22,7 +22,9 @@ val count_blockers :
   index:Mbr_netlist.Types.cell_id Spatial.t ->
   int
 (** Registers in [index] whose center lies inside [polygon], minus the
-    constituents. *)
+    constituents. Reads [index] through {!Spatial.query_rect} only —
+    safe from multiple domains under the read-only sharing invariant
+    of {!Allocate}. *)
 
 val formula : bits:int -> blockers:int -> float
 (** The three-case weight above (for multi-register candidates).

@@ -16,7 +16,10 @@ type design_run = {
   hist_after : (int * int) list;
 }
 
-let run_profile ?(options = Flow.default_options) profile =
+let run_profile ?(options = Flow.default_options) ?jobs profile =
+  let options =
+    match jobs with None -> options | Some _ -> { options with Flow.jobs }
+  in
   let g = G.generate profile in
   let hist_before = G.width_histogram g.G.design in
   let result =
@@ -177,13 +180,15 @@ type fig6_row = {
   heuristic_regs : int;
 }
 
-let fig6 profiles =
+let fig6 ?jobs profiles =
   let rows =
     List.map
       (fun p ->
-        let ilp = run_profile p in
+        let ilp = run_profile ?jobs p in
         let greedy =
-          run_profile ~options:{ Flow.default_options with Flow.mode = `Greedy_share } p
+          run_profile ?jobs
+            ~options:{ Flow.default_options with Flow.mode = `Greedy_share }
+            p
         in
         {
           name = p.P.name;
@@ -241,7 +246,7 @@ let with_candidate_cfg options f =
       };
   }
 
-let ablation_partition_bound profile bounds =
+let ablation_partition_bound ?jobs profile bounds =
   let tab =
     Texttab.create
       ~headers:[ "Partition bound"; "Final regs"; "Merged"; "Blocks"; "Runtime s" ]
@@ -254,7 +259,7 @@ let ablation_partition_bound profile bounds =
           Flow.allocate = { Allocate.default_config with Allocate.partition_bound = bound };
         }
       in
-      let r = run_profile ~options profile in
+      let r = run_profile ~options ?jobs profile in
       Texttab.add_row tab
         [
           string_of_int bound;
@@ -267,13 +272,13 @@ let ablation_partition_bound profile bounds =
   Texttab.render tab
   ^ "(paper section 3: below ~20 the QoR drops; above 30 only runtime grows)\n"
 
-let ablation_weights profile =
+let ablation_weights ?jobs profile =
   let run use_weights =
     let options =
       with_candidate_cfg Flow.default_options (fun c ->
           { c with Candidate.use_weights })
     in
-    run_profile ~options profile
+    run_profile ~options ?jobs profile
   in
   let w = run true and nw = run false in
   let tab =
@@ -294,13 +299,13 @@ let ablation_weights profile =
   ^ "(without weights the ILP merges intertwined groups: more merges, but\n\
      blocked hulls compete for routing — the paper's section 3.2 rationale)\n"
 
-let ablation_incomplete profile =
+let ablation_incomplete ?jobs profile =
   let run allow =
     let options =
       with_candidate_cfg Flow.default_options (fun c ->
           { c with Candidate.allow_incomplete = allow })
     in
-    run_profile ~options profile
+    run_profile ~options ?jobs profile
   in
   let on = run true and off = run false in
   let tab =
@@ -320,13 +325,14 @@ let ablation_incomplete profile =
   row "disabled" off;
   Texttab.render tab
 
-let ablation_global_entry profile =
+let ablation_global_entry ?jobs profile =
   let run global =
     let g = G.generate profile in
     if global then G.to_global_placement g;
+    let options = { Flow.default_options with Flow.jobs } in
     let r =
-      Flow.run ~design:g.G.design ~placement:g.G.placement ~library:g.G.library
-        ~sta_config:g.G.sta_config ()
+      Flow.run ~options ~design:g.G.design ~placement:g.G.placement
+        ~library:g.G.library ~sta_config:g.G.sta_config ()
     in
     r
   in
@@ -351,9 +357,9 @@ let ablation_global_entry profile =
   ^ "(the paper's conclusion: the flow applies at either entry point;\n\
      the global-placement run works with overlapping, off-grid cells)\n"
 
-let ablation_decompose profile =
+let ablation_decompose ?jobs profile =
   let run decompose =
-    run_profile ~options:{ Flow.default_options with Flow.decompose } profile
+    run_profile ~options:{ Flow.default_options with Flow.decompose } ?jobs profile
   in
   let off = run false and on = run true in
   let tab =
@@ -377,10 +383,10 @@ let ablation_decompose profile =
   ^ "(the split halves may re-merge with better partners; the paper\n\
      proposes exactly this for designs like D4 that start 8-bit-rich)\n"
 
-let ablation_skew profile =
+let ablation_skew ?jobs profile =
   let run skew =
     let options = { Flow.default_options with Flow.skew; resize = None } in
-    run_profile ~options profile
+    run_profile ~options ?jobs profile
   in
   let on = run (Some Mbr_sta.Skew.default_config) and off = run None in
   let tab =

@@ -11,8 +11,14 @@ type design_run = {
 }
 
 val run_profile :
-  ?options:Mbr_core.Flow.options -> Mbr_designgen.Profile.t -> design_run
-(** Generate the design and run the full Fig. 4 flow. *)
+  ?options:Mbr_core.Flow.options ->
+  ?jobs:int ->
+  Mbr_designgen.Profile.t ->
+  design_run
+(** Generate the design and run the full Fig. 4 flow. [jobs] (worker
+    domains for the allocate stage) overrides [options.jobs] when
+    given; the selection is identical at any value (see
+    {!Mbr_core.Allocate}). *)
 
 val table1 : design_run list -> string
 (** The paper's Table 1: Base / Ours / Save rows per design. *)
@@ -31,32 +37,32 @@ type fig6_row = {
   heuristic_regs : int;
 }
 
-val fig6 : Mbr_designgen.Profile.t list -> fig6_row list * string
+val fig6 : ?jobs:int -> Mbr_designgen.Profile.t list -> fig6_row list * string
 (** Runs each profile twice (ILP vs the greedy allocator on the same
     weighted candidates) and renders the normalized comparison. *)
 
 val ablation_partition_bound :
-  Mbr_designgen.Profile.t -> int list -> string
+  ?jobs:int -> Mbr_designgen.Profile.t -> int list -> string
 (** §3's partition-bound discussion: QoR and runtime for each bound. *)
 
-val ablation_weights : Mbr_designgen.Profile.t -> string
+val ablation_weights : ?jobs:int -> Mbr_designgen.Profile.t -> string
 (** §3.2's weighting: with the placement-aware weights vs without
     (every merge weighted 1/bits), reporting blocked-hull merges and
     congestion alongside register count. *)
 
-val ablation_incomplete : Mbr_designgen.Profile.t -> string
+val ablation_incomplete : ?jobs:int -> Mbr_designgen.Profile.t -> string
 (** Incomplete MBRs off/on (§3, §5's 5 % rule). *)
 
-val ablation_skew : Mbr_designgen.Profile.t -> string
+val ablation_skew : ?jobs:int -> Mbr_designgen.Profile.t -> string
 (** Useful skew off/on after composition (Fig. 4). *)
 
-val ablation_global_entry : Mbr_designgen.Profile.t -> string
+val ablation_global_entry : ?jobs:int -> Mbr_designgen.Profile.t -> string
 (** The conclusion's claim that composition "can be applied
     incrementally both after global and detailed placement": the same
     design composed from a legalized snapshot and from a jittered
     global-placement snapshot. *)
 
-val ablation_decompose : Mbr_designgen.Profile.t -> string
+val ablation_decompose : ?jobs:int -> Mbr_designgen.Profile.t -> string
 (** The paper's §5 future work, implemented: decompose max-width MBRs
     before composition and recompose. Most interesting on the
     8-bit-rich D4, where the paper says plain composition helps

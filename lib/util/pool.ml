@@ -1,0 +1,39 @@
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let map_array ?(chunk = 1) ~jobs f tasks =
+  if jobs < 1 then invalid_arg "Pool.map_array: jobs < 1";
+  if chunk < 1 then invalid_arg "Pool.map_array: chunk < 1";
+  let n = Array.length tasks in
+  if jobs = 1 || n <= 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* first failure wins; its presence also stops further claims *)
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get failure <> None then continue := false
+        else begin
+          let stop = min n (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              results.(i) <- Some (f tasks.(i))
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+            continue := false
+        end
+      done
+    in
+    let spawned = Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    (* the calling domain is worker number [jobs] *)
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end

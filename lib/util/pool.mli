@@ -1,0 +1,36 @@
+(** Fixed-size domain pool for embarrassingly parallel fan-out.
+
+    [map_array ~jobs f tasks] applies [f] to every element of [tasks]
+    and returns the results in task order. With [jobs = 1] (or at most
+    one task) it is exactly [Array.map f tasks] on the calling domain —
+    no domain is ever spawned, so a serial configuration pays nothing
+    and behaves identically to hand-written serial code. With
+    [jobs >= 2] it spawns [min (jobs - 1) (n - 1)] worker domains; the
+    calling domain works too, so [jobs] is the total parallelism.
+
+    Work distribution is an atomic index over the task array: each
+    worker repeatedly claims the next chunk of [chunk] consecutive
+    indices ([1] by default — right for coarse tasks like per-block ILP
+    solves; raise it for many tiny tasks). Every result lands in the
+    slot of its task index, so the output is deterministic and
+    independent of scheduling.
+
+    [f] must be safe to call from multiple domains at once: it may
+    freely mutate state it creates itself, but anything reachable from
+    the shared [tasks] (or captured by [f]'s closure) must only be
+    read. All callers in this repo uphold that by construction — see
+    the read-only sharing invariant in [Mbr_core.Allocate].
+
+    If any call to [f] raises, the pool stops handing out new chunks,
+    the remaining workers drain, and the first exception (in claim
+    order) is re-raised on the calling domain with its original
+    backtrace. *)
+
+val recommended_jobs : unit -> int
+(** The runtime's parallelism estimate
+    ({!Domain.recommended_domain_count}), never below 1. The [-j 0] /
+    [jobs = None] auto setting of the frontends resolves to this. *)
+
+val map_array : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** See above. Raises [Invalid_argument] when [jobs < 1] or
+    [chunk < 1]. *)

@@ -1,0 +1,134 @@
+(* Tests for Mbr_util.Pool: the fixed-size domain pool behind the
+   parallel allocate stage. Determinism (results land in task order),
+   the jobs = 1 serial degeneration, chunking, exception propagation,
+   and a qcheck equivalence against Array.map. *)
+
+module Pool = Mbr_util.Pool
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let int_array = Alcotest.(array int)
+
+let test_recommended_jobs () =
+  check "at least one job" true (Pool.recommended_jobs () >= 1)
+
+let test_empty () =
+  List.iter
+    (fun jobs ->
+      checki
+        (Printf.sprintf "empty array, jobs=%d" jobs)
+        0
+        (Array.length (Pool.map_array ~jobs (fun x -> x * 2) [||])))
+    [ 1; 2; 8 ]
+
+let test_tasks_exceed_jobs () =
+  (* far more tasks than workers: the atomic index must hand out every
+     task exactly once and every result must land in its own slot *)
+  let n = 500 in
+  let tasks = Array.init n (fun i -> i) in
+  let expected = Array.map (fun i -> (i * i) + 1) tasks in
+  List.iter
+    (fun jobs ->
+      Alcotest.check int_array
+        (Printf.sprintf "%d tasks on %d jobs" n jobs)
+        expected
+        (Pool.map_array ~jobs (fun i -> (i * i) + 1) tasks))
+    [ 2; 3; 4; 7 ]
+
+let test_jobs_one_is_serial () =
+  (* jobs = 1 must run on the calling domain, in index order, without
+     spawning: observable as strictly sequential side effects *)
+  let order = ref [] in
+  let self = Domain.self () in
+  let r =
+    Pool.map_array ~jobs:1
+      (fun i ->
+        check "runs on the calling domain" true (Domain.self () = self);
+        order := i :: !order;
+        i * 3)
+      (Array.init 20 (fun i -> i))
+  in
+  Alcotest.check int_array "results" (Array.init 20 (fun i -> i * 3)) r;
+  Alcotest.(check (list int)) "index order" (List.init 20 (fun i -> 19 - i)) !order
+
+let test_chunking () =
+  let n = 101 in
+  let tasks = Array.init n (fun i -> i) in
+  let expected = Array.map (fun i -> i + 7) tasks in
+  List.iter
+    (fun chunk ->
+      Alcotest.check int_array
+        (Printf.sprintf "chunk=%d" chunk)
+        expected
+        (Pool.map_array ~chunk ~jobs:3 (fun i -> i + 7) tasks))
+    [ 1; 2; 16; 1000 ]
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let tasks = Array.init 64 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map_array ~jobs (fun i -> if i = 33 then raise (Boom i) else i) tasks
+      with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 33 -> ()
+      | exception e ->
+        Alcotest.failf "wrong exception: %s" (Printexc.to_string e))
+    [ 1; 2; 4 ]
+
+let test_exception_stops_pool () =
+  (* after a failure no new chunks are claimed: with 1000 tasks and an
+     immediate failure, far fewer than 1000 tasks run *)
+  let ran = Atomic.make 0 in
+  (match
+     Pool.map_array ~jobs:2
+       (fun i ->
+         Atomic.incr ran;
+         if i = 0 then failwith "early";
+         i)
+       (Array.init 1000 (fun i -> i))
+   with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ());
+  check "pool stopped early" true (Atomic.get ran < 1000)
+
+let test_invalid_args () =
+  (match Pool.map_array ~jobs:0 Fun.id [| 1 |] with
+  | _ -> Alcotest.fail "jobs=0 accepted"
+  | exception Invalid_argument _ -> ());
+  match Pool.map_array ~chunk:0 ~jobs:2 Fun.id [| 1; 2 |] with
+  | _ -> Alcotest.fail "chunk=0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* qcheck: pool = Array.map for arbitrary tasks/jobs/chunk *)
+let prop_matches_array_map =
+  QCheck2.Test.make ~count:200 ~name:"pool.map_array = Array.map"
+    QCheck2.Gen.(
+      triple (array_size (int_bound 200) int) (int_range 1 6) (int_range 1 32))
+    (fun (tasks, jobs, chunk) ->
+      let f x = (x * 31) + 5 in
+      Pool.map_array ~chunk ~jobs f tasks = Array.map f tasks)
+
+let () =
+  Alcotest.run "mbr_util.pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
+          Alcotest.test_case "empty array" `Quick test_empty;
+          Alcotest.test_case "tasks > jobs" `Quick test_tasks_exceed_jobs;
+          Alcotest.test_case "jobs=1 serial" `Quick test_jobs_one_is_serial;
+          Alcotest.test_case "chunking" `Quick test_chunking;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "exception stops pool" `Quick
+            test_exception_stops_pool;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        ] );
+      ( "qcheck",
+        [ QCheck_alcotest.to_alcotest prop_matches_array_map ] );
+    ]
