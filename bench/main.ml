@@ -9,14 +9,17 @@
      4. Ablations (partition bound, weights, incomplete, skew, decompose)
      5. Runtime scaling (flow wall time + per-stage breakdown)
      5b. Allocate-stage parallel scaling (serial vs domain pool)
+     5c. ECO recompose (persistent session vs from-scratch re-run)
      6. Kernel microbenchmarks (bechamel)
 
-   Sections 5, 5b and 6 also emit BENCH.json (machine-readable numbers
-   for regression tracking; schema documented in EXPERIMENTS.md).
+   Sections 5, 5b, 5c and 6 also emit BENCH.json (machine-readable
+   numbers for regression tracking; schema documented in
+   EXPERIMENTS.md).
 
    `bench/main.exe --smoke` instead runs only a tiny design through the
-   parallel (jobs = 2) allocate path and checks it against serial — the
-   CI smoke test for the domain-pool code path (a few seconds, no
+   parallel (jobs = 2) allocate path plus one ECO perturb + recompose
+   round and checks both against from-scratch results — the CI smoke
+   test for the domain-pool and session code paths (a few seconds, no
    BENCH.json rewrite).
 
    Expected wall time (full run): a few minutes. *)
@@ -24,6 +27,8 @@
 module E = Mbr_harness.Experiments
 module P = Mbr_designgen.Profile
 module G = Mbr_designgen.Generate
+module Eco = Mbr_designgen.Eco
+module Flow = Mbr_core.Flow
 
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
@@ -271,6 +276,107 @@ let section_allocate_scaling () =
      it near 1.0 and only the scheduling overhead shows)";
   rows
 
+(* ---- ECO recompose: persistent session vs from-scratch flow (5c) ---- *)
+
+type eco_row = {
+  ec_profile : string;
+  ec_scale : float;
+  ec_round : int;
+  ec_edits : int;
+  ec_blocks : int;
+  ec_resolved : int;
+  ec_reused : int;
+  ec_full_s : float;  (* from-scratch Flow.run on the lockstep copy *)
+  ec_recompose_s : float;  (* Session.recompose on the session copy *)
+  ec_identical : bool;  (* final metrics match to 1e-6 *)
+}
+
+let results_close (ra : Flow.result) (rb : Flow.result) =
+  let module M = Mbr_core.Metrics in
+  let close a b =
+    a = b || (Float.is_finite a && Float.is_finite b && Float.abs (a -. b) <= 1e-6)
+  in
+  ra.Flow.after.M.total_regs = rb.Flow.after.M.total_regs
+  && ra.Flow.n_merges = rb.Flow.n_merges
+  && close ra.Flow.ilp_cost rb.Flow.ilp_cost
+  && close ra.Flow.after.M.wns rb.Flow.after.M.wns
+  && close ra.Flow.after.M.tns rb.Flow.after.M.tns
+
+(* Lockstep protocol (same as test_flow_eco): two identically-seeded
+   design copies; each round perturbs both with identically-seeded
+   batches, then copy A advances by the session's recompose and copy B
+   by a from-scratch Flow.run. Determinism keeps the copies in
+   lockstep, so the two wall times price the same work. *)
+let eco_sweep ?(converge_rounds = 3) ?(eco_rounds = 2) profile scale =
+  let p = P.scaled profile scale in
+  let ga = G.generate p and gb = G.generate p in
+  let session =
+    Flow.Session.create ~design:ga.G.design ~placement:ga.G.placement
+      ~library:ga.G.library ~sta_config:ga.G.sta_config ()
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let recompose () = timed (fun () -> Flow.Session.recompose session) in
+  let fresh () =
+    timed (fun () ->
+        Flow.run ~design:gb.G.design ~placement:gb.G.placement
+          ~library:gb.G.library ~sta_config:gb.G.sta_config ())
+  in
+  (* settle both copies: the first rounds still merge registers *)
+  for _ = 1 to converge_rounds do
+    ignore (recompose ());
+    ignore (fresh ())
+  done;
+  List.init eco_rounds (fun i ->
+      let round = i + 1 in
+      let batch_seed = 1000 + (97 * round) in
+      let sa = Eco.perturb (Mbr_util.Rng.create batch_seed) ga in
+      ignore (Eco.perturb (Mbr_util.Rng.create batch_seed) gb);
+      let ra, ta = recompose () in
+      let rb, tb = fresh () in
+      {
+        ec_profile = p.P.name;
+        ec_scale = scale;
+        ec_round = round;
+        ec_edits = Eco.total sa;
+        ec_blocks = ra.Flow.n_blocks;
+        ec_resolved = ra.Flow.eco_blocks_resolved;
+        ec_reused = ra.Flow.eco_blocks_reused;
+        ec_full_s = tb;
+        ec_recompose_s = ta;
+        ec_identical = results_close ra rb;
+      })
+
+let section_eco () =
+  banner
+    "5c. ECO recompose (persistent session vs from-scratch flow, 10% \
+     perturbation)";
+  Printf.printf "%-8s %-7s %-6s %-6s %-14s %-8s %-10s %-8s %s\n" "design"
+    "scale" "round" "edits" "blocks rslv/n" "reused" "full s" "eco s"
+    "identical";
+  let rows =
+    List.concat_map (fun scale -> eco_sweep P.d1 scale) [ 1.0; 2.0 ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %-7.2f %-6d %-6d %5d/%-8d %-8d %-10.3f %-8.3f %s\n%!"
+        r.ec_profile r.ec_scale r.ec_round r.ec_edits r.ec_resolved r.ec_blocks
+        r.ec_reused r.ec_full_s r.ec_recompose_s
+        (if r.ec_identical then "yes" else "NO (BUG)");
+      if not r.ec_identical then
+        failwith "recompose diverged from the from-scratch flow";
+      if r.ec_reused = 0 || r.ec_resolved >= r.ec_blocks then
+        failwith "recompose re-solved every block on a localized ECO")
+    rows;
+  print_endline
+    "\n(identical final metrics by the lockstep protocol; recompose skips\n\
+     the blocks the ECO left untouched, so its allocate stage scales with\n\
+     the perturbation, not the design)";
+  rows
+
 (* ---- --smoke: the CI parallel-path check (tiny design, jobs = 2) ---- *)
 
 let smoke () =
@@ -296,6 +402,17 @@ let smoke () =
     r.Mbr_core.Flow.n_blocks r.Mbr_core.Flow.runtime_s;
   if r.Mbr_core.Flow.alloc_jobs <> 2 then failwith "smoke: jobs not plumbed";
   if r.Mbr_core.Flow.n_merges <= 0 then failwith "smoke: no merges";
+  (* and one ECO perturb + recompose round against a lockstep re-run *)
+  let rows = eco_sweep ~converge_rounds:2 ~eco_rounds:1 (P.tiny ~seed:3) 1.0 in
+  List.iter
+    (fun e ->
+      Printf.printf
+        "eco: %d edits, %d/%d blocks re-solved (%d reused), identical=%b\n"
+        e.ec_edits e.ec_resolved e.ec_blocks e.ec_reused e.ec_identical;
+      if not e.ec_identical then failwith "smoke: recompose diverged";
+      if e.ec_resolved + e.ec_reused <> e.ec_blocks then
+        failwith "smoke: reuse counters do not cover the partition")
+    rows;
   print_endline "smoke OK"
 
 let section_scaling () =
@@ -356,11 +473,11 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling =
+let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 2,\n";
+  p "  \"schema_version\": 3,\n";
   p "  \"generated_by\": \"bench/main.exe\",\n";
   p "  \"kernels\": [\n";
   List.iteri
@@ -424,6 +541,20 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling =
         (json_float a.as_block_mean_s) (json_float a.as_block_max_s)
         (if i = List.length alloc_scaling - 1 then "" else ","))
     alloc_scaling;
+  p "  ],\n";
+  p "  \"eco_recompose\": [\n";
+  List.iteri
+    (fun i e ->
+      p
+        "    {\"profile\": \"%s\", \"scale\": %s, \"round\": %d, \
+         \"edits\": %d, \"blocks\": %d, \"blocks_resolved\": %d, \
+         \"blocks_reused\": %d, \"full_run_s\": %s, \"recompose_s\": %s, \
+         \"identical\": %b}%s\n"
+        (json_escape e.ec_profile) (json_float e.ec_scale) e.ec_round
+        e.ec_edits e.ec_blocks e.ec_resolved e.ec_reused
+        (json_float e.ec_full_s) (json_float e.ec_recompose_s) e.ec_identical
+        (if i = List.length eco_rows - 1 then "" else ","))
+    eco_rows;
   p "  ]\n";
   p "}\n";
   close_out oc;
@@ -437,8 +568,10 @@ let () =
     section_ablations ();
     let scaling = section_scaling () in
     let alloc_scaling = section_allocate_scaling () in
+    let eco_rows = section_eco () in
     let kernels = section_kernels () in
-    emit_bench_json ~path:"BENCH.json" ~kernels ~scaling ~alloc_scaling;
+    emit_bench_json ~path:"BENCH.json" ~kernels ~scaling ~alloc_scaling
+      ~eco_rows;
     banner "done";
     print_endline
       "Recorded paper-vs-measured comparisons live in EXPERIMENTS.md;\n\

@@ -2,6 +2,7 @@
 
    Subcommands:
      run       run the full flow on one design profile
+     eco       persistent session: perturb + recompose rounds
      table1    regenerate the paper's Table 1 on D1-D5
      fig5      MBR bit-width histograms before/after
      fig6      ILP vs heuristic allocator comparison
@@ -12,94 +13,102 @@
 
 open Cmdliner
 module P = Mbr_designgen.Profile
+module G = Mbr_designgen.Generate
+module Eco = Mbr_designgen.Eco
 module Flow = Mbr_core.Flow
 module Metrics = Mbr_core.Metrics
 module Allocate = Mbr_core.Allocate
 module Candidate = Mbr_core.Candidate
 module E = Mbr_harness.Experiments
 
-let profile_of_name name seed scale =
-  let base =
-    match String.lowercase_ascii name with
-    | "d1" -> P.d1
-    | "d2" -> P.d2
-    | "d3" -> P.d3
-    | "d4" -> P.d4
-    | "d5" -> P.d5
-    | "tiny" -> P.tiny ~seed:(match seed with Some s -> s | None -> 1)
-    | other -> failwith (Printf.sprintf "unknown profile %S (d1..d5, tiny)" other)
-  in
-  let base = match seed with Some s -> { base with P.seed = s } | None -> base in
-  P.scaled base scale
+(* Everything every subcommand shares: profile resolution, option
+   assembly, and the cmdliner terms themselves. Subcommands compose
+   their Term from these — no per-command redefinitions. *)
+module Common_args = struct
+  let profile_of_name name seed scale =
+    let base =
+      match String.lowercase_ascii name with
+      | "d1" -> P.d1
+      | "d2" -> P.d2
+      | "d3" -> P.d3
+      | "d4" -> P.d4
+      | "d5" -> P.d5
+      | "tiny" -> P.tiny ~seed:(match seed with Some s -> s | None -> 1)
+      | other -> failwith (Printf.sprintf "unknown profile %S (d1..d5, tiny)" other)
+    in
+    let base = match seed with Some s -> { base with P.seed = s } | None -> base in
+    P.scaled base scale
 
-(* -j 0 means "use every core the runtime recommends" *)
-let resolve_jobs = function
-  | None -> None
-  | Some 0 -> Some (Mbr_util.Pool.recommended_jobs ())
-  | Some n -> Some n
+  (* -j 0 means "use every core the runtime recommends" *)
+  let resolve_jobs = function
+    | None -> None
+    | Some 0 -> Some (Mbr_util.Pool.recommended_jobs ())
+    | Some n -> Some n
 
-let options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs =
-  let mode =
-    match String.lowercase_ascii mode with
-    | "ilp" -> `Ilp
-    | "greedy" -> `Greedy_share
-    | "clique" -> `Clique
-    | other -> failwith (Printf.sprintf "unknown mode %S (ilp|greedy|clique)" other)
-  in
-  {
-    Flow.default_options with
-    Flow.mode;
-    decompose;
-    jobs = resolve_jobs jobs;
-    skew = (if no_skew then None else Flow.default_options.Flow.skew);
-    allocate =
-      {
-        Allocate.default_config with
-        Allocate.partition_bound = bound;
-        candidate =
-          {
-            Candidate.default_config with
-            Candidate.allow_incomplete = not no_incomplete;
-          };
-      };
-  }
+  let options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs =
+    let mode =
+      match String.lowercase_ascii mode with
+      | "ilp" -> `Ilp
+      | "greedy" -> `Greedy_share
+      | "clique" -> `Clique
+      | other -> failwith (Printf.sprintf "unknown mode %S (ilp|greedy|clique)" other)
+    in
+    {
+      Flow.default_options with
+      Flow.mode;
+      decompose;
+      jobs = resolve_jobs jobs;
+      skew = (if no_skew then None else Flow.default_options.Flow.skew);
+      allocate =
+        {
+          Allocate.default_config with
+          Allocate.partition_bound = bound;
+          candidate =
+            {
+              Candidate.default_config with
+              Candidate.allow_incomplete = not no_incomplete;
+            };
+        };
+    }
 
-(* shared args *)
-let profile_arg =
-  Arg.(value & opt string "d1" & info [ "p"; "profile" ] ~docv:"NAME"
-         ~doc:"Design profile: d1..d5 or tiny.")
+  let profile_arg =
+    Arg.(value & opt string "d1" & info [ "p"; "profile" ] ~docv:"NAME"
+           ~doc:"Design profile: d1..d5 or tiny.")
 
-let seed_arg =
-  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
-         ~doc:"Override the profile's RNG seed.")
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+           ~doc:"Override the profile's RNG seed.")
 
-let scale_arg =
-  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F"
-         ~doc:"Scale the register count (e.g. 0.25 for a quick run).")
+  let scale_arg =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F"
+           ~doc:"Scale the register count (e.g. 0.25 for a quick run).")
 
-let mode_arg =
-  Arg.(value & opt string "ilp" & info [ "mode" ] ~docv:"M"
-         ~doc:"Allocator: ilp, greedy (weighted heuristic) or clique.")
+  let mode_arg =
+    Arg.(value & opt string "ilp" & info [ "mode" ] ~docv:"M"
+           ~doc:"Allocator: ilp, greedy (weighted heuristic) or clique.")
 
-let no_skew_arg =
-  Arg.(value & flag & info [ "no-skew" ] ~doc:"Disable useful skew after composition.")
+  let no_skew_arg =
+    Arg.(value & flag & info [ "no-skew" ] ~doc:"Disable useful skew after composition.")
 
-let no_incomplete_arg =
-  Arg.(value & flag & info [ "no-incomplete" ] ~doc:"Disallow incomplete MBRs.")
+  let no_incomplete_arg =
+    Arg.(value & flag & info [ "no-incomplete" ] ~doc:"Disallow incomplete MBRs.")
 
-let bound_arg =
-  Arg.(value & opt int 30 & info [ "bound" ] ~docv:"N"
-         ~doc:"K-partition node bound (paper: 30).")
+  let bound_arg =
+    Arg.(value & opt int 30 & info [ "bound" ] ~docv:"N"
+           ~doc:"K-partition node bound (paper: 30).")
 
-let decompose_arg =
-  Arg.(value & flag & info [ "decompose" ]
-         ~doc:"Decompose max-width MBRs before composing (paper's future work).")
+  let decompose_arg =
+    Arg.(value & flag & info [ "decompose" ]
+           ~doc:"Decompose max-width MBRs before composing (paper's future work).")
 
-let jobs_arg =
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Worker domains for the per-block allocate stage (default 1 = \
-               serial; 0 = auto-detect cores). Results are identical at any \
-               setting.")
+  let jobs_arg =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the per-block allocate stage (default 1 = \
+                 serial; 0 = auto-detect cores). Results are identical at any \
+                 setting.")
+end
+
+open Common_args
 
 let run_cmd =
   let run profile seed scale mode no_skew no_incomplete bound decompose jobs =
@@ -124,6 +133,58 @@ let run_cmd =
     Term.(const run $ profile_arg $ seed_arg $ scale_arg $ mode_arg
           $ no_skew_arg $ no_incomplete_arg $ bound_arg $ decompose_arg
           $ jobs_arg)
+
+let eco_cmd =
+  let run profile seed scale mode jobs rounds eco_seed move_frac =
+    let p = profile_of_name profile seed scale in
+    let options =
+      options_of ~mode ~no_skew:false ~no_incomplete:false ~bound:30
+        ~decompose:false ~jobs
+    in
+    let g = G.generate p in
+    Printf.printf "eco session on %s (%d registers), %d rounds\n%!" p.P.name
+      p.P.n_registers rounds;
+    let session =
+      Flow.Session.create ~options ~design:g.G.design ~placement:g.G.placement
+        ~library:g.G.library ~sta_config:g.G.sta_config ()
+    in
+    let rng = Mbr_util.Rng.create eco_seed in
+    let config = { Eco.default_config with Eco.move_frac } in
+    for round = 0 to rounds do
+      if round > 0 then begin
+        let s = Eco.perturb ~config rng g in
+        Printf.printf
+          "round %d: %d edits (%d moved, %d retyped, %d removed, %d added)\n%!"
+          round (Eco.total s) s.Eco.moved s.Eco.retyped s.Eco.removed s.Eco.added
+      end;
+      let r = Flow.Session.recompose session in
+      Printf.printf
+        "  recompose: %d merges, %d/%d blocks re-solved (%d reused), %.2f s\n"
+        r.Flow.n_merges r.Flow.eco_blocks_resolved r.Flow.n_blocks
+        r.Flow.eco_blocks_reused r.Flow.runtime_s;
+      Format.printf "  after: %a@." Metrics.pp_row r.Flow.after
+    done
+  in
+  let rounds_arg =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Number of perturb + recompose rounds after the initial one.")
+  in
+  let eco_seed_arg =
+    Arg.(value & opt int 1 & info [ "eco-seed" ] ~docv:"N"
+           ~doc:"RNG seed for the ECO perturbations (independent of the \
+                 design-generation seed).")
+  in
+  let move_frac_arg =
+    Arg.(value & opt float Eco.default_config.Eco.move_frac
+         & info [ "move-frac" ] ~docv:"F"
+             ~doc:"Fraction of registers jittered per round (default 0.10).")
+  in
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:"Open a persistent session and alternate random ECO batches with \
+             incremental recompose, printing block reuse per round.")
+    Term.(const run $ profile_arg $ seed_arg $ scale_arg $ mode_arg $ jobs_arg
+          $ rounds_arg $ eco_seed_arg $ move_frac_arg)
 
 let profiles_scaled scale = List.map (fun p -> P.scaled p scale) P.all
 
@@ -333,5 +394,5 @@ let () =
   let doc = "timing-driven incremental multi-bit register composition (DAC'17)" in
   let info = Cmd.info "mbrc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ run_cmd; table1_cmd; fig5_cmd; fig6_cmd; ablations_cmd; export_cmd;
-      compose_cmd; example_cmd ]))
+    [ run_cmd; eco_cmd; table1_cmd; fig5_cmd; fig6_cmd; ablations_cmd;
+      export_cmd; compose_cmd; example_cmd ]))

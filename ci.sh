@@ -1,7 +1,8 @@
 #!/bin/sh
 # Tier-1 CI entry point: build, test, keep the example walkthroughs
 # honest (they are documentation that must compile AND run), and smoke
-# the parallel allocate path (domain pool, jobs = 2).
+# the parallel allocate path (domain pool, jobs = 2) plus an ECO
+# perturb + recompose round.
 #
 # Usage: ./ci.sh          (from the repo root)
 
@@ -14,6 +15,9 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== ECO session equivalence (recompose = from-scratch run) =="
+dune exec test/test_flow_eco.exe > /dev/null
+
 echo "== examples (build + execute) =="
 for ex in quickstart soc_block scan_chains incomplete_mbrs useful_skew \
           interchange; do
@@ -21,7 +25,7 @@ for ex in quickstart soc_block scan_chains incomplete_mbrs useful_skew \
   dune exec "examples/$ex.exe" > /dev/null
 done
 
-echo "== bench smoke (parallel allocate, jobs = 2) =="
+echo "== bench smoke (parallel allocate jobs = 2; ECO recompose round) =="
 dune exec bench/main.exe -- --smoke
 
 echo "ci.sh: all green"

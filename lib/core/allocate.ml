@@ -233,14 +233,15 @@ let reduce ~mode results =
       };
   }
 
-let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
-    ?(config = default_config) graph ~lib ~blocker_index =
+let partition_blocks config (graph : Compat.graph) =
   let infos = graph.Compat.infos in
   let position i = infos.(i).Compat.center in
-  let blocks =
-    Array.of_list
-      (Kpart.partition ~bound:config.partition_bound graph.Compat.ugraph ~position)
-  in
+  Array.of_list
+    (Kpart.partition ~bound:config.partition_bound graph.Compat.ugraph ~position)
+
+let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
+    ?(config = default_config) graph ~lib ~blocker_index =
+  let blocks = partition_blocks config graph in
   let solve block = solve_block ~mode config graph ~lib ~blocker_index ~block in
   let results =
     (* jobs = 1: the serial code path, no pool involved *)
@@ -248,3 +249,106 @@ let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
     else Pool.map_array ~jobs:config.jobs solve blocks
   in
   reduce ~mode results
+
+type cache = { mutable table : (string, block_result) Hashtbl.t }
+
+let create_cache () = { table = Hashtbl.create 64 }
+
+let cache_size cache = Hashtbl.length cache.table
+
+type cache_stats = { blocks_resolved : int; blocks_reused : int }
+
+(* Everything [solve_block] reads about a block, serialized: the mode,
+   the candidate/solver knobs, the member snapshots in block order, the
+   in-block adjacency as member positions, and the blocker-index
+   entries that any weight query for this block can see (every test
+   polygon is a hull of member footprints, so its bbox lies inside the
+   union bbox of the members' footprints). Two blocks with equal keys
+   are solved identically up to node renumbering, which member cids
+   undo. The library is deliberately absent: it is immutable and fixed
+   for the life of a session's cache. *)
+let block_key ~(mode : [ `Ilp | `Greedy_share | `Clique ]) config
+    (graph : Compat.graph) ~blocker_index ~block =
+  let infos = graph.Compat.infos in
+  let member_infos = List.map (fun v -> infos.(v)) block in
+  let arr = Array.of_list block in
+  let m = Array.length arr in
+  let adj = ref [] in
+  for i = m - 1 downto 0 do
+    for j = m - 1 downto i + 1 do
+      if Ugraph.has_edge graph.Compat.ugraph arr.(i) arr.(j) then
+        adj := (i, j) :: !adj
+    done
+  done;
+  let blockers =
+    match member_infos with
+    | [] -> []
+    | info0 :: rest ->
+      let bbox =
+        List.fold_left
+          (fun acc (i : Compat.reg_info) -> Mbr_geom.Rect.union acc i.Compat.footprint)
+          info0.Compat.footprint rest
+      in
+      List.sort compare (Spatial.query_rect blocker_index bbox)
+  in
+  Marshal.to_string
+    (mode, config.candidate, config.node_limit, member_infos, !adj, blockers)
+    [ Marshal.No_sharing ]
+
+(* A cached cover is valid for a new graph revision modulo node
+   renumbering; cids are stable across revisions and the cid -> node
+   map is monotone, so remapped member lists stay sorted. *)
+let remap_result cid_ix r =
+  {
+    r with
+    chosen =
+      List.map
+        (fun (c : Candidate.t) ->
+          {
+            c with
+            Candidate.members =
+              List.map (Hashtbl.find cid_ix) c.Candidate.member_cids;
+          })
+        r.chosen;
+  }
+
+let run_cached ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
+    ?(config = default_config) cache graph ~lib ~blocker_index =
+  let blocks = partition_blocks config graph in
+  let nb = Array.length blocks in
+  let keys =
+    Array.map (fun block -> block_key ~mode config graph ~blocker_index ~block) blocks
+  in
+  let infos = graph.Compat.infos in
+  let cid_ix = Hashtbl.create (max 16 (Array.length infos)) in
+  Array.iteri
+    (fun i (info : Compat.reg_info) -> Hashtbl.replace cid_ix info.Compat.cid i)
+    infos;
+  let results = Array.make nb None in
+  let misses = ref [] in
+  for i = nb - 1 downto 0 do
+    match Hashtbl.find_opt cache.table keys.(i) with
+    | Some r -> results.(i) <- Some (remap_result cid_ix r)
+    | None -> misses := i :: !misses
+  done;
+  let miss_idx = Array.of_list !misses in
+  let solve i = solve_block ~mode config graph ~lib ~blocker_index ~block:blocks.(i) in
+  let solved =
+    if config.jobs <= 1 then Array.map solve miss_idx
+    else Pool.map_array ~jobs:config.jobs solve miss_idx
+  in
+  Array.iteri (fun k i -> results.(i) <- Some solved.(k)) miss_idx;
+  let results =
+    Array.map (function Some r -> r | None -> assert false) results
+  in
+  (* generational eviction: the next table holds exactly this run's
+     blocks, so results for regions the design has since drifted away
+     from do not accumulate across a long session *)
+  let next = Hashtbl.create (max 64 nb) in
+  Array.iteri (fun i key -> Hashtbl.replace next key results.(i)) keys;
+  cache.table <- next;
+  ( reduce ~mode results,
+    {
+      blocks_resolved = Array.length miss_idx;
+      blocks_reused = nb - Array.length miss_idx;
+    } )

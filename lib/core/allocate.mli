@@ -25,14 +25,17 @@
     {b Read-only sharing invariant.} [solve_block] only {e reads} the
     inputs it shares with its siblings — [graph] (both [infos] and the
     adjacency), the library, and the blocker index. None of those are
-    written after construction: {!Compat.build_graph} freezes the
-    graph, the library is immutable, and the blocker index is fully
-    populated before {!run} is called. Everything [solve_block]
-    mutates (hash tables, refs, the branch-and-bound state) is created
-    inside the call. This is what makes it legal to fan the blocks out
-    over a {!Mbr_util.Pool} of domains, and it must be preserved by
-    future changes (see also the notes on {!Candidate.enumerate},
-    {!Weight} and {!Spatial.query_rect}).
+    written {e during the fan-out}: the compat graph is frozen while
+    blocks are being solved and revised only between fan-outs (an ECO
+    session swaps in a fresh value from {!Compat.refresh}, it never
+    mutates one in place), the library is immutable, and the blocker
+    index is fully reconciled before {!run} is called and untouched
+    until it returns. Everything [solve_block] mutates (hash tables,
+    refs, the branch-and-bound state) is created inside the call. This
+    is what makes it legal to fan the blocks out over a
+    {!Mbr_util.Pool} of domains, and it must be preserved by future
+    changes (see also the notes on {!Candidate.enumerate}, {!Weight}
+    and {!Spatial.query_rect}).
 
     {b Determinism.} Results are stored by block index and [reduce]
     folds them in block order, performing exactly the additions and
@@ -109,3 +112,46 @@ val run :
 (** [partition → solve_block per block → reduce]. With
     [config.jobs >= 2] the blocks are fanned out over a
     {!Mbr_util.Pool}; the selection is identical either way. *)
+
+(** {2 Block-level result reuse (ECO sessions)} *)
+
+type cache
+(** Memo of solved blocks keyed by a content hash of everything
+    [solve_block] reads about a block: the mode, the candidate/solver
+    knobs, the member register snapshots in block order, the in-block
+    adjacency (as member positions), and the blocker-index entries
+    inside the union bounding box of the member footprints — the
+    superset of what any weight query for the block can observe. Cache
+    hits are therefore exact: the cached cover is what [solve_block]
+    would recompute, modulo node renumbering (undone via the stable
+    cell ids). One cache must only ever be used with one library value.
+    Not domain-safe; owned and driven by the session's leader domain. *)
+
+val create_cache : unit -> cache
+
+val cache_size : cache -> int
+(** Entries currently held (= blocks of the last [run_cached]). *)
+
+type cache_stats = {
+  blocks_resolved : int;  (** blocks actually solved this run *)
+  blocks_reused : int;  (** blocks spliced in from the cache *)
+}
+
+val run_cached :
+  ?mode:[ `Ilp | `Greedy_share | `Clique ] ->
+  ?config:config ->
+  cache ->
+  Compat.graph ->
+  lib:Mbr_liberty.Library.t ->
+  blocker_index:Mbr_netlist.Types.cell_id Spatial.t ->
+  selection * cache_stats
+(** {!run}, but blocks whose content hash matches a previous run are
+    spliced in from the cache and only the rest are solved (serially or
+    over the pool, per [config.jobs]); the splice happens before the
+    same deterministic {!reduce}, so the selection is identical to an
+    uncached {!run} on the same inputs (property-tested). The cache is
+    then swapped to exactly this run's blocks (generational eviction),
+    so entries for regions the design drifted away from are dropped.
+    The one observable difference: a reused block reports its original
+    [solve_time_s], so [block_times] measures solve cost, not this
+    run's wall time. *)

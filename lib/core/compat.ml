@@ -180,20 +180,28 @@ let compatible cfg a b =
 
 type graph = { ugraph : Ugraph.t; infos : reg_info array }
 
-let build_graph ?(config = default_config) eng lib =
-  let pl = Engine.placement eng in
-  let dsg = Placement.design pl in
-  Engine.refresh eng;
-  let composable =
-    List.filter
-      (fun cid -> is_composable dsg lib cid && Placement.is_placed pl cid)
-      (Design.registers dsg)
+(* Two feasible regions can only overlap when the footprint centers are
+   within 2*max_dist + (w_a + w_b)/2 per axis (each region sits inside
+   its footprint expanded by max_dist), so a grid of this pitch with a
+   3x3 neighbourhood scan sees every potentially compatible pair. The
+   footprint term matters: without it an MBR wider than the slack budget
+   could pair with a neighbour across a bucket boundary and be missed. *)
+let pair_bucket config infos =
+  let max_fp =
+    Array.fold_left
+      (fun acc info ->
+        Float.max acc
+          (Float.max (Rect.width info.footprint) (Rect.height info.footprint)))
+      0.0 infos
   in
-  let infos = Array.of_list (List.map (reg_info config eng) composable) in
+  Float.max 1.0 ((2.0 *. config.max_dist) +. max_fp)
+
+(* Calls [f i j] (with j > i) for every pair within the spatial-hash
+   neighbourhood — the superset of pairs that can pass
+   [placement_compatible]. *)
+let iter_near_pairs config infos f =
   let n = Array.length infos in
-  let g = Ugraph.create n in
-  (* spatial hash on feasible-region bounding boxes *)
-  let bucket = Float.max 1.0 (2.0 *. config.max_dist) in
+  let bucket = pair_bucket config infos in
   let tbl = Hashtbl.create (4 * max 1 n) in
   let key (p : Point.t) =
     (int_of_float (Float.floor (p.x /. bucket)),
@@ -211,14 +219,75 @@ let build_graph ?(config = default_config) eng lib =
       for dx = -1 to 1 do
         for dy = -1 to 1 do
           match Hashtbl.find_opt tbl (kx + dx, ky + dy) with
-          | Some js ->
-            List.iter
-              (fun j ->
-                if j > i && compatible config info infos.(j) then
-                  Ugraph.add_edge g i j)
-              js
+          | Some js -> List.iter (fun j -> if j > i then f i j) js
           | None -> ()
         done
       done)
-    infos;
+    infos
+
+let composable_infos config eng lib =
+  let pl = Engine.placement eng in
+  let dsg = Placement.design pl in
+  Engine.refresh eng;
+  let composable =
+    List.filter
+      (fun cid -> is_composable dsg lib cid && Placement.is_placed pl cid)
+      (Design.registers dsg)
+  in
+  Array.of_list (List.map (reg_info config eng) composable)
+
+let build_graph ?(config = default_config) eng lib =
+  let infos = composable_infos config eng lib in
+  let g = Ugraph.create (Array.length infos) in
+  iter_near_pairs config infos (fun i j ->
+      if compatible config infos.(i) infos.(j) then Ugraph.add_edge g i j);
   { ugraph = g; infos }
+
+type refresh_stats = {
+  nodes_total : int;
+  nodes_dirty : int;
+  pairs_checked : int;
+  edges_copied : int;
+}
+
+let refresh ?(config = default_config) prev eng lib =
+  let infos = composable_infos config eng lib in
+  let n = Array.length infos in
+  (* A node is clean when a register with a structurally equal snapshot
+     existed in the previous graph. Pair checks are pure functions of
+     (config, info, info), and the previous build's bucket covered every
+     pair its infos could make compatible, so a clean-clean pair's
+     verdict can be copied; every pair touching a dirty node is
+     re-checked. *)
+  let old_ix = Hashtbl.create (max 16 (Array.length prev.infos)) in
+  Array.iteri (fun i (info : reg_info) -> Hashtbl.replace old_ix info.cid i)
+    prev.infos;
+  let clean = Array.make n (-1) in
+  let dirty = ref 0 in
+  Array.iteri
+    (fun i info ->
+      (match Hashtbl.find_opt old_ix info.cid with
+      | Some oi when prev.infos.(oi) = info -> clean.(i) <- oi
+      | Some _ | None -> ());
+      if clean.(i) < 0 then incr dirty)
+    infos;
+  let g = Ugraph.create n in
+  let checked = ref 0 and copied = ref 0 in
+  iter_near_pairs config infos (fun i j ->
+      if clean.(i) >= 0 && clean.(j) >= 0 then begin
+        if Ugraph.has_edge prev.ugraph clean.(i) clean.(j) then begin
+          incr copied;
+          Ugraph.add_edge g i j
+        end
+      end
+      else begin
+        incr checked;
+        if compatible config infos.(i) infos.(j) then Ugraph.add_edge g i j
+      end);
+  ( { ugraph = g; infos },
+    {
+      nodes_total = n;
+      nodes_dirty = !dirty;
+      pairs_checked = !checked;
+      edges_copied = !copied;
+    } )

@@ -83,10 +83,13 @@ type graph = {
   ugraph : Mbr_graph.Ugraph.t;  (** node i describes [infos.(i)] *)
   infos : reg_info array;  (** the composable registers *)
 }
-(** Frozen after {!build_graph} returns: neither the adjacency nor
-    [infos] is ever written afterwards, which is what lets the
-    allocate stage share one graph read-only across worker domains
-    (the invariant documented in {!Allocate}). *)
+(** Frozen {e during allocation fan-out}, revised only {e between}
+    fan-outs: neither the adjacency nor [infos] is written while the
+    allocate stage shares the graph read-only across worker domains
+    (the invariant documented in {!Allocate}). Between fan-outs an ECO
+    session replaces the graph wholesale via {!refresh} — revision
+    produces a fresh value, it never mutates one a worker might still
+    hold. *)
 
 val build_graph :
   ?config:config ->
@@ -94,6 +97,32 @@ val build_graph :
   Mbr_liberty.Library.t ->
   graph
 (** G over the composable, placed registers. Pair checks are limited to
-    spatial-hash neighbourhoods (two feasible regions can only overlap
-    within [2 * max_dist] + footprints), so construction is near-linear
-    for clustered designs. *)
+    spatial-hash neighbourhoods — two feasible regions can only overlap
+    when the footprint centers are within [2 * max_dist] plus the
+    largest footprint dimension per axis, which sizes the hash bucket —
+    so construction is near-linear for clustered designs. *)
+
+type refresh_stats = {
+  nodes_total : int;  (** composable registers in the new graph *)
+  nodes_dirty : int;  (** nodes whose snapshot changed (or are new) *)
+  pairs_checked : int;  (** [compatible] evaluations actually run *)
+  edges_copied : int;  (** edges carried over from the previous graph *)
+}
+
+val refresh :
+  ?config:config ->
+  graph ->
+  Mbr_sta.Engine.t ->
+  Mbr_liberty.Library.t ->
+  graph * refresh_stats
+(** Incremental {!build_graph}: recomputes the (cheap) per-register
+    snapshots, then re-runs the four pair checks only for pairs
+    involving a register whose snapshot differs from the previous
+    graph's — removed/retyped/newly-fixed registers drop out with their
+    edges, new composable ones are checked against their spatial
+    neighbourhood, and clean-clean pair verdicts are copied. Returns a
+    new graph (the input is not mutated) that is structurally identical
+    to what {!build_graph} would build from scratch on the same state:
+    same node order (registers in ascending cell id), same edge set
+    (property-tested). [config] must match the one the previous graph
+    was built with. *)

@@ -54,6 +54,8 @@ type result = {
   stage_times : (string * float) list;
   sta_full_builds : int;
   sta_refreshes : int;
+  eco_blocks_resolved : int;
+  eco_blocks_reused : int;
 }
 
 (* Everything the stage functions share: the run's inputs, the one STA
@@ -79,18 +81,6 @@ let allocate_config options =
   match options.jobs with
   | None -> options.allocate
   | Some j -> { options.allocate with Allocate.jobs = max 1 j }
-
-(* All live register centers: the blocker population for the weight
-   heuristic (§3.2 counts any register inside the test polygon). *)
-let blocker_index_of pl =
-  let dsg = Placement.design pl in
-  let index = Spatial.create () in
-  List.iter
-    (fun cid ->
-      if Placement.is_placed pl cid then
-        Spatial.add index cid (Placement.center pl cid))
-    (Design.registers dsg);
-  index
 
 (* Find a legal spot for the mapped cell, preferring the LP optimum
    inside the feasible region, then widening the search. *)
@@ -123,15 +113,6 @@ let stage_decompose ctx =
         report.Decompose.n_split
       end
       else 0)
-
-let stage_compat_graph ctx =
-  stage ctx "compat-graph" (fun () ->
-      Compat.build_graph ~config:ctx.options.compat ctx.eng ctx.library)
-
-let stage_allocate ctx graph ~blocker_index =
-  stage ctx "allocate" (fun () ->
-      Allocate.run ~mode:ctx.options.mode ~config:(allocate_config ctx.options)
-        graph ~lib:ctx.library ~blocker_index)
 
 type merge_outcome = {
   mo_new_mbrs : Mbr_netlist.Types.cell_id list;  (** in creation order *)
@@ -250,45 +231,207 @@ let stage_resize ctx new_mbrs =
 let stage_metrics_after ctx =
   stage ctx "metrics-after" (fun () -> collect_metrics ctx)
 
-let run ?(options = default_options) ~design ~placement ~library ~sta_config () =
+module Session = struct
+  type s = {
+    options : options;
+    design : Design.t;
+    placement : Placement.t;
+    library : Mbr_liberty.Library.t;
+    eng : Engine.t;
+    cache : Allocate.cache;
+    blocker_index : Mbr_netlist.Types.cell_id Spatial.t;
+    blocker_pos : (Mbr_netlist.Types.cell_id, Point.t) Hashtbl.t;
+        (** mirror of [blocker_index]'s current entry per register, so
+            edits can be reconciled without a linear scan *)
+    mutable graph : Compat.graph option;  (** last recompose's graph *)
+    mutable blk_dsg_cursor : int;  (** design edits reconciled into the index *)
+    mutable blk_pl_cursor : int;  (** placement moves reconciled *)
+    mutable n_recomposes : int;
+    mutable last_compat_stats : Compat.refresh_stats option;
+  }
+
+  type t = s
+
+  let create ?(options = default_options) ~design ~placement ~library
+      ~sta_config () =
+    if Placement.design placement != design then
+      invalid_arg
+        "Flow.Session.create: placement does not belong to the given design";
+    (* The one full graph construction of the session: every stage of
+       every recompose brings this same engine up to date through
+       Engine.refresh, which consumes the design/placement edit logs
+       instead of rebuilding. *)
+    {
+      options;
+      design;
+      placement;
+      library;
+      eng = Engine.build ~config:sta_config placement;
+      cache = Allocate.create_cache ();
+      blocker_index = Spatial.create ();
+      blocker_pos = Hashtbl.create 1024;
+      graph = None;
+      blk_dsg_cursor = 0;
+      blk_pl_cursor = 0;
+      n_recomposes = 0;
+      last_compat_stats = None;
+    }
+
+  let design s = s.design
+
+  let placement s = s.placement
+
+  let engine s = s.eng
+
+  let recomposes s = s.n_recomposes
+
+  let last_compat_stats s = s.last_compat_stats
+
+  let live_register dsg cid =
+    let c = Design.cell dsg cid in
+    (not c.Mbr_netlist.Types.c_dead)
+    &&
+    match c.Mbr_netlist.Types.c_kind with
+    | Mbr_netlist.Types.Register _ -> true
+    | _ -> false
+
+  (* Return the engine to the neutral clock tree: a from-scratch run
+     starts with zero useful skew everywhere, so a recompose must too.
+     Structural edits are absorbed first (the supported refresh path);
+     zeroing then patches only the affected cones. Skew entries of
+     registers an ECO removed are skipped — their pins detach from the
+     timing graph and contribute to no endpoint. *)
+  let stage_eco_reset ctx s =
+    stage ctx "eco-reset" (fun () ->
+        Engine.refresh s.eng;
+        match
+          List.filter_map
+            (fun (cid, _) ->
+              if live_register s.design cid then Some (cid, 0.0) else None)
+            (Engine.skew_assignments s.eng)
+        with
+        | [] -> ()
+        | zeros -> Engine.update_skews s.eng zeros)
+
+  let stage_graph ctx s =
+    stage ctx "compat-graph" (fun () ->
+        match s.graph with
+        | None ->
+          let g = Compat.build_graph ~config:s.options.compat s.eng s.library in
+          s.graph <- Some g;
+          g
+        | Some prev ->
+          let g, stats =
+            Compat.refresh ~config:s.options.compat prev s.eng s.library
+          in
+          s.graph <- Some g;
+          s.last_compat_stats <- Some stats;
+          g)
+
+  (* The blocker population is every live placed register's center
+     (§3.2 counts any register inside a test polygon). Instead of
+     rebuilding the index per run, drain the edit logs from the
+     session's cursors and touch only the registers they name; on the
+     first recompose the cursors are 0, so the drain IS the full
+     build. *)
+  let stage_blocker_index ctx s =
+    stage ctx "blocker-index" (fun () ->
+        let dsg = s.design in
+        let touched = Hashtbl.create 64 in
+        List.iter
+          (function
+            | Design.Cell_added cid
+            | Design.Cell_removed cid
+            | Design.Cell_retyped cid ->
+              Hashtbl.replace touched cid ()
+            | Design.Net_changed _ -> ())
+          (Design.edits_since dsg s.blk_dsg_cursor);
+        List.iter
+          (fun cid -> Hashtbl.replace touched cid ())
+          (Placement.moves_since s.placement s.blk_pl_cursor);
+        s.blk_dsg_cursor <- Design.revision dsg;
+        s.blk_pl_cursor <- Placement.revision s.placement;
+        Hashtbl.iter
+          (fun cid () ->
+            let now =
+              if live_register dsg cid && Placement.is_placed s.placement cid
+              then Some (Placement.center s.placement cid)
+              else None
+            in
+            match (Hashtbl.find_opt s.blocker_pos cid, now) with
+            | None, None -> ()
+            | None, Some p ->
+              Spatial.add s.blocker_index cid p;
+              Hashtbl.replace s.blocker_pos cid p
+            | Some p, None ->
+              Spatial.remove s.blocker_index cid p;
+              Hashtbl.remove s.blocker_pos cid
+            | Some p, Some p' ->
+              if not (Point.equal ~eps:0.0 p p') then begin
+                Spatial.update s.blocker_index cid ~from:p ~to_:p';
+                Hashtbl.replace s.blocker_pos cid p'
+              end)
+          touched)
+
+  let stage_allocate ctx s graph =
+    stage ctx "allocate" (fun () ->
+        Allocate.run_cached ~mode:s.options.mode
+          ~config:(allocate_config s.options) s.cache graph ~lib:s.library
+          ~blocker_index:s.blocker_index)
+
+  let recompose s =
+    let t0 = Unix.gettimeofday () in
+    let ctx =
+      {
+        options = s.options;
+        placement = s.placement;
+        library = s.library;
+        eng = s.eng;
+        stage_times_rev = [];
+      }
+    in
+    stage_eco_reset ctx s;
+    let before = stage_metrics_before ctx in
+    let n_split = stage_decompose ctx in
+    let graph = stage_graph ctx s in
+    stage_blocker_index ctx s;
+    let selection, cache_stats = stage_allocate ctx s graph in
+    let merged = stage_merge ctx graph selection in
+    let scan_report = stage_scan_restitch ctx in
+    let skew_report = stage_skew ctx in
+    let n_resized = stage_resize ctx merged.mo_new_mbrs in
+    let after = stage_metrics_after ctx in
+    s.n_recomposes <- s.n_recomposes + 1;
+    {
+      before;
+      after;
+      n_split;
+      scan_chain_wl = scan_report.Mbr_dft.Scan_stitch.wirelength;
+      merge_displacement = merged.mo_displacement;
+      n_merges = List.length merged.mo_new_mbrs;
+      n_regs_merged = merged.mo_n_regs_merged;
+      n_incomplete = merged.mo_n_incomplete;
+      n_resized;
+      ilp_cost = selection.Allocate.cost;
+      n_blocks = selection.Allocate.n_blocks;
+      n_candidates = selection.Allocate.n_candidates;
+      all_optimal = selection.Allocate.all_optimal;
+      alloc_jobs = (allocate_config s.options).Allocate.jobs;
+      alloc_block_times = selection.Allocate.block_times;
+      skew_report;
+      new_mbrs = merged.mo_new_mbrs;
+      runtime_s = Unix.gettimeofday () -. t0;
+      stage_times = List.rev ctx.stage_times_rev;
+      sta_full_builds = Engine.full_builds s.eng;
+      sta_refreshes = Engine.refreshes s.eng;
+      eco_blocks_resolved = cache_stats.Allocate.blocks_resolved;
+      eco_blocks_reused = cache_stats.Allocate.blocks_reused;
+    }
+end
+
+let run ?(options = default_options) ~design ~placement ~library ~sta_config ()
+    =
   if Placement.design placement != design then
     invalid_arg "Flow.run: placement does not belong to the given design";
-  let t0 = Unix.gettimeofday () in
-  (* The one full graph construction of the run: every later stage
-     brings this same engine up to date through Engine.refresh, which
-     consumes the design/placement edit logs instead of rebuilding. *)
-  let eng = Engine.build ~config:sta_config placement in
-  let ctx = { options; placement; library; eng; stage_times_rev = [] } in
-  let before = stage_metrics_before ctx in
-  let n_split = stage_decompose ctx in
-  let graph = stage_compat_graph ctx in
-  let blocker_index = blocker_index_of placement in
-  let selection = stage_allocate ctx graph ~blocker_index in
-  let merged = stage_merge ctx graph selection in
-  let scan_report = stage_scan_restitch ctx in
-  let skew_report = stage_skew ctx in
-  let n_resized = stage_resize ctx merged.mo_new_mbrs in
-  let after = stage_metrics_after ctx in
-  {
-    before;
-    after;
-    n_split;
-    scan_chain_wl = scan_report.Mbr_dft.Scan_stitch.wirelength;
-    merge_displacement = merged.mo_displacement;
-    n_merges = List.length merged.mo_new_mbrs;
-    n_regs_merged = merged.mo_n_regs_merged;
-    n_incomplete = merged.mo_n_incomplete;
-    n_resized;
-    ilp_cost = selection.Allocate.cost;
-    n_blocks = selection.Allocate.n_blocks;
-    n_candidates = selection.Allocate.n_candidates;
-    all_optimal = selection.Allocate.all_optimal;
-    alloc_jobs = (allocate_config options).Allocate.jobs;
-    alloc_block_times = selection.Allocate.block_times;
-    skew_report;
-    new_mbrs = merged.mo_new_mbrs;
-    runtime_s = Unix.gettimeofday () -. t0;
-    stage_times = List.rev ctx.stage_times_rev;
-    sta_full_builds = Engine.full_builds eng;
-    sta_refreshes = Engine.refreshes eng;
-  }
+  Session.recompose
+    (Session.create ~options ~design ~placement ~library ~sta_config ())

@@ -7,11 +7,15 @@
 
     Internally each arrow is a named stage function over one shared
     flow context (the inputs, the single incremental STA engine, and
-    the stage-time accumulator); [run] just sequences them. The
-    allocation stage is the only parallel one: with [jobs >= 2] its
-    per-block solves fan out over a {!Mbr_util.Pool} of domains, with
-    results guaranteed identical to the serial order (see
-    {!Allocate}).
+    the stage-time accumulator). The whole pipeline is edit-log
+    driven: a persistent {!Session} holds the engine, the compat
+    graph, the blocker spatial index and the per-block solve cache,
+    and {!Session.recompose} consumes the design/placement edit logs
+    to refresh each of them incrementally — [run] is just "open a
+    session, recompose once". The allocation stage is the only
+    parallel one: with [jobs >= 2] its per-block solves fan out over a
+    {!Mbr_util.Pool} of domains, with results guaranteed identical to
+    the serial order (see {!Allocate}).
 
     The flow mutates the design and placement it is given; callers
     wanting a before/after comparison in hand get both metric bundles
@@ -68,16 +72,92 @@ type result = {
   new_mbrs : Mbr_netlist.Types.cell_id list;
   runtime_s : float;
   stage_times : (string * float) list;
-      (** seconds per stage, in execution order: "metrics-before",
-          "decompose", "compat-graph", "allocate", "merge",
-          "scan-restitch", "skew", "resize", "metrics-after" *)
+      (** seconds per stage, in execution order: "eco-reset",
+          "metrics-before", "decompose", "compat-graph",
+          "blocker-index", "allocate", "merge", "scan-restitch",
+          "skew", "resize", "metrics-after" *)
   sta_full_builds : int;
-      (** full STA graph constructions over the whole run: 1 (the
+      (** full STA graph constructions over the whole session: 1 (the
           initial build) unless an edit batch forced {!Mbr_sta.Engine.refresh}
           to fall back to a rebuild *)
   sta_refreshes : int;
       (** STA updates that took the incremental path *)
+  eco_blocks_resolved : int;
+      (** partition blocks actually solved by this run/recompose *)
+  eco_blocks_reused : int;
+      (** partition blocks spliced in from the session's solve cache —
+          0 for a from-scratch [run], > 0 when a recompose found blocks
+          the ECO left untouched *)
 }
+
+(** A persistent composition session for ECO workflows.
+
+    Open a session once over a design/placement/library, then mutate
+    the design and placement freely through their normal editing APIs
+    (move cells, add/remove/retype registers, rewire nets) and call
+    {!Session.recompose} after each batch. The session owns every
+    derived structure the pipeline needs — the incremental STA engine,
+    the compatibility graph, the blocker spatial index, and the
+    per-block allocation cache — and [recompose] consumes the
+    design/placement edit logs (the same pull-based cursor scheme the
+    STA engine uses) to bring each one up to date incrementally:
+
+    - the STA engine via {!Mbr_sta.Engine.refresh}, after zeroing the
+      useful skew a previous recompose applied (a from-scratch run
+      starts skewless, so a recompose must too);
+    - the compat graph via {!Compat.refresh} — only registers whose
+      snapshot (slacks, feasible region, attributes, position) changed
+      are re-checked against their spatial neighbourhood;
+    - the blocker index via {!Spatial.update}/add/remove for exactly
+      the cells the logs name;
+    - the allocation via {!Allocate.run_cached} — blocks of the
+      K-partition whose content hash is unchanged are spliced in from
+      the cache and only blocks intersecting the dirty region are
+      re-solved.
+
+    Each [recompose] is property-tested equivalent to a from-scratch
+    {!run} on the same mutated inputs (same register count, ILP cost,
+    WNS/TNS). *)
+module Session : sig
+  type t
+
+  val create :
+    ?options:options ->
+    design:Mbr_netlist.Design.t ->
+    placement:Mbr_place.Placement.t ->
+    library:Mbr_liberty.Library.t ->
+    sta_config:Mbr_sta.Engine.config ->
+    unit ->
+    t
+  (** Builds the STA engine (the session's one full graph
+      construction); everything else is materialized lazily by the
+      first {!recompose}. Raises [Invalid_argument] when [placement]
+      was not built over [design]. *)
+
+  val recompose : t -> result
+  (** Run the composition pipeline over the current design/placement
+      state, reusing everything the edit logs prove untouched. The
+      first call is exactly {!run}; later calls report
+      [eco_blocks_reused] > 0 whenever the ECO left partition blocks
+      clean. *)
+
+  val design : t -> Mbr_netlist.Design.t
+
+  val placement : t -> Mbr_place.Placement.t
+
+  val engine : t -> Mbr_sta.Engine.t
+  (** The session's STA engine — shared with the caller for slack
+      queries between recomposes; do not [set_skew] behind the
+      session's back. *)
+
+  val recomposes : t -> int
+  (** Completed {!recompose} calls. *)
+
+  val last_compat_stats : t -> Compat.refresh_stats option
+  (** Dirtiness accounting of the most recent incremental compat-graph
+      refresh; [None] until the second {!recompose} (the first builds
+      the graph from scratch). *)
+end
 
 val run :
   ?options:options ->
@@ -87,5 +167,6 @@ val run :
   sta_config:Mbr_sta.Engine.config ->
   unit ->
   result
-(** Raises [Invalid_argument] when [placement] was not built over
+(** [Session.create] + one [Session.recompose]: the one-shot flow.
+    Raises [Invalid_argument] when [placement] was not built over
     [design] (the two would silently drift apart mid-flow otherwise). *)

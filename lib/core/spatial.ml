@@ -44,6 +44,31 @@ let remove t v p =
       t.n <- t.n - 1
     end
 
+let update t v ~from ~to_ =
+  let kf = key t from and kt = key t to_ in
+  if kf = kt then begin
+    (* same grid cell: rewrite the entry in place, no churn *)
+    match Hashtbl.find_opt t.cells kf with
+    | None -> add t v to_
+    | Some l ->
+      let moved = ref false in
+      let l' =
+        List.map
+          (fun ((v', p') as entry) ->
+            if (not !moved) && v' = v && Point.equal ~eps:0.0 p' from then begin
+              moved := true;
+              (v, to_)
+            end
+            else entry)
+          l
+      in
+      if !moved then Hashtbl.replace t.cells kf l' else add t v to_
+  end
+  else begin
+    remove t v from;
+    add t v to_
+  end
+
 let query_rect t (r : Rect.t) =
   let i0 = int_of_float (Float.floor (r.Rect.lx /. t.bucket)) in
   let i1 = int_of_float (Float.floor (r.Rect.hx /. t.bucket)) in

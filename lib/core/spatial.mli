@@ -12,6 +12,14 @@ val add : 'a t -> 'a -> Mbr_geom.Point.t -> unit
 val remove : 'a t -> 'a -> Mbr_geom.Point.t -> unit
 (** Removes one occurrence of the (value, point) pair, if present. *)
 
+val update : 'a t -> 'a -> from:Mbr_geom.Point.t -> to_:Mbr_geom.Point.t -> unit
+(** Moves one occurrence of [(value, from)] to [(value, to_)].
+    Equivalent to [remove] + [add] but rewrites the entry in place when
+    both points hash to the same grid cell, so ECO sessions that jitter
+    blockers by less than a bucket pitch do not churn the table. If the
+    [(value, from)] entry is absent, the value is simply added at
+    [to_]. *)
+
 val query_rect : 'a t -> Mbr_geom.Rect.t -> ('a * Mbr_geom.Point.t) list
 (** All entries whose point lies in the closed rectangle.
 

@@ -110,6 +110,27 @@ type t = {
   mutable n_refreshes : int;
 }
 
+exception Combinational_cycle of Types.pin_id list
+
+let () =
+  Printexc.register_printer (function
+    | Combinational_cycle pins ->
+      Some
+        (Printf.sprintf "Sta.Combinational_cycle (%d pins): %s"
+           (max 0 (List.length pins - 1))
+           (String.concat " -> " (List.map string_of_int pins)))
+    | _ -> None)
+
+let cycle_to_string dsg pins =
+  String.concat " -> "
+    (List.map
+       (fun pid ->
+         let p = Design.pin dsg pid in
+         let c = Design.cell dsg p.Types.p_cell in
+         Printf.sprintf "%s/%s" c.Types.c_name
+           (Types.pin_kind_to_string p.Types.p_kind))
+       pins)
+
 let config t = t.cfg
 
 let placement t = t.pl
@@ -119,6 +140,12 @@ let set_skew t id s =
   t.analyzed <- false
 
 let skew t id = match Hashtbl.find_opt t.skews id with Some s -> s | None -> 0.0
+
+let skew_assignments t =
+  Hashtbl.fold
+    (fun cid s acc -> if s <> 0.0 then (cid, s) :: acc else acc)
+    t.skews []
+  |> List.sort compare
 
 (* The data graph excludes clock distribution and scan pins. *)
 let data_pin dsg pid =
@@ -253,7 +280,49 @@ let compute_graph dsg =
   done;
   let n_in_graph = ref 0 in
   Array.iter (fun b -> if b then incr n_in_graph) in_graph;
-  if !k <> !n_in_graph then failwith "Sta.build: combinational cycle detected";
+  if !k <> !n_in_graph then begin
+    (* Kahn left some pins unresolved: every one of them has an
+       un-decremented incoming edge, i.e. an unresolved predecessor, so
+       walking predecessors from any of them must close a loop. The
+       witness is reported in data-flow (successor) order, closed by
+       repeating the entry pin. *)
+    let start = ref (-1) in
+    (try
+       for pid = 0 to n - 1 do
+         if in_graph.(pid) && indeg.(pid) > 0 then begin
+           start := pid;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let witness =
+      if !start < 0 then []
+      else begin
+        let seen = Hashtbl.create 16 in
+        let rec walk pid path =
+          if Hashtbl.mem seen pid then begin
+            (* [path] holds the predecessor walk in reverse; the loop is
+               the segment from the first visit of [pid] onward, closed
+               by [pid] itself, flipped into data-flow order *)
+            let rec keep_from = function
+              | p :: _ as l when p = pid -> l
+              | _ :: tl -> keep_from tl
+              | [] -> []
+            in
+            List.rev (keep_from (List.rev path) @ [ pid ])
+          end
+          else begin
+            Hashtbl.add seen pid ();
+            match List.find_opt (fun (p, _) -> indeg.(p) > 0) preds.(pid) with
+            | Some (p, _) -> walk p (pid :: path)
+            | None -> List.rev (pid :: path)
+          end
+        in
+        walk !start []
+      end
+    in
+    raise (Combinational_cycle witness)
+  end;
   let topo = Array.sub topo 0 !k in
   let topo_pos = Array.make n (-1) in
   Array.iteri (fun idx pid -> topo_pos.(pid) <- idx) topo;

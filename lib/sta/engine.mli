@@ -31,9 +31,21 @@ val default_config : config
 
 type t
 
+exception Combinational_cycle of Mbr_netlist.Types.pin_id list
+(** Raised by {!build} (and by the internal rebuild a {!refresh} may
+    fall back to) when the data graph is cyclic. The payload is a
+    witness pin path in data-flow order, closed by repeating the entry
+    pin: [[p0; p1; ...; p0]]. Render it with {!cycle_to_string}; a
+    [Printexc] printer is registered for raw backtraces. *)
+
+val cycle_to_string :
+  Mbr_netlist.Design.t -> Mbr_netlist.Types.pin_id list -> string
+(** Formats a {!Combinational_cycle} witness as
+    ["cell/PIN -> cell/PIN -> ..."] using the design's cell names. *)
+
 val build : ?config:config -> Mbr_place.Placement.t -> t
-(** Constructs the timing graph. Raises [Failure] on a combinational
-    cycle. *)
+(** Constructs the timing graph. Raises {!Combinational_cycle} on a
+    combinational cycle. *)
 
 val config : t -> config
 
@@ -44,6 +56,12 @@ val set_skew : t -> Mbr_netlist.Types.cell_id -> float -> unit
     later). Takes effect at the next {!analyze}. *)
 
 val skew : t -> Mbr_netlist.Types.cell_id -> float
+
+val skew_assignments : t -> (Mbr_netlist.Types.cell_id * float) list
+(** All registers currently carrying a nonzero useful-skew offset,
+    sorted by cell id. An ECO session uses this to zero the engine back
+    to the neutral clock tree before re-running skew optimization, so a
+    [recompose] sees exactly what a from-scratch run would. *)
 
 val analyze : t -> unit
 (** Full arrival/required propagation over the current graph structure.

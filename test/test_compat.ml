@@ -12,6 +12,8 @@ module Engine = Mbr_sta.Engine
 module Ugraph = Mbr_graph.Ugraph
 module G = Mbr_designgen.Generate
 module P = Mbr_designgen.Profile
+module Eco = Mbr_designgen.Eco
+module Rng = Mbr_util.Rng
 
 let check = Alcotest.(check bool)
 
@@ -207,6 +209,82 @@ let test_reg_info_matches_engine () =
         (i.Compat.d_slack = Engine.reg_d_slack eng i.Compat.cid))
     graph.Compat.infos
 
+(* The spatial-hash pruning must be exactly the brute-force all-pairs
+   graph: the hash may only skip pairs that placement_compatible would
+   reject anyway. The odd seeds shrink max_dist to 2 µm so register
+   footprints dominate the bucket pitch — the regime where a pitch of
+   bare [2 * max_dist] drops real edges across bucket boundaries. *)
+let pruning_matches_brute_force =
+  QCheck.Test.make ~name:"build_graph = brute-force all-pairs compatible"
+    ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = G.generate (P.scaled (P.tiny ~seed:(seed mod 41)) 0.4) in
+      let cfg =
+        if seed mod 2 = 0 then Compat.default_config
+        else { Compat.default_config with Compat.max_dist = 2.0 }
+      in
+      let eng = Engine.build ~config:g.G.sta_config g.G.placement in
+      let graph = Compat.build_graph ~config:cfg eng g.G.library in
+      let infos = graph.Compat.infos in
+      let n = Array.length infos in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let expect = Compat.compatible cfg infos.(i) infos.(j) in
+          let got = Ugraph.has_edge graph.Compat.ugraph i j in
+          if expect <> got then begin
+            ok := false;
+            QCheck.Test.fail_reportf
+              "seed %d: pair (%d, %d) cids (%d, %d): brute force %b, graph %b"
+              seed i j infos.(i).Compat.cid infos.(j).Compat.cid expect got
+          end
+        done
+      done;
+      !ok)
+
+(* Compat.refresh must rebuild exactly build_graph's structure — same
+   node order, same edge set — after arbitrary ECO batches. *)
+let refresh_matches_fresh =
+  QCheck.Test.make ~name:"refresh = fresh build over random ECO batches"
+    ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = G.generate (P.scaled (P.tiny ~seed:(seed mod 41)) 0.5) in
+      let eng = Engine.build ~config:g.G.sta_config g.G.placement in
+      let prev = ref (Compat.build_graph eng g.G.library) in
+      let rng = Rng.create ((seed * 13) + 5) in
+      let rounds = 1 + (seed mod 3) in
+      let ok = ref true in
+      for round = 1 to rounds do
+        ignore (Eco.perturb rng g);
+        let fresh = Compat.build_graph eng g.G.library in
+        let refreshed, stats = Compat.refresh !prev eng g.G.library in
+        if refreshed.Compat.infos <> fresh.Compat.infos then begin
+          ok := false;
+          QCheck.Test.fail_reportf "seed %d round %d: node mismatch" seed round
+        end;
+        let n = Array.length fresh.Compat.infos in
+        if stats.Compat.nodes_total <> n then begin
+          ok := false;
+          QCheck.Test.fail_reportf "seed %d round %d: stats count %d <> %d"
+            seed round stats.Compat.nodes_total n
+        end;
+        for v = 0 to n - 1 do
+          if
+            Ugraph.neighbors refreshed.Compat.ugraph v
+            <> Ugraph.neighbors fresh.Compat.ugraph v
+          then begin
+            ok := false;
+            QCheck.Test.fail_reportf
+              "seed %d round %d: adjacency mismatch at node %d (cid %d)" seed
+              round v fresh.Compat.infos.(v).Compat.cid
+          end
+        done;
+        prev := refreshed
+      done;
+      !ok)
+
 let () =
   Alcotest.run "mbr_core.compat"
     [
@@ -246,5 +324,7 @@ let () =
             test_feasible_region_contains_footprint;
           Alcotest.test_case "feasible bounded" `Quick test_feasible_region_bounded;
           Alcotest.test_case "info matches engine" `Quick test_reg_info_matches_engine;
+          QCheck_alcotest.to_alcotest pruning_matches_brute_force;
+          QCheck_alcotest.to_alcotest refresh_matches_fresh;
         ] );
     ]

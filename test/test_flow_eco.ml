@@ -1,0 +1,227 @@
+(* ECO sessions: Flow.Session.recompose must be indistinguishable from
+   throwing everything away and re-running Flow.run on the same mutated
+   design — the PR 1 refresh-vs-fresh STA property, one level up.
+
+   The comparison protocol exploits determinism end to end: two
+   identically-seeded generated designs start identical; each round
+   applies identically-seeded Eco.perturb batches to both copies, then
+   copy A is advanced by the persistent session's recompose and copy B
+   by a from-scratch Flow.run. Both pipelines are deterministic, so the
+   copies stay in lockstep round after round — any divergence in the
+   results is a bug in the incremental path. *)
+
+module Design = Mbr_netlist.Design
+module Placement = Mbr_place.Placement
+module Engine = Mbr_sta.Engine
+module Spatial = Mbr_core.Spatial
+module Compat = Mbr_core.Compat
+module Allocate = Mbr_core.Allocate
+module Flow = Mbr_core.Flow
+module Metrics = Mbr_core.Metrics
+module G = Mbr_designgen.Generate
+module P = Mbr_designgen.Profile
+module Eco = Mbr_designgen.Eco
+module Rng = Mbr_util.Rng
+
+let close a b =
+  a = b || (Float.is_finite a && Float.is_finite b && Float.abs (a -. b) <= 1e-6)
+
+let profile seed = P.scaled (P.tiny ~seed) 0.5
+
+let options_of ~mode ~jobs =
+  { Flow.default_options with Flow.mode; jobs = Some jobs }
+
+let blocker_index_of pl =
+  let dsg = Placement.design pl in
+  let index = Spatial.create () in
+  List.iter
+    (fun cid ->
+      if Placement.is_placed pl cid then
+        Spatial.add index cid (Placement.center pl cid))
+    (Design.registers dsg);
+  index
+
+(* ---- Allocate.run_cached ---- *)
+
+(* Identity with run on a cold cache; total reuse on an unchanged
+   graph; identical selections either way. *)
+let test_run_cached_identity () =
+  let g = G.generate (profile 3) in
+  let eng = Engine.build ~config:g.G.sta_config g.G.placement in
+  let graph = Compat.build_graph eng g.G.library in
+  let index = blocker_index_of g.G.placement in
+  let plain = Allocate.run graph ~lib:g.G.library ~blocker_index:index in
+  let cache = Allocate.create_cache () in
+  let cold, s_cold =
+    Allocate.run_cached cache graph ~lib:g.G.library ~blocker_index:index
+  in
+  Alcotest.(check int) "cold: all resolved" plain.Allocate.n_blocks
+    s_cold.Allocate.blocks_resolved;
+  Alcotest.(check int) "cold: none reused" 0 s_cold.Allocate.blocks_reused;
+  let warm, s_warm =
+    Allocate.run_cached cache graph ~lib:g.G.library ~blocker_index:index
+  in
+  Alcotest.(check int) "warm: none resolved" 0 s_warm.Allocate.blocks_resolved;
+  Alcotest.(check int) "warm: all reused" plain.Allocate.n_blocks
+    s_warm.Allocate.blocks_reused;
+  Alcotest.(check int) "cache sized to the run" plain.Allocate.n_blocks
+    (Allocate.cache_size cache);
+  List.iter
+    (fun (sel : Allocate.selection) ->
+      Alcotest.(check (float 0.0)) "cost" plain.Allocate.cost sel.Allocate.cost;
+      Alcotest.(check (list int)) "kept" plain.Allocate.kept sel.Allocate.kept;
+      Alcotest.(check int) "merge count"
+        (List.length plain.Allocate.merges)
+        (List.length sel.Allocate.merges);
+      List.iter2
+        (fun (a : Mbr_core.Candidate.t) (b : Mbr_core.Candidate.t) ->
+          Alcotest.(check (list int)) "members" a.members b.members;
+          Alcotest.(check (list int)) "member cids" a.member_cids b.member_cids;
+          Alcotest.(check (float 0.0)) "weight" a.weight b.weight)
+        plain.Allocate.merges sel.Allocate.merges)
+    [ cold; warm ]
+
+(* ---- Flow.Session counters ---- *)
+
+let test_session_counters () =
+  let g = G.generate (profile 7) in
+  let session =
+    Flow.Session.create ~design:g.G.design ~placement:g.G.placement
+      ~library:g.G.library ~sta_config:g.G.sta_config ()
+  in
+  let r1 = Flow.Session.recompose session in
+  Alcotest.(check int) "first recompose reuses nothing" 0 r1.Flow.eco_blocks_reused;
+  Alcotest.(check int) "first recompose resolves every block" r1.Flow.n_blocks
+    r1.Flow.eco_blocks_resolved;
+  Alcotest.(check int) "one recompose recorded" 1 (Flow.Session.recomposes session);
+  let r2 = Flow.Session.recompose session in
+  Alcotest.(check int) "counters cover the partition" r2.Flow.n_blocks
+    (r2.Flow.eco_blocks_resolved + r2.Flow.eco_blocks_reused);
+  Alcotest.(check bool) "compat refresh ran" true
+    (Flow.Session.last_compat_stats session <> None)
+
+(* A recompose with no intervening edits reaches a fixed point: once a
+   previous recompose made no merges, the next one sees bit-identical
+   register snapshots and must reuse every block. *)
+let test_session_fixed_point_reuses_all () =
+  let g = G.generate (profile 7) in
+  let session =
+    Flow.Session.create ~design:g.G.design ~placement:g.G.placement
+      ~library:g.G.library ~sta_config:g.G.sta_config ()
+  in
+  let rec converge n prev =
+    if n = 0 then prev
+    else
+      let r = Flow.Session.recompose session in
+      if r.Flow.n_merges = 0 && r.Flow.n_resized = 0 then r
+      else converge (n - 1) r
+  in
+  let settled = converge 5 (Flow.Session.recompose session) in
+  Alcotest.(check int) "composition converged" 0 settled.Flow.n_merges;
+  let next = Flow.Session.recompose session in
+  Alcotest.(check int) "fixed point: nothing resolved" 0
+    next.Flow.eco_blocks_resolved;
+  Alcotest.(check int) "fixed point: everything reused" next.Flow.n_blocks
+    next.Flow.eco_blocks_reused
+
+(* A localized ECO on a converged session re-solves some blocks but
+   not all of them (the counters the bench sweep relies on). *)
+let test_session_localized_eco_reuses_some () =
+  let g = G.generate (P.tiny ~seed:19) in
+  let session =
+    Flow.Session.create ~design:g.G.design ~placement:g.G.placement
+      ~library:g.G.library ~sta_config:g.G.sta_config ()
+  in
+  ignore (Flow.Session.recompose session);
+  ignore (Flow.Session.recompose session);
+  ignore (Flow.Session.recompose session);
+  let rng = Rng.create 23 in
+  ignore (Eco.perturb ~config:{ Eco.default_config with Eco.move_frac = 0.05 } rng g);
+  let r = Flow.Session.recompose session in
+  Alcotest.(check bool) "some blocks reused" true (r.Flow.eco_blocks_reused > 0);
+  Alcotest.(check bool) "strictly fewer blocks resolved than exist" true
+    (r.Flow.eco_blocks_resolved < r.Flow.n_blocks)
+
+(* ---- the equivalence property ---- *)
+
+let compare_results ~seed ~round (ra : Flow.result) (rb : Flow.result) =
+  let fail fmt = QCheck.Test.fail_reportf fmt in
+  let ma = ra.Flow.after and mb = rb.Flow.after in
+  if ma.Metrics.total_regs <> mb.Metrics.total_regs then
+    fail "seed %d round %d: register count %d (session) vs %d (fresh)" seed
+      round ma.Metrics.total_regs mb.Metrics.total_regs;
+  if ra.Flow.n_merges <> rb.Flow.n_merges then
+    fail "seed %d round %d: merges %d vs %d" seed round ra.Flow.n_merges
+      rb.Flow.n_merges;
+  if not (close ra.Flow.ilp_cost rb.Flow.ilp_cost) then
+    fail "seed %d round %d: cost %g vs %g" seed round ra.Flow.ilp_cost
+      rb.Flow.ilp_cost;
+  if not (close ma.Metrics.wns mb.Metrics.wns) then
+    fail "seed %d round %d: wns %g vs %g" seed round ma.Metrics.wns
+      mb.Metrics.wns;
+  if not (close ma.Metrics.tns mb.Metrics.tns) then
+    fail "seed %d round %d: tns %g vs %g" seed round ma.Metrics.tns
+      mb.Metrics.tns;
+  if
+    ra.Flow.eco_blocks_resolved + ra.Flow.eco_blocks_reused <> ra.Flow.n_blocks
+  then
+    fail "seed %d round %d: counters %d + %d do not cover %d blocks" seed round
+      ra.Flow.eco_blocks_resolved ra.Flow.eco_blocks_reused ra.Flow.n_blocks;
+  true
+
+let recompose_equivalence =
+  QCheck.Test.make ~name:"recompose = from-scratch run over random ECO batches"
+    ~count:50
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let mode = if seed mod 2 = 0 then `Ilp else `Greedy_share in
+      let jobs = if seed mod 4 < 2 then 1 else 4 in
+      let options = options_of ~mode ~jobs in
+      let gen_seed = seed mod 37 in
+      let ga = G.generate (profile gen_seed) in
+      let gb = G.generate (profile gen_seed) in
+      let session =
+        Flow.Session.create ~options ~design:ga.G.design
+          ~placement:ga.G.placement ~library:ga.G.library
+          ~sta_config:ga.G.sta_config ()
+      in
+      let fresh_run () =
+        Flow.run ~options ~design:gb.G.design ~placement:gb.G.placement
+          ~library:gb.G.library ~sta_config:gb.G.sta_config ()
+      in
+      let rounds = 1 + (seed mod 2) in
+      let ok = ref true in
+      (* round 0: identical inputs, session vs one-shot *)
+      ok := !ok && compare_results ~seed ~round:0
+                     (Flow.Session.recompose session)
+                     (fresh_run ());
+      for round = 1 to rounds do
+        (* identically-seeded perturbations keep the copies in lockstep *)
+        let batch_seed = (seed * 31) + round in
+        ignore (Eco.perturb (Rng.create batch_seed) ga);
+        ignore (Eco.perturb (Rng.create batch_seed) gb);
+        ok :=
+          !ok
+          && compare_results ~seed ~round
+               (Flow.Session.recompose session)
+               (fresh_run ())
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "mbr_core.flow_eco"
+    [
+      ( "allocate-cache",
+        [ Alcotest.test_case "run_cached identity + reuse" `Quick
+            test_run_cached_identity ] );
+      ( "session",
+        [
+          Alcotest.test_case "reuse counters" `Quick test_session_counters;
+          Alcotest.test_case "fixed point reuses all blocks" `Quick
+            test_session_fixed_point_reuses_all;
+          Alcotest.test_case "localized ECO reuses some blocks" `Quick
+            test_session_localized_eco_reuses_some;
+        ] );
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest recompose_equivalence ] );
+    ]

@@ -51,6 +51,44 @@ let test_empty_buckets_reclaimed () =
   check_int "empty index" 0 (Spatial.size t);
   check_int "no leaked buckets" 0 (Spatial.n_buckets t)
 
+let test_update_same_bucket () =
+  let t = Spatial.create ~bucket:10.0 () in
+  Spatial.add t 1 (Point.make 2.0 2.0);
+  Spatial.add t 2 (Point.make 3.0 3.0);
+  Spatial.update t 1 ~from:(Point.make 2.0 2.0) ~to_:(Point.make 8.0 8.0);
+  check_int "size unchanged" 2 (Spatial.size t);
+  check_int "still one bucket" 1 (Spatial.n_buckets t);
+  let hits =
+    Spatial.query_rect t (Rect.make ~lx:7.0 ~ly:7.0 ~hx:9.0 ~hy:9.0)
+  in
+  check "found at new point" true (List.map fst hits = [ 1 ])
+
+let test_update_cross_bucket () =
+  let t = Spatial.create ~bucket:10.0 () in
+  Spatial.add t 1 (Point.make 5.0 5.0);
+  Spatial.update t 1 ~from:(Point.make 5.0 5.0) ~to_:(Point.make 25.0 5.0);
+  check_int "size unchanged" 1 (Spatial.size t);
+  check_int "old bucket reclaimed" 1 (Spatial.n_buckets t);
+  check "gone from old point" true
+    (Spatial.query_rect t (Rect.make ~lx:0.0 ~ly:0.0 ~hx:10.0 ~hy:10.0) = []);
+  let hits =
+    Spatial.query_rect t (Rect.make ~lx:20.0 ~ly:0.0 ~hx:30.0 ~hy:10.0)
+  in
+  check "present at new point" true (List.map fst hits = [ 1 ])
+
+let test_update_absent_adds () =
+  let t = Spatial.create ~bucket:10.0 () in
+  (* from-point never inserted: update degrades to add at to_ — the
+     blocker-index reconcile relies on this for cells whose recorded
+     position drifted. *)
+  Spatial.update t 7 ~from:(Point.make 1.0 1.0) ~to_:(Point.make 4.0 4.0);
+  check_int "added" 1 (Spatial.size t);
+  let hits =
+    Spatial.query_rect t (Rect.make ~lx:0.0 ~ly:0.0 ~hx:10.0 ~hy:10.0)
+  in
+  check "at to_" true
+    (match hits with [ (7, p) ] -> p.Point.x = 4.0 && p.Point.y = 4.0 | _ -> false)
+
 (* Random add/remove/query churn against a naive list model. *)
 let test_churn_matches_model () =
   let rng = Rng.create 4242 in
@@ -66,12 +104,23 @@ let test_churn_matches_model () =
       model := (step, p) :: !model;
       live := (step, p) :: !live
     end
-    else begin
+    else if Rng.chance rng 0.5 then begin
       let k = Rng.int rng (List.length !live) in
       let v, p = List.nth !live k in
       Spatial.remove t v p;
       model := List.filter (fun (v', _) -> v' <> v) !model;
       live := List.filter (fun (v', _) -> v' <> v) !live
+    end
+    else begin
+      let k = Rng.int rng (List.length !live) in
+      let v, p = List.nth !live k in
+      let q =
+        Point.make (Rng.float_in rng 0.0 100.0) (Rng.float_in rng 0.0 100.0)
+      in
+      Spatial.update t v ~from:p ~to_:q;
+      let repoint (v', p') = if v' = v && p' = p then (v', q) else (v', p') in
+      model := List.map repoint !model;
+      live := List.map repoint !live
     end;
     if step mod 100 = 0 then begin
       let lx = Rng.float_in rng 0.0 80.0 in
@@ -100,6 +149,11 @@ let () =
           Alcotest.test_case "remove exact pair" `Quick test_remove_exact_pair;
           Alcotest.test_case "empty buckets reclaimed" `Quick
             test_empty_buckets_reclaimed;
+          Alcotest.test_case "update within bucket" `Quick test_update_same_bucket;
+          Alcotest.test_case "update across buckets" `Quick
+            test_update_cross_bucket;
+          Alcotest.test_case "update of absent entry adds" `Quick
+            test_update_absent_adds;
           Alcotest.test_case "churn vs model" `Quick test_churn_matches_model;
         ] );
     ]

@@ -180,9 +180,34 @@ let test_cycle_detection () =
   let _ = Design.add_comb d "g1" gate ~inputs:[ n2 ] ~output:n1 in
   let _ = Design.add_comb d "g2" gate ~inputs:[ n1 ] ~output:n2 in
   let pl = Placement.create fp d in
-  check "cycle raises" true
-    (try ignore (Engine.build ~config:cfg pl); false
-     with Failure _ -> true)
+  let witness =
+    try
+      ignore (Engine.build ~config:cfg pl);
+      Alcotest.fail "combinational cycle not detected"
+    with Engine.Combinational_cycle pins -> pins
+  in
+  (* the witness is a closed pin path: at least a 2-pin loop plus the
+     repeated entry pin, every hop an actual pin of the looped gates *)
+  check "witness closed" true
+    (match (witness, List.rev witness) with
+    | first :: _ :: _, last :: _ -> first = last
+    | _ -> false);
+  checki "witness length" 5 (List.length witness);
+  let g1 = match Design.find_cell d "g1" with Some c -> c | None -> assert false in
+  let g2 = match Design.find_cell d "g2" with Some c -> c | None -> assert false in
+  let loop_pins = Design.pins_of d g1 @ Design.pins_of d g2 in
+  check "witness pins belong to the loop" true
+    (List.for_all (fun pid -> List.mem pid loop_pins) witness);
+  (* the human-readable rendering names the looped cells and pin kinds *)
+  let s = Engine.cycle_to_string d witness in
+  let contains affix =
+    let n = String.length affix and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+    at 0
+  in
+  check "format mentions g1" true (contains "g1/");
+  check "format mentions g2" true (contains "g2/");
+  check "format draws arrows" true (contains " -> ")
 
 let test_wire_delay_increases_with_distance () =
   let d, pl, _r1, r2 = pipeline () in
