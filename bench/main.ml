@@ -183,6 +183,7 @@ type scaling_row = {
   sc_registers : int;
   sc_cells : int;
   sc_result : Mbr_core.Flow.result;
+  sc_metrics : Mbr_obs.Metrics.snapshot;  (* registry state for this run only *)
 }
 
 (* ---- allocate-stage parallel scaling (section 5b) ---- *)
@@ -289,6 +290,7 @@ type eco_row = {
   ec_full_s : float;  (* from-scratch Flow.run on the lockstep copy *)
   ec_recompose_s : float;  (* Session.recompose on the session copy *)
   ec_identical : bool;  (* final metrics match to 1e-6 *)
+  ec_metrics : Mbr_obs.Metrics.snapshot;  (* counters of the recompose alone *)
 }
 
 let results_close (ra : Flow.result) (rb : Flow.result) =
@@ -335,7 +337,11 @@ let eco_sweep ?(converge_rounds = 3) ?(eco_rounds = 2) profile scale =
       let batch_seed = 1000 + (97 * round) in
       let sa = Eco.perturb (Mbr_util.Rng.create batch_seed) ga in
       ignore (Eco.perturb (Mbr_util.Rng.create batch_seed) gb);
+      Mbr_obs.Metrics.reset ();
       let ra, ta = recompose () in
+      (* snapshot before the lockstep full run so the row's counters
+         describe the recompose, not the reference re-run *)
+      let ec_metrics = Mbr_obs.Metrics.snapshot () in
       let rb, tb = fresh () in
       {
         ec_profile = p.P.name;
@@ -348,6 +354,7 @@ let eco_sweep ?(converge_rounds = 3) ?(eco_rounds = 2) profile scale =
         ec_full_s = tb;
         ec_recompose_s = ta;
         ec_identical = results_close ra rb;
+        ec_metrics;
       })
 
 let section_eco () =
@@ -425,10 +432,13 @@ let section_scaling () =
         let p = P.scaled P.d1 scale in
         let g = G.generate p in
         let cells = Mbr_netlist.Design.n_cells g.G.design in
+        (* reset between runs so each row's counters price one flow *)
+        Mbr_obs.Metrics.reset ();
         let r =
           Mbr_core.Flow.run ~design:g.G.design ~placement:g.G.placement
             ~library:g.G.library ~sta_config:g.G.sta_config ()
         in
+        let snap = Mbr_obs.Metrics.snapshot () in
         let breakdown =
           String.concat " "
             (List.filter_map
@@ -445,6 +455,7 @@ let section_scaling () =
           sc_registers = p.P.n_registers;
           sc_cells = cells;
           sc_result = r;
+          sc_metrics = snap;
         })
       [ 0.25; 0.5; 1.0; 2.0 ]
   in
@@ -473,11 +484,21 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
+(* Counters-only embed of a registry snapshot: the histograms are
+   already summarized by the row's own fields, and counters are what
+   regression tracking diffs. *)
+let json_of_counters (snap : Mbr_obs.Metrics.snapshot) =
+  Mbr_obs.Json.to_string
+    (Mbr_obs.Json.Obj
+       (List.map
+          (fun (k, v) -> (k, Mbr_obs.Json.Num (float_of_int v)))
+          snap.Mbr_obs.Metrics.counters))
+
 let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 3,\n";
+  p "  \"schema_version\": 4,\n";
   p "  \"generated_by\": \"bench/main.exe\",\n";
   p "  \"kernels\": [\n";
   List.iteri
@@ -517,7 +538,7 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
          \"cells\": %d, \"wall_s\": %s, \"jobs\": %d, \
          \"allocate_parallel_speedup\": %s, \"block_solve_mean_s\": %s, \
          \"block_solve_max_s\": %s, \"sta_full_builds\": %d, \
-         \"sta_refreshes\": %d, \"stages\": {%s}}%s\n"
+         \"sta_refreshes\": %d, \"stages\": {%s}, \"metrics\": %s}%s\n"
         (json_escape row.sc_profile) (json_float row.sc_scale)
         row.sc_registers row.sc_cells
         (json_float r.Mbr_core.Flow.runtime_s)
@@ -526,6 +547,7 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
         (json_float bt.Mbr_core.Allocate.mean_s)
         (json_float bt.Mbr_core.Allocate.max_s)
         r.Mbr_core.Flow.sta_full_builds r.Mbr_core.Flow.sta_refreshes stages
+        (json_of_counters row.sc_metrics)
         (if i = List.length scaling - 1 then "" else ","))
     scaling;
   p "  ],\n";
@@ -549,10 +571,11 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
         "    {\"profile\": \"%s\", \"scale\": %s, \"round\": %d, \
          \"edits\": %d, \"blocks\": %d, \"blocks_resolved\": %d, \
          \"blocks_reused\": %d, \"full_run_s\": %s, \"recompose_s\": %s, \
-         \"identical\": %b}%s\n"
+         \"identical\": %b, \"metrics\": %s}%s\n"
         (json_escape e.ec_profile) (json_float e.ec_scale) e.ec_round
         e.ec_edits e.ec_blocks e.ec_resolved e.ec_reused
         (json_float e.ec_full_s) (json_float e.ec_recompose_s) e.ec_identical
+        (json_of_counters e.ec_metrics)
         (if i = List.length eco_rows - 1 then "" else ","))
     eco_rows;
   p "  ]\n";
@@ -561,6 +584,10 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
   Printf.printf "\nwrote %s\n" path
 
 let () =
+  Mbr_obs.Log.setup ();
+  (* counters on for the whole harness; each reporting row resets and
+     snapshots around the run it describes *)
+  Mbr_obs.Metrics.enable ();
   if Array.exists (fun a -> a = "--smoke") Sys.argv then smoke ()
   else begin
     Printf.printf "MBR composition benchmark harness (DAC'17 reproduction)\n";

@@ -106,12 +106,70 @@ module Common_args = struct
            ~doc:"Worker domains for the per-block allocate stage (default 1 = \
                  serial; 0 = auto-detect cores). Results are identical at any \
                  setting.")
+
+  (* ---- telemetry, shared by every subcommand ---- *)
+
+  type telemetry = {
+    trace_out : string option;
+    metrics_out : string option;
+    log_level : string;
+  }
+
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.json"
+           ~doc:"Record a span trace of the run and write it as Chrome \
+                 trace_event JSON, loadable as-is in chrome://tracing or \
+                 https://ui.perfetto.dev.")
+
+  let metrics_arg =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE.json"
+           ~doc:"Collect the telemetry counters/histograms (STA refreshes, \
+                 ILP nodes, simplex pivots, cache hits, block solve times, \
+                 ...) and write a JSON snapshot at exit.")
+
+  let log_level_arg =
+    Arg.(value & opt string "warning" & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Log verbosity on stderr: quiet, error, warning, info or \
+                 debug.")
+
+  let telemetry_term =
+    let mk trace_out metrics_out log_level =
+      { trace_out; metrics_out; log_level }
+    in
+    Term.(const mk $ trace_arg $ metrics_arg $ log_level_arg)
+
+  (* Run a subcommand body under the requested telemetry: install the
+     log reporter, switch tracing/metrics on up front, and write the
+     output files even when the body raises (a trace of a crashed run
+     is exactly the trace one wants). *)
+  let with_telemetry tele f =
+    (match Mbr_obs.Log.level_of_string tele.log_level with
+    | Ok level -> Mbr_obs.Log.setup ~level ()
+    | Error m -> failwith (Printf.sprintf "--log-level: %s" m));
+    if tele.trace_out <> None then Mbr_obs.Trace.enable ();
+    if tele.metrics_out <> None then Mbr_obs.Metrics.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter
+          (fun path ->
+            Mbr_obs.Trace.write path;
+            Printf.eprintf "wrote trace (%d events) to %s\n%!"
+              (Mbr_obs.Trace.n_events ()) path)
+          tele.trace_out;
+        Option.iter
+          (fun path ->
+            Mbr_obs.Metrics.write path;
+            Printf.eprintf "wrote metrics to %s\n%!" path)
+          tele.metrics_out)
+      f
 end
 
 open Common_args
 
 let run_cmd =
-  let run profile seed scale mode no_skew no_incomplete bound decompose jobs =
+  let run tele profile seed scale mode no_skew no_incomplete bound decompose
+      jobs =
+    with_telemetry tele @@ fun () ->
     let p = profile_of_name profile seed scale in
     let options = options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs in
     Printf.printf "running %s (%d registers)...\n%!" p.P.name p.P.n_registers;
@@ -130,12 +188,13 @@ let run_cmd =
       bt.Allocate.max_s
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the MBR-composition flow on one design.")
-    Term.(const run $ profile_arg $ seed_arg $ scale_arg $ mode_arg
-          $ no_skew_arg $ no_incomplete_arg $ bound_arg $ decompose_arg
-          $ jobs_arg)
+    Term.(const run $ telemetry_term $ profile_arg $ seed_arg $ scale_arg
+          $ mode_arg $ no_skew_arg $ no_incomplete_arg $ bound_arg
+          $ decompose_arg $ jobs_arg)
 
 let eco_cmd =
-  let run profile seed scale mode jobs rounds eco_seed move_frac =
+  let run tele profile seed scale mode jobs rounds eco_seed move_frac =
+    with_telemetry tele @@ fun () ->
     let p = profile_of_name profile seed scale in
     let options =
       options_of ~mode ~no_skew:false ~no_incomplete:false ~bound:30
@@ -183,13 +242,14 @@ let eco_cmd =
     (Cmd.info "eco"
        ~doc:"Open a persistent session and alternate random ECO batches with \
              incremental recompose, printing block reuse per round.")
-    Term.(const run $ profile_arg $ seed_arg $ scale_arg $ mode_arg $ jobs_arg
-          $ rounds_arg $ eco_seed_arg $ move_frac_arg)
+    Term.(const run $ telemetry_term $ profile_arg $ seed_arg $ scale_arg
+          $ mode_arg $ jobs_arg $ rounds_arg $ eco_seed_arg $ move_frac_arg)
 
 let profiles_scaled scale = List.map (fun p -> P.scaled p scale) P.all
 
 let table1_cmd =
-  let run scale jobs =
+  let run tele scale jobs =
+    with_telemetry tele @@ fun () ->
     let jobs = resolve_jobs jobs in
     let runs = List.map (E.run_profile ?jobs) (profiles_scaled scale) in
     print_string (E.table1 runs);
@@ -197,27 +257,30 @@ let table1_cmd =
     print_string (E.table1_summary runs)
   in
   Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1 on D1-D5.")
-    Term.(const run $ scale_arg $ jobs_arg)
+    Term.(const run $ telemetry_term $ scale_arg $ jobs_arg)
 
 let fig5_cmd =
-  let run scale jobs =
+  let run tele scale jobs =
+    with_telemetry tele @@ fun () ->
     let jobs = resolve_jobs jobs in
     let runs = List.map (E.run_profile ?jobs) (profiles_scaled scale) in
     print_string (E.fig5 runs)
   in
   Cmd.v (Cmd.info "fig5" ~doc:"MBR bit-width histograms before/after (Fig. 5).")
-    Term.(const run $ scale_arg $ jobs_arg)
+    Term.(const run $ telemetry_term $ scale_arg $ jobs_arg)
 
 let fig6_cmd =
-  let run scale jobs =
+  let run tele scale jobs =
+    with_telemetry tele @@ fun () ->
     let _, s = E.fig6 ?jobs:(resolve_jobs jobs) (profiles_scaled scale) in
     print_string s
   in
   Cmd.v (Cmd.info "fig6" ~doc:"ILP vs heuristic allocator (Fig. 6).")
-    Term.(const run $ scale_arg $ jobs_arg)
+    Term.(const run $ telemetry_term $ scale_arg $ jobs_arg)
 
 let ablations_cmd =
-  let run profile seed scale jobs =
+  let run tele profile seed scale jobs =
+    with_telemetry tele @@ fun () ->
     let jobs = resolve_jobs jobs in
     let p = profile_of_name profile seed scale in
     print_endline "--- partition bound (section 3) ---";
@@ -234,10 +297,12 @@ let ablations_cmd =
     print_string (E.ablation_global_entry ?jobs p)
   in
   Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablation studies.")
-    Term.(const run $ profile_arg $ seed_arg $ scale_arg $ jobs_arg)
+    Term.(const run $ telemetry_term $ profile_arg $ seed_arg $ scale_arg
+          $ jobs_arg)
 
 let export_cmd =
-  let run profile seed scale dir compose svg jobs =
+  let run tele profile seed scale dir compose svg jobs =
+    with_telemetry tele @@ fun () ->
     let p = profile_of_name profile seed scale in
     let g = Mbr_designgen.Generate.generate p in
     let write path content =
@@ -298,12 +363,13 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export a design as structural Verilog + DEF + Liberty (+ SVG).")
-    Term.(const run $ profile_arg $ seed_arg $ scale_arg $ dir_arg $ compose_arg
-          $ svg_arg $ jobs_arg)
+    Term.(const run $ telemetry_term $ profile_arg $ seed_arg $ scale_arg
+          $ dir_arg $ compose_arg $ svg_arg $ jobs_arg)
 
 let compose_cmd =
-  let run netlist def lib outdir period mode no_skew no_incomplete bound decompose
-      jobs =
+  let run tele netlist def lib outdir period mode no_skew no_incomplete
+      decompose bound jobs =
+    with_telemetry tele @@ fun () ->
     let read path =
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -364,12 +430,13 @@ let compose_cmd =
   Cmd.v
     (Cmd.info "compose"
        ~doc:"Run MBR composition on a Verilog+DEF+Liberty design from disk.")
-    Term.(const run $ netlist_arg $ def_arg $ lib_arg $ dir_arg $ period_arg
-          $ mode_arg $ no_skew_arg $ no_incomplete_arg $ bound_arg
-          $ decompose_arg $ jobs_arg)
+    Term.(const run $ telemetry_term $ netlist_arg $ def_arg $ lib_arg
+          $ dir_arg $ period_arg $ mode_arg $ no_skew_arg $ no_incomplete_arg
+          $ decompose_arg $ bound_arg $ jobs_arg)
 
 let example_cmd =
-  let run jobs =
+  let run tele jobs =
+    with_telemetry tele @@ fun () ->
     let module PE = Mbr_core.Paper_example in
     (match jobs with
     | Some _ ->
@@ -388,7 +455,7 @@ let example_cmd =
       (List.length groups) cost
   in
   Cmd.v (Cmd.info "example" ~doc:"The paper's worked example (Figs. 1-3).")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ telemetry_term $ jobs_arg)
 
 let () =
   let doc = "timing-driven incremental multi-bit register composition (DAC'17)" in

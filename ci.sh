@@ -28,4 +28,12 @@ done
 echo "== bench smoke (parallel allocate jobs = 2; ECO recompose round) =="
 dune exec bench/main.exe -- --smoke
 
+echo "== telemetry smoke (traced flow -> Chrome JSON + metrics snapshot) =="
+trace_tmp=$(mktemp /tmp/mbrc_trace.XXXXXX.json)
+metrics_tmp=$(mktemp /tmp/mbrc_metrics.XXXXXX.json)
+dune exec bin/mbrc.exe -- run -p tiny -j 2 \
+  --trace "$trace_tmp" --metrics "$metrics_tmp" > /dev/null
+dune exec tools/telemetry_check.exe -- "$trace_tmp" "$metrics_tmp"
+rm -f "$trace_tmp" "$metrics_tmp"
+
 echo "ci.sh: all green"

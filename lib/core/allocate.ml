@@ -160,32 +160,52 @@ let solve_block_greedy (graph : Compat.graph) lib block =
   in
   (all, cost, false)
 
-let solve_block ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp) config graph
-    ~lib ~blocker_index ~block =
-  let t0 = Unix.gettimeofday () in
-  let chosen, block_cost, optimal, block_candidates =
-    match mode with
-    | `Ilp | `Greedy_share ->
-      let cands =
-        Candidate.enumerate config.candidate graph ~block ~lib ~blocker_index
-      in
-      let n = List.length cands in
-      let chosen, cost, opt =
-        if mode = `Ilp then solve_block_ilp config graph block cands
-        else solve_block_share cands
-      in
-      (chosen, cost, opt, n)
-    | `Clique ->
-      let chosen, cost, opt = solve_block_greedy graph lib block in
-      (chosen, cost, opt, 0)
+let mode_name = function
+  | `Ilp -> "ilp"
+  | `Greedy_share -> "greedy-share"
+  | `Clique -> "clique"
+
+(* Per-block solve times feed a histogram rather than a gauge: the max
+   bin is the parallel critical path, the spread says whether the
+   partition bound balances the blocks. *)
+let h_solve_s = Mbr_obs.Metrics.histogram "alloc.block_solve_s"
+
+let m_cache_hit = Mbr_obs.Metrics.counter "alloc.cache.hit"
+
+let m_cache_miss = Mbr_obs.Metrics.counter "alloc.cache.miss"
+
+let solve_block ?(block_id = -1)
+    ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp) config graph ~lib
+    ~blocker_index ~block =
+  (* [timed_span] hands back the duration measured by the same pair of
+     clock reads that bound the trace span, so [solve_time_s] and the
+     trace agree exactly (and no wall-clock syscall pair remains). *)
+  let (chosen, block_cost, optimal, block_candidates), solve_time_s =
+    Mbr_obs.Trace.timed_span ~name:"alloc.solve_block"
+      ~args:
+        [
+          ("block", Mbr_obs.Trace.Int block_id);
+          ("size", Mbr_obs.Trace.Int (List.length block));
+          ("mode", Mbr_obs.Trace.Str (mode_name mode));
+        ]
+      (fun () ->
+        match mode with
+        | `Ilp | `Greedy_share ->
+          let cands =
+            Candidate.enumerate config.candidate graph ~block ~lib ~blocker_index
+          in
+          let n = List.length cands in
+          let chosen, cost, opt =
+            if mode = `Ilp then solve_block_ilp config graph block cands
+            else solve_block_share cands
+          in
+          (chosen, cost, opt, n)
+        | `Clique ->
+          let chosen, cost, opt = solve_block_greedy graph lib block in
+          (chosen, cost, opt, 0))
   in
-  {
-    chosen;
-    block_cost;
-    optimal;
-    block_candidates;
-    solve_time_s = Unix.gettimeofday () -. t0;
-  }
+  Mbr_obs.Metrics.observe h_solve_s solve_time_s;
+  { chosen; block_cost; optimal; block_candidates; solve_time_s }
 
 let reduce ~mode results =
   (* Fold in block (array) order: exactly the additions and consing of
@@ -242,11 +262,15 @@ let partition_blocks config (graph : Compat.graph) =
 let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
     ?(config = default_config) graph ~lib ~blocker_index =
   let blocks = partition_blocks config graph in
-  let solve block = solve_block ~mode config graph ~lib ~blocker_index ~block in
+  let idx = Array.init (Array.length blocks) Fun.id in
+  let solve i =
+    solve_block ~block_id:i ~mode config graph ~lib ~blocker_index
+      ~block:blocks.(i)
+  in
   let results =
     (* jobs = 1: the serial code path, no pool involved *)
-    if config.jobs <= 1 then Array.map solve blocks
-    else Pool.map_array ~jobs:config.jobs solve blocks
+    if config.jobs <= 1 then Array.map solve idx
+    else Pool.map_array ~jobs:config.jobs solve idx
   in
   reduce ~mode results
 
@@ -332,7 +356,12 @@ let run_cached ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
     | None -> misses := i :: !misses
   done;
   let miss_idx = Array.of_list !misses in
-  let solve i = solve_block ~mode config graph ~lib ~blocker_index ~block:blocks.(i) in
+  Mbr_obs.Metrics.incr ~by:(nb - Array.length miss_idx) m_cache_hit;
+  Mbr_obs.Metrics.incr ~by:(Array.length miss_idx) m_cache_miss;
+  let solve i =
+    solve_block ~block_id:i ~mode config graph ~lib ~blocker_index
+      ~block:blocks.(i)
+  in
   let solved =
     if config.jobs <= 1 then Array.map solve miss_idx
     else Pool.map_array ~jobs:config.jobs solve miss_idx

@@ -85,6 +85,7 @@ type selection = {
 }
 
 val solve_block :
+  ?block_id:int ->
   ?mode:[ `Ilp | `Greedy_share | `Clique ] ->
   config ->
   Compat.graph ->
@@ -94,7 +95,13 @@ val solve_block :
   block_result
 (** Enumerate and solve one partition block. Pure with respect to its
     arguments (reads only — see the sharing invariant above); safe to
-    call concurrently from multiple domains on the same graph. *)
+    call concurrently from multiple domains on the same graph.
+
+    Each call runs under an ["alloc.solve_block"] trace span carrying
+    the block id ([block_id], default [-1]; {!run} and {!run_cached}
+    pass the block's array index), size and mode; [solve_time_s] is
+    the span's own duration, and it also feeds the
+    [alloc.block_solve_s] histogram. *)
 
 val reduce :
   mode:[ `Ilp | `Greedy_share | `Clique ] -> block_result array -> selection
@@ -154,4 +161,8 @@ val run_cached :
     so entries for regions the design drifted away from are dropped.
     The one observable difference: a reused block reports its original
     [solve_time_s], so [block_times] measures solve cost, not this
-    run's wall time. *)
+    run's wall time.
+
+    Hits and misses also bump the [alloc.cache.hit] /
+    [alloc.cache.miss] registry counters (the same split this function
+    returns as {!cache_stats}, accumulated across rounds). *)

@@ -250,6 +250,15 @@ type refresh_stats = {
   edges_copied : int;
 }
 
+(* Telemetry mirror of [refresh_stats]: the registry accumulates across
+   rounds what each call also returns, so one metrics snapshot prices
+   the clean-pair reuse for a whole ECO session. *)
+let m_nodes_dirty = Mbr_obs.Metrics.counter "compat.nodes_dirty"
+
+let m_pairs_checked = Mbr_obs.Metrics.counter "compat.pairs_checked"
+
+let m_edges_copied = Mbr_obs.Metrics.counter "compat.edges_copied"
+
 let refresh ?(config = default_config) prev eng lib =
   let infos = composable_infos config eng lib in
   let n = Array.length infos in
@@ -284,6 +293,9 @@ let refresh ?(config = default_config) prev eng lib =
         incr checked;
         if compatible config infos.(i) infos.(j) then Ugraph.add_edge g i j
       end);
+  Mbr_obs.Metrics.incr ~by:!dirty m_nodes_dirty;
+  Mbr_obs.Metrics.incr ~by:!checked m_pairs_checked;
+  Mbr_obs.Metrics.incr ~by:!copied m_edges_copied;
   ( { ugraph = g; infos },
     {
       nodes_total = n;

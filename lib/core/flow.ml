@@ -69,11 +69,15 @@ type context = {
   mutable stage_times_rev : (string * float) list;
 }
 
+(* Every stage is a trace span; the per-stage duration recorded in
+   [stage_times] is the span's own (monotonic) duration, so the result
+   and an exported Chrome trace can never disagree. *)
 let stage ctx name f =
-  let s0 = Unix.gettimeofday () in
-  let r = f () in
-  ctx.stage_times_rev <- (name, Unix.gettimeofday () -. s0) :: ctx.stage_times_rev;
+  let r, dt = Mbr_obs.Trace.timed_span ~name f in
+  ctx.stage_times_rev <- (name, dt) :: ctx.stage_times_rev;
   r
+
+let m_recomposes = Mbr_obs.Metrics.counter "flow.recomposes"
 
 (* The effective allocate configuration: [options.jobs] (the frontends'
    [-j]) overrides the config's own [jobs] field when given. *)
@@ -379,54 +383,64 @@ module Session = struct
           ~config:(allocate_config s.options) s.cache graph ~lib:s.library
           ~blocker_index:s.blocker_index)
 
+  (* The whole pass runs under one ["flow.recompose"] span whose
+     duration IS [runtime_s] — the stage spans nest inside it, so the
+     exported trace accounts for the run's wall time with no second
+     clock involved. *)
   let recompose s =
-    let t0 = Unix.gettimeofday () in
-    let ctx =
+    let result, runtime_s =
+      Mbr_obs.Trace.timed_span ~name:"flow.recompose"
+        ~args:[ ("round", Mbr_obs.Trace.Int s.n_recomposes) ]
+      @@ fun () ->
+      let ctx =
+        {
+          options = s.options;
+          placement = s.placement;
+          library = s.library;
+          eng = s.eng;
+          stage_times_rev = [];
+        }
+      in
+      stage_eco_reset ctx s;
+      let before = stage_metrics_before ctx in
+      let n_split = stage_decompose ctx in
+      let graph = stage_graph ctx s in
+      stage_blocker_index ctx s;
+      let selection, cache_stats = stage_allocate ctx s graph in
+      let merged = stage_merge ctx graph selection in
+      let scan_report = stage_scan_restitch ctx in
+      let skew_report = stage_skew ctx in
+      let n_resized = stage_resize ctx merged.mo_new_mbrs in
+      let after = stage_metrics_after ctx in
+      s.n_recomposes <- s.n_recomposes + 1;
+      Mbr_obs.Metrics.incr m_recomposes;
       {
-        options = s.options;
-        placement = s.placement;
-        library = s.library;
-        eng = s.eng;
-        stage_times_rev = [];
+        before;
+        after;
+        n_split;
+        scan_chain_wl = scan_report.Mbr_dft.Scan_stitch.wirelength;
+        merge_displacement = merged.mo_displacement;
+        n_merges = List.length merged.mo_new_mbrs;
+        n_regs_merged = merged.mo_n_regs_merged;
+        n_incomplete = merged.mo_n_incomplete;
+        n_resized;
+        ilp_cost = selection.Allocate.cost;
+        n_blocks = selection.Allocate.n_blocks;
+        n_candidates = selection.Allocate.n_candidates;
+        all_optimal = selection.Allocate.all_optimal;
+        alloc_jobs = (allocate_config s.options).Allocate.jobs;
+        alloc_block_times = selection.Allocate.block_times;
+        skew_report;
+        new_mbrs = merged.mo_new_mbrs;
+        runtime_s = 0.0 (* patched below from the span's duration *);
+        stage_times = List.rev ctx.stage_times_rev;
+        sta_full_builds = Engine.full_builds s.eng;
+        sta_refreshes = Engine.refreshes s.eng;
+        eco_blocks_resolved = cache_stats.Allocate.blocks_resolved;
+        eco_blocks_reused = cache_stats.Allocate.blocks_reused;
       }
     in
-    stage_eco_reset ctx s;
-    let before = stage_metrics_before ctx in
-    let n_split = stage_decompose ctx in
-    let graph = stage_graph ctx s in
-    stage_blocker_index ctx s;
-    let selection, cache_stats = stage_allocate ctx s graph in
-    let merged = stage_merge ctx graph selection in
-    let scan_report = stage_scan_restitch ctx in
-    let skew_report = stage_skew ctx in
-    let n_resized = stage_resize ctx merged.mo_new_mbrs in
-    let after = stage_metrics_after ctx in
-    s.n_recomposes <- s.n_recomposes + 1;
-    {
-      before;
-      after;
-      n_split;
-      scan_chain_wl = scan_report.Mbr_dft.Scan_stitch.wirelength;
-      merge_displacement = merged.mo_displacement;
-      n_merges = List.length merged.mo_new_mbrs;
-      n_regs_merged = merged.mo_n_regs_merged;
-      n_incomplete = merged.mo_n_incomplete;
-      n_resized;
-      ilp_cost = selection.Allocate.cost;
-      n_blocks = selection.Allocate.n_blocks;
-      n_candidates = selection.Allocate.n_candidates;
-      all_optimal = selection.Allocate.all_optimal;
-      alloc_jobs = (allocate_config s.options).Allocate.jobs;
-      alloc_block_times = selection.Allocate.block_times;
-      skew_report;
-      new_mbrs = merged.mo_new_mbrs;
-      runtime_s = Unix.gettimeofday () -. t0;
-      stage_times = List.rev ctx.stage_times_rev;
-      sta_full_builds = Engine.full_builds s.eng;
-      sta_refreshes = Engine.refreshes s.eng;
-      eco_blocks_resolved = cache_stats.Allocate.blocks_resolved;
-      eco_blocks_reused = cache_stats.Allocate.blocks_reused;
-    }
+    { result with runtime_s }
 end
 
 let run ?(options = default_options) ~design ~placement ~library ~sta_config ()

@@ -71,11 +71,16 @@ type result = {
   skew_report : Mbr_sta.Skew.report option;
   new_mbrs : Mbr_netlist.Types.cell_id list;
   runtime_s : float;
+      (** duration of the pass's ["flow.recompose"] trace span — same
+          monotonic clock, same two reads, so an exported Chrome trace
+          and this field can never disagree *)
   stage_times : (string * float) list;
       (** seconds per stage, in execution order: "eco-reset",
           "metrics-before", "decompose", "compat-graph",
           "blocker-index", "allocate", "merge", "scan-restitch",
-          "skew", "resize", "metrics-after" *)
+          "skew", "resize", "metrics-after". Each entry is the duration
+          of that stage's trace span (see {!Mbr_obs.Trace}) — derived
+          from the trace clock, not a second [gettimeofday] pair *)
   sta_full_builds : int;
       (** full STA graph constructions over the whole session: 1 (the
           initial build) unless an edit batch forced {!Mbr_sta.Engine.refresh}

@@ -14,6 +14,7 @@ type design_run = {
   result : Flow.result;
   hist_before : (int * int) list;
   hist_after : (int * int) list;
+  metrics : Mbr_obs.Metrics.snapshot;
 }
 
 let run_profile ?(options = Flow.default_options) ?jobs profile =
@@ -27,7 +28,11 @@ let run_profile ?(options = Flow.default_options) ?jobs profile =
       ~library:g.G.library ~sta_config:g.G.sta_config ()
   in
   let hist_after = G.width_histogram g.G.design in
-  { profile; result; hist_before; hist_after }
+  (* Registry state right after the flow: all zeros unless the caller
+     enabled [Mbr_obs.Metrics] (and reset between runs, if it wants
+     per-run rather than cumulative numbers). *)
+  let metrics = Mbr_obs.Metrics.snapshot () in
+  { profile; result; hist_before; hist_after; metrics }
 
 (* ---- Table 1 ---- *)
 

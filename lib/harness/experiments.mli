@@ -8,6 +8,10 @@ type design_run = {
   result : Mbr_core.Flow.result;
   hist_before : (int * int) list;  (** Fig. 5 "before" (bits, count) *)
   hist_after : (int * int) list;
+  metrics : Mbr_obs.Metrics.snapshot;
+      (** telemetry registry snapshot taken right after the flow ran —
+          all zeros unless the caller enabled {!Mbr_obs.Metrics}
+          (`bench/main` does, resetting per run) *)
 }
 
 val run_profile :

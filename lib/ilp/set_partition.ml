@@ -26,7 +26,19 @@ let prepare p =
     p.candidates;
   Array.of_list (List.rev !cands)
 
+(* Telemetry counters: branch-and-bound work per solve rolls up as
+   explored nodes; together with the simplex counters from [Mbr_lp]
+   they answer "where did the ILP time go". No-ops when disabled. *)
+let m_solves = Mbr_obs.Metrics.counter "ilp.solves"
+
+let m_nodes = Mbr_obs.Metrics.counter "ilp.bb_nodes"
+
+let m_lps = Mbr_obs.Metrics.counter "ilp.lp_relaxations"
+
+let m_limit_hits = Mbr_obs.Metrics.counter "ilp.node_limit_hits"
+
 let lp_relaxation p =
+  Mbr_obs.Metrics.incr m_lps;
   let module S = Mbr_lp.Simplex in
   let lp = S.create () in
   let cands = prepare p in
@@ -65,7 +77,7 @@ let lp_relaxation p =
      greedy incumbent appears immediately;
    - root LP-relaxation bound: once the incumbent matches it, the
      search stops with a proven optimum. *)
-let solve ?(node_limit = 2_000_000) ?(lp_bound = true) p =
+let solve_raw ~node_limit ~lp_bound p =
   let cands = prepare p in
   let n = p.n_elems in
   let covering = Array.make n [] in
@@ -147,6 +159,22 @@ let solve ?(node_limit = 2_000_000) ?(lp_bound = true) p =
       let status = if !limit_hit then Feasible else Optimal in
       { status; cost = !best_cost; chosen; nodes = !nodes }
   end
+
+let solve ?(node_limit = 2_000_000) ?(lp_bound = true) p =
+  Mbr_obs.Metrics.incr m_solves;
+  let r =
+    Mbr_obs.Trace.with_span ~name:"ilp.solve"
+      ~args:
+        [
+          ("n_elems", Mbr_obs.Trace.Int p.n_elems);
+          ("n_cands", Mbr_obs.Trace.Int (Array.length p.candidates));
+        ]
+      (fun () -> solve_raw ~node_limit ~lp_bound p)
+  in
+  Mbr_obs.Metrics.incr ~by:r.nodes m_nodes;
+  (* [Feasible] only ever arises from the node limit tripping. *)
+  if r.status = Feasible then Mbr_obs.Metrics.incr m_limit_hits;
+  r
 
 let brute_force p =
   let cands = prepare p in

@@ -45,7 +45,15 @@ type encoding =
   | Mirrored of int * float (* x = ub - y_k *)
   | Split of int * int (* x = y_pos - y_neg *)
 
+(* Telemetry counters (no-op when Mbr_obs is disabled): the ILP layer's
+   "simplex work" roll-up is pivots, the one O(m·n) unit of the
+   algorithm. *)
+let m_solves = Mbr_obs.Metrics.counter "lp.simplex_solves"
+
+let m_pivots = Mbr_obs.Metrics.counter "lp.simplex_pivots"
+
 let solve t =
+  Mbr_obs.Metrics.incr m_solves;
   let nv = t.nv in
   let lbs = Array.of_list (List.rev t.lbs) in
   let ubs = Array.of_list (List.rev t.ubs) in
@@ -166,6 +174,7 @@ let solve t =
       done
     done;
     let pivot cost_rows prow pcol =
+      Mbr_obs.Metrics.incr m_pivots;
       let pr = tab.(prow) in
       let pv = pr.(pcol) in
       for c = 0 to n_total do

@@ -1,0 +1,11 @@
+(* CLOCK_MONOTONIC via bechamel's [@@noalloc] stub; subtracting a
+   module-load origin keeps the float conversions fully precise for
+   runs of any realistic length. *)
+
+let origin = Monotonic_clock.now ()
+
+let now_ns () = Int64.sub (Monotonic_clock.now ()) origin
+
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+
+let now_us () = Int64.to_float (now_ns ()) *. 1e-3

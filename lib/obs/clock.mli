@@ -1,0 +1,20 @@
+(** The one clock of the telemetry layer.
+
+    Monotonic (CLOCK_MONOTONIC through bechamel's no-alloc stub — mtime
+    is not available offline), with an arbitrary origin fixed at module
+    load. Every duration in the repo — flow stage times, per-block
+    solve times, trace event timestamps — is a difference of reads of
+    this clock, so the numbers can no longer drift apart the way three
+    independent [Unix.gettimeofday] call sites could (wall-clock steps,
+    NTP slew). *)
+
+val now_ns : unit -> int64
+(** Raw monotonic nanoseconds since the (arbitrary) origin. *)
+
+val now_s : unit -> float
+(** Monotonic seconds since the origin. Only differences are
+    meaningful. *)
+
+val now_us : unit -> float
+(** Monotonic microseconds since the origin — the unit of Chrome
+    [trace_event] timestamps. *)

@@ -1,0 +1,42 @@
+(** Minimal JSON tree, printer and parser.
+
+    Just enough JSON for the telemetry layer: Chrome trace files and
+    metrics snapshots are emitted through {!to_string}, and the tests /
+    CI checker parse them back with {!of_string} instead of trusting
+    the emitter. No dependency beyond the stdlib (the repo has no
+    yojson offline). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a position-annotated message. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Integral [Num] values within
+    [2^53] print without a decimal point; non-finite floats print as
+    [null] (JSON has no representation for them). *)
+
+val of_string : string -> t
+(** Strict parser for the subset {!to_string} emits plus standard JSON:
+    escapes (including [\uXXXX], encoded to UTF-8), exponents, nested
+    containers. Rejects trailing garbage. *)
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]. *)
+
+val to_list : t -> t list option
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** [Num] values that are integral. *)
+
+val to_str : t -> string option

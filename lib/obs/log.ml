@@ -1,0 +1,11 @@
+let setup ?(level = Some Logs.Warning) () =
+  Logs.set_reporter (Logs_fmt.reporter ~app:Fmt.stderr ());
+  Logs.set_level level
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "quiet" | "none" | "off" -> Ok None
+  | s -> (
+    match Logs.level_of_string s with
+    | Ok l -> Ok l
+    | Error (`Msg m) -> Error m)

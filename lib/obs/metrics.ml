@@ -1,0 +1,228 @@
+type counter = { c_name : string; c_v : int Atomic.t }
+
+type gauge = { g_name : string; g_v : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_bins : float array;
+  h_counts : int Atomic.t array;
+  h_sum : float Atomic.t;
+  h_count : int Atomic.t;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let enabled = Atomic.make false
+
+let enable () = Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+
+let is_enabled () = Atomic.get enabled
+
+let reg_mutex = Mutex.create ()
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+(* Registration is rare (once per handle); every lookup-or-create runs
+   under the mutex so two domains registering the same name race
+   safely. *)
+let register name create cast =
+  Mutex.lock reg_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg_mutex)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match cast m with
+        | Some h -> h
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Mbr_obs.Metrics: %S already registered as a different kind"
+               name))
+      | None ->
+        let h, m = create () in
+        Hashtbl.replace registry name m;
+        h)
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; c_v = Atomic.make 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let incr ?(by = 1) c =
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_v by)
+
+let counter_value c = Atomic.get c.c_v
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_name = name; g_v = Atomic.make 0.0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = if Atomic.get enabled then Atomic.set g.g_v v
+
+(* log-spaced seconds: right for both sub-millisecond block solves and
+   multi-second stages *)
+let default_bins =
+  [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0 |]
+
+let histogram ?(bins = default_bins) name =
+  register name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          h_bins = Array.copy bins;
+          h_counts = Array.init (Array.length bins + 1) (fun _ -> Atomic.make 0);
+          h_sum = Atomic.make 0.0;
+          h_count = Atomic.make 0;
+        }
+      in
+      (h, Histogram h))
+    (function
+      | Histogram h ->
+        if h.h_bins <> bins && bins != default_bins then
+          invalid_arg
+            (Printf.sprintf
+               "Mbr_obs.Metrics: histogram %S re-registered with different bins"
+               name);
+        Some h
+      | _ -> None)
+
+let rec atomic_add_float a x =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (v +. x)) then atomic_add_float a x
+
+let observe h x =
+  if Atomic.get enabled then begin
+    (* same placement rule as Mbr_util.Stats.histogram: first bin whose
+       upper edge x does not exceed; the trailing bin is the overflow *)
+    let nb = Array.length h.h_bins in
+    let rec find i = if i >= nb || x <= h.h_bins.(i) then i else find (i + 1) in
+    ignore (Atomic.fetch_and_add h.h_counts.(find 0) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    atomic_add_float h.h_sum x
+  end
+
+let reset () =
+  Mutex.lock reg_mutex;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> Atomic.set c.c_v 0
+      | Gauge g -> Atomic.set g.g_v 0.0
+      | Histogram h ->
+        Array.iter (fun a -> Atomic.set a 0) h.h_counts;
+        Atomic.set h.h_sum 0.0;
+        Atomic.set h.h_count 0)
+    registry;
+  Mutex.unlock reg_mutex
+
+type histo_snapshot = {
+  bins : float array;
+  counts : int array;
+  sum : float;
+  count : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histo_snapshot) list;
+}
+
+let snapshot () =
+  Mutex.lock reg_mutex;
+  let cs = ref [] and gs = ref [] and hs = ref [] in
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | Counter c -> cs := (name, Atomic.get c.c_v) :: !cs
+      | Gauge g -> gs := (name, Atomic.get g.g_v) :: !gs
+      | Histogram h ->
+        hs :=
+          ( name,
+            {
+              bins = Array.copy h.h_bins;
+              counts = Array.map Atomic.get h.h_counts;
+              sum = Atomic.get h.h_sum;
+              count = Atomic.get h.h_count;
+            } )
+          :: !hs)
+    registry;
+  Mutex.unlock reg_mutex;
+  let by_name (a, _) (b, _) = compare a b in
+  {
+    counters = List.sort by_name !cs;
+    gauges = List.sort by_name !gs;
+    histograms = List.sort by_name !hs;
+  }
+
+let snapshot_json s =
+  let num_arr a = Json.Arr (Array.to_list (Array.map (fun f -> Json.Num f) a)) in
+  let int_arr a =
+    Json.Arr (Array.to_list (Array.map (fun i -> Json.Num (float_of_int i)) a))
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) s.counters)
+      );
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.gauges));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, h) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("bins", num_arr h.bins);
+                     ("counts", int_arr h.counts);
+                     ("sum", Json.Num h.sum);
+                     ("count", Json.Num (float_of_int h.count));
+                   ] ))
+             s.histograms) );
+    ]
+
+let pp ppf s =
+  let open Format in
+  if s.counters <> [] then begin
+    fprintf ppf "@[<v>counters:@,";
+    List.iter (fun (k, v) -> fprintf ppf "  %-36s %12d@," k v) s.counters;
+    fprintf ppf "@]"
+  end;
+  if s.gauges <> [] then begin
+    fprintf ppf "@[<v>gauges:@,";
+    List.iter (fun (k, v) -> fprintf ppf "  %-36s %12.6g@," k v) s.gauges;
+    fprintf ppf "@]"
+  end;
+  if s.histograms <> [] then begin
+    fprintf ppf "@[<v>histograms:@,";
+    List.iter
+      (fun (k, h) ->
+        let mean = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count in
+        fprintf ppf "  %-36s n=%-8d sum=%-10.4g mean=%-10.4g@," k h.count h.sum
+          mean;
+        let nb = Array.length h.bins in
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              if i < nb then fprintf ppf "    <= %-10.4g %8d@," h.bins.(i) c
+              else fprintf ppf "    >  %-10.4g %8d@," h.bins.(nb - 1) c)
+          h.counts)
+      s.histograms;
+    fprintf ppf "@]"
+  end
+
+let write path =
+  let oc = open_out path in
+  output_string oc (Json.to_string (snapshot_json (snapshot ())));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,87 @@
+(** Domain-safe metrics registry: named counters, gauges and fixed-bin
+    histograms.
+
+    Handles are registered once by name (typically at module load or
+    stage setup) and bumped from anywhere — including
+    {!Mbr_util.Pool} worker domains: every mutation is a single
+    [Atomic] operation (a CAS loop for float accumulation), so
+    concurrent bumps lose no increments and a {!snapshot} taken between
+    fan-outs is deterministic for a deterministic workload regardless
+    of the jobs setting (property-tested).
+
+    The registry is {e disabled by default}: a disabled bump is one
+    atomic load and nothing else, keeping instrumented hot paths
+    (per-block solves, STA worklists, simplex pivots) clean when nobody
+    is looking. Registration itself is always live so handles can be
+    created eagerly at the top of instrumented modules.
+
+    Histogram bins follow the [Mbr_util.Stats.histogram] convention:
+    [bins] holds ascending upper edges, an observation lands in the
+    first bin whose edge it does not exceed, and one extra overflow bin
+    catches the rest — so [counts] has [length bins + 1] entries. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every value; registrations (names, bins, handles) survive. *)
+
+val counter : string -> counter
+(** Register (or retrieve — registration is idempotent) the named
+    counter. Raises [Invalid_argument] when the name is already bound
+    to a different metric kind. *)
+
+val incr : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+
+val set : gauge -> float -> unit
+
+val histogram : ?bins:float array -> string -> histogram
+(** [bins] defaults to a log-spaced seconds scale (0.1 ms .. 3 s)
+    suitable for the solve/stage timings this repo observes. The bins
+    of the first registration win; re-registering with different bins
+    raises [Invalid_argument]. *)
+
+val observe : histogram -> float -> unit
+
+(** {2 Snapshots} *)
+
+type histo_snapshot = {
+  bins : float array;  (** ascending upper edges *)
+  counts : int array;  (** per-bin counts, length [bins + 1] *)
+  sum : float;
+  count : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * histo_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+(** Point-in-time copy of every registered metric (readable even while
+    disabled — values simply stop moving). *)
+
+val snapshot_json : snapshot -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {"bins", "counts", "sum", "count"}}}]. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable table: counters, gauges, then histograms with
+    count/mean/max-bin summaries. *)
+
+val write : string -> unit
+(** Current {!snapshot} as JSON to a file. *)

@@ -1,0 +1,123 @@
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_ph : char;  (* 'B' | 'E' | 'i' *)
+  ev_ts_us : float;
+  ev_tid : int;
+  ev_args : (string * arg) list;
+}
+
+let enabled = Atomic.make false
+
+let enable () = Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+
+let is_enabled () = Atomic.get enabled
+
+(* Buffers hold events newest-first (constant-time push, no
+   synchronization: only the owning domain writes). The registry of
+   buffers is the module's only shared mutable structure; its mutex is
+   taken once per domain lifetime plus once per export. Buffers of
+   finished pool domains stay registered so their events survive into
+   the export. *)
+let reg_mutex = Mutex.create ()
+
+let buffers : (int * event list ref) list ref = ref []
+
+let dls : (int * event list ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let tid = (Domain.self () :> int) in
+      let buf = ref [] in
+      Mutex.lock reg_mutex;
+      buffers := (tid, buf) :: !buffers;
+      Mutex.unlock reg_mutex;
+      (tid, buf))
+
+let emit ~ts name ph args =
+  let tid, buf = Domain.DLS.get dls in
+  buf :=
+    { ev_name = name; ev_ph = ph; ev_ts_us = ts; ev_tid = tid; ev_args = args }
+    :: !buf
+
+let clear () =
+  Mutex.lock reg_mutex;
+  List.iter (fun (_, buf) -> buf := []) !buffers;
+  Mutex.unlock reg_mutex
+
+let timed_span ?(args = []) ~name f =
+  (* capture the flag once so the B/E pair stays matched even if
+     tracing is toggled mid-span *)
+  let on = Atomic.get enabled in
+  let t0 = Clock.now_us () in
+  if on then emit ~ts:t0 name 'B' args;
+  let finish () =
+    let t1 = Clock.now_us () in
+    if on then emit ~ts:t1 name 'E' [];
+    (t1 -. t0) *. 1e-6
+  in
+  match f () with
+  | r -> (r, finish ())
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    ignore (finish ());
+    Printexc.raise_with_backtrace e bt
+
+let with_span ?args ~name f =
+  if Atomic.get enabled then fst (timed_span ?args ~name f) else f ()
+
+let instant ?(args = []) name =
+  if Atomic.get enabled then emit ~ts:(Clock.now_us ()) name 'i' args
+
+let events () =
+  Mutex.lock reg_mutex;
+  let chunks = List.map (fun (_, buf) -> List.rev !buf) !buffers in
+  Mutex.unlock reg_mutex;
+  (* per-buffer lists are chronological after the rev; the stable sort
+     keeps same-timestamp events of one domain in recording order *)
+  List.stable_sort
+    (fun a b -> compare a.ev_ts_us b.ev_ts_us)
+    (List.concat chunks)
+
+let n_events () = List.length (events ())
+
+let arg_json = function
+  | Str s -> Json.Str s
+  | Int i -> Json.Num (float_of_int i)
+  | Float f -> Json.Num f
+  | Bool b -> Json.Bool b
+
+let export () =
+  let pid = float_of_int (Unix.getpid ()) in
+  let event_json e =
+    Json.Obj
+      ([
+         ("name", Json.Str e.ev_name);
+         ("ph", Json.Str (String.make 1 e.ev_ph));
+         ("ts", Json.Num e.ev_ts_us);
+         ("pid", Json.Num pid);
+         ("tid", Json.Num (float_of_int e.ev_tid));
+         ("cat", Json.Str "mbr");
+       ]
+      @
+      match e.ev_args with
+      | [] -> []
+      | args ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_json v)) args)) ])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map event_json (events ())));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write path =
+  let oc = open_out path in
+  output_string oc (Json.to_string (export ()));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,57 @@
+(** Span tracing with Chrome [trace_event] export.
+
+    [with_span ~name f] brackets [f] with begin/end events carrying the
+    calling domain's id, so a traced run renders as a flame chart of
+    the Fig.-4 stages over the allocation pool's worker domains in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Recording is {e per-domain and lock-free}: each domain appends to
+    its own buffer (reached through domain-local storage), and the one
+    mutex in the module guards only buffer {e registration} (once per
+    domain) and export. Tracing is off by default; a disabled
+    [with_span] is one atomic load plus the two clock reads that also
+    produce the duration callers consume, so hot paths stay clean.
+
+    Spans may nest freely and cross domains only by nesting (a span
+    opened on one domain closes on the same domain — [Fun.protect]
+    semantics, so an exception still closes the span). *)
+
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop every recorded event (buffers stay registered). *)
+
+val timed_span :
+  ?args:(string * arg) list -> name:string -> (unit -> 'a) -> 'a * float
+(** Run the thunk inside a span and return its result with the span's
+    duration in seconds — the same two clock reads produce the trace
+    events and the returned duration, so stage-time tables and the
+    trace can never disagree. When tracing is disabled only the
+    duration is produced. *)
+
+val with_span : ?args:(string * arg) list -> name:string -> (unit -> 'a) -> 'a
+(** [timed_span] without the duration. *)
+
+val instant : ?args:(string * arg) list -> string -> unit
+(** A zero-duration marker event ([ph = "i"]). No-op when disabled. *)
+
+val export : unit -> Json.t
+(** The Chrome trace: [{"traceEvents": [...], "displayTimeUnit":
+    "ms"}], events in timestamp order (ties keep per-domain
+    recording order, so a B never trails its E). Safe to call while
+    workers are quiescent — i.e. between flow stages or after a run. *)
+
+val write : string -> unit
+(** {!export} serialized to a file, loadable by Perfetto as-is. *)
+
+val n_events : unit -> int

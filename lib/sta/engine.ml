@@ -521,6 +521,17 @@ let grow t n' =
     t.n <- n'
   end
 
+(* Telemetry: the incremental engine's health is "how often does
+   refresh stay incremental, and how much does it touch when it does".
+   [sta.dirty_pins] accumulates the seed set of each incremental
+   splice; [sta.rebuild_fallbacks] counts Bail escapes to the O(n)
+   path. All no-ops while [Mbr_obs] is disabled. *)
+let m_refreshes = Mbr_obs.Metrics.counter "sta.refreshes"
+
+let m_rebuild_fallbacks = Mbr_obs.Metrics.counter "sta.rebuild_fallbacks"
+
+let m_dirty_pins = Mbr_obs.Metrics.counter "sta.dirty_pins"
+
 (* Full fallback: recompute the graph from scratch, keep skews, rerun a
    complete analyze. Any partial splicing a bailed refresh left behind
    is discarded wholesale because every array is replaced. *)
@@ -562,7 +573,10 @@ let refresh ?(rebuild_threshold = 0.75) t =
     if dsg_rev <> t.dsg_cursor then rebuild t else analyze t
   end
   else if dsg_rev = t.dsg_cursor && pl_rev = t.pl_cursor then ()
-  else begin
+  else
+    Mbr_obs.Trace.with_span ~name:"sta.refresh"
+      ~args:[ ("n_pins", Mbr_obs.Trace.Int t.n) ]
+    @@ fun () ->
     try
       let edits = Design.edits_since t.dsg t.dsg_cursor in
       let moved = Placement.moves_since t.pl t.pl_cursor in
@@ -773,6 +787,11 @@ let refresh ?(rebuild_threshold = 0.75) t =
       (* 6. worklist propagation in topological order; a pin is
          recomputed from scratch off its (final) predecessors, and its
          cone is chased only while values actually change *)
+      let n_dirty = ref 0 in
+      for pid = 0 to t.n - 1 do
+        if fwd_dirty.(pid) || bwd_dirty.(pid) then incr n_dirty
+      done;
+      Mbr_obs.Metrics.incr ~by:!n_dirty m_dirty_pins;
       let fq = Pq.create () in
       let fqueued = Array.make t.n false in
       let fpush pid =
@@ -836,9 +855,11 @@ let refresh ?(rebuild_threshold = 0.75) t =
       t.dsg_cursor <- dsg_rev;
       t.pl_cursor <- pl_rev;
       t.analyzed <- true;
-      t.n_refreshes <- t.n_refreshes + 1
-    with Bail -> rebuild t
-  end
+      t.n_refreshes <- t.n_refreshes + 1;
+      Mbr_obs.Metrics.incr m_refreshes
+    with Bail ->
+      Mbr_obs.Metrics.incr m_rebuild_fallbacks;
+      rebuild t
 
 let full_builds t = t.n_full_builds
 

@@ -81,7 +81,13 @@ val refresh : ?rebuild_threshold:float -> t -> unit
     Falls back to a full rebuild — counted by {!full_builds} — when a
     combinational cell was added or removed, when a new arc contradicts
     the existing topological order, or when the touched-pin estimate
-    exceeds [rebuild_threshold] (default 0.75) of the graph's pins. *)
+    exceeds [rebuild_threshold] (default 0.75) of the graph's pins.
+
+    Telemetry (no-op unless [Mbr_obs] is enabled): each non-trivial
+    call runs under an ["sta.refresh"] trace span; the registry
+    counters [sta.refreshes], [sta.rebuild_fallbacks] and
+    [sta.dirty_pins] record how often the incremental path held and
+    how many pins seeded each re-propagation. *)
 
 val full_builds : t -> int
 (** Full graph constructions so far: 1 for {!build} plus one per

@@ -1,21 +1,34 @@
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* Telemetry: worker spans make the fan-out visible as one lane per
+   domain in a Chrome trace; the counters price the scheduling. All
+   no-ops while the obs layer is disabled. *)
+let m_maps = Mbr_obs.Metrics.counter "pool.maps"
+
+let m_chunks = Mbr_obs.Metrics.counter "pool.chunks"
+
+let m_tasks = Mbr_obs.Metrics.counter "pool.tasks"
+
 let map_array ?(chunk = 1) ~jobs f tasks =
   if jobs < 1 then invalid_arg "Pool.map_array: jobs < 1";
   if chunk < 1 then invalid_arg "Pool.map_array: chunk < 1";
   let n = Array.length tasks in
   if jobs = 1 || n <= 1 then Array.map f tasks
   else begin
+    Mbr_obs.Metrics.incr m_maps;
+    Mbr_obs.Metrics.incr ~by:n m_tasks;
     let results = Array.make n None in
     let next = Atomic.make 0 in
     (* first failure wins; its presence also stops further claims *)
     let failure = Atomic.make None in
     let worker () =
+      Mbr_obs.Trace.with_span ~name:"pool.worker" (fun () ->
       let continue = ref true in
       while !continue do
         let start = Atomic.fetch_and_add next chunk in
         if start >= n || Atomic.get failure <> None then continue := false
         else begin
+          Mbr_obs.Metrics.incr m_chunks;
           let stop = min n (start + chunk) in
           try
             for i = start to stop - 1 do
@@ -26,7 +39,7 @@ let map_array ?(chunk = 1) ~jobs f tasks =
             ignore (Atomic.compare_and_set failure None (Some (e, bt)));
             continue := false
         end
-      done
+      done)
     in
     let spawned = Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
     (* the calling domain is worker number [jobs] *)

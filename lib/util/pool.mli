@@ -24,7 +24,15 @@
     If any call to [f] raises, the pool stops handing out new chunks,
     the remaining workers drain, and the first exception (in claim
     order) is re-raised on the calling domain with its original
-    backtrace. *)
+    backtrace.
+
+    Telemetry: when the observability layer is enabled, every worker
+    stint (spawned domains and the calling domain's) is a
+    [Mbr_obs.Trace] span named ["pool.worker"], so spans recorded
+    inside [f] nest under the worker lane of the domain that ran them;
+    the [pool.maps] / [pool.chunks] / [pool.tasks] counters record the
+    fan-out. All of it is no-op when [Mbr_obs] is disabled, and the
+    [jobs = 1] serial path is never instrumented at all. *)
 
 val recommended_jobs : unit -> int
 (** The runtime's parallelism estimate

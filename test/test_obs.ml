@@ -1,0 +1,307 @@
+(* Tests for Mbr_obs: the telemetry layer (PR: span tracing + metrics
+   registry + Chrome trace export).
+
+   - Clock: monotone, starts near zero.
+   - Json: printer/parser roundtrip, standard-JSON acceptance,
+     accessors, non-finite handling.
+   - Metrics: registration semantics, disabled-mode no-ops, the
+     Stats.histogram bin convention, and the domain-safety property the
+     registry promises — N pool workers bumping shared counters and
+     histograms lose no increments, and a snapshot is identical at
+     jobs = 1 and jobs = 4 (qcheck).
+   - Trace: a traced Flow.run on the tiny design with a 2-domain pool
+     exports valid Chrome trace JSON — parsed back with the
+     independent parser: every B has its E, the Fig.-4 stages appear in
+     pipeline order, the pool's worker domains appear as extra tids,
+     the stage spans cover >= 95 % of flow.recompose, and a disabled
+     run records nothing. *)
+
+module Obs = Mbr_obs
+module J = Mbr_obs.Json
+module G = Mbr_designgen.Generate
+module P = Mbr_designgen.Profile
+module Flow = Mbr_core.Flow
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+(* ---- clock ---- *)
+
+let test_clock () =
+  let a = Obs.Clock.now_s () in
+  let b = Obs.Clock.now_s () in
+  check "monotone" true (b >= a);
+  check "non-negative" true (a >= 0.0);
+  check "ns/us/s agree" true
+    (Float.abs ((Obs.Clock.now_us () *. 1e-6) -. Obs.Clock.now_s ()) < 0.1)
+
+(* ---- json ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("a", J.Num 1.0);
+        ("b", J.Str "x\"y\\z\n\t");
+        ("c", J.Arr [ J.Bool true; J.Null; J.Num (-2.5); J.Num 1e22 ]);
+        ("nested", J.Obj [ ("empty_arr", J.Arr []); ("empty_obj", J.Obj []) ]);
+      ]
+  in
+  check "roundtrip" true (J.of_string (J.to_string v) = v);
+  Alcotest.(check string)
+    "integral floats print as ints" "{\"n\":42}"
+    (J.to_string (J.Obj [ ("n", J.Num 42.0) ]));
+  check "non-finite prints as null" true
+    (J.to_string (J.Num Float.nan) = "null"
+    && J.to_string (J.Num Float.infinity) = "null")
+
+let test_json_parse () =
+  let j = J.of_string {| {"xs": [1, 2.5, "s\u0041", false, null], "k": -3e2} |} in
+  (match Option.bind (J.member "xs" j) J.to_list with
+  | Some [ one; _; s; f; n ] ->
+    check "num" true (J.to_int one = Some 1);
+    check "unicode escape" true (J.to_str s = Some "sA");
+    check "bool" true (f = J.Bool false);
+    check "null" true (n = J.Null)
+  | _ -> Alcotest.fail "xs shape");
+  check "exponent" true (Option.bind (J.member "k" j) J.to_float = Some (-300.0));
+  check "trailing garbage rejected" true
+    (match J.of_string "{} x" with
+    | exception J.Parse_error _ -> true
+    | _ -> false);
+  check "to_int on non-integral" true (J.to_int (J.Num 1.5) = None)
+
+(* ---- metrics ---- *)
+
+let test_metrics_registry () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let c = Obs.Metrics.counter "test.reg.c" in
+  let c' = Obs.Metrics.counter "test.reg.c" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:2 c';
+  checki "idempotent registration shares state" 3 (Obs.Metrics.counter_value c);
+  check "kind mismatch raises" true
+    (match Obs.Metrics.gauge "test.reg.c" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Obs.Metrics.disable ();
+  Obs.Metrics.incr c;
+  checki "disabled bump is a no-op" 3 (Obs.Metrics.counter_value c);
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  checki "reset zeroes, keeps handle" 0 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  checki "handle live after reset" 1 (Obs.Metrics.counter_value c);
+  Obs.Metrics.disable ()
+
+let test_histogram_bins () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let bins = [| 1.0; 2.0; 4.0 |] in
+  let h = Obs.Metrics.histogram ~bins "test.histo.bins" in
+  let xs = [| 0.5; 1.0; 1.5; 2.0; 3.9; 4.0; 4.1; 100.0 |] in
+  Array.iter (Obs.Metrics.observe h) xs;
+  let snap = Obs.Metrics.snapshot () in
+  let hs = List.assoc "test.histo.bins" snap.Obs.Metrics.histograms in
+  (* the registry must place observations exactly like Stats.histogram *)
+  Alcotest.(check (array int))
+    "Stats.histogram convention"
+    (Mbr_util.Stats.histogram ~bins xs)
+    hs.Obs.Metrics.counts;
+  checki "count" (Array.length xs) hs.Obs.Metrics.count;
+  check "sum" true
+    (Float.abs (hs.Obs.Metrics.sum -. Array.fold_left ( +. ) 0.0 xs) < 1e-9);
+  check "re-registration with other bins raises" true
+    (match Obs.Metrics.histogram ~bins:[| 9.0 |] "test.histo.bins" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Obs.Metrics.disable ()
+
+(* qcheck: concurrent bumps from pool workers lose nothing, and the
+   snapshot is independent of the jobs setting *)
+let prop_concurrent_counts =
+  QCheck2.Test.make ~count:25 ~name:"metrics: pool workers lose no increments"
+    QCheck2.Gen.(pair (int_range 1 400) (int_range 1 7))
+    (fun (n_tasks, by) ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.enable ();
+      let c = Obs.Metrics.counter "test.conc.c" in
+      let h = Obs.Metrics.histogram "test.conc.h" in
+      let work _i =
+        Obs.Metrics.incr ~by c;
+        Obs.Metrics.observe h 0.002
+      in
+      let snap_for jobs =
+        Obs.Metrics.reset ();
+        ignore
+          (Mbr_util.Pool.map_array ~jobs work (Array.init n_tasks Fun.id));
+        Obs.Metrics.snapshot ()
+      in
+      let serial = snap_for 1 in
+      let parallel = snap_for 4 in
+      Obs.Metrics.disable ();
+      let total (s : Obs.Metrics.snapshot) =
+        List.assoc "test.conc.c" s.Obs.Metrics.counters
+      in
+      let hcount (s : Obs.Metrics.snapshot) =
+        (List.assoc "test.conc.h" s.Obs.Metrics.histograms).Obs.Metrics.count
+      in
+      total serial = n_tasks * by
+      && total parallel = n_tasks * by
+      && hcount serial = n_tasks
+      && hcount parallel = n_tasks
+      (* identical snapshots up to the pool's own scheduling counters,
+         which legitimately differ between jobs settings *)
+      && List.filter (fun (k, _) -> not (String.length k >= 5 && String.sub k 0 5 = "pool."))
+           serial.Obs.Metrics.counters
+         = List.filter (fun (k, _) -> not (String.length k >= 5 && String.sub k 0 5 = "pool."))
+             parallel.Obs.Metrics.counters
+      && serial.Obs.Metrics.histograms = parallel.Obs.Metrics.histograms)
+
+(* ---- trace export over a real flow ---- *)
+
+let fig4_stages =
+  [ "eco-reset"; "metrics-before"; "decompose"; "compat-graph";
+    "blocker-index"; "allocate"; "merge"; "scan-restitch"; "skew";
+    "resize"; "metrics-after" ]
+
+type ev = { name : string; ph : string; ts : float; tid : int }
+
+let events_of_export j =
+  match Option.bind (J.member "traceEvents" j) J.to_list with
+  | None -> Alcotest.fail "no traceEvents array"
+  | Some l ->
+    List.map
+      (fun e ->
+        let get k f = Option.bind (J.member k e) f in
+        match (get "name" J.to_str, get "ph" J.to_str, get "ts" J.to_float,
+               get "pid" J.to_int, get "tid" J.to_int) with
+        | Some name, Some ph, Some ts, Some _, Some tid -> { name; ph; ts; tid }
+        | _ -> Alcotest.fail ("malformed event: " ^ J.to_string e))
+      l
+
+let run_tiny_traced () =
+  Obs.Trace.clear ();
+  Obs.Trace.enable ();
+  let g = G.generate (P.tiny ~seed:11) in
+  let options = { Flow.default_options with Flow.jobs = Some 2 } in
+  let r =
+    Flow.run ~options ~design:g.G.design ~placement:g.G.placement
+      ~library:g.G.library ~sta_config:g.G.sta_config ()
+  in
+  Obs.Trace.disable ();
+  let j = J.of_string (J.to_string (Obs.Trace.export ())) in
+  (r, events_of_export j)
+
+let test_trace_export () =
+  let r, events = run_tiny_traced () in
+  check "has events" true (events <> []);
+  (* timestamps are exported in order *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.ts <= b.ts && sorted rest
+    | _ -> true
+  in
+  check "ts sorted" true (sorted events);
+  (* per-tid stack discipline: every B closed by a matching E *)
+  let stacks = Hashtbl.create 8 in
+  let spans = ref [] in
+  List.iter
+    (fun e ->
+      let s =
+        match Hashtbl.find_opt stacks e.tid with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.add stacks e.tid s;
+          s
+      in
+      match e.ph with
+      | "B" -> s := (e.name, e.ts) :: !s
+      | "E" -> (
+        match !s with
+        | (name, t0) :: rest ->
+          check "E matches innermost B" true (name = e.name);
+          s := rest;
+          spans := (name, e.tid, e.ts -. t0) :: !spans
+        | [] -> Alcotest.fail "E with no open span")
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun _ s -> check "all spans closed" true (!s = []))
+    stacks;
+  (* Fig.-4 stage order *)
+  let stage_begins =
+    List.filter_map
+      (fun e ->
+        if e.ph = "B" && List.mem e.name fig4_stages then Some e.name else None)
+      events
+  in
+  Alcotest.(check (list string)) "stages in pipeline order" fig4_stages
+    stage_begins;
+  (* the jobs = 2 pool ran worker spans on >= 2 distinct domains *)
+  let worker_tids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (n, tid, _) -> if n = "pool.worker" then Some tid else None)
+         !spans)
+  in
+  check "pool workers on >= 2 domains" true (List.length worker_tids >= 2);
+  (* stage spans cover >= 95 % of the recompose span, which equals
+     runtime_s (same clock, same reads) *)
+  let dur name =
+    List.fold_left
+      (fun acc (n, _, d) -> if n = name then acc +. d else acc)
+      0.0 !spans
+  in
+  let recompose_us = dur "flow.recompose" in
+  check "recompose span = runtime_s" true
+    (Float.abs ((recompose_us *. 1e-6) -. r.Flow.runtime_s) < 1e-9);
+  let stage_us =
+    List.fold_left (fun acc n -> acc +. dur n) 0.0 fig4_stages
+  in
+  check "stage coverage >= 95%" true (stage_us >= 0.95 *. recompose_us);
+  (* stage_times in the result are the stage spans' own durations *)
+  List.iter
+    (fun (name, t) ->
+      check (name ^ " time matches span") true
+        (Float.abs ((dur name *. 1e-6) -. t) < 1e-9))
+    r.Flow.stage_times
+
+let test_trace_disabled () =
+  Obs.Trace.clear ();
+  check "disabled by default here" false (Obs.Trace.is_enabled ());
+  let g = G.generate (P.tiny ~seed:2) in
+  let r =
+    Flow.run ~design:g.G.design ~placement:g.G.placement ~library:g.G.library
+      ~sta_config:g.G.sta_config ()
+  in
+  checki "no events recorded when disabled" 0 (Obs.Trace.n_events ());
+  (* timings still flow to the caller *)
+  check "runtime measured anyway" true (r.Flow.runtime_s > 0.0);
+  check "stage times measured anyway" true
+    (List.for_all (fun (_, t) -> t >= 0.0) r.Flow.stage_times)
+
+let () =
+  Alcotest.run "mbr_obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "monotone" `Quick test_clock ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "histogram bins" `Quick test_histogram_bins;
+          QCheck_alcotest.to_alcotest prop_concurrent_counts;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "export over traced flow" `Quick test_trace_export;
+          Alcotest.test_case "disabled mode" `Quick test_trace_disabled;
+        ] );
+    ]

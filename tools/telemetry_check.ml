@@ -1,0 +1,176 @@
+(* telemetry_check — CI validator for the telemetry outputs.
+   Usage: telemetry_check TRACE.json METRICS.json
+
+   Parses both files back with Mbr_obs.Json (the independent parser,
+   not the emitter) and checks the properties the observability layer
+   promises:
+
+   trace:
+     - well-formed Chrome trace_event JSON: {"traceEvents": [...]},
+       every event carrying name/ph/ts/pid/tid;
+     - B/E stack discipline per tid: every E closes the innermost open
+       B of the same name, and no span is left open at the end;
+     - a "flow.recompose" span exists;
+     - the Fig.-4 stage spans appear in pipeline order;
+     - the stage spans cover >= 95 % of their flow.recompose span.
+
+   metrics:
+     - well-formed {"counters": {...}, ...} snapshot;
+     - the counters a traced flow run must have bumped are present and
+       positive. *)
+
+module J = Mbr_obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse what path =
+  match J.of_string (read_file path) with
+  | j -> j
+  | exception J.Parse_error m -> fail "%s %s: %s" what path m
+
+let stage_order =
+  [ "eco-reset"; "metrics-before"; "decompose"; "compat-graph";
+    "blocker-index"; "allocate"; "merge"; "scan-restitch"; "skew";
+    "resize"; "metrics-after" ]
+
+type ev = { name : string; ph : string; ts : float; tid : int }
+
+let event_of_json j =
+  let str k = Option.bind (J.member k j) J.to_str in
+  let num k = Option.bind (J.member k j) J.to_float in
+  let int k = Option.bind (J.member k j) J.to_int in
+  match (str "name", str "ph", num "ts", int "pid", int "tid") with
+  | Some name, Some ph, Some ts, Some _, Some tid -> { name; ph; ts; tid }
+  | _ -> fail "trace event missing name/ph/ts/pid/tid: %s" (J.to_string j)
+
+let check_trace path =
+  let j = parse "trace" path in
+  let events =
+    match Option.bind (J.member "traceEvents" j) J.to_list with
+    | Some l -> List.map event_of_json l
+    | None -> fail "trace %s: no \"traceEvents\" array" path
+  in
+  if events = [] then fail "trace %s: empty" path;
+  (* per-tid stack discipline, accumulating span durations on close *)
+  let stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  let spans = ref [] in (* (name, tid, dur_us) of every closed span *)
+  List.iter
+    (fun e ->
+      let s = stack e.tid in
+      match e.ph with
+      | "B" -> s := (e.name, e.ts) :: !s
+      | "E" -> (
+        match !s with
+        | (name, ts0) :: rest when name = e.name ->
+          s := rest;
+          spans := (name, e.tid, e.ts -. ts0) :: !spans
+        | (name, _) :: _ ->
+          fail "tid %d: E %S closes open span %S" e.tid e.name name
+        | [] -> fail "tid %d: E %S with no span open" e.tid e.name)
+      | "i" -> ()
+      | ph -> fail "unknown phase %S" ph)
+    events;
+  Hashtbl.iter
+    (fun tid s ->
+      match !s with
+      | [] -> ()
+      | (name, _) :: _ -> fail "tid %d: span %S never closed" tid name)
+    stacks;
+  let spans = !spans in
+  let dur name =
+    List.fold_left
+      (fun acc (n, _, d) -> if n = name then acc +. d else acc)
+      0.0 spans
+  in
+  let recompose_us = dur "flow.recompose" in
+  if recompose_us <= 0.0 then fail "no flow.recompose span";
+  (* Fig.-4 stage spans in pipeline order *)
+  let stage_begins =
+    List.filter_map
+      (fun e ->
+        if e.ph = "B" && List.mem e.name stage_order then Some e.name else None)
+      events
+  in
+  let rec ordered order seen = match (order, seen) with
+    | _, [] -> true
+    | [], s :: _ -> fail "stage %S after the pipeline ended" s
+    | o :: os, s :: ss ->
+      if o = s then ordered os ss
+      else ordered os (s :: ss) (* stage missing from this round: skip *)
+  in
+  (* per recompose round the stages restart; check each round's prefix *)
+  let rounds =
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | cur :: rest when not (List.mem s cur) -> (s :: cur) :: rest
+        | _ -> [ s ] :: acc)
+      [] stage_begins
+  in
+  List.iter (fun round -> ignore (ordered stage_order (List.rev round))) rounds;
+  if not (List.exists (fun (n, _, _) -> n = "allocate") spans) then
+    fail "no allocate stage span";
+  (* coverage: the eleven stage spans account for >= 95 % of recompose *)
+  let stage_us =
+    List.fold_left (fun acc name -> acc +. dur name) 0.0 stage_order
+  in
+  let coverage = stage_us /. recompose_us in
+  if coverage < 0.95 then
+    fail "stage spans cover %.1f %% of flow.recompose (< 95 %%)"
+      (100.0 *. coverage);
+  Printf.printf
+    "trace OK: %d events, %d closed spans, stage coverage %.1f %%\n"
+    (List.length events) (List.length spans) (100.0 *. coverage)
+
+let check_metrics path =
+  let j = parse "metrics" path in
+  let counters =
+    match J.member "counters" j with
+    | Some o -> o
+    | None -> fail "metrics %s: no \"counters\" object" path
+  in
+  let counter name =
+    match Option.bind (J.member name counters) J.to_int with
+    | Some v -> v
+    | None -> fail "metrics: counter %S missing" name
+  in
+  List.iter
+    (fun name ->
+      if counter name <= 0 then fail "metrics: counter %S is 0" name)
+    [ "flow.recomposes"; "ilp.solves"; "lp.simplex_solves";
+      "lp.simplex_pivots"; "sta.refreshes" ];
+  (match
+     Option.bind (J.member "histograms" j) (fun h ->
+         Option.bind (J.member "alloc.block_solve_s" h) (fun hs ->
+             Option.bind (J.member "count" hs) J.to_int))
+   with
+  | Some n when n > 0 -> ()
+  | Some _ -> fail "metrics: alloc.block_solve_s histogram is empty"
+  | None -> fail "metrics: alloc.block_solve_s histogram missing");
+  Printf.printf "metrics OK: flow.recomposes=%d ilp.solves=%d pivots=%d\n"
+    (counter "flow.recomposes") (counter "ilp.solves")
+    (counter "lp.simplex_pivots")
+
+let () =
+  match Sys.argv with
+  | [| _; trace; metrics |] ->
+    check_trace trace;
+    check_metrics metrics
+  | _ ->
+    prerr_endline "usage: telemetry_check TRACE.json METRICS.json";
+    exit 2
