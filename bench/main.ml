@@ -115,6 +115,65 @@ let kernel_tests () =
     Test.make ~name:"ilp.20elem-120cand"
       (Staged.stage (fun () -> Mbr_ilp.Set_partition.solve sp_problem))
   in
+  (* the same kernel at the two candidate-density extremes the staged
+     solver was built for: a sparse instance whose overlap graph falls
+     apart into six components, and a dense single-component instance
+     where the search itself carries the load *)
+  let sp_sparse =
+    (* 24 singletons + every pair inside disjoint groups of 4 *)
+    let singles =
+      List.init 24 (fun i -> { Mbr_ilp.Set_partition.weight = 1.0; elems = [ i ] })
+    in
+    let pairs =
+      List.concat
+        (List.init 6 (fun g ->
+             let base = 4 * g in
+             List.concat
+               (List.init 4 (fun i ->
+                    List.filter_map
+                      (fun j ->
+                        if j > i then
+                          Some
+                            {
+                              Mbr_ilp.Set_partition.weight =
+                                0.5 +. (0.05 *. float_of_int ((i + j) mod 3));
+                              elems = [ base + i; base + j ];
+                            }
+                        else None)
+                      (List.init 4 Fun.id)))))
+    in
+    { Mbr_ilp.Set_partition.n_elems = 24; candidates = Array.of_list (singles @ pairs) }
+  in
+  let ilp_sparse_test =
+    Test.make ~name:"ilp.24elem-60cand-sparse"
+      (Staged.stage (fun () -> Mbr_ilp.Set_partition.solve sp_sparse))
+  in
+  let sp_dense =
+    (* 24 singletons + all 276 pairs: one component, maximal overlap *)
+    let singles =
+      List.init 24 (fun i -> { Mbr_ilp.Set_partition.weight = 1.0; elems = [ i ] })
+    in
+    let pairs =
+      List.concat
+        (List.init 24 (fun i ->
+             List.filter_map
+               (fun j ->
+                 if j > i then
+                   Some
+                     {
+                       Mbr_ilp.Set_partition.weight =
+                         0.4 +. (0.05 *. float_of_int ((i + j) mod 7));
+                       elems = [ i; j ];
+                     }
+                 else None)
+               (List.init 24 Fun.id)))
+    in
+    { Mbr_ilp.Set_partition.n_elems = 24; candidates = Array.of_list (singles @ pairs) }
+  in
+  let ilp_dense_test =
+    Test.make ~name:"ilp.24elem-300cand-dense"
+      (Staged.stage (fun () -> Mbr_ilp.Set_partition.solve sp_dense))
+  in
   (* simplex: 30x60 LP *)
   let simplex_test =
     Test.make ~name:"simplex.30rows-60vars"
@@ -139,7 +198,10 @@ let kernel_tests () =
     Test.make ~name:"cts.synthesize-tiny"
       (Staged.stage (fun () -> Mbr_cts.Synth.synthesize tiny.G.placement))
   in
-  [ hull_test; bk_test; ilp_test; simplex_test; sta_test; cts_test ]
+  [
+    hull_test; bk_test; ilp_test; ilp_sparse_test; ilp_dense_test;
+    simplex_test; sta_test; cts_test;
+  ]
 
 let pretty_ns ns =
   if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)

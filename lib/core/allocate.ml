@@ -82,6 +82,17 @@ let solve_block_ilp cfg (graph : Compat.graph) block cands =
           (List.length block));
     let keeps = List.map (singleton_of graph.Compat.infos) block in
     (keeps, float_of_int (List.length block), false)
+  | (Sp.Optimal | Sp.Feasible) when result.Sp.chosen = [] && block <> [] ->
+    (* a node-limited solve that never reached a full cover: the kernel
+       seeds a greedy incumbent so this is near-unreachable, but a
+       [Feasible] with nothing chosen must not silently drop the
+       block's registers *)
+    Logs.warn (fun m ->
+        m "Allocate: set-partition ILP returned no cover on a %d-node \
+           block (node limit %d); keeping its registers unmerged"
+          (List.length block) cfg.node_limit);
+    let keeps = List.map (singleton_of graph.Compat.infos) block in
+    (keeps, float_of_int (List.length block), false)
   | Sp.Optimal | Sp.Feasible ->
     ( List.map (fun i -> cand_arr.(i)) result.Sp.chosen,
       result.Sp.cost,
@@ -259,6 +270,38 @@ let partition_blocks config (graph : Compat.graph) =
   Array.of_list
     (Kpart.partition ~bound:config.partition_bound graph.Compat.ugraph ~position)
 
+(* Claim order for the parallel fan-out: largest predicted solve first.
+   Block solve time is driven by the candidate enumeration, which grows
+   with the block's size and in-block compatibility density, so the key
+   is (size, in-block edges) descending — ascending block index breaks
+   ties to keep the order reproducible. Scheduling the expensive blocks
+   first stops a whale claimed last from serializing the tail of the
+   run; results are slot-placed, so the selection is unchanged. *)
+let schedule_order (graph : Compat.graph) blocks =
+  let nb = Array.length blocks in
+  let key =
+    Array.map
+      (fun block ->
+        let arr = Array.of_list block in
+        let m = Array.length arr in
+        let edges = ref 0 in
+        for i = 0 to m - 1 do
+          for j = i + 1 to m - 1 do
+            if Ugraph.has_edge graph.Compat.ugraph arr.(i) arr.(j) then
+              incr edges
+          done
+        done;
+        (m, !edges))
+      blocks
+  in
+  let order = Array.init nb Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare key.(b) key.(a) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
 let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
     ?(config = default_config) graph ~lib ~blocker_index =
   let blocks = partition_blocks config graph in
@@ -270,7 +313,10 @@ let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
   let results =
     (* jobs = 1: the serial code path, no pool involved *)
     if config.jobs <= 1 then Array.map solve idx
-    else Pool.map_array ~jobs:config.jobs solve idx
+    else
+      Pool.map_array ~jobs:config.jobs
+        ~order:(schedule_order graph blocks)
+        solve idx
   in
   reduce ~mode results
 
@@ -364,7 +410,11 @@ let run_cached ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
   in
   let solved =
     if config.jobs <= 1 then Array.map solve miss_idx
-    else Pool.map_array ~jobs:config.jobs solve miss_idx
+    else
+      let miss_blocks = Array.map (fun i -> blocks.(i)) miss_idx in
+      Pool.map_array ~jobs:config.jobs
+        ~order:(schedule_order graph miss_blocks)
+        solve miss_idx
   in
   Array.iteri (fun k i -> results.(i) <- Some solved.(k)) miss_idx;
   let results =

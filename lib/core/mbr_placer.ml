@@ -100,7 +100,7 @@ let lp_corner ~cell ~conns ~region =
         Simplex.add_constraint lp [ (zyl, 1.0); (y, -1.0) ] Simplex.Le c.offset.Point.y)
       conns;
     match Simplex.solve lp with
-    | { Simplex.status = Simplex.Optimal; objective; values } ->
+    | { Simplex.status = Simplex.Optimal; objective; values; _ } ->
       Some (Point.make values.(x) values.(y), objective)
     | { Simplex.status = Simplex.Infeasible | Simplex.Unbounded; _ } -> None
   end

@@ -14,7 +14,12 @@ type t = {
 
 type status = Optimal | Infeasible | Unbounded
 
-type solution = { status : status; objective : float; values : float array }
+type solution = {
+  status : status;
+  objective : float;
+  values : float array;
+  duals : float array;
+}
 
 let create () = { lbs = []; ubs = []; objs = []; nv = 0; rows = [] }
 
@@ -80,7 +85,8 @@ let solve t =
         end)
   in
   let empty_box = Array.exists (fun j -> lbs.(j) > ubs.(j) +. eps) (Array.init nv Fun.id) in
-  if empty_box then { status = Infeasible; objective = nan; values = Array.make nv nan }
+  if empty_box then
+    { status = Infeasible; objective = nan; values = Array.make nv nan; duals = [||] }
   else begin
     (* Extra rows for finite upper bounds of shifted variables. *)
     let bound_rows =
@@ -134,12 +140,17 @@ let solve t =
         | Eq -> ());
         tab.(i).(rhs_col) <- !rhs)
       all_rows;
-    (* 3. Make every rhs non-negative, then install artificials. *)
+    (* 3. Make every rhs non-negative, then install artificials. The
+       negation flips the row's dual sign, so remember it: duals are
+       reported for the rows as the caller stated them. *)
+    let negated = Array.make m false in
     for i = 0 to m - 1 do
-      if tab.(i).(rhs_col) < 0.0 then
+      if tab.(i).(rhs_col) < 0.0 then begin
+        negated.(i) <- true;
         for c = 0 to n_total do
           tab.(i).(c) <- -.tab.(i).(c)
-        done;
+        done
+      end;
       let art = n_struct + n_slack + i in
       tab.(i).(art) <- 1.0;
       basis.(i) <- art
@@ -250,7 +261,7 @@ let solve t =
     let st1 = iterate cost1 [ cost1; cost2 ] n_total in
     let phase1_obj = -.cost1.(rhs_col) in
     if st1 = Unbounded || phase1_obj > feas_eps then
-      { status = Infeasible; objective = nan; values = Array.make nv nan }
+      { status = Infeasible; objective = nan; values = Array.make nv nan; duals = [||] }
     else begin
       (* Drive any artificial still in the basis out (it must be at zero). *)
       let n_real = n_struct + n_slack in
@@ -273,7 +284,8 @@ let solve t =
       let st2 = iterate cost2 [ cost2 ] n_real in
       match st2 with
       | Unbounded ->
-        { status = Unbounded; objective = neg_infinity; values = Array.make nv nan }
+        { status = Unbounded; objective = neg_infinity; values = Array.make nv nan;
+          duals = [||] }
       | Infeasible | Optimal ->
         let std_vals = Array.make n_total 0.0 in
         for i = 0 to m - 1 do
@@ -287,6 +299,16 @@ let solve t =
               | Split (p, n) -> std_vals.(p) -. std_vals.(n))
         in
         let objective = -.cost2.(rhs_col) +. !obj_const in
-        { status = Optimal; objective; values }
+        (* Row i's artificial column is e_i in the (possibly negated)
+           row system, so its phase-2 reduced cost is 0 - y·e_i = -y_i:
+           the simplex multipliers fall out of the final tableau for
+           free. Only the caller's rows are reported; the internal
+           upper-bound rows appended after them are not. *)
+        let duals =
+          Array.init (List.length user_rows) (fun i ->
+              let y = -.cost2.(n_struct + n_slack + i) in
+              if negated.(i) then -.y else y)
+        in
+        { status = Optimal; objective; values; duals }
     end
   end

@@ -40,6 +40,16 @@ type solution = {
   status : status;
   objective : float;  (** meaningful only when [status = Optimal] *)
   values : float array;  (** indexed by [var]; length [n_vars] *)
+  duals : float array;
+      (** simplex multiplier of every constraint, in {!add_constraint}
+          order; empty unless [status = Optimal]. For a minimization
+          over [x >= 0] (all default bounds) the reduced cost of
+          variable [j] is [obj_j - sum_i duals_i * a_ij >= 0], with
+          equality on basic variables — the input to dual-based
+          variable fixing in {!Mbr_ilp.Set_partition}. Rows stated with
+          finite upper bounds or free variables still get a multiplier,
+          but the complementary-slackness identity then also involves
+          the active bound terms. *)
 }
 
 val solve : t -> solution

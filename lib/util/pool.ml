@@ -9,16 +9,31 @@ let m_chunks = Mbr_obs.Metrics.counter "pool.chunks"
 
 let m_tasks = Mbr_obs.Metrics.counter "pool.tasks"
 
-let map_array ?(chunk = 1) ~jobs f tasks =
+let map_array ?(chunk = 1) ?order ~jobs f tasks =
   if jobs < 1 then invalid_arg "Pool.map_array: jobs < 1";
   if chunk < 1 then invalid_arg "Pool.map_array: chunk < 1";
   let n = Array.length tasks in
+  (match order with
+  | None -> ()
+  | Some o ->
+    if Array.length o <> n then
+      invalid_arg "Pool.map_array: order length <> number of tasks";
+    let seen = Array.make n false in
+    Array.iter
+      (fun i ->
+        if i < 0 || i >= n || seen.(i) then
+          invalid_arg "Pool.map_array: order is not a permutation";
+        seen.(i) <- true)
+      o);
   if jobs = 1 || n <= 1 then Array.map f tasks
   else begin
     Mbr_obs.Metrics.incr m_maps;
     Mbr_obs.Metrics.incr ~by:n m_tasks;
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    (* the atomic index walks claim positions; [order] maps a position
+       back to the task it names, so results still land in task slots *)
+    let task_of = match order with None -> Fun.id | Some o -> fun p -> o.(p) in
     (* first failure wins; its presence also stops further claims *)
     let failure = Atomic.make None in
     let worker () =
@@ -31,7 +46,8 @@ let map_array ?(chunk = 1) ~jobs f tasks =
           Mbr_obs.Metrics.incr m_chunks;
           let stop = min n (start + chunk) in
           try
-            for i = start to stop - 1 do
+            for p = start to stop - 1 do
+              let i = task_of p in
               results.(i) <- Some (f tasks.(i))
             done
           with e ->

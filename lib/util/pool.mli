@@ -15,6 +15,15 @@
     slot of its task index, so the output is deterministic and
     independent of scheduling.
 
+    [order], when given, is a permutation of the task indices naming
+    the order in which tasks are {e claimed} — longest-first
+    scheduling, for instance, shortens the tail of a skewed fan-out.
+    It changes only which domain runs which task when: results stay in
+    task-index slots, so the returned array is byte-for-byte the same
+    with or without it, and the serial ([jobs = 1]) path ignores it
+    entirely (after validating it, so a bad permutation never hides
+    behind a serial configuration).
+
     [f] must be safe to call from multiple domains at once: it may
     freely mutate state it creates itself, but anything reachable from
     the shared [tasks] (or captured by [f]'s closure) must only be
@@ -39,6 +48,7 @@ val recommended_jobs : unit -> int
     ({!Domain.recommended_domain_count}), never below 1. The [-j 0] /
     [jobs = None] auto setting of the frontends resolves to this. *)
 
-val map_array : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-(** See above. Raises [Invalid_argument] when [jobs < 1] or
-    [chunk < 1]. *)
+val map_array :
+  ?chunk:int -> ?order:int array -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** See above. Raises [Invalid_argument] when [jobs < 1], [chunk < 1],
+    or [order] is not a permutation of the task indices. *)

@@ -135,6 +135,36 @@ let test_node_limit () =
   let r = Sp.solve ~node_limit:5 ~lp_bound:false p in
   check "feasible or optimal" true (r.Sp.status <> Sp.Infeasible)
 
+let test_node_limit_incumbent () =
+  (* the limit trips at the very first node: the result must still be
+     the seeded greedy(+1-swap) incumbent — a real exact cover with a
+     finite cost — never a Feasible with nothing chosen. The instance
+     is built so greedy's first pick ({1,2} at share 0.2) conflicts
+     with the optimal pairing {0,1}+{2,3}, forcing a non-trivial
+     incumbent while the bound (1.5 < incumbent) keeps the root from
+     proving optimality outright. *)
+  let p =
+    {
+      Sp.n_elems = 4;
+      candidates =
+        [|
+          cand 1.0 [ 0 ]; cand 1.0 [ 1 ]; cand 1.0 [ 2 ]; cand 1.0 [ 3 ];
+          cand 1.1 [ 0; 1 ]; cand 1.1 [ 2; 3 ]; cand 0.4 [ 1; 2 ];
+        |];
+    }
+  in
+  let r = Sp.solve ~node_limit:1 ~lp_bound:false p in
+  check "feasible, not proven" true (r.Sp.status = Sp.Feasible);
+  check "non-empty chosen" true (r.Sp.chosen <> []);
+  check "finite cost" true (Float.is_finite r.Sp.cost);
+  let covered = List.concat_map (fun i -> p.Sp.candidates.(i).Sp.elems) r.Sp.chosen in
+  Alcotest.(check (list int)) "exact cover" [ 0; 1; 2; 3 ] (List.sort compare covered);
+  checkf "cost = sum of chosen weights"
+    (List.fold_left
+       (fun acc i -> acc +. p.Sp.candidates.(i).Sp.weight)
+       0.0 r.Sp.chosen)
+    r.Sp.cost
+
 let test_lp_relaxation_bound () =
   let p =
     {
@@ -164,18 +194,40 @@ let problem_gen =
   let singles = List.init n (fun i -> cand 1.0 [ i ]) in
   return { Sp.n_elems = n; candidates = Array.of_list (singles @ extra) }
 
-let problem_arb =
-  QCheck.make
-    ~print:(fun p ->
-      Printf.sprintf "n=%d cands=[%s]" p.Sp.n_elems
-        (String.concat "; "
-           (Array.to_list
-              (Array.map
-                 (fun c ->
-                   Printf.sprintf "%.2f:{%s}" c.Sp.weight
-                     (String.concat "," (List.map string_of_int c.Sp.elems)))
-                 p.Sp.candidates))))
-    problem_gen
+let print_problem p =
+  Printf.sprintf "n=%d cands=[%s]" p.Sp.n_elems
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (fun c ->
+               Printf.sprintf "%.2f:{%s}" c.Sp.weight
+                 (String.concat "," (List.map string_of_int c.Sp.elems)))
+             p.Sp.candidates)))
+
+let problem_arb = QCheck.make ~print:print_problem problem_gen
+
+(* Denser instances aimed at the reduction pipeline: up to 20
+   candidates (within brute_force's reach), element sets up to 5 wide
+   so dominance/decomposition both fire, and singletons sometimes
+   missing entirely so infeasible and unique-cover-forced cases
+   arise. *)
+let dense_problem_gen =
+  let open QCheck.Gen in
+  int_range 2 8 >>= fun n ->
+  bool >>= fun with_singles ->
+  let max_extra = if with_singles then 20 - n else 20 in
+  int_range 0 max_extra >>= fun n_extra ->
+  let cand_gen =
+    map2
+      (fun elems w -> cand (Float.of_int w /. 8.0) elems)
+      (list_size (int_range 1 5) (int_bound (n - 1)))
+      (int_range 1 24)
+  in
+  list_size (return n_extra) cand_gen >>= fun extra ->
+  let singles = if with_singles then List.init n (fun i -> cand 1.0 [ i ]) else [] in
+  return { Sp.n_elems = n; candidates = Array.of_list (singles @ extra) }
+
+let dense_problem_arb = QCheck.make ~print:print_problem dense_problem_gen
 
 let bb_matches_brute_force =
   QCheck.Test.make ~name:"branch-and-bound = brute force optimum" ~count:300
@@ -201,6 +253,27 @@ let bb_chosen_is_exact_cover =
         List.sort compare covered = List.init p.Sp.n_elems Fun.id
       | Sp.Infeasible -> true)
 
+let reduced_matches_brute_force =
+  QCheck.Test.make ~name:"reduced/decomposed solver = brute force" ~count:120
+    dense_problem_arb (fun p ->
+      let a = Sp.solve p in
+      let b = Sp.brute_force p in
+      match (a.Sp.status, b.Sp.status) with
+      | Sp.Optimal, Sp.Optimal -> Float.abs (a.Sp.cost -. b.Sp.cost) < 1e-9
+      | Sp.Infeasible, Sp.Infeasible -> true
+      | _, _ -> false)
+
+let reductions_preserve_result =
+  QCheck.Test.make ~name:"reductions never change status or cost" ~count:150
+    dense_problem_arb (fun p ->
+      let a = Sp.solve p in
+      let b = Sp.solve ~reductions:false p in
+      a.Sp.status = b.Sp.status
+      &&
+      match a.Sp.status with
+      | Sp.Optimal | Sp.Feasible -> Float.abs (a.Sp.cost -. b.Sp.cost) < 1e-9
+      | Sp.Infeasible -> true)
+
 let lp_below_ilp =
   QCheck.Test.make ~name:"LP relaxation lower-bounds the ILP" ~count:200
     problem_arb (fun p ->
@@ -224,9 +297,13 @@ let () =
           Alcotest.test_case "duplicate elements" `Quick test_duplicate_elems_deduped;
           Alcotest.test_case "empty problem" `Quick test_empty_problem;
           Alcotest.test_case "node limit" `Quick test_node_limit;
+          Alcotest.test_case "node limit keeps incumbent" `Quick
+            test_node_limit_incumbent;
           Alcotest.test_case "lp relaxation" `Quick test_lp_relaxation_bound;
           QCheck_alcotest.to_alcotest bb_matches_brute_force;
           QCheck_alcotest.to_alcotest bb_chosen_is_exact_cover;
+          QCheck_alcotest.to_alcotest reduced_matches_brute_force;
+          QCheck_alcotest.to_alcotest reductions_preserve_result;
           QCheck_alcotest.to_alcotest lp_below_ilp;
         ] );
     ]

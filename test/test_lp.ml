@@ -237,6 +237,44 @@ let piecewise_matches_simplex =
         Float.abs (objective -. v) < 1e-6
       | { Simplex.status = Simplex.Infeasible | Simplex.Unbounded; _ } -> false)
 
+let test_simplex_duals () =
+  (* Dantzig again: the dual of min -3x-5y over Le rows is <= 0 row
+     multipliers with y.b = objective (strong duality). *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:(-3.0) lp in
+  let y = Simplex.add_var ~obj:(-5.0) lp in
+  Simplex.add_constraint lp [ (x, 1.0) ] Simplex.Le 4.0;
+  Simplex.add_constraint lp [ (y, 2.0) ] Simplex.Le 12.0;
+  Simplex.add_constraint lp [ (x, 3.0); (y, 2.0) ] Simplex.Le 18.0;
+  let s = solve_expect_optimal lp in
+  checkf "y1" 0.0 s.Simplex.duals.(0);
+  checkf "y2" (-1.5) s.Simplex.duals.(1);
+  checkf "y3" (-1.0) s.Simplex.duals.(2);
+  checkf "strong duality"
+    s.Simplex.objective
+    ((s.Simplex.duals.(0) *. 4.0) +. (s.Simplex.duals.(1) *. 12.0)
+    +. (s.Simplex.duals.(2) *. 18.0));
+  (* equality rows (the set-partition shape): c - A^T y = 0 on basic
+     variables pins y exactly *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1.0 lp in
+  let y = Simplex.add_var ~obj:1.0 lp in
+  Simplex.add_constraint lp [ (x, 1.0); (y, 1.0) ] Simplex.Eq 10.0;
+  Simplex.add_constraint lp [ (x, 1.0); (y, -1.0) ] Simplex.Eq 2.0;
+  let s = solve_expect_optimal lp in
+  checkf "eq y1" 1.0 s.Simplex.duals.(0);
+  checkf "eq y2" 0.0 s.Simplex.duals.(1);
+  (* a negative rhs flips the internal row; the reported dual must be
+     for the row as stated *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1.0 lp in
+  let y = Simplex.add_var ~obj:1.0 lp in
+  Simplex.add_constraint lp [ (x, -1.0); (y, -1.0) ] Simplex.Eq (-10.0) ;
+  let s = solve_expect_optimal lp in
+  checkf "negated-row objective" 10.0 s.Simplex.objective;
+  checkf "negated-row dual" (-1.0) s.Simplex.duals.(0);
+  ignore y
+
 let () =
   Alcotest.run "mbr_lp"
     [
@@ -254,6 +292,7 @@ let () =
           Alcotest.test_case "degenerate vertex" `Quick test_simplex_degenerate;
           Alcotest.test_case "empty box" `Quick test_simplex_empty_box;
           Alcotest.test_case "resolve after new row" `Quick test_simplex_resolve;
+          Alcotest.test_case "duals" `Quick test_simplex_duals;
         ] );
       ( "piecewise",
         [

@@ -104,6 +104,43 @@ let test_invalid_args () =
   | _ -> Alcotest.fail "chunk=0 accepted"
   | exception Invalid_argument _ -> ()
 
+let test_order_param () =
+  (* a claim order changes only when tasks run, never where their
+     results land: any permutation must reproduce Array.map exactly *)
+  let n = 257 in
+  let tasks = Array.init n (fun i -> i) in
+  let f i = (i * 13) + 1 in
+  let expected = Array.map f tasks in
+  let rev = Array.init n (fun i -> n - 1 - i) in
+  (* 101 is coprime to 257, so the stride walk is a permutation *)
+  let shuffled = Array.init n (fun i -> i * 101 mod n) in
+  List.iter
+    (fun jobs ->
+      Alcotest.check int_array
+        (Printf.sprintf "reversed order, jobs=%d" jobs)
+        expected
+        (Pool.map_array ~order:rev ~jobs f tasks);
+      Alcotest.check int_array
+        (Printf.sprintf "shuffled order, jobs=%d" jobs)
+        expected
+        (Pool.map_array ~order:shuffled ~jobs f tasks))
+    [ 1; 2; 4 ]
+
+let test_invalid_order () =
+  let tasks = [| 10; 20; 30 |] in
+  let expect_invalid name ~jobs order =
+    match Pool.map_array ~order ~jobs Fun.id tasks with
+    | _ -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "wrong length" ~jobs:2 [| 0; 1 |];
+  expect_invalid "duplicate index" ~jobs:2 [| 0; 0; 2 |];
+  expect_invalid "out of range" ~jobs:2 [| 0; 1; 3 |];
+  expect_invalid "negative index" ~jobs:2 [| 0; -1; 2 |];
+  (* the serial path validates too, so a bad order cannot hide behind
+     a jobs=1 configuration *)
+  expect_invalid "serial path skipped validation" ~jobs:1 [| 0; 0; 2 |]
+
 (* qcheck: pool = Array.map for arbitrary tasks/jobs/chunk *)
 let prop_matches_array_map =
   QCheck2.Test.make ~count:200 ~name:"pool.map_array = Array.map"
@@ -112,6 +149,17 @@ let prop_matches_array_map =
     (fun (tasks, jobs, chunk) ->
       let f x = (x * 31) + 5 in
       Pool.map_array ~chunk ~jobs f tasks = Array.map f tasks)
+
+(* same equivalence with a non-trivial claim order *)
+let prop_order_matches_array_map =
+  QCheck2.Test.make ~count:200 ~name:"pool.map_array ?order = Array.map"
+    QCheck2.Gen.(
+      triple (array_size (int_bound 200) int) (int_range 1 6) (int_range 1 32))
+    (fun (tasks, jobs, chunk) ->
+      let n = Array.length tasks in
+      let order = Array.init n (fun i -> n - 1 - i) in
+      let f x = (x * 17) + 3 in
+      Pool.map_array ~chunk ~order ~jobs f tasks = Array.map f tasks)
 
 let () =
   Alcotest.run "mbr_util.pool"
@@ -128,7 +176,12 @@ let () =
           Alcotest.test_case "exception stops pool" `Quick
             test_exception_stops_pool;
           Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "claim order" `Quick test_order_param;
+          Alcotest.test_case "invalid claim order" `Quick test_invalid_order;
         ] );
       ( "qcheck",
-        [ QCheck_alcotest.to_alcotest prop_matches_array_map ] );
+        [
+          QCheck_alcotest.to_alcotest prop_matches_array_map;
+          QCheck_alcotest.to_alcotest prop_order_matches_array_map;
+        ] );
     ]

@@ -152,8 +152,16 @@ let check_metrics path =
   List.iter
     (fun name ->
       if counter name <= 0 then fail "metrics: counter %S is 0" name)
-    [ "flow.recomposes"; "ilp.solves"; "lp.simplex_solves";
-      "lp.simplex_pivots"; "sta.refreshes" ];
+    [ "flow.recomposes"; "ilp.solves"; "ilp.components";
+      "lp.simplex_solves"; "lp.simplex_pivots"; "sta.refreshes" ];
+  (* the reduction counters must exist in every snapshot (the kernel
+     registers them at init); they are legitimately 0 on designs with
+     nothing to prune, so presence — via [counter]'s missing check —
+     and non-negativity are all we require *)
+  List.iter
+    (fun name ->
+      if counter name < 0 then fail "metrics: counter %S is negative" name)
+    [ "ilp.dominated_pruned"; "ilp.fixed_vars" ];
   (match
      Option.bind (J.member "histograms" j) (fun h ->
          Option.bind (J.member "alloc.block_solve_s" h) (fun hs ->
