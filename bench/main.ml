@@ -22,7 +22,9 @@
    test for the domain-pool and session code paths (a few seconds, no
    BENCH.json rewrite).
 
-   Expected wall time (full run): a few minutes. *)
+   Expected wall time (full run): tens of minutes — the scaling ladder
+   tops out at a >=100k-register design whose generation and flow
+   dominate the run. *)
 
 module E = Mbr_harness.Experiments
 module P = Mbr_designgen.Profile
@@ -246,6 +248,11 @@ type scaling_row = {
   sc_cells : int;
   sc_result : Mbr_core.Flow.result;
   sc_metrics : Mbr_obs.Metrics.snapshot;  (* registry state for this run only *)
+  sc_rss_mb : float option;
+      (* process peak RSS right after the row's flow. VmHWM is monotonic
+         over the process lifetime, so with rows ordered smallest to
+         largest each value is "peak memory needed up to and including
+         this design size" — the bound a capacity planner wants. *)
 }
 
 (* ---- allocate-stage parallel scaling (section 5b) ---- *)
@@ -257,6 +264,10 @@ type alloc_scaling_row = {
   as_time_s : float;
   as_speedup : float;  (* serial time / this time *)
   as_identical : bool;  (* selection equals the jobs=1 selection *)
+  as_degraded : bool;
+      (* jobs exceed the host's cores: the row times oversubscription,
+         not parallel speedup, and regression tracking should not gate
+         on it *)
   as_block_mean_s : float;
   as_block_max_s : float;
 }
@@ -297,6 +308,7 @@ let allocate_sweep ?(jobs_list = [ 1; 2; 4; 8 ]) profile scale =
     (sel, Unix.gettimeofday () -. t0)
   in
   let serial_sel, serial_t = time_run 1 in
+  let cores = Mbr_util.Pool.recommended_jobs () in
   List.map
     (fun jobs ->
       let sel, t = if jobs = 1 then (serial_sel, serial_t) else time_run jobs in
@@ -308,6 +320,7 @@ let allocate_sweep ?(jobs_list = [ 1; 2; 4; 8 ]) profile scale =
         as_time_s = t;
         as_speedup = (if t > 0.0 then serial_t /. t else 1.0);
         as_identical = selection_key sel = selection_key serial_sel;
+        as_degraded = jobs > cores;
         as_block_mean_s = bt.Mbr_core.Allocate.mean_s;
         as_block_max_s = bt.Mbr_core.Allocate.max_s;
       })
@@ -319,17 +332,20 @@ let section_allocate_scaling () =
      pool)";
   Printf.printf "(host reports %d recommended domain(s))\n\n"
     (Mbr_util.Pool.recommended_jobs ());
-  Printf.printf "%-8s %-7s %-5s %-10s %-8s %-10s %-10s %s\n" "design" "scale"
-    "jobs" "alloc s" "speedup" "blk mean" "blk max" "identical";
+  Printf.printf "%-8s %-7s %-5s %-10s %-8s %-10s %-10s %-10s %s\n" "design"
+    "scale" "jobs" "alloc s" "speedup" "blk mean" "blk max" "identical"
+    "degraded";
   let rows =
     List.concat_map (fun scale -> allocate_sweep P.d1 scale) [ 1.0; 2.0 ]
   in
   List.iter
     (fun r ->
-      Printf.printf "%-8s %-7.2f %-5d %-10.3f %-8.2f %-10.5f %-10.5f %s\n%!"
+      Printf.printf
+        "%-8s %-7.2f %-5d %-10.3f %-8.2f %-10.5f %-10.5f %-10s %s\n%!"
         r.as_profile r.as_scale r.as_jobs r.as_time_s r.as_speedup
         r.as_block_mean_s r.as_block_max_s
-        (if r.as_identical then "yes" else "NO (BUG)");
+        (if r.as_identical then "yes" else "NO (BUG)")
+        (if r.as_degraded then "yes" else "no");
       if not r.as_identical then
         failwith "parallel allocate diverged from serial — determinism bug")
     rows;
@@ -486,21 +502,26 @@ let smoke () =
 
 let section_scaling () =
   banner "5. Runtime scaling (flow wall time vs design size, D1 profile)";
-  Printf.printf "%-10s %-10s %-9s %-7s | %s\n" "registers" "cells" "flow s"
-    "sta b/r" "stage breakdown (s)";
+  Printf.printf "%-10s %-10s %-9s %-9s %-7s | %s\n" "registers" "cells" "flow s"
+    "rss MB" "sta b/r" "stage breakdown (s)";
   let rows =
     List.map
       (fun scale ->
         let p = P.scaled P.d1 scale in
         let g = G.generate p in
         let cells = Mbr_netlist.Design.n_cells g.G.design in
-        (* reset between runs so each row's counters price one flow *)
+        (* reset between runs so each row's counters price one flow;
+           compact so a row measures its own flow, not allocation into
+           whatever fragmented major heap the previous sections left
+           behind (worth ~30-40 % on the small rows' hot stages) *)
         Mbr_obs.Metrics.reset ();
+        Gc.compact ();
         let r =
           Mbr_core.Flow.run ~design:g.G.design ~placement:g.G.placement
             ~library:g.G.library ~sta_config:g.G.sta_config ()
         in
         let snap = Mbr_obs.Metrics.snapshot () in
+        let rss = Mbr_obs.Rss.peak_mb () in
         let breakdown =
           String.concat " "
             (List.filter_map
@@ -508,9 +529,11 @@ let section_scaling () =
                  if t >= 0.05 then Some (Printf.sprintf "%s=%.1f" name t) else None)
                r.Mbr_core.Flow.stage_times)
         in
-        Printf.printf "%-10d %-10d %-9.1f %d/%-5d | %s\n%!" p.P.n_registers cells
-          r.Mbr_core.Flow.runtime_s r.Mbr_core.Flow.sta_full_builds
-          r.Mbr_core.Flow.sta_refreshes breakdown;
+        Printf.printf "%-10d %-10d %-9.1f %-9s %d/%-5d | %s\n%!" p.P.n_registers
+          cells r.Mbr_core.Flow.runtime_s
+          (match rss with Some m -> Printf.sprintf "%.0f" m | None -> "n/a")
+          r.Mbr_core.Flow.sta_full_builds r.Mbr_core.Flow.sta_refreshes
+          breakdown;
         {
           sc_profile = P.d1.P.name;
           sc_scale = scale;
@@ -518,13 +541,16 @@ let section_scaling () =
           sc_cells = cells;
           sc_result = r;
           sc_metrics = snap;
+          sc_rss_mb = rss;
         })
-      [ 0.25; 0.5; 1.0; 2.0 ]
+      [ 0.25; 0.5; 1.0; 2.0; 8.0; 70.0 ]
   in
   print_endline
-    "(near-linear; one full STA build per run — every later stage goes\n\
-     through Engine.refresh, which splices the composition edits into the\n\
-     existing timing graph instead of rebuilding it)";
+    "(near-linear; the composition stages run through Engine.refresh, which\n\
+     either splices localized edits into the existing timing graph or — for\n\
+     bulk edit batches like a full composition pass — falls back to a\n\
+     rebuild, whichever is cheaper; the 70x row is the >=100k-register\n\
+     large-design checkpoint and its rss column bounds the whole ladder)";
   rows
 
 (* ---- BENCH.json: the numbers above, machine-readable ---- *)
@@ -560,8 +586,11 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 4,\n";
+  p "  \"schema_version\": 5,\n";
   p "  \"generated_by\": \"bench/main.exe\",\n";
+  (* core count up front: speedup and degraded flags below are only
+     interpretable against the parallelism the host actually offers *)
+  p "  \"cores\": %d,\n" (Mbr_util.Pool.recommended_jobs ());
   p "  \"kernels\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
@@ -597,13 +626,14 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
       let bt = r.Mbr_core.Flow.alloc_block_times in
       p
         "    {\"profile\": \"%s\", \"scale\": %s, \"registers\": %d, \
-         \"cells\": %d, \"wall_s\": %s, \"jobs\": %d, \
+         \"cells\": %d, \"wall_s\": %s, \"rss_mb\": %s, \"jobs\": %d, \
          \"allocate_parallel_speedup\": %s, \"block_solve_mean_s\": %s, \
          \"block_solve_max_s\": %s, \"sta_full_builds\": %d, \
          \"sta_refreshes\": %d, \"stages\": {%s}, \"metrics\": %s}%s\n"
         (json_escape row.sc_profile) (json_float row.sc_scale)
         row.sc_registers row.sc_cells
         (json_float r.Mbr_core.Flow.runtime_s)
+        (match row.sc_rss_mb with Some m -> json_float m | None -> "null")
         r.Mbr_core.Flow.alloc_jobs
         (match speedup with Some v -> json_float v | None -> "null")
         (json_float bt.Mbr_core.Allocate.mean_s)
@@ -619,9 +649,11 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
       p
         "    {\"profile\": \"%s\", \"scale\": %s, \"jobs\": %d, \
          \"allocate_s\": %s, \"speedup\": %s, \"identical\": %b, \
-         \"block_solve_mean_s\": %s, \"block_solve_max_s\": %s}%s\n"
+         \"degraded\": %b, \"block_solve_mean_s\": %s, \
+         \"block_solve_max_s\": %s}%s\n"
         (json_escape a.as_profile) (json_float a.as_scale) a.as_jobs
         (json_float a.as_time_s) (json_float a.as_speedup) a.as_identical
+        a.as_degraded
         (json_float a.as_block_mean_s) (json_float a.as_block_max_s)
         (if i = List.length alloc_scaling - 1 then "" else ","))
     alloc_scaling;

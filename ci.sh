@@ -32,6 +32,9 @@ done
 echo "== bench smoke (parallel allocate jobs = 2; ECO recompose round) =="
 dune exec bench/main.exe -- --smoke
 
+echo "== large-scale smoke (scale-8 D1, jobs 1, wall + RSS ceilings) =="
+dune exec tools/scale_smoke.exe
+
 echo "== telemetry smoke (traced flow -> Chrome JSON + metrics snapshot) =="
 trace_tmp=$(mktemp /tmp/mbrc_trace.XXXXXX.json)
 metrics_tmp=$(mktemp /tmp/mbrc_metrics.XXXXXX.json)

@@ -1,6 +1,7 @@
-module Ugraph = Mbr_graph.Ugraph
+module Csr = Mbr_graph.Csr
 module Kpart = Mbr_graph.Kpart
 module Pool = Mbr_util.Pool
+module Vec = Mbr_util.Vec
 module Sp = Mbr_ilp.Set_partition
 
 type config = {
@@ -51,26 +52,33 @@ let singleton_of (infos : Compat.reg_info array) v =
     func_class = info.Compat.func_class;
   }
 
-let solve_block_ilp cfg (graph : Compat.graph) block cands =
+(* The ILP path consumes the candidate stream directly: each candidate
+   is appended to the problem's column vector as it is emitted, so the
+   enumeration is never buffered as a separate list alongside the
+   problem — the per-block vector the chosen indices resolve against is
+   the only copy, and nothing outlives the block solve. *)
+let solve_block_ilp cfg (graph : Compat.graph) ~lib ~blocker_index block =
   (* element ids = positions of nodes within the block *)
   let pos = Hashtbl.create 32 in
   List.iteri (fun k v -> Hashtbl.replace pos v k) block;
+  let cands = Vec.create () in
+  Candidate.iter cfg.candidate graph ~block ~lib ~blocker_index (fun c ->
+      ignore (Vec.push cands c));
+  let n_cands = Vec.length cands in
   let problem =
     {
       Sp.n_elems = List.length block;
       candidates =
-        Array.of_list
-          (List.map
-             (fun (c : Candidate.t) ->
-               {
-                 Sp.weight = c.Candidate.weight;
-                 elems = List.map (Hashtbl.find pos) c.Candidate.members;
-               })
-             cands);
+        Vec.map_to_array
+          (fun (c : Candidate.t) ->
+            {
+              Sp.weight = c.Candidate.weight;
+              elems = List.map (Hashtbl.find pos) c.Candidate.members;
+            })
+          cands;
     }
   in
   let result = Sp.solve ~node_limit:cfg.node_limit problem in
-  let cand_arr = Array.of_list cands in
   match result.Sp.status with
   | Sp.Infeasible ->
     (* cannot happen when the enumeration emits every singleton; if it
@@ -81,7 +89,7 @@ let solve_block_ilp cfg (graph : Compat.graph) block cands =
            keeping its registers unmerged"
           (List.length block));
     let keeps = List.map (singleton_of graph.Compat.infos) block in
-    (keeps, float_of_int (List.length block), false)
+    (keeps, float_of_int (List.length block), false, n_cands)
   | (Sp.Optimal | Sp.Feasible) when result.Sp.chosen = [] && block <> [] ->
     (* a node-limited solve that never reached a full cover: the kernel
        seeds a greedy incumbent so this is near-unreachable, but a
@@ -92,11 +100,12 @@ let solve_block_ilp cfg (graph : Compat.graph) block cands =
            block (node limit %d); keeping its registers unmerged"
           (List.length block) cfg.node_limit);
     let keeps = List.map (singleton_of graph.Compat.infos) block in
-    (keeps, float_of_int (List.length block), false)
+    (keeps, float_of_int (List.length block), false, n_cands)
   | Sp.Optimal | Sp.Feasible ->
-    ( List.map (fun i -> cand_arr.(i)) result.Sp.chosen,
+    ( List.map (Vec.get cands) result.Sp.chosen,
       result.Sp.cost,
-      result.Sp.status = Sp.Optimal )
+      result.Sp.status = Sp.Optimal,
+      n_cands )
 
 (* Greedy weighted set-partitioning on the same candidate set as the
    ILP: repeatedly commit the disjoint candidate with the best
@@ -201,15 +210,13 @@ let solve_block ?(block_id = -1)
         ]
       (fun () ->
         match mode with
-        | `Ilp | `Greedy_share ->
+        | `Ilp -> solve_block_ilp config graph ~lib ~blocker_index block
+        | `Greedy_share ->
           let cands =
             Candidate.enumerate config.candidate graph ~block ~lib ~blocker_index
           in
           let n = List.length cands in
-          let chosen, cost, opt =
-            if mode = `Ilp then solve_block_ilp config graph block cands
-            else solve_block_share cands
-          in
+          let chosen, cost, opt = solve_block_share cands in
           (chosen, cost, opt, n)
         | `Clique ->
           let chosen, cost, opt = solve_block_greedy graph lib block in
@@ -268,7 +275,7 @@ let partition_blocks config (graph : Compat.graph) =
   let infos = graph.Compat.infos in
   let position i = infos.(i).Compat.center in
   Array.of_list
-    (Kpart.partition ~bound:config.partition_bound graph.Compat.ugraph ~position)
+    (Kpart.partition_csr ~bound:config.partition_bound graph.Compat.adj ~position)
 
 (* Claim order for the parallel fan-out: largest predicted solve first.
    Block solve time is driven by the candidate enumeration, which grows
@@ -287,8 +294,7 @@ let schedule_order (graph : Compat.graph) blocks =
         let edges = ref 0 in
         for i = 0 to m - 1 do
           for j = i + 1 to m - 1 do
-            if Ugraph.has_edge graph.Compat.ugraph arr.(i) arr.(j) then
-              incr edges
+            if Csr.has_edge graph.Compat.adj arr.(i) arr.(j) then incr edges
           done
         done;
         (m, !edges))
@@ -346,8 +352,7 @@ let block_key ~(mode : [ `Ilp | `Greedy_share | `Clique ]) config
   let adj = ref [] in
   for i = m - 1 downto 0 do
     for j = m - 1 downto i + 1 do
-      if Ugraph.has_edge graph.Compat.ugraph arr.(i) arr.(j) then
-        adj := (i, j) :: !adj
+      if Csr.has_edge graph.Compat.adj arr.(i) arr.(j) then adj := (i, j) :: !adj
     done
   done;
   let blockers =

@@ -1,6 +1,6 @@
 module Point = Mbr_geom.Point
 module Rect = Mbr_geom.Rect
-module Ugraph = Mbr_graph.Ugraph
+module Csr = Mbr_graph.Csr
 module Library = Mbr_liberty.Library
 module Cell_lib = Mbr_liberty.Cell
 
@@ -53,16 +53,15 @@ let target_cell cfg lib infos members bits =
   end
   else None
 
-let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
+let iter cfg (graph : Compat.graph) ~block ~lib ~blocker_index yield =
   let infos = graph.Compat.infos in
-  let g = graph.Compat.ugraph in
+  let g = graph.Compat.adj in
   let block = List.sort compare block in
   let max_width =
     match block with
     | [] -> 0
     | m :: _ -> Library.max_width lib ~func_class:infos.(m).Compat.func_class
   in
-  let out = ref [] in
   let count = ref 0 in
   let member_area members =
     List.fold_left
@@ -76,7 +75,7 @@ let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
     | [] -> ()
     | [ single ] ->
       let info = infos.(single) in
-      out :=
+      yield
         {
           members = [ single ];
           member_cids = [ info.Compat.cid ];
@@ -87,7 +86,6 @@ let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
           region = info.Compat.feasible;
           func_class = info.Compat.func_class;
         }
-        :: !out
     | _ :: _ :: _ -> (
       match target_cell cfg lib infos members bits with
       | None -> ()
@@ -115,7 +113,7 @@ let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
             else 1.0 /. float_of_int bits
           in
           if Float.is_finite weight then
-            out :=
+            yield
               {
                 members = List.sort compare members;
                 member_cids =
@@ -127,7 +125,6 @@ let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
                 region;
                 func_class = infos.(List.hd members).Compat.func_class;
               }
-              :: !out
         end)
   in
   let block_arr = Array.of_list block in
@@ -142,7 +139,10 @@ let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
     end
   in
   let block_neighbors v =
-    List.filter (fun w -> Hashtbl.mem in_block w) (Ugraph.neighbors g v)
+    List.rev
+      (Csr.fold_neighbors g v
+         (fun acc w -> if Hashtbl.mem in_block w then w :: acc else acc)
+         [])
   in
   (* Exhaustive ordered DFS: every clique of the block visited once.
      Affordable only on small blocks. *)
@@ -168,7 +168,7 @@ let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
               | None -> ()
               | Some region' ->
                 let ext' =
-                  List.filter (fun w -> w > v && Ugraph.has_edge g v w) ext
+                  List.filter (fun w -> w > v && Csr.has_edge g v w) ext
                 in
                 let k = float_of_int (List.length members) in
                 let centroid' =
@@ -210,7 +210,7 @@ let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
             (fun w ->
               (not (List.mem w members))
               && allowed w
-              && List.for_all (fun m -> Ugraph.has_edge g m w) members
+              && List.for_all (fun m -> Csr.has_edge g m w) members
               && infos.(w).Compat.bits + bits <= max_width)
             (block_neighbors seed)
         in
@@ -290,8 +290,8 @@ let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
                   let common =
                     List.filter
                       (fun u ->
-                        u <> v && u <> w && Ugraph.has_edge g u v
-                        && Ugraph.has_edge g u w
+                        u <> v && u <> w && Csr.has_edge g u v
+                        && Csr.has_edge g u w
                         && infos.(u).Compat.bits + bits <= max_width)
                       (block_neighbors v)
                   in
@@ -326,5 +326,9 @@ let enumerate cfg (graph : Compat.graph) ~block ~lib ~blocker_index =
         in
         dfs [ v ] info.Compat.bits info.Compat.feasible info.Compat.center ext)
       block
-  else structured ();
+  else structured ()
+
+let enumerate cfg graph ~block ~lib ~blocker_index =
+  let out = ref [] in
+  iter cfg graph ~block ~lib ~blocker_index (fun c -> out := c :: !out);
   List.rev !out

@@ -42,6 +42,28 @@ type t = {
 
 val is_singleton : t -> bool
 
+val iter :
+  config ->
+  Compat.graph ->
+  block:int list ->
+  lib:Mbr_liberty.Library.t ->
+  blocker_index:Mbr_netlist.Types.cell_id Spatial.t ->
+  (t -> unit) ->
+  unit
+(** Streams the candidates of one partition block (node ids refer to
+    the full graph) to the callback, each exactly once, without
+    materializing the set — peak memory is the per-block dedup table,
+    not the candidate list. {!enumerate} is this with a list
+    accumulator; consumers that fold candidates into their own
+    structures (the ILP problem builder) should use [iter] directly.
+
+    {b Domain safety:} [iter] only reads [graph], [lib] and
+    [blocker_index]; all of its working state (the DFS frontier, seen
+    sets, tiling cover tables) is allocated per call. Concurrent calls
+    from multiple domains on the same inputs are safe as long as nobody
+    mutates those inputs — the read-only sharing invariant documented
+    in {!Allocate}. *)
+
 val enumerate :
   config ->
   Compat.graph ->
@@ -49,13 +71,5 @@ val enumerate :
   lib:Mbr_liberty.Library.t ->
   blocker_index:Mbr_netlist.Types.cell_id Spatial.t ->
   t list
-(** Candidates of one partition block (node ids refer to the full
-    graph). Singletons for every block node come first; weights of
-    infinity are filtered out.
-
-    {b Domain safety:} [enumerate] only reads [graph], [lib] and
-    [blocker_index]; all of its working state (the DFS frontier, seen
-    sets, tiling cover tables) is allocated per call. Concurrent calls
-    from multiple domains on the same inputs are safe as long as nobody
-    mutates those inputs — the read-only sharing invariant documented
-    in {!Allocate}. *)
+(** Materialized {!iter}, in emission order; weights of infinity are
+    filtered out. *)

@@ -6,7 +6,7 @@ module Placement = Mbr_place.Placement
 module Engine = Mbr_sta.Engine
 module Library = Mbr_liberty.Library
 module Cell_lib = Mbr_liberty.Cell
-module Ugraph = Mbr_graph.Ugraph
+module Csr = Mbr_graph.Csr
 
 type config = {
   delay_per_um : float;
@@ -178,7 +178,7 @@ let compatible cfg a b =
   functionally_compatible a b && scan_compatible a b
   && placement_compatible a b && timing_compatible cfg a b
 
-type graph = { ugraph : Ugraph.t; infos : reg_info array }
+type graph = { adj : Csr.t; infos : reg_info array }
 
 (* Two feasible regions can only overlap when the footprint centers are
    within 2*max_dist + (w_a + w_b)/2 per axis (each region sits inside
@@ -196,33 +196,53 @@ let pair_bucket config infos =
   in
   Float.max 1.0 ((2.0 *. config.max_dist) +. max_fp)
 
+(* Grid coordinates packed into one int so bucket lookups hash an
+   immediate instead of a boxed pair; the 2^30 offset keeps both
+   halves non-negative (grid indices are far below 2^30 for any real
+   die). *)
+let grid_offset = 0x4000_0000
+
+let pack_cell kx ky = ((kx + grid_offset) lsl 31) lor (ky + grid_offset)
+
+(* Spatial hash of the info centers at the near-pair pitch: bucket key
+   -> indices, newest first. *)
+let near_hash bucket infos =
+  let n = Array.length infos in
+  let tbl : (int, int list) Hashtbl.t = Hashtbl.create (4 * max 1 n) in
+  Array.iteri
+    (fun i info ->
+      let p = info.center in
+      let k =
+        pack_cell
+          (int_of_float (Float.floor (p.Point.x /. bucket)))
+          (int_of_float (Float.floor (p.Point.y /. bucket)))
+      in
+      let cur = match Hashtbl.find_opt tbl k with Some l -> l | None -> [] in
+      Hashtbl.replace tbl k (i :: cur))
+    infos;
+  tbl
+
+(* Calls [f i] for every index in the 3x3 neighbourhood of [p]
+   (including the bucket of [p] itself). *)
+let iter_near tbl bucket (p : Point.t) f =
+  let kx = int_of_float (Float.floor (p.x /. bucket)) in
+  let ky = int_of_float (Float.floor (p.y /. bucket)) in
+  for dx = -1 to 1 do
+    for dy = -1 to 1 do
+      match Hashtbl.find_opt tbl (pack_cell (kx + dx) (ky + dy)) with
+      | Some js -> List.iter f js
+      | None -> ()
+    done
+  done
+
 (* Calls [f i j] (with j > i) for every pair within the spatial-hash
    neighbourhood — the superset of pairs that can pass
    [placement_compatible]. *)
 let iter_near_pairs config infos f =
-  let n = Array.length infos in
   let bucket = pair_bucket config infos in
-  let tbl = Hashtbl.create (4 * max 1 n) in
-  let key (p : Point.t) =
-    (int_of_float (Float.floor (p.x /. bucket)),
-     int_of_float (Float.floor (p.y /. bucket)))
-  in
+  let tbl = near_hash bucket infos in
   Array.iteri
-    (fun i info ->
-      let kx, ky = key info.center in
-      let cur = match Hashtbl.find_opt tbl (kx, ky) with Some l -> l | None -> [] in
-      Hashtbl.replace tbl (kx, ky) (i :: cur))
-    infos;
-  Array.iteri
-    (fun i info ->
-      let kx, ky = key info.center in
-      for dx = -1 to 1 do
-        for dy = -1 to 1 do
-          match Hashtbl.find_opt tbl (kx + dx, ky + dy) with
-          | Some js -> List.iter (fun j -> if j > i then f i j) js
-          | None -> ()
-        done
-      done)
+    (fun i info -> iter_near tbl bucket info.center (fun j -> if j > i then f i j))
     infos
 
 let composable_infos config eng lib =
@@ -238,10 +258,10 @@ let composable_infos config eng lib =
 
 let build_graph ?(config = default_config) eng lib =
   let infos = composable_infos config eng lib in
-  let g = Ugraph.create (Array.length infos) in
+  let b = Csr.Builder.create (Array.length infos) in
   iter_near_pairs config infos (fun i j ->
-      if compatible config infos.(i) infos.(j) then Ugraph.add_edge g i j);
-  { ugraph = g; infos }
+      if compatible config infos.(i) infos.(j) then Csr.Builder.add_edge b i j);
+  { adj = Csr.Builder.finish b; infos }
 
 type refresh_stats = {
   nodes_total : int;
@@ -258,6 +278,103 @@ let m_nodes_dirty = Mbr_obs.Metrics.counter "compat.nodes_dirty"
 let m_pairs_checked = Mbr_obs.Metrics.counter "compat.pairs_checked"
 
 let m_edges_copied = Mbr_obs.Metrics.counter "compat.edges_copied"
+
+(* Fast path: the composable register set is unchanged (same cids in
+   the same ascending order), only some snapshots differ. Then old and
+   new node indices coincide, a clean node's row can only change in its
+   dirty columns, and only the spatial neighbourhoods of dirty nodes
+   need pair checks. New rows are spliced into the CSR arrays with
+   [Csr.rewrite]: clean rows whose dirty-column set is empty are kept
+   as raw [Array.blit] slices, affected rows get a merge of (old row
+   minus dirty columns) with the re-checked dirty edges. *)
+let refresh_same_nodes config prev (infos : reg_info array) clean =
+  let n = Array.length infos in
+  let is_dirty = Array.make n false in
+  let dirty = ref [] in
+  for i = n - 1 downto 0 do
+    if clean.(i) < 0 then begin
+      is_dirty.(i) <- true;
+      dirty := i :: !dirty
+    end
+  done;
+  let checked = ref 0 and found = ref 0 in
+  (* re-check every near pair with a dirty endpoint *)
+  let add : int list array = Array.make n [] in
+  let bucket = pair_bucket config infos in
+  let tbl = near_hash bucket infos in
+  List.iter
+    (fun d ->
+      iter_near tbl bucket infos.(d).center (fun x ->
+          if x <> d && ((not is_dirty.(x)) || x > d) then begin
+            incr checked;
+            if compatible config infos.(d) infos.(x) then begin
+              incr found;
+              add.(d) <- x :: add.(d);
+              add.(x) <- d :: add.(x)
+            end
+          end))
+    !dirty;
+  (* affected clean rows: had an old dirty neighbour, or gained one *)
+  let affected = Array.make n false in
+  List.iter
+    (fun d ->
+      affected.(d) <- true;
+      Csr.iter_neighbors prev.adj d (fun x -> affected.(x) <- true))
+    !dirty;
+  Array.iteri (fun i l -> if l <> [] then affected.(i) <- true) add;
+  let merged i =
+    let adds = List.sort_uniq compare add.(i) in
+    if is_dirty.(i) then Array.of_list adds
+    else begin
+      (* old row (sorted) minus dirty columns, merged with the sorted
+         additions — all additions are dirty, so no duplicates *)
+      let old_row = Csr.row prev.adj i in
+      let keep = List.filter (fun j -> not is_dirty.(j)) (Array.to_list old_row) in
+      let rec merge a b =
+        match (a, b) with
+        | [], r | r, [] -> r
+        | x :: xs, y :: ys ->
+          if x < y then x :: merge xs b else y :: merge a ys
+      in
+      Array.of_list (merge keep adds)
+    end
+  in
+  let adj =
+    Csr.rewrite prev.adj (fun i -> if affected.(i) then `Replace (merged i) else `Keep)
+  in
+  let copied = Csr.n_edges adj - !found in
+  ( { adj; infos },
+    {
+      nodes_total = n;
+      nodes_dirty = List.length !dirty;
+      pairs_checked = !checked;
+      edges_copied = copied;
+    } )
+
+(* General path (registers added/removed/re-ordered): rebuild the CSR,
+   copying clean-clean verdicts from the previous adjacency. *)
+let refresh_general config prev (infos : reg_info array) clean dirty =
+  let n = Array.length infos in
+  let b = Csr.Builder.create n in
+  let checked = ref 0 and copied = ref 0 in
+  iter_near_pairs config infos (fun i j ->
+      if clean.(i) >= 0 && clean.(j) >= 0 then begin
+        if Csr.has_edge prev.adj clean.(i) clean.(j) then begin
+          incr copied;
+          Csr.Builder.add_edge b i j
+        end
+      end
+      else begin
+        incr checked;
+        if compatible config infos.(i) infos.(j) then Csr.Builder.add_edge b i j
+      end);
+  ( { adj = Csr.Builder.finish b; infos },
+    {
+      nodes_total = n;
+      nodes_dirty = dirty;
+      pairs_checked = !checked;
+      edges_copied = !copied;
+    } )
 
 let refresh ?(config = default_config) prev eng lib =
   let infos = composable_infos config eng lib in
@@ -280,26 +397,21 @@ let refresh ?(config = default_config) prev eng lib =
       | Some _ | None -> ());
       if clean.(i) < 0 then incr dirty)
     infos;
-  let g = Ugraph.create n in
-  let checked = ref 0 and copied = ref 0 in
-  iter_near_pairs config infos (fun i j ->
-      if clean.(i) >= 0 && clean.(j) >= 0 then begin
-        if Ugraph.has_edge prev.ugraph clean.(i) clean.(j) then begin
-          incr copied;
-          Ugraph.add_edge g i j
-        end
-      end
-      else begin
-        incr checked;
-        if compatible config infos.(i) infos.(j) then Ugraph.add_edge g i j
-      end);
-  Mbr_obs.Metrics.incr ~by:!dirty m_nodes_dirty;
-  Mbr_obs.Metrics.incr ~by:!checked m_pairs_checked;
-  Mbr_obs.Metrics.incr ~by:!copied m_edges_copied;
-  ( { ugraph = g; infos },
-    {
-      nodes_total = n;
-      nodes_dirty = !dirty;
-      pairs_checked = !checked;
-      edges_copied = !copied;
-    } )
+  let same_nodes =
+    n = Array.length prev.infos
+    &&
+    let ok = ref true in
+    Array.iteri
+      (fun i (info : reg_info) ->
+        if info.cid <> prev.infos.(i).cid then ok := false)
+      infos;
+    !ok
+  in
+  let result, stats =
+    if same_nodes then refresh_same_nodes config prev infos clean
+    else refresh_general config prev infos clean !dirty
+  in
+  Mbr_obs.Metrics.incr ~by:stats.nodes_dirty m_nodes_dirty;
+  Mbr_obs.Metrics.incr ~by:stats.pairs_checked m_pairs_checked;
+  Mbr_obs.Metrics.incr ~by:stats.edges_copied m_edges_copied;
+  (result, stats)

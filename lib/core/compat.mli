@@ -80,7 +80,7 @@ val compatible : config -> reg_info -> reg_info -> bool
 (** Conjunction of the four checks. *)
 
 type graph = {
-  ugraph : Mbr_graph.Ugraph.t;  (** node i describes [infos.(i)] *)
+  adj : Mbr_graph.Csr.t;  (** node i describes [infos.(i)] *)
   infos : reg_info array;  (** the composable registers *)
 }
 (** Frozen {e during allocation fan-out}, revised only {e between}
@@ -120,9 +120,13 @@ val refresh :
     involving a register whose snapshot differs from the previous
     graph's — removed/retyped/newly-fixed registers drop out with their
     edges, new composable ones are checked against their spatial
-    neighbourhood, and clean-clean pair verdicts are copied. Returns a
-    new graph (the input is not mutated) that is structurally identical
-    to what {!build_graph} would build from scratch on the same state:
-    same node order (registers in ascending cell id), same edge set
-    (property-tested). [config] must match the one the previous graph
-    was built with. *)
+    neighbourhood, and clean-clean pair verdicts are copied. When the
+    composable register set is unchanged (the common pure-move ECO),
+    pair checks run only over the spatial neighbourhoods of the dirty
+    registers and the new adjacency is assembled by {!Mbr_graph.Csr}
+    row rewriting — untouched rows are blitted over as raw slices.
+    Returns a new graph (the input is not mutated) that is structurally
+    identical to what {!build_graph} would build from scratch on the
+    same state: same node order (registers in ascending cell id), same
+    edge set (property-tested). [config] must match the one the
+    previous graph was built with. *)

@@ -41,7 +41,7 @@ let collect ?route_config ?cts_config eng lib =
        | None -> Synth.default_config.Synth.buf_area)
   in
   let power =
-    Power.estimate ~config:(Power.config_of_sta (Engine.config eng)) pl
+    Power.estimate ~config:(Power.config_of_sta (Engine.config eng)) ~cts pl
   in
   {
     cells = Design.n_cells dsg;

@@ -8,6 +8,7 @@ module Library = Mbr_liberty.Library
 module Presets = Mbr_liberty.Presets
 module Cell_lib = Mbr_liberty.Cell
 module Ugraph = Mbr_graph.Ugraph
+module Csr = Mbr_graph.Csr
 module Sp = Mbr_ilp.Set_partition
 
 type t = {
@@ -129,7 +130,7 @@ let build () =
     design = dsg;
     placement = pl;
     library;
-    graph = { Compat.ugraph = g; infos };
+    graph = { Compat.adj = Csr.of_ugraph g; infos };
     blocker_index;
     names;
   }

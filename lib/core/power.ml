@@ -33,14 +33,16 @@ type report = {
 let dynamic_uw cfg ~cap ~activity =
   1000.0 *. cap *. cfg.vdd *. cfg.vdd *. activity /. cfg.clock_period
 
-let estimate ?config pl =
+let estimate ?config ?cts pl =
   let cfg =
     match config with
     | Some c -> c
     | None -> config_of_sta Engine.default_config
   in
   let dsg = Placement.design pl in
-  let cts = Synth.synthesize pl in
+  let cts =
+    match cts with Some c -> c | None -> Synth.synthesize pl
+  in
   let clock_power = dynamic_uw cfg ~cap:cts.Synth.total_cap ~activity:1.0 in
   let signal_cap = ref 0.0 in
   for nid = 0 to Design.n_nets dsg - 1 do

@@ -28,7 +28,10 @@ type report = {
   clock_fraction : float;  (** clock_power / total dynamic *)
 }
 
-val estimate : ?config:config -> Mbr_place.Placement.t -> report
+val estimate :
+  ?config:config -> ?cts:Mbr_cts.Synth.result -> Mbr_place.Placement.t -> report
 (** Uses the current placement for wire lengths and the current netlist
     for pin caps and leakage; clock capacitance comes from a CTS run on
-    the current sinks. *)
+    the current sinks. Pass [?cts] to reuse a tree already synthesized
+    for the same placement instead of synthesizing a second one —
+    {!Metrics.collect} does, which halves the CTS work per snapshot. *)

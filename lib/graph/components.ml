@@ -1,5 +1,6 @@
-let component_of g =
-  let n = Ugraph.n_nodes g in
+(* Shared DFS over an abstract neighbour iterator so the Ugraph and Csr
+   entry points stay one implementation. *)
+let component_of_adj ~n ~iter =
   let comp = Array.make n (-1) in
   let next = ref 0 in
   for v = 0 to n - 1 do
@@ -13,20 +14,17 @@ let component_of g =
         | [] -> ()
         | u :: rest ->
           stack := rest;
-          List.iter
-            (fun w ->
+          iter u (fun w ->
               if comp.(w) < 0 then begin
                 comp.(w) <- id;
                 stack := w :: !stack
               end)
-            (Ugraph.neighbors g u)
       done
     end
   done;
   comp
 
-let components g =
-  let comp = component_of g in
+let group comp =
   let n = Array.length comp in
   let k = Array.fold_left (fun acc c -> max acc (c + 1)) 0 comp in
   let buckets = Array.make k [] in
@@ -34,3 +32,14 @@ let components g =
     buckets.(comp.(v)) <- v :: buckets.(comp.(v))
   done;
   Array.to_list buckets
+
+let component_of g =
+  component_of_adj ~n:(Ugraph.n_nodes g)
+    ~iter:(fun u f -> List.iter f (Ugraph.neighbors g u))
+
+let components g = group (component_of g)
+
+let component_of_csr g =
+  component_of_adj ~n:(Csr.n_nodes g) ~iter:(Csr.iter_neighbors g)
+
+let components_csr g = group (component_of_csr g)

@@ -7,3 +7,8 @@ val components : Ugraph.t -> int list list
 val component_of : Ugraph.t -> int array
 (** [.(v)] = component index of node [v] (indices follow the order of
     {!components}). *)
+
+val components_csr : Csr.t -> int list list
+(** {!components} over a CSR adjacency; same ordering contract. *)
+
+val component_of_csr : Csr.t -> int array

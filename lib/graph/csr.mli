@@ -1,0 +1,78 @@
+(** Int-packed compressed-sparse-row adjacency for undirected graphs.
+
+    The register compatibility graph at 100×-paper scale (~150k nodes,
+    millions of edges) is too hot for {!Ugraph}'s per-node [Int_set.t]
+    trees: every neighbour visit chases boxed pointers and every
+    membership test allocates a search path. A CSR graph stores the
+    whole adjacency in two flat [int array]s — [row_ptr] of length
+    n+1 and a column array holding each node's neighbours as a sorted
+    slice — so neighbour iteration is a cache-linear scan and
+    membership is a binary search over unboxed ints.
+
+    Values are immutable once built. Construction goes through
+    {!Builder} (packed edge list, sorted and deduplicated once at
+    {!Builder.finish}) or {!rewrite}, which re-packs an existing graph
+    copying unchanged row slices with [Array.blit] — the primitive
+    behind [Compat.refresh]'s dirty-row rewriting. *)
+
+type t
+
+val n_nodes : t -> int
+
+val n_edges : t -> int
+(** Undirected edge count (each edge stored twice internally). *)
+
+val degree : t -> int -> int
+
+val has_edge : t -> int -> int -> bool
+(** Binary search in the smaller endpoint's row slice. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Ascending order; no allocation. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val neighbors : t -> int -> int list
+(** Ascending order (allocates; prefer {!iter_neighbors} in hot code). *)
+
+val row : t -> int -> int array
+(** Copy of node [i]'s neighbour slice, ascending. *)
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, as (lo, hi), lexicographically sorted. *)
+
+val is_clique : t -> int list -> bool
+(** All pairs adjacent (singletons and empty are cliques). *)
+
+val of_ugraph : Ugraph.t -> t
+
+val to_ugraph : t -> Ugraph.t
+
+val induced_ugraph : t -> int array -> Ugraph.t
+(** [induced_ugraph g nodes]: subgraph on [nodes] as a {!Ugraph} (node
+    [i] of the result is [nodes.(i)]) — the bridge to the set-based
+    algorithms (Bron–Kerbosch) that stay on {!Ugraph} because they run
+    on tiny per-block subgraphs. Duplicates are rejected. *)
+
+val rewrite : t -> (int -> [ `Keep | `Replace of int array ]) -> t
+(** [rewrite g row_of]: a new graph where node [i]'s row is the old
+    slice when [row_of i] is [`Keep], else the given array (which must
+    be sorted ascending, duplicate- and self-loop-free). Kept and
+    replaced slices are packed with [Array.blit]; no per-edge work is
+    done for kept rows. The caller is responsible for symmetry — a
+    replaced row naming [j] must be matched by [j]'s row naming [i]. *)
+
+module Builder : sig
+  type b
+
+  val create : int -> b
+  (** [create n]: builder for a graph on n nodes, no edges yet. *)
+
+  val add_edge : b -> int -> int -> unit
+  (** Records an undirected edge; duplicates are fine (deduplicated at
+      {!finish}), self-loops are rejected with [Invalid_argument]. *)
+
+  val finish : b -> t
+  (** Sorts the packed edge list, deduplicates, and freezes the CSR
+      arrays. The builder must not be reused afterwards. *)
+end

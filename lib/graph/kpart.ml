@@ -25,7 +25,7 @@ let split_by_median ~position nodes =
   let left, right = take half [] sorted in
   (List.map fst left, List.map fst right)
 
-let partition ?(bound = 30) g ~position =
+let partition_comps ~bound ~position comps =
   if bound < 1 then invalid_arg "Kpart.partition: bound < 1";
   let rec bisect nodes =
     if List.length nodes <= bound then [ nodes ]
@@ -35,7 +35,12 @@ let partition ?(bound = 30) g ~position =
       bisect left @ bisect right
     end
   in
-  let comps = Components.components g in
   List.concat_map
     (fun comp -> List.map (List.sort compare) (bisect comp))
     comps
+
+let partition ?(bound = 30) g ~position =
+  partition_comps ~bound ~position (Components.components g)
+
+let partition_csr ?(bound = 30) g ~position =
+  partition_comps ~bound ~position (Components.components_csr g)

@@ -14,6 +14,10 @@ val partition :
     exactly one block. Within a block nodes are ascending. Raises
     [Invalid_argument] when [bound < 1]. *)
 
+val partition_csr :
+  ?bound:int -> Csr.t -> position:(int -> Mbr_geom.Point.t) -> int list list
+(** {!partition} over a CSR adjacency; identical output contract. *)
+
 val split_by_median :
   position:(int -> Mbr_geom.Point.t) -> int list -> int list * int list
 (** One bisection step, exposed for tests: splits the node list in two

@@ -1,0 +1,36 @@
+(* /proc/self/status is Linux-only; both probes degrade to None
+   elsewhere (or in containers that hide procfs) so callers can print
+   "n/a" instead of crashing the harness. *)
+
+let read_status_kb field =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let prefix = field ^ ":" in
+    let plen = String.length prefix in
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line > plen && String.sub line 0 plen = prefix then begin
+          (* "VmHWM:    12345 kB" — take the first integer token *)
+          let rest = String.sub line plen (String.length line - plen) in
+          match Scanf.sscanf rest " %d" (fun kb -> kb) with
+          | kb -> Some kb
+          | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+        end
+        else scan ()
+    in
+    let r = scan () in
+    close_in ic;
+    r
+
+let peak_mb () =
+  match read_status_kb "VmHWM" with
+  | Some kb -> Some (float_of_int kb /. 1024.0)
+  | None -> None
+
+let current_mb () =
+  match read_status_kb "VmRSS" with
+  | Some kb -> Some (float_of_int kb /. 1024.0)
+  | None -> None

@@ -1,0 +1,13 @@
+(** Resident-set-size probes for the bench harness and CI ceilings.
+
+    Values come from [/proc/self/status], so they cover the whole
+    process — every domain, the GC heaps, and mapped code. [None] on
+    platforms without procfs. *)
+
+val peak_mb : unit -> float option
+(** Peak resident set ([VmHWM]) in MB since process start. The kernel
+    high-water mark never decreases, which is exactly the "how much
+    memory did this run need" number a scaling table wants. *)
+
+val current_mb : unit -> float option
+(** Current resident set ([VmRSS]) in MB. *)

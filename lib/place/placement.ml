@@ -15,7 +15,10 @@ type net_cache = {
 type t = {
   fp : Floorplan.t;
   dsg : Design.t;
-  loc : (Types.cell_id, Point.t) Hashtbl.t;
+  mutable loc : Point.t option array;
+      (* dense cell_id -> location; grown on demand. An array beats a
+         hash table here because [location] sits under every wire-delay
+         and net-box computation — the hottest lookups in the repo. *)
   moves : Types.cell_id Vec.t;  (* every set/remove, in order *)
   nets : (Types.net_id, net_cache) Hashtbl.t;
   mutable dsg_cursor : int;  (* design edits already applied to [nets] *)
@@ -25,7 +28,7 @@ let create fp dsg =
   {
     fp;
     dsg;
-    loc = Hashtbl.create 1024;
+    loc = Array.make (max 1024 (Design.n_cells dsg)) None;
     moves = Vec.create ();
     nets = Hashtbl.create 256;
     dsg_cursor = Design.revision dsg;
@@ -66,25 +69,30 @@ let sync_design t =
   end
 
 let set t id p =
-  Hashtbl.replace t.loc id p;
+  if id >= Array.length t.loc then begin
+    let b = Array.make (max (2 * Array.length t.loc) (id + 1)) None in
+    Array.blit t.loc 0 b 0 (Array.length t.loc);
+    t.loc <- b
+  end;
+  t.loc.(id) <- Some p;
   invalidate_cell_nets t id;
   ignore (Vec.push t.moves id)
 
 let remove t id =
-  if Hashtbl.mem t.loc id then begin
-    Hashtbl.remove t.loc id;
+  if id < Array.length t.loc && t.loc.(id) <> None then begin
+    t.loc.(id) <- None;
     invalidate_cell_nets t id;
     ignore (Vec.push t.moves id)
   end
 
 let location t id =
-  match Hashtbl.find_opt t.loc id with
+  match if id < Array.length t.loc then t.loc.(id) else None with
   | Some p -> p
   | None -> raise Not_found
 
-let location_opt t id = Hashtbl.find_opt t.loc id
+let location_opt t id = if id < Array.length t.loc then t.loc.(id) else None
 
-let is_placed t id = Hashtbl.mem t.loc id
+let is_placed t id = id < Array.length t.loc && t.loc.(id) <> None
 
 let footprint t id =
   let p = location t id in
@@ -126,7 +134,7 @@ let net_cache_of t nid =
         (fun pid ->
           let p = Design.pin t.dsg pid in
           let cid = p.Types.p_cell in
-          if Hashtbl.mem t.loc cid then Some (pid, cid, pin_location t pid)
+          if is_placed t cid then Some (pid, cid, pin_location t pid)
           else None)
         (Design.net t.dsg nid).Types.n_pins
     in
@@ -144,13 +152,12 @@ let net_pin_points t nid = (net_cache_of t nid).nc_pts
 let net_box t nid = (net_cache_of t nid).nc_box
 
 let iter f t =
-  let items =
-    Hashtbl.fold
-      (fun id p acc ->
-        if (Design.cell t.dsg id).Types.c_dead then acc else (id, p) :: acc)
-      t.loc []
-  in
-  List.iter (fun (id, p) -> f id p) (List.sort compare items)
+  Array.iteri
+    (fun id loc ->
+      match loc with
+      | Some p when not (Design.cell t.dsg id).Types.c_dead -> f id p
+      | Some _ | None -> ())
+    t.loc
 
 let placed_registers t =
   List.filter (fun id -> is_placed t id) (Design.registers t.dsg)
@@ -188,7 +195,7 @@ let overlapping_registers t =
 let copy t =
   {
     t with
-    loc = Hashtbl.copy t.loc;
+    loc = Array.copy t.loc;
     moves = Vec.copy t.moves;
     nets = Hashtbl.copy t.nets;
   }

@@ -21,11 +21,28 @@ let default_config =
     output_delay = 40.0;
   }
 
-(* Arc kinds: delays are recomputed at each analyze because they depend
-   on pin locations and net loads. *)
-type arc =
-  | Net_arc of Types.pin_id * Types.pin_id (* driver -> sink *)
-  | Cell_arc of Types.pin_id * Types.pin_id (* comb input -> output *)
+(* One timing arc, shared between the source's successor list and the
+   destination's predecessor list. Arc delays depend on pin locations
+   and net loads, so they are recomputed per analysis — but the memo
+   lives in the edge record itself, valid while [e_gen] matches the
+   engine's current delay generation, and the propagation hot loops
+   never touch a hash table. A full invalidation (every [analyze],
+   which absorbs placement moves) is a single generation bump;
+   selective invalidation stamps the record stale. Fresh splices start
+   at generation -1, which never matches, and because the record is
+   shared a delay is computed at most once per arc per generation no
+   matter which direction reaches it first. [e_cell] distinguishes a
+   comb input->output arc from a net driver->sink arc. *)
+type edge = {
+  e_src : Types.pin_id;
+  e_dst : Types.pin_id;
+  e_cell : bool;
+  mutable e_delay : float;
+  mutable e_gen : int;
+}
+
+let mk_edge ~cell src dst =
+  { e_src = src; e_dst = dst; e_cell = cell; e_delay = 0.0; e_gen = -1 }
 
 type endpoint_kind = Ep_reg_d of Types.cell_id | Ep_out_port
 
@@ -88,8 +105,8 @@ type t = {
   dsg : Design.t;
   mutable n : int; (* pin count covered by the arrays below *)
   mutable in_graph : bool array;
-  mutable succs : (Types.pin_id * arc) list array;
-  mutable preds : (Types.pin_id * arc) list array;
+  mutable succs : edge list array;
+  mutable preds : edge list array;
   mutable topo : Types.pin_id array;
   mutable topo_pos : int array;
       (** pin -> index in [topo] (-1 outside graph) *)
@@ -102,7 +119,7 @@ type t = {
   skews : (Types.cell_id, float) Hashtbl.t;
   mutable arrival : float array;
   mutable required : float array;
-  arc_delay_cache : (arc, float) Hashtbl.t;
+  mutable delay_gen : int; (* current validity stamp for edge memos *)
   mutable analyzed : bool;
   mutable dsg_cursor : int;  (** design edits already reflected *)
   mutable pl_cursor : int;  (** placement moves already reflected *)
@@ -192,8 +209,8 @@ let pin_start_end dsg pid =
 type graph_parts = {
   g_n : int;
   g_in_graph : bool array;
-  g_succs : (Types.pin_id * arc) list array;
-  g_preds : (Types.pin_id * arc) list array;
+  g_succs : edge list array;
+  g_preds : edge list array;
   g_topo : Types.pin_id array;
   g_topo_pos : int array;
   g_is_start : bool array;
@@ -211,9 +228,10 @@ let compute_graph dsg =
   done;
   let succs = Array.make n [] in
   let preds = Array.make n [] in
-  let add_arc src dst arc =
-    succs.(src) <- (dst, arc) :: succs.(src);
-    preds.(dst) <- (src, arc) :: preds.(dst)
+  let add_arc ~cell src dst =
+    let e = mk_edge ~cell src dst in
+    succs.(src) <- e :: succs.(src);
+    preds.(dst) <- e :: preds.(dst)
   in
   (* net arcs *)
   let net_arcs = Hashtbl.create 1024 in
@@ -222,7 +240,7 @@ let compute_graph dsg =
     | [] -> ()
     | pairs ->
       Hashtbl.replace net_arcs nid pairs;
-      List.iter (fun (d, s) -> add_arc d s (Net_arc (d, s))) pairs
+      List.iter (fun (d, s) -> add_arc ~cell:false d s) pairs
   done;
   (* comb cell arcs *)
   List.iter
@@ -239,7 +257,7 @@ let compute_graph dsg =
           (fun o ->
             List.iter
               (fun i ->
-                if in_graph.(i) && in_graph.(o) then add_arc i o (Cell_arc (i, o)))
+                if in_graph.(i) && in_graph.(o) then add_arc ~cell:true i o)
               ins)
           outs
       | Types.Register _ | Types.Clock_root | Types.Clock_gate _ | Types.Port _
@@ -273,9 +291,9 @@ let compute_graph dsg =
     topo.(!k) <- pid;
     incr k;
     List.iter
-      (fun (s, _) ->
-        indeg.(s) <- indeg.(s) - 1;
-        if indeg.(s) = 0 then Queue.add s queue)
+      (fun e ->
+        indeg.(e.e_dst) <- indeg.(e.e_dst) - 1;
+        if indeg.(e.e_dst) = 0 then Queue.add e.e_dst queue)
       succs.(pid)
   done;
   let n_in_graph = ref 0 in
@@ -313,8 +331,8 @@ let compute_graph dsg =
           end
           else begin
             Hashtbl.add seen pid ();
-            match List.find_opt (fun (p, _) -> indeg.(p) > 0) preds.(pid) with
-            | Some (p, _) -> walk p (pid :: path)
+            match List.find_opt (fun e -> indeg.(e.e_src) > 0) preds.(pid) with
+            | Some e -> walk e.e_src (pid :: path)
             | None -> List.rev (pid :: path)
           end
         in
@@ -367,7 +385,7 @@ let build ?(config = default_config) pl =
     skews = Hashtbl.create 64;
     arrival = Array.make g.g_n neg_infinity;
     required = Array.make g.g_n infinity;
-    arc_delay_cache = Hashtbl.create 1024;
+    delay_gen = 0;
     analyzed = false;
     dsg_cursor = Design.revision dsg;
     pl_cursor = Placement.revision pl;
@@ -406,30 +424,32 @@ let wire_delay t src dst =
     t.cfg.wire_res *. len *. ((t.cfg.wire_cap *. len /. 2.0) +. sink_cap)
   | _, _ -> 0.0
 
-let arc_delay t arc =
-  match Hashtbl.find_opt t.arc_delay_cache arc with
-  | Some d -> d
-  | None ->
-    let d =
-      match arc with
-      | Net_arc (src, dst) -> wire_delay t src dst
-      | Cell_arc (_, out) ->
-        let p = Design.pin t.dsg out in
-        let c = Design.cell t.dsg p.Types.p_cell in
-        (match c.Types.c_kind with
-        | Types.Comb a ->
-          let load =
-            match p.Types.p_net with
-            | Some nid -> net_load t nid
-            | None -> 0.0
-          in
-          a.Types.intrinsic +. (a.Types.drive_res *. load)
-        | Types.Register _ | Types.Clock_root | Types.Clock_gate _
-        | Types.Port _ ->
-          0.0)
-    in
-    Hashtbl.replace t.arc_delay_cache arc d;
+let compute_edge_delay t e =
+  if not e.e_cell then wire_delay t e.e_src e.e_dst
+  else begin
+    let p = Design.pin t.dsg e.e_dst in
+    let c = Design.cell t.dsg p.Types.p_cell in
+    match c.Types.c_kind with
+    | Types.Comb a ->
+      let load =
+        match p.Types.p_net with
+        | Some nid -> net_load t nid
+        | None -> 0.0
+      in
+      a.Types.intrinsic +. (a.Types.drive_res *. load)
+    | Types.Register _ | Types.Clock_root | Types.Clock_gate _
+    | Types.Port _ ->
+      0.0
+  end
+
+let edge_delay t e =
+  if e.e_gen = t.delay_gen then e.e_delay
+  else begin
+    let d = compute_edge_delay t e in
+    e.e_delay <- d;
+    e.e_gen <- t.delay_gen;
     d
+  end
 
 let clock_arrival t cid = skew t cid
 
@@ -459,7 +479,7 @@ let endpoint_required t (pid, kind) =
   | Ep_out_port -> t.cfg.clock_period -. t.cfg.output_delay
 
 let analyze t =
-  Hashtbl.reset t.arc_delay_cache;
+  t.delay_gen <- t.delay_gen + 1;
   Array.fill t.arrival 0 t.n neg_infinity;
   Array.fill t.required 0 t.n infinity;
   List.iter
@@ -470,9 +490,9 @@ let analyze t =
     (fun pid ->
       if t.arrival.(pid) > neg_infinity then
         List.iter
-          (fun (s, arc) ->
-            let a = t.arrival.(pid) +. arc_delay t arc in
-            if a > t.arrival.(s) then t.arrival.(s) <- a)
+          (fun e ->
+            let a = t.arrival.(pid) +. edge_delay t e in
+            if a > t.arrival.(e.e_dst) then t.arrival.(e.e_dst) <- a)
           t.succs.(pid))
     t.topo;
   (* backward *)
@@ -484,9 +504,9 @@ let analyze t =
     let pid = t.topo.(k) in
     if t.required.(pid) < infinity then
       List.iter
-        (fun (p, arc) ->
-          let r = t.required.(pid) -. arc_delay t arc in
-          if r < t.required.(p) then t.required.(p) <- r)
+        (fun e ->
+          let r = t.required.(pid) -. edge_delay t e in
+          if r < t.required.(e.e_src) then t.required.(e.e_src) <- r)
         t.preds.(pid)
   done;
   (* A full numeric pass recomputes every delay against the current
@@ -565,8 +585,14 @@ let rebuild t =
    combinational cell appearing or vanishing, or a new arc that
    contradicts the current order — bails to {!rebuild}, as does an edit
    batch whose touched-pin estimate exceeds [rebuild_threshold] of the
-   graph. *)
-let refresh ?(rebuild_threshold = 0.75) t =
+   graph. The incremental splice costs roughly an order of magnitude
+   more per touched pin than the batched full build (list surgery and a
+   worklist heap vs three linear passes), so the break-even sits near a
+   0.1 pin ratio; the 0.25 default keeps genuinely local ECO batches (a
+   few % of pins) on the cheap path and sends bulk edits — like a full
+   composition pass replacing half the registers — to the rebuild they
+   are better served by. *)
+let refresh ?(rebuild_threshold = 0.25) t =
   let dsg_rev = Design.revision t.dsg in
   let pl_rev = Placement.revision t.pl in
   if not t.analyzed then begin
@@ -639,16 +665,16 @@ let refresh ?(rebuild_threshold = 0.75) t =
             (fun pid ->
               if t.in_graph.(pid) then begin
                 List.iter
-                  (fun (s, arc) ->
-                    t.preds.(s) <- List.filter (fun (p, _) -> p <> pid) t.preds.(s);
-                    Hashtbl.remove t.arc_delay_cache arc;
-                    mark_fwd s)
+                  (fun e ->
+                    t.preds.(e.e_dst) <-
+                      List.filter (fun e' -> e'.e_src <> pid) t.preds.(e.e_dst);
+                    mark_fwd e.e_dst)
                   t.succs.(pid);
                 List.iter
-                  (fun (p, arc) ->
-                    t.succs.(p) <- List.filter (fun (s, _) -> s <> pid) t.succs.(p);
-                    Hashtbl.remove t.arc_delay_cache arc;
-                    mark_bwd p)
+                  (fun e ->
+                    t.succs.(e.e_src) <-
+                      List.filter (fun e' -> e'.e_dst <> pid) t.succs.(e.e_src);
+                    mark_bwd e.e_src)
                   t.preds.(pid);
                 t.succs.(pid) <- [];
                 t.preds.(pid) <- [];
@@ -720,9 +746,8 @@ let refresh ?(rebuild_threshold = 0.75) t =
           in
           List.iter
             (fun (d, s) ->
-              Hashtbl.remove t.arc_delay_cache (Net_arc (d, s));
-              t.succs.(d) <- List.filter (fun (x, _) -> x <> s) t.succs.(d);
-              t.preds.(s) <- List.filter (fun (x, _) -> x <> d) t.preds.(s);
+              t.succs.(d) <- List.filter (fun e -> e.e_dst <> s) t.succs.(d);
+              t.preds.(s) <- List.filter (fun e -> e.e_src <> d) t.preds.(s);
               if t.in_graph.(s) then mark_fwd s;
               if t.in_graph.(d) then mark_bwd d)
             old;
@@ -733,9 +758,9 @@ let refresh ?(rebuild_threshold = 0.75) t =
                 t.topo_pos.(d) >= 0 && t.topo_pos.(s) >= 0
                 && t.topo_pos.(d) > t.topo_pos.(s)
               then raise Bail;
-              Hashtbl.remove t.arc_delay_cache (Net_arc (d, s));
-              t.succs.(d) <- (s, Net_arc (d, s)) :: t.succs.(d);
-              t.preds.(s) <- (d, Net_arc (d, s)) :: t.preds.(s);
+              let e = mk_edge ~cell:false d s in
+              t.succs.(d) <- e :: t.succs.(d);
+              t.preds.(s) <- e :: t.preds.(s);
               mark_fwd s;
               mark_bwd d)
             pairs;
@@ -747,13 +772,12 @@ let refresh ?(rebuild_threshold = 0.75) t =
           | Some d when t.in_graph.(d) ->
             if t.is_start.(d) then mark_fwd d;
             List.iter
-              (fun (p, arc) ->
-                match arc with
-                | Cell_arc _ ->
-                  Hashtbl.remove t.arc_delay_cache arc;
+              (fun e ->
+                if e.e_cell then begin
+                  e.e_gen <- -1;
                   mark_fwd d;
-                  mark_bwd p
-                | Net_arc _ -> ())
+                  mark_bwd e.e_src
+                end)
               t.preds.(d)
           | Some _ | None -> ());
           (* start/endpoint status follows connectivity *)
@@ -809,15 +833,15 @@ let refresh ?(rebuild_threshold = 0.75) t =
         let a = if t.is_start.(pid) then launch_arrival t pid else neg_infinity in
         let a =
           List.fold_left
-            (fun acc (p, arc) ->
-              if t.arrival.(p) > neg_infinity then
-                Float.max acc (t.arrival.(p) +. arc_delay t arc)
+            (fun acc e ->
+              if t.arrival.(e.e_src) > neg_infinity then
+                Float.max acc (t.arrival.(e.e_src) +. edge_delay t e)
               else acc)
             a t.preds.(pid)
         in
         if a <> t.arrival.(pid) then begin
           t.arrival.(pid) <- a;
-          List.iter (fun (s, _) -> fpush s) t.succs.(pid)
+          List.iter (fun e -> fpush e.e_dst) t.succs.(pid)
         end
       done;
       let bq = Pq.create () in
@@ -841,15 +865,15 @@ let refresh ?(rebuild_threshold = 0.75) t =
         in
         let r =
           List.fold_left
-            (fun acc (s, arc) ->
-              if t.required.(s) < infinity then
-                Float.min acc (t.required.(s) -. arc_delay t arc)
+            (fun acc e ->
+              if t.required.(e.e_dst) < infinity then
+                Float.min acc (t.required.(e.e_dst) -. edge_delay t e)
               else acc)
             r t.succs.(pid)
         in
         if r <> t.required.(pid) then begin
           t.required.(pid) <- r;
-          List.iter (fun (p, _) -> bpush p) t.preds.(pid)
+          List.iter (fun e -> bpush e.e_src) t.preds.(pid)
         end
       done;
       t.dsg_cursor <- dsg_rev;
@@ -868,11 +892,21 @@ let refreshes t = t.n_refreshes
 (* Incremental re-timing after skew-only changes. Arc delays are
    untouched (they depend on placement/loads, not on clock arrivals), so
    only the forward cone of the changed Q pins (arrivals) and the
-   backward cone of the changed D pins (requireds) need recomputation. *)
-let update_skews t assignments =
+   backward cone of the changed D pins (requireds) need recomputation.
+
+   [collect_touched] additionally reports which registers own a D or Q
+   pin whose arrival or required actually changed — the complete set of
+   registers whose [reg_d_slack]/[reg_q_slack] can differ from before
+   the call. The worklist-driven skew optimizer uses this to re-examine
+   only those registers. *)
+let update_skews_impl t ~collect_touched assignments =
   if not t.analyzed then begin
     List.iter (fun (cid, s) -> Hashtbl.replace t.skews cid s) assignments;
-    analyze t
+    analyze t;
+    if collect_touched then
+      (* a full analysis may have moved any slack *)
+      Design.registers t.dsg
+    else []
   end
   else begin
     let changed =
@@ -893,44 +927,40 @@ let update_skews t assignments =
             | _ -> ())
           (Design.pins_of t.dsg cid))
       changed;
-    (* forward cone of the Q seeds *)
-    let in_f = Array.make t.n false in
-    let rec mark_f pid =
-      if not in_f.(pid) then begin
-        in_f.(pid) <- true;
-        List.iter (fun (s, _) -> mark_f s) t.succs.(pid)
-      end
-    in
-    List.iter mark_f !q_seeds;
-    (* backward cone of the D seeds *)
-    let in_b = Array.make t.n false in
-    let rec mark_b pid =
-      if not in_b.(pid) then begin
-        in_b.(pid) <- true;
-        List.iter (fun (p, _) -> mark_b p) t.preds.(pid)
-      end
-    in
-    List.iter mark_b !d_seeds;
-    (* arrivals forward within the cone, preds outside keep their values *)
+    (* Convergence-driven propagation instead of whole-cone recompute: a
+       pin is re-evaluated only when a fan-in (arrivals) or fan-out
+       (requireds) value actually changed, and propagation stops where
+       the recomputed value equals the stored one. The recompute formula
+       is the full analysis's, so the fixpoint — and every slack — is
+       bit-identical to sweeping the whole cone; reconvergent paths
+       whose other side dominates just stop the wave early. *)
+    let need_f = Array.make t.n false in
+    List.iter (fun pid -> need_f.(pid) <- true) !q_seeds;
+    let changed = ref [] in
     Array.iter
       (fun pid ->
-        if in_f.(pid) then begin
+        if need_f.(pid) then begin
           let a = if t.is_start.(pid) then launch_arrival t pid else neg_infinity in
           let a =
             List.fold_left
-              (fun acc (p, arc) ->
-                if t.arrival.(p) > neg_infinity then
-                  Float.max acc (t.arrival.(p) +. arc_delay t arc)
+              (fun acc e ->
+                if t.arrival.(e.e_src) > neg_infinity then
+                  Float.max acc (t.arrival.(e.e_src) +. edge_delay t e)
                 else acc)
               a t.preds.(pid)
           in
-          t.arrival.(pid) <- a
+          if a <> t.arrival.(pid) then begin
+            t.arrival.(pid) <- a;
+            changed := pid :: !changed;
+            List.iter (fun e -> need_f.(e.e_dst) <- true) t.succs.(pid)
+          end
         end)
       t.topo;
-    (* requireds backward within the cone *)
+    let need_b = Array.make t.n false in
+    List.iter (fun pid -> need_b.(pid) <- true) !d_seeds;
     for k = Array.length t.topo - 1 downto 0 do
       let pid = t.topo.(k) in
-      if in_b.(pid) then begin
+      if need_b.(pid) then begin
         let r =
           match t.ep_of.(pid) with
           | Some kind -> endpoint_required t (pid, kind)
@@ -938,16 +968,39 @@ let update_skews t assignments =
         in
         let r =
           List.fold_left
-            (fun acc (s, arc) ->
-              if t.required.(s) < infinity then
-                Float.min acc (t.required.(s) -. arc_delay t arc)
+            (fun acc e ->
+              if t.required.(e.e_dst) < infinity then
+                Float.min acc (t.required.(e.e_dst) -. edge_delay t e)
               else acc)
             r t.succs.(pid)
         in
-        t.required.(pid) <- r
+        if r <> t.required.(pid) then begin
+          t.required.(pid) <- r;
+          changed := pid :: !changed;
+          List.iter (fun e -> need_b.(e.e_src) <- true) t.preds.(pid)
+        end
       end
-    done
+    done;
+    if not collect_touched then []
+    else begin
+      let owners = Hashtbl.create 64 in
+      List.iter
+        (fun pid ->
+          let p = Design.pin t.dsg pid in
+          match p.Types.p_kind with
+          | Types.Pin_d _ | Types.Pin_q _ ->
+            Hashtbl.replace owners p.Types.p_cell ()
+          | _ -> ())
+        !changed;
+      List.sort compare (Hashtbl.fold (fun cid () acc -> cid :: acc) owners [])
+    end
   end
+
+let update_skews t assignments =
+  ignore (update_skews_impl t ~collect_touched:false assignments)
+
+let update_skews_touched t assignments =
+  update_skews_impl t ~collect_touched:true assignments
 
 let arrival t pid =
   ensure t;
@@ -984,6 +1037,11 @@ let tns t =
   List.fold_left
     (fun acc (_, s) -> if s < 0.0 then acc +. s else acc)
     0.0 (endpoint_slacks t)
+
+let wns_tns t =
+  List.fold_left
+    (fun (w, tn) (_, s) -> (Float.min w s, if s < 0.0 then tn +. s else tn))
+    (infinity, 0.0) (endpoint_slacks t)
 
 let failing_endpoints t =
   List.length (List.filter (fun (_, s) -> s < 0.0) (endpoint_slacks t))

@@ -81,7 +81,11 @@ val refresh : ?rebuild_threshold:float -> t -> unit
     Falls back to a full rebuild — counted by {!full_builds} — when a
     combinational cell was added or removed, when a new arc contradicts
     the existing topological order, or when the touched-pin estimate
-    exceeds [rebuild_threshold] (default 0.75) of the graph's pins.
+    exceeds [rebuild_threshold] (default 0.25) of the graph's pins —
+    the incremental splice costs ~10x more per touched pin than the
+    batched full build, so bulk edit batches (e.g. a whole composition
+    pass) are cheaper to rebuild while localized ECOs stay on the
+    incremental path.
 
     Telemetry (no-op unless [Mbr_obs] is enabled): each non-trivial
     call runs under an ["sta.refresh"] trace span; the registry
@@ -106,6 +110,17 @@ val update_skews : t -> (Mbr_netlist.Types.cell_id * float) list -> unit
     slacks (property-tested against {!analyze}). Falls back to a full
     analysis when the engine has never been analyzed. *)
 
+val update_skews_touched :
+  t -> (Mbr_netlist.Types.cell_id * float) list -> Mbr_netlist.Types.cell_id list
+(** {!update_skews} that also reports the registers owning a D or Q pin
+    whose arrival or required actually changed, sorted by cell id — a
+    superset of every register whose {!reg_d_slack} or {!reg_q_slack}
+    differs from before the call (a D slack only moves with the D pin's
+    arrival or required; likewise Q). Any register outside the returned
+    set is guaranteed unchanged, which is what lets the worklist-driven
+    skew optimizer skip it. On the never-analyzed fallback every
+    register is reported. *)
+
 val arrival : t -> Mbr_netlist.Types.pin_id -> float option
 (** [None] for pins outside the data graph or unreached. *)
 
@@ -118,6 +133,9 @@ val wns : t -> float
 
 val tns : t -> float
 (** Total negative slack (sum of negative endpoint slacks, <= 0). *)
+
+val wns_tns : t -> float * float
+(** [(wns, tns)] from a single endpoint sweep. *)
 
 val failing_endpoints : t -> int
 

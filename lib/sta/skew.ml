@@ -25,55 +25,87 @@ let step cfg s_d s_q =
   else if Float.is_finite s_q && s_q < 0.0 then s_q *. cfg.damping
   else 0.0
 
-let optimize ?(config = default_config) eng =
+(* [step] is provably 0 whenever min(s_D, s_Q) >= 0: every branch that
+   returns a nonzero delta requires a negative finite slack on a
+   connected side. And a register already at the bound with a nonzero
+   delta clamps back to its current value, below the 0.5 ps move
+   threshold. So a sweep can only move registers with min(s_D, s_Q) < 0
+   — the [active] set — and [Engine.update_skews_touched] reports the
+   complete set of registers whose D/Q slacks an applied move batch can
+   have changed, so activity only needs re-reading for those. The
+   worklist sweep therefore computes exactly the move set of a
+   whole-design sweep ([full_sweep:true], kept as the property-test
+   reference) while reading O(active + touched) slacks per iteration
+   instead of O(registers). *)
+let optimize ?(config = default_config) ?(full_sweep = false) eng =
   let dsg = Placement.design (Engine.placement eng) in
-  let regs = Design.registers dsg in
+  let regs = Array.of_list (Design.registers dsg) in
+  let n = Array.length regs in
+  let ix = Hashtbl.create (max 16 n) in
+  Array.iteri (fun i r -> Hashtbl.replace ix r i) regs;
   Engine.refresh eng;
-  let wns_before = Engine.wns eng in
-  let tns_before = Engine.tns eng in
+  let wns_before, tns_before = Engine.wns_tns eng in
   let clamp v = Float.max (-.config.bound) (Float.min config.bound v) in
-  let snapshot () = List.map (fun r -> (r, Engine.skew eng r)) regs in
-  let restore snap = Engine.update_skews eng snap in
-  let best_tns = ref tns_before in
-  let best_wns = ref wns_before in
-  let best = ref (snapshot ()) in
+  (* flat mirrors of the engine's skew table: snapshots are an
+     Array.blit, restore is a diff — no per-sweep assoc lists *)
+  let cur = Array.init n (fun i -> Engine.skew eng regs.(i)) in
+  let best = Array.copy cur in
+  let best_tns = ref tns_before and best_wns = ref wns_before in
+  let active = Array.make n false in
+  let refresh_activity i =
+    let r = regs.(i) in
+    active.(i) <-
+      Float.min (Engine.reg_d_slack eng r) (Engine.reg_q_slack eng r) < 0.0
+  in
+  if not full_sweep then
+    for i = 0 to n - 1 do
+      refresh_activity i
+    done;
   let sweeps = ref 0 in
   (try
      for _ = 1 to config.iterations do
        incr sweeps;
-       (* Jacobi sweep: read every slack under the current assignment,
-          then apply all moves at once; Engine.update_skews patches only
-          the affected timing cones. *)
-       let moves =
-         List.filter_map
+       (* Jacobi sweep: read every candidate slack under the current
+          assignment, then apply all moves at once; the engine patches
+          only the affected timing cones. *)
+       let moves = ref [] in
+       for i = n - 1 downto 0 do
+         if full_sweep || active.(i) then begin
+           let r = regs.(i) in
+           let delta =
+             step config (Engine.reg_d_slack eng r) (Engine.reg_q_slack eng r)
+           in
+           let next = clamp (cur.(i) +. delta) in
+           if Float.abs (next -. cur.(i)) > 0.5 then moves := (i, next) :: !moves
+         end
+       done;
+       if !moves = [] then raise Exit;
+       let assignments = List.map (fun (i, next) -> (regs.(i), next)) !moves in
+       let touched = Engine.update_skews_touched eng assignments in
+       List.iter (fun (i, next) -> cur.(i) <- next) !moves;
+       if not full_sweep then
+         List.iter
            (fun r ->
-             let delta =
-               step config (Engine.reg_d_slack eng r) (Engine.reg_q_slack eng r)
-             in
-             let next = clamp (Engine.skew eng r +. delta) in
-             if Float.abs (next -. Engine.skew eng r) > 0.5 then Some (r, next)
-             else None)
-           regs
-       in
-       if moves = [] then raise Exit;
-       Engine.update_skews eng moves;
-       let tns = Engine.tns eng and wns = Engine.wns eng in
+             match Hashtbl.find_opt ix r with
+             | Some i -> refresh_activity i
+             | None -> ())
+           touched;
+       let wns, tns = Engine.wns_tns eng in
        if (tns, wns) > (!best_tns, !best_wns) then begin
          best_tns := tns;
          best_wns := wns;
-         best := snapshot ()
+         Array.blit cur 0 best 0 n
        end
      done
    with Exit -> ());
-  restore !best;
+  (* restore the best assignment seen; only the diffs reach the engine *)
+  let restore = ref [] in
+  for i = n - 1 downto 0 do
+    if cur.(i) <> best.(i) then restore := (regs.(i), best.(i)) :: !restore
+  done;
+  if !restore <> [] then Engine.update_skews eng !restore;
+  let wns_after, tns_after = Engine.wns_tns eng in
   let max_abs_skew =
-    List.fold_left (fun acc r -> Float.max acc (Float.abs (Engine.skew eng r))) 0.0 regs
+    Array.fold_left (fun acc s -> Float.max acc (Float.abs s)) 0.0 best
   in
-  {
-    wns_before;
-    wns_after = Engine.wns eng;
-    tns_before;
-    tns_after = Engine.tns eng;
-    max_abs_skew;
-    sweeps_run = !sweeps;
-  }
+  { wns_before; wns_after; tns_before; tns_after; max_abs_skew; sweeps_run = !sweeps }

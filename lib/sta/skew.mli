@@ -28,8 +28,17 @@ type report = {
   sweeps_run : int;
 }
 
-val optimize : ?config:config -> Engine.t -> report
+val optimize : ?config:config -> ?full_sweep:bool -> Engine.t -> report
 (** Assign per-register skews on the engine (visible via
     {!Engine.skew}) and re-analyze. Never returns a solution worse than
     the zero-skew start: the final sweep keeps the best-TNS
-    assignment encountered. *)
+    assignment encountered.
+
+    By default each sweep examines only the worklist of registers with
+    a negative connected-side slack, maintained from the registers
+    {!Engine.update_skews_touched} reports after each move batch —
+    [step] returns 0 for every other register, so the move set (and
+    hence the result, bit for bit) is identical to examining every
+    register. [~full_sweep:true] forces the whole-design sweep; it
+    exists as the reference implementation for the equivalence property
+    test and for diagnostics. *)

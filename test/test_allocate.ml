@@ -50,7 +50,7 @@ let row_graph n =
       Ugraph.add_edge g i j
     done
   done;
-  { Compat.ugraph = g; infos }
+  { Compat.adj = Mbr_graph.Csr.of_ugraph g; infos }
 
 let index_of graph =
   let idx = Spatial.create () in
@@ -119,7 +119,7 @@ let test_isolated_nodes_kept () =
   let infos = (row_graph 3).Compat.infos in
   let g = Ugraph.create 3 in
   (* no edges at all *)
-  let graph = { Compat.ugraph = g; infos } in
+  let graph = { Compat.adj = Mbr_graph.Csr.of_ugraph g; infos } in
   let sel = Allocate.run graph ~lib ~blocker_index:(index_of graph) in
   checki "no merges possible" 0 (List.length sel.Allocate.merges);
   Alcotest.(check (list int)) "all kept" [ 0; 1; 2 ] sel.Allocate.kept

@@ -61,7 +61,7 @@ let row_graph n =
       Ugraph.add_edge g i j
     done
   done;
-  { Compat.ugraph = g; infos }
+  { Compat.adj = Mbr_graph.Csr.of_ugraph g; infos }
 
 let index_of (graph : Compat.graph) =
   let idx = Spatial.create () in
@@ -105,7 +105,7 @@ let test_solve_block_matches_run () =
   let bound = 6 in
   let position i = graph.Compat.infos.(i).Compat.center in
   let blocks =
-    Mbr_graph.Kpart.partition ~bound graph.Compat.ugraph ~position
+    Mbr_graph.Kpart.partition_csr ~bound graph.Compat.adj ~position
   in
   let config =
     { Allocate.default_config with Allocate.partition_bound = bound }

@@ -45,7 +45,7 @@ let row_graph ?(bits = 1) ?(feas = 20.0) n =
       Ugraph.add_edge g i j
     done
   done;
-  { Compat.ugraph = g; infos }
+  { Compat.adj = Mbr_graph.Csr.of_ugraph g; infos }
 
 let index_of graph =
   let idx = Spatial.create () in

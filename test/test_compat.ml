@@ -9,7 +9,7 @@ module Design = Mbr_netlist.Design
 module Types = Mbr_netlist.Types
 module Placement = Mbr_place.Placement
 module Engine = Mbr_sta.Engine
-module Ugraph = Mbr_graph.Ugraph
+module Csr = Mbr_graph.Csr
 module G = Mbr_designgen.Generate
 module P = Mbr_designgen.Profile
 module Eco = Mbr_designgen.Eco
@@ -161,7 +161,7 @@ let test_graph_edges_are_compatible () =
     (fun (a, b) ->
       check "edge passes all checks" true
         (Compat.compatible Compat.default_config infos.(a) infos.(b)))
-    (Ugraph.edges graph.Compat.ugraph)
+    (Csr.edges graph.Compat.adj)
 
 let test_fixed_not_composable () =
   let fixed =
@@ -232,7 +232,7 @@ let pruning_matches_brute_force =
       for i = 0 to n - 1 do
         for j = i + 1 to n - 1 do
           let expect = Compat.compatible cfg infos.(i) infos.(j) in
-          let got = Ugraph.has_edge graph.Compat.ugraph i j in
+          let got = Csr.has_edge graph.Compat.adj i j in
           if expect <> got then begin
             ok := false;
             QCheck.Test.fail_reportf
@@ -272,8 +272,8 @@ let refresh_matches_fresh =
         end;
         for v = 0 to n - 1 do
           if
-            Ugraph.neighbors refreshed.Compat.ugraph v
-            <> Ugraph.neighbors fresh.Compat.ugraph v
+            Csr.neighbors refreshed.Compat.adj v
+            <> Csr.neighbors fresh.Compat.adj v
           then begin
             ok := false;
             QCheck.Test.fail_reportf

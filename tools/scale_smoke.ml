@@ -1,0 +1,62 @@
+(* Large-scale smoke check for CI: generate a scaled D1 profile, run
+   the full composition flow serially (jobs = 1) and fail loudly if
+   wall time or peak RSS blow past the ceilings.
+
+   The point is not a benchmark — BENCH.json owns the numbers — but a
+   regression tripwire for the memory-and-scaling work: a quadratic
+   slip in the compat graph, candidate enumeration or the STA engine
+   turns a ~25 s run into minutes, and a per-pair materialization
+   turns ~600 MB into many GB. The ceilings carry generous headroom
+   over the measured scale-8 footprint (flow + generate ~26 s, peak
+   RSS ~580 MB on a loaded 1-core host) so the check survives machine
+   noise while still catching complexity-class regressions.
+
+   Usage: scale_smoke.exe [SCALE] [WALL_CEILING_S] [RSS_CEILING_MB]
+   Defaults: 8.0, 180 s, 2048 MB. *)
+
+module P = Mbr_designgen.Profile
+module G = Mbr_designgen.Generate
+
+let () =
+  let arg i default =
+    if Array.length Sys.argv > i then float_of_string Sys.argv.(i) else default
+  in
+  let scale = arg 1 8.0 in
+  let wall_ceiling = arg 2 180.0 in
+  let rss_ceiling = arg 3 2048.0 in
+  let p = P.scaled P.d1 scale in
+  Printf.printf "scale-smoke: scale %.1f (%d registers), jobs 1\n%!" scale
+    p.P.n_registers;
+  let t0 = Unix.gettimeofday () in
+  let g = G.generate p in
+  let r =
+    Mbr_core.Flow.run ~design:g.G.design ~placement:g.G.placement
+      ~library:g.G.library ~sta_config:g.G.sta_config ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let rss = Mbr_obs.Rss.peak_mb () in
+  Printf.printf
+    "scale-smoke: wall %.1f s (flow %.1f s), merges %d, peak rss %s\n%!" wall
+    r.Mbr_core.Flow.runtime_s r.Mbr_core.Flow.n_merges
+    (match rss with Some m -> Printf.sprintf "%.0f MB" m | None -> "n/a");
+  let failed = ref false in
+  if wall > wall_ceiling then begin
+    Printf.printf "scale-smoke: FAIL wall %.1f s > ceiling %.0f s\n%!" wall
+      wall_ceiling;
+    failed := true
+  end;
+  (match rss with
+  | Some m when m > rss_ceiling ->
+    Printf.printf "scale-smoke: FAIL peak rss %.0f MB > ceiling %.0f MB\n%!" m
+      rss_ceiling;
+    failed := true
+  | Some _ -> ()
+  | None ->
+    (* no /proc/self/status (non-Linux): wall ceiling still applies *)
+    print_endline "scale-smoke: rss unavailable, skipping memory check");
+  if r.Mbr_core.Flow.n_merges = 0 then begin
+    print_endline "scale-smoke: FAIL flow produced no merges";
+    failed := true
+  end;
+  if !failed then exit 1;
+  print_endline "scale-smoke: ok"
