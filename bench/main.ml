@@ -553,6 +553,319 @@ let section_scaling () =
      large-design checkpoint and its rss column bounds the whole ladder)";
   rows
 
+(* ---- section 7: mbrd service soak ----
+
+   Many concurrent sessions, several concurrent clients, a randomized
+   ECO request mix — the service-level counterpart of section 5c. The
+   numbers that matter: per-verb p50/p99 round-trip latency, zero
+   failed or misrouted requests, and the cancelled-deadline path
+   exercised on every session.
+
+   GC hygiene: Gc.compact and heap accounting run ONLY at the phase
+   boundaries (before the clients start, after the last one joins).
+   A compaction inside the soak would stop every domain — including
+   the ones mid-request — and bill the pause to whichever latencies
+   happen to be in flight, so nothing GC-related runs while any
+   request timer does. *)
+
+module Svc_client = Mbr_service.Client
+module Svc_protocol = Mbr_service.Protocol
+module Svc_server = Mbr_service.Server
+
+type soak_config = {
+  sk_sessions : int;
+  sk_clients : int;
+  sk_reqs_per_session : int;  (* load + mix + deadline + recovery *)
+  sk_scale : float;
+  sk_queue_limit : int;
+}
+
+let default_soak =
+  {
+    sk_sessions = 24;
+    sk_clients = 6;
+    sk_reqs_per_session = 84;  (* 24 x 84 = 2016 requests *)
+    sk_scale = 0.4;
+    sk_queue_limit = 64;
+  }
+
+type soak_result = {
+  so_config : soak_config;
+  so_workers : int;
+  so_requests : int;
+  so_ok : int;
+  so_cancelled : int;  (* deadline recomposes answered `cancelled` *)
+  so_failed : int;  (* any other error: must be 0 *)
+  so_misrouted : int;  (* served-count mismatches: must be 0 *)
+  so_wall_s : float;
+  so_heap_mb_before : float;
+  so_heap_mb_after : float;
+  so_latencies : (string * float list) list;  (* verb -> round-trip seconds *)
+}
+
+let heap_mb () =
+  float_of_int (Gc.stat ()).Gc.heap_words *. float_of_int (Sys.word_size / 8)
+  /. 1048576.0
+
+let section_soak () =
+  banner "7. mbrd service soak (concurrent sessions, randomized ECO traffic)";
+  let cfg = default_soak in
+  let socket_path =
+    Printf.sprintf "%s/mbrd-soak-%d.sock" (Filename.get_temp_dir_name ())
+      (Unix.getpid ())
+  in
+  let workers = Mbr_util.Pool.recommended_jobs () in
+  Printf.printf
+    "%d sessions, %d clients, %d requests (%d per session), %d worker \
+     domain(s), queue limit %d\n%!"
+    cfg.sk_sessions cfg.sk_clients
+    (cfg.sk_sessions * cfg.sk_reqs_per_session)
+    cfg.sk_reqs_per_session workers cfg.sk_queue_limit;
+  let ready = Mutex.create () and cond = Condition.create () in
+  let up = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Svc_server.run
+          ~on_ready:(fun () ->
+            Mutex.lock ready;
+            up := true;
+            Condition.signal cond;
+            Mutex.unlock ready)
+          {
+            Svc_server.socket_path;
+            workers;
+            queue_limit = cfg.sk_queue_limit;
+            alloc_jobs = 1;
+          })
+      ()
+  in
+  Mutex.lock ready;
+  while not !up do
+    Condition.wait cond ready
+  done;
+  Mutex.unlock ready;
+  (* phase boundary: all GC work happens before any request timer runs *)
+  Gc.compact ();
+  let heap_before = heap_mb () in
+  let ok = Atomic.make 0
+  and cancelled = Atomic.make 0
+  and failed = Atomic.make 0 in
+  (* client-side expectation of each session's served count, indexed by
+     session number; compared against the daemon's own accounting *)
+  let expected_served = Array.make cfg.sk_sessions 0 in
+  (* per-thread latency sinks, merged after the join: no locking inside
+     the measurement loop *)
+  let sinks =
+    Array.init cfg.sk_clients (fun _ -> ref ([] : (string * float) list))
+  in
+  let t0 = Mbr_obs.Clock.now_s () in
+  let client k () =
+    let sink = sinks.(k) in
+    let c = Svc_client.connect socket_path in
+    Fun.protect ~finally:(fun () -> Svc_client.close c) @@ fun () ->
+    let timed verb f =
+      let t1 = Mbr_obs.Clock.now_s () in
+      let r = f () in
+      let t2 = Mbr_obs.Clock.now_s () in
+      sink := (Svc_protocol.verb_to_string verb, t2 -. t1) :: !sink;
+      r
+    in
+    let count ~expect_cancelled = function
+      | Ok _ -> Atomic.incr ok
+      | Error { Svc_protocol.code = Svc_protocol.Cancelled; _ }
+        when expect_cancelled ->
+        Atomic.incr cancelled
+      | Error { Svc_protocol.code; message } ->
+        Printf.eprintf "soak: unexpected %s: %s\n%!"
+          (Svc_protocol.error_code_to_string code)
+          message;
+        Atomic.incr failed
+    in
+    let s = ref k in
+    while !s < cfg.sk_sessions do
+      let session = !s in
+      let name = Printf.sprintf "soak-%d" session in
+      let rng = Mbr_util.Rng.create (7000 + session) in
+      let send ?(expect_cancelled = false) verb f =
+        count ~expect_cancelled (timed verb f);
+        expected_served.(session) <- expected_served.(session) + 1
+      in
+      send Svc_protocol.Load (fun () ->
+          Svc_client.load c ~session:name ~profile:"tiny" ~scale:cfg.sk_scale
+            ~seed:session ());
+      (* randomized mix; the last two slots are reserved for the
+         deadline + recovery pair *)
+      for _ = 1 to cfg.sk_reqs_per_session - 3 do
+        if Mbr_util.Rng.float rng 1.0 < 0.45 then
+          send Svc_protocol.Perturb (fun () ->
+              Svc_client.perturb c ~session:name
+                ~seed:(Mbr_util.Rng.int rng 1_000_000)
+                ~frac:(0.5 +. Mbr_util.Rng.float rng 1.0)
+                ())
+        else
+          send Svc_protocol.Recompose (fun () ->
+              Svc_client.recompose c ~session:name ())
+      done;
+      (* every session exercises the deadline path, then proves it is
+         still usable *)
+      send ~expect_cancelled:true Svc_protocol.Recompose (fun () ->
+          Svc_client.recompose c ~session:name ~timeout_s:0.0 ());
+      send Svc_protocol.Recompose (fun () ->
+          Svc_client.recompose c ~session:name ());
+      s := !s + cfg.sk_clients
+    done
+  in
+  let threads = Array.init cfg.sk_clients (fun k -> Thread.create (client k) ()) in
+  Array.iter Thread.join threads;
+  let wall_s = Mbr_obs.Clock.now_s () -. t0 in
+  (* every request timer has stopped: GC work is legal again *)
+  Gc.compact ();
+  let heap_after = heap_mb () in
+  (* routing audit straight from the daemon's own per-session counters *)
+  let c = Svc_client.connect socket_path in
+  let misrouted =
+    match Svc_client.query_metrics c with
+    | Error _ -> cfg.sk_sessions (* can't audit: count everything wrong *)
+    | Ok m -> (
+      let module J = Mbr_obs.Json in
+      match Option.bind (J.member "sessions" m) J.to_list with
+      | None -> cfg.sk_sessions
+      | Some rows ->
+        let served = Hashtbl.create 32 in
+        List.iter
+          (fun row ->
+            match
+              ( Option.bind (J.member "name" row) J.to_str,
+                Option.bind (J.member "served" row) J.to_int,
+                Option.bind (J.member "pending" row) J.to_int )
+            with
+            | Some n, Some sv, Some pend -> Hashtbl.replace served n (sv, pend)
+            | _ -> ())
+          rows;
+        let bad = ref 0 in
+        Array.iteri
+          (fun i expect ->
+            match Hashtbl.find_opt served (Printf.sprintf "soak-%d" i) with
+            | Some (sv, 0) when sv = expect -> ()
+            | _ -> incr bad)
+          expected_served;
+        !bad)
+  in
+  ignore (Svc_client.shutdown c);
+  Svc_client.close c;
+  Thread.join server;
+  let latencies =
+    List.map
+      (fun v ->
+        let name = Svc_protocol.verb_to_string v in
+        ( name,
+          Array.to_list sinks
+          |> List.concat_map (fun sink ->
+                 List.filter_map
+                   (fun (n, dt) -> if n = name then Some dt else None)
+                   !sink) ))
+      Svc_protocol.[ Load; Perturb; Recompose ]
+  in
+  let r =
+    {
+      so_config = cfg;
+      so_workers = workers;
+      so_requests = cfg.sk_sessions * cfg.sk_reqs_per_session;
+      so_ok = Atomic.get ok;
+      so_cancelled = Atomic.get cancelled;
+      so_failed = Atomic.get failed;
+      so_misrouted = misrouted;
+      so_wall_s = wall_s;
+      so_heap_mb_before = heap_before;
+      so_heap_mb_after = heap_after;
+      so_latencies = latencies;
+    }
+  in
+  Printf.printf
+    "%d requests in %.1f s (%.0f req/s): %d ok, %d cancelled-by-deadline, \
+     %d failed, %d misrouted\n"
+    r.so_requests wall_s
+    (float_of_int r.so_requests /. wall_s)
+    r.so_ok r.so_cancelled r.so_failed r.so_misrouted;
+  List.iter
+    (fun (verb, lats) ->
+      if lats <> [] then begin
+        let a = Array.of_list lats in
+        Printf.printf
+          "  %-10s %5d reqs  p50 %7.2f ms  p99 %7.2f ms  max %7.2f ms\n" verb
+          (Array.length a)
+          (Mbr_util.Stats.percentile a 50.0 *. 1e3)
+          (Mbr_util.Stats.percentile a 99.0 *. 1e3)
+          (snd (Mbr_util.Stats.min_max a) *. 1e3)
+      end)
+    r.so_latencies;
+  Printf.printf "heap after compaction: %.1f MB -> %.1f MB\n" heap_before
+    heap_after;
+  if r.so_failed > 0 || r.so_misrouted > 0 then
+    failwith "service soak: failed or misrouted requests";
+  r
+
+let soak_to_json (r : soak_result) =
+  let module J = Mbr_obs.Json in
+  let num f = J.Num f in
+  let int i = J.Num (float_of_int i) in
+  J.Obj
+    [
+      ("sessions", int r.so_config.sk_sessions);
+      ("clients", int r.so_config.sk_clients);
+      ("workers", int r.so_workers);
+      ("queue_limit", int r.so_config.sk_queue_limit);
+      ("scale", num r.so_config.sk_scale);
+      ("requests", int r.so_requests);
+      ("ok", int r.so_ok);
+      ("cancelled_by_deadline", int r.so_cancelled);
+      ("failed", int r.so_failed);
+      ("misrouted", int r.so_misrouted);
+      ("wall_s", num r.so_wall_s);
+      ("throughput_rps", num (float_of_int r.so_requests /. r.so_wall_s));
+      ("heap_mb_before", num r.so_heap_mb_before);
+      ("heap_mb_after", num r.so_heap_mb_after);
+      ( "per_verb",
+        J.Arr
+          (List.filter_map
+             (fun (verb, lats) ->
+               if lats = [] then None
+               else
+                 let a = Array.of_list lats in
+                 Some
+                   (J.Obj
+                      [
+                        ("verb", J.Str verb);
+                        ("count", int (Array.length a));
+                        ("p50_ms", num (Mbr_util.Stats.percentile a 50.0 *. 1e3));
+                        ("p99_ms", num (Mbr_util.Stats.percentile a 99.0 *. 1e3));
+                        ("mean_ms", num (Mbr_util.Stats.mean a *. 1e3));
+                        ("max_ms", num (snd (Mbr_util.Stats.min_max a) *. 1e3));
+                      ]))
+             r.so_latencies) );
+    ]
+
+(* `--soak` refreshes only the service section of an existing
+   BENCH.json: parse, bump the schema, splice service_soak in, pretty
+   print. The heavyweight sections keep their recorded numbers. *)
+let patch_bench_json ~path soak =
+  let module J = Mbr_obs.Json in
+  let old = In_channel.with_open_text path In_channel.input_all in
+  match J.of_string old with
+  | J.Obj kvs ->
+    let kvs =
+      List.map
+        (fun (k, v) -> if k = "schema_version" then (k, J.Num 6.0) else (k, v))
+        (List.filter (fun (k, _) -> k <> "service_soak") kvs)
+      @ [ ("service_soak", soak) ]
+    in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (J.to_string_pretty (J.Obj kvs)));
+    Printf.printf "\npatched %s (schema_version 6, service_soak refreshed)\n"
+      path
+  | _ -> failwith (path ^ ": not a JSON object")
+
 (* ---- BENCH.json: the numbers above, machine-readable ---- *)
 
 let json_escape s =
@@ -582,11 +895,11 @@ let json_of_counters (snap : Mbr_obs.Metrics.snapshot) =
           (fun (k, v) -> (k, Mbr_obs.Json.Num (float_of_int v)))
           snap.Mbr_obs.Metrics.counters))
 
-let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
+let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows ~soak =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 5,\n";
+  p "  \"schema_version\": 6,\n";
   p "  \"generated_by\": \"bench/main.exe\",\n";
   (* core count up front: speedup and degraded flags below are only
      interpretable against the parallelism the host actually offers *)
@@ -672,7 +985,8 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows =
         (json_of_counters e.ec_metrics)
         (if i = List.length eco_rows - 1 then "" else ","))
     eco_rows;
-  p "  ]\n";
+  p "  ],\n";
+  p "  \"service_soak\": %s\n" (Mbr_obs.Json.to_string soak);
   p "}\n";
   close_out oc;
   Printf.printf "\nwrote %s\n" path
@@ -683,6 +997,12 @@ let () =
      snapshots around the run it describes *)
   Mbr_obs.Metrics.enable ();
   if Array.exists (fun a -> a = "--smoke") Sys.argv then smoke ()
+  else if Array.exists (fun a -> a = "--soak") Sys.argv then begin
+    (* service soak only; splice the result into the existing
+       BENCH.json rather than rerunning the multi-minute sections *)
+    let r = section_soak () in
+    patch_bench_json ~path:"BENCH.json" (soak_to_json r)
+  end
   else begin
     Printf.printf "MBR composition benchmark harness (DAC'17 reproduction)\n";
     section_tables ();
@@ -691,8 +1011,9 @@ let () =
     let alloc_scaling = section_allocate_scaling () in
     let eco_rows = section_eco () in
     let kernels = section_kernels () in
+    let soak = section_soak () in
     emit_bench_json ~path:"BENCH.json" ~kernels ~scaling ~alloc_scaling
-      ~eco_rows;
+      ~eco_rows ~soak:(soak_to_json soak);
     banner "done";
     print_endline
       "Recorded paper-vs-measured comparisons live in EXPERIMENTS.md;\n\

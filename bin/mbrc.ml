@@ -457,9 +457,108 @@ let example_cmd =
   Cmd.v (Cmd.info "example" ~doc:"The paper's worked example (Figs. 1-3).")
     Term.(const run $ telemetry_term $ jobs_arg)
 
+(* ---- the ECO service (DESIGN.md §14) ---- *)
+
+let socket_arg =
+  Arg.(value & opt string Mbr_service.Server.default_config.Mbr_service.Server.socket_path
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run tele socket workers queue_limit alloc_jobs =
+    with_telemetry tele @@ fun () ->
+    (* the daemon's query-metrics verb is only useful live *)
+    Mbr_obs.Metrics.enable ();
+    Printf.eprintf "mbrd: serving on %s\n%!" socket;
+    Mbr_service.Server.run
+      { Mbr_service.Server.socket_path = socket; workers; queue_limit; alloc_jobs };
+    Printf.eprintf "mbrd: drained, exiting\n%!"
+  in
+  let workers_arg =
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+           ~doc:"Executor worker domains (0 = auto-detect cores).")
+  in
+  let queue_limit_arg =
+    Arg.(value & opt int Mbr_service.Server.default_config.Mbr_service.Server.queue_limit
+         & info [ "queue-limit" ] ~docv:"N"
+             ~doc:"Pending requests per session before the daemon answers \
+                   overloaded (explicit backpressure).")
+  in
+  let alloc_jobs_arg =
+    Arg.(value & opt int 1 & info [ "alloc-jobs" ] ~docv:"N"
+           ~doc:"Nested allocate-stage fan-out inside each recompose \
+                 (default 1: concurrency comes from serving many sessions).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the mbrd ECO daemon in the foreground: many named flow \
+             sessions behind a line-delimited JSON protocol on a Unix socket. \
+             Stops on the shutdown verb.")
+    Term.(const run $ telemetry_term $ socket_arg $ workers_arg
+          $ queue_limit_arg $ alloc_jobs_arg)
+
+let client_cmd =
+  let module C = Mbr_service.Client in
+  let module Pr = Mbr_service.Protocol in
+  let run socket verb session profile scale seed frac timeout_s path =
+    let verb =
+      match Pr.verb_of_string verb with
+      | Some v -> v
+      | None ->
+        failwith
+          (Printf.sprintf "unknown verb %S (%s)" verb
+             (String.concat ", " (List.map Pr.verb_to_string Pr.all_verbs)))
+    in
+    let c = C.connect socket in
+    Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+    match
+      C.call c verb ~params:(fun r ->
+          { r with Pr.session; profile; scale; seed; frac; timeout_s; path })
+    with
+    | Ok data -> print_string (Mbr_obs.Json.to_string_pretty data)
+    | Error { Pr.code; message } ->
+      Printf.eprintf "error %s: %s\n" (Pr.error_code_to_string code) message;
+      exit 1
+  in
+  let verb_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
+           ~doc:"load | perturb | recompose | query-metrics | export-trace \
+                 | shutdown")
+  in
+  let session_arg =
+    Arg.(value & opt (some string) None & info [ "session" ] ~docv:"NAME"
+           ~doc:"Target session (load/perturb/recompose).")
+  in
+  let frac_arg =
+    Arg.(value & opt (some float) None & info [ "frac" ] ~docv:"F"
+           ~doc:"perturb: scale the default ECO fractions.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"recompose: cancellation deadline; past it the request is \
+                 answered cancelled and the session stays usable.")
+  in
+  let path_arg =
+    Arg.(value & opt (some string) None & info [ "path" ] ~docv:"FILE"
+           ~doc:"export-trace: output file on the daemon's side.")
+  in
+  let opt_profile_arg =
+    Arg.(value & opt (some string) None & info [ "p"; "profile" ] ~docv:"NAME"
+           ~doc:"load: design profile (tiny, d1..d5).")
+  in
+  let opt_scale_arg =
+    Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"F"
+           ~doc:"load: scale the register count.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running mbrd daemon and print the JSON \
+             answer (exit 1 with the error on stderr otherwise).")
+    Term.(const run $ socket_arg $ verb_arg $ session_arg $ opt_profile_arg
+          $ opt_scale_arg $ seed_arg $ frac_arg $ timeout_arg $ path_arg)
+
 let () =
   let doc = "timing-driven incremental multi-bit register composition (DAC'17)" in
   let info = Cmd.info "mbrc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ run_cmd; eco_cmd; table1_cmd; fig5_cmd; fig6_cmd; ablations_cmd;
-      export_cmd; compose_cmd; example_cmd ]))
+      export_cmd; compose_cmd; example_cmd; serve_cmd; client_cmd ]))

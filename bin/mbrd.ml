@@ -1,0 +1,58 @@
+(* mbrd — the standalone ECO-service daemon.
+
+   Exactly `mbrc serve` without the rest of the toolbox: holds many
+   named Flow.Sessions behind a line-delimited JSON protocol on a
+   Unix-domain socket and serves load / perturb / recompose /
+   query-metrics / export-trace / shutdown. See DESIGN.md §14 for the
+   protocol and the concurrency architecture. *)
+
+open Cmdliner
+module S = Mbr_service.Server
+
+let run socket workers queue_limit alloc_jobs trace log_level =
+  (match Mbr_obs.Log.level_of_string log_level with
+  | Ok level -> Mbr_obs.Log.setup ~level ()
+  | Error m -> failwith (Printf.sprintf "--log-level: %s" m));
+  Mbr_obs.Metrics.enable ();
+  (* tracing is opt-in: per-domain buffers hold every event, which a
+     long-running daemon would accumulate without bound *)
+  if trace then Mbr_obs.Trace.enable ();
+  Printf.eprintf "mbrd: serving on %s\n%!" socket;
+  S.run { S.socket_path = socket; workers; queue_limit; alloc_jobs };
+  Printf.eprintf "mbrd: drained, exiting\n%!"
+
+let () =
+  let socket_arg =
+    Arg.(value & opt string S.default_config.S.socket_path
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+           ~doc:"Executor worker domains (0 = auto-detect cores).")
+  in
+  let queue_limit_arg =
+    Arg.(value & opt int S.default_config.S.queue_limit
+         & info [ "queue-limit" ] ~docv:"N"
+             ~doc:"Pending requests per session before overloaded.")
+  in
+  let alloc_jobs_arg =
+    Arg.(value & opt int 1 & info [ "alloc-jobs" ] ~docv:"N"
+           ~doc:"Nested allocate fan-out per recompose (default 1).")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Record spans so export-trace has something to write.")
+  in
+  let log_level_arg =
+    Arg.(value & opt string "warning" & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"quiet, error, warning, info or debug.")
+  in
+  let info =
+    Cmd.info "mbrd" ~version:"1.0.0"
+      ~doc:"concurrent multi-session MBR-composition ECO daemon"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(const run $ socket_arg $ workers_arg $ queue_limit_arg
+                $ alloc_jobs_arg $ trace_arg $ log_level_arg)))

@@ -43,4 +43,35 @@ dune exec bin/mbrc.exe -- run -p tiny -j 2 \
 dune exec tools/telemetry_check.exe -- "$trace_tmp" "$metrics_tmp"
 rm -f "$trace_tmp" "$metrics_tmp"
 
+echo "== service smoke (mbrd daemon + scripted mbrc client session) =="
+sock=$(mktemp -u /tmp/mbrd_ci.XXXXXX.sock)
+dune exec bin/mbrd.exe -- --socket "$sock" --queue-limit 8 &
+mbrd_pid=$!
+trap 'kill "$mbrd_pid" 2> /dev/null || true; rm -f "$sock"' EXIT
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ] || { echo "mbrd did not come up"; exit 1; }
+mbrc_client() {
+  dune exec bin/mbrc.exe -- client --socket "$sock" "$@"
+}
+mbrc_client load --session ci --profile tiny --seed 5 > /dev/null
+mbrc_client perturb --session ci --seed 6 > /dev/null
+recompose_out=$(mbrc_client recompose --session ci)
+echo "$recompose_out" | grep -q '"round"' \
+  || { echo "recompose response malformed: $recompose_out"; exit 1; }
+# deadline path: must fail with the cancelled code, then keep serving
+if mbrc_client recompose --session ci --timeout 0 2> /dev/null; then
+  echo "zero-deadline recompose unexpectedly succeeded"; exit 1
+fi
+mbrc_client recompose --session ci > /dev/null
+metrics_out=$(mbrc_client query-metrics)
+echo "$metrics_out" | grep -q '"ci"' \
+  || { echo "query-metrics lost the session: $metrics_out"; exit 1; }
+mbrc_client shutdown > /dev/null
+wait "$mbrd_pid"   # daemon must exit cleanly once drained
+trap - EXIT
+[ ! -e "$sock" ] || { echo "mbrd left its socket behind"; exit 1; }
+
 echo "ci.sh: all green"

@@ -57,7 +57,7 @@ let singleton_of (infos : Compat.reg_info array) v =
    enumeration is never buffered as a separate list alongside the
    problem — the per-block vector the chosen indices resolve against is
    the only copy, and nothing outlives the block solve. *)
-let solve_block_ilp cfg (graph : Compat.graph) ~lib ~blocker_index block =
+let solve_block_ilp ?cancel cfg (graph : Compat.graph) ~lib ~blocker_index block =
   (* element ids = positions of nodes within the block *)
   let pos = Hashtbl.create 32 in
   List.iteri (fun k v -> Hashtbl.replace pos v k) block;
@@ -78,7 +78,7 @@ let solve_block_ilp cfg (graph : Compat.graph) ~lib ~blocker_index block =
           cands;
     }
   in
-  let result = Sp.solve ~node_limit:cfg.node_limit problem in
+  let result = Sp.solve ~node_limit:cfg.node_limit ?cancel problem in
   match result.Sp.status with
   | Sp.Infeasible ->
     (* cannot happen when the enumeration emits every singleton; if it
@@ -195,8 +195,8 @@ let m_cache_hit = Mbr_obs.Metrics.counter "alloc.cache.hit"
 let m_cache_miss = Mbr_obs.Metrics.counter "alloc.cache.miss"
 
 let solve_block ?(block_id = -1)
-    ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp) config graph ~lib
-    ~blocker_index ~block =
+    ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp) ?cancel config graph
+    ~lib ~blocker_index ~block =
   (* [timed_span] hands back the duration measured by the same pair of
      clock reads that bound the trace span, so [solve_time_s] and the
      trace agree exactly (and no wall-clock syscall pair remains). *)
@@ -210,7 +210,7 @@ let solve_block ?(block_id = -1)
         ]
       (fun () ->
         match mode with
-        | `Ilp -> solve_block_ilp config graph ~lib ~blocker_index block
+        | `Ilp -> solve_block_ilp ?cancel config graph ~lib ~blocker_index block
         | `Greedy_share ->
           let cands =
             Candidate.enumerate config.candidate graph ~block ~lib ~blocker_index
@@ -309,11 +309,13 @@ let schedule_order (graph : Compat.graph) blocks =
   order
 
 let run ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
-    ?(config = default_config) graph ~lib ~blocker_index =
+    ?(config = default_config) ?cancel graph ~lib ~blocker_index =
   let blocks = partition_blocks config graph in
   let idx = Array.init (Array.length blocks) Fun.id in
   let solve i =
-    solve_block ~block_id:i ~mode config graph ~lib ~blocker_index
+    (* one token, every worker: the flag is atomic, so a single cancel
+       winds down the whole fan-out at each block's next search node *)
+    solve_block ~block_id:i ~mode ?cancel config graph ~lib ~blocker_index
       ~block:blocks.(i)
   in
   let results =
@@ -388,7 +390,7 @@ let remap_result cid_ix r =
   }
 
 let run_cached ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
-    ?(config = default_config) cache graph ~lib ~blocker_index =
+    ?(config = default_config) ?cancel cache graph ~lib ~blocker_index =
   let blocks = partition_blocks config graph in
   let nb = Array.length blocks in
   let keys =
@@ -410,7 +412,7 @@ let run_cached ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
   Mbr_obs.Metrics.incr ~by:(nb - Array.length miss_idx) m_cache_hit;
   Mbr_obs.Metrics.incr ~by:(Array.length miss_idx) m_cache_miss;
   let solve i =
-    solve_block ~block_id:i ~mode config graph ~lib ~blocker_index
+    solve_block ~block_id:i ~mode ?cancel config graph ~lib ~blocker_index
       ~block:blocks.(i)
   in
   let solved =
@@ -425,12 +427,21 @@ let run_cached ?(mode : [ `Ilp | `Greedy_share | `Clique ] = `Ilp)
   let results =
     Array.map (function Some r -> r | None -> assert false) results
   in
-  (* generational eviction: the next table holds exactly this run's
+  (* Generational eviction: the next table holds exactly this run's
      blocks, so results for regions the design has since drifted away
-     from do not accumulate across a long session *)
-  let next = Hashtbl.create (max 64 nb) in
-  Array.iteri (fun i key -> Hashtbl.replace next key results.(i)) keys;
-  cache.table <- next;
+     from do not accumulate across a long session. A cancelled run
+     skips the swap entirely: its incumbents are time-dependent (where
+     the token tripped), and a cached entry must mean "the
+     deterministic result at this key's node limit" — so the previous
+     generation stays, and the next uncancelled run repairs coverage. *)
+  let tripped =
+    match cancel with Some t -> Mbr_util.Cancel.cancelled t | None -> false
+  in
+  if not tripped then begin
+    let next = Hashtbl.create (max 64 nb) in
+    Array.iteri (fun i key -> Hashtbl.replace next key results.(i)) keys;
+    cache.table <- next
+  end;
   ( reduce ~mode results,
     {
       blocks_resolved = Array.length miss_idx;

@@ -87,6 +87,7 @@ type selection = {
 val solve_block :
   ?block_id:int ->
   ?mode:[ `Ilp | `Greedy_share | `Clique ] ->
+  ?cancel:Mbr_util.Cancel.t ->
   config ->
   Compat.graph ->
   lib:Mbr_liberty.Library.t ->
@@ -101,7 +102,13 @@ val solve_block :
     the block id ([block_id], default [-1]; {!run} and {!run_cached}
     pass the block's array index), size and mode; [solve_time_s] is
     the span's own duration, and it also feeds the
-    [alloc.block_solve_s] histogram. *)
+    [alloc.block_solve_s] histogram.
+
+    [cancel] reaches the [`Ilp] branch-and-bound (see
+    {!Mbr_ilp.Set_partition.solve}): a tripped token makes the solve
+    return its current incumbent cover, still exact, just unproven
+    ([optimal = false]). The heuristic modes ignore it — they are
+    already a single cheap pass. *)
 
 val reduce :
   mode:[ `Ilp | `Greedy_share | `Clique ] -> block_result array -> selection
@@ -112,13 +119,22 @@ val reduce :
 val run :
   ?mode:[ `Ilp | `Greedy_share | `Clique ] ->
   ?config:config ->
+  ?cancel:Mbr_util.Cancel.t ->
   Compat.graph ->
   lib:Mbr_liberty.Library.t ->
   blocker_index:Mbr_netlist.Types.cell_id Spatial.t ->
   selection
 (** [partition → solve_block per block → reduce]. With
     [config.jobs >= 2] the blocks are fanned out over a
-    {!Mbr_util.Pool}; the selection is identical either way. *)
+    {!Mbr_util.Pool}; the selection is identical either way.
+
+    The same [cancel] token is handed to every block solve (its flag is
+    an atomic, so the pool workers all see one {!Mbr_util.Cancel.cancel}
+    at their next search node): a cancelled run still returns a
+    complete, feasible selection — each in-flight block falls back to
+    its incumbent, remaining blocks return their greedy seed almost
+    immediately (blocks whose incumbent meets the root LP bound never
+    search at all and stay proven optimal). *)
 
 (** {2 Block-level result reuse (ECO sessions)} *)
 
@@ -147,6 +163,7 @@ type cache_stats = {
 val run_cached :
   ?mode:[ `Ilp | `Greedy_share | `Clique ] ->
   ?config:config ->
+  ?cancel:Mbr_util.Cancel.t ->
   cache ->
   Compat.graph ->
   lib:Mbr_liberty.Library.t ->
@@ -165,4 +182,10 @@ val run_cached :
 
     Hits and misses also bump the [alloc.cache.hit] /
     [alloc.cache.miss] registry counters (the same split this function
-    returns as {!cache_stats}, accumulated across rounds). *)
+    returns as {!cache_stats}, accumulated across rounds).
+
+    A run whose [cancel] token tripped returns its (complete, feasible)
+    selection as {!run} does, but leaves the cache generation {e
+    unswapped}: cancelled incumbents depend on where in time the token
+    tripped, and a cached entry must stay the deterministic result for
+    its key — the next uncancelled run rebuilds the generation. *)

@@ -56,6 +56,7 @@ type result = {
   sta_refreshes : int;
   eco_blocks_resolved : int;
   eco_blocks_reused : int;
+  cancelled : bool;
 }
 
 (* Everything the stage functions share: the run's inputs, the one STA
@@ -214,10 +215,10 @@ let stage_scan_restitch ctx =
 
 (* splice the merge/scan edits into the timing graph, then useful
    skew + sizing; skews live in the engine so they carry through *)
-let stage_skew ctx =
+let stage_skew ctx ?cancel () =
   stage ctx "skew" (fun () ->
       match ctx.options.skew with
-      | Some cfg -> Some (Skew.optimize ~config:cfg ctx.eng)
+      | Some cfg -> Some (Skew.optimize ~config:cfg ?cancel ctx.eng)
       | None ->
         Engine.refresh ctx.eng;
         None)
@@ -254,6 +255,9 @@ module Session = struct
         (** previous recompose's "after" snapshot with the design and
             placement revisions it measured; the next "before" pass is
             this value verbatim when nothing moved in between *)
+    owner : int Atomic.t;
+        (** domain id currently holding the session, [-1] when unowned;
+            the single-writer gate every recompose passes through *)
   }
 
   type t = s
@@ -282,6 +286,7 @@ module Session = struct
       n_recomposes = 0;
       last_compat_stats = None;
       last_after = None;
+      owner = Atomic.make (-1);
     }
 
   let design s = s.design
@@ -293,6 +298,36 @@ module Session = struct
   let recomposes s = s.n_recomposes
 
   let last_compat_stats s = s.last_compat_stats
+
+  (* ---- ownership: the single-writer discipline ----
+
+     A session is one mutable value (engine, graph, caches, cursors,
+     edit-log positions) with no internal locking; correctness comes
+     from at most one domain driving it at a time. The owner field
+     makes that discipline explicit and checkable: acquisition is a
+     CAS from -1 to the acquiring domain's id, so two domains can
+     never both believe they hold the same session, and a session is
+     movable — release on one domain, acquire on another, nothing in
+     the state pins it to where it was created. *)
+
+  let self_id () = (Domain.self () :> int)
+
+  let try_acquire s =
+    let me = self_id () in
+    Atomic.get s.owner = me || Atomic.compare_and_set s.owner (-1) me
+
+  let acquire s =
+    if not (try_acquire s) then
+      invalid_arg
+        (Printf.sprintf
+           "Flow.Session.acquire: session is owned by domain %d (self: %d)"
+           (Atomic.get s.owner) (self_id ()))
+
+  let release s =
+    if not (Atomic.compare_and_set s.owner (self_id ()) (-1)) then
+      invalid_arg "Flow.Session.release: session not owned by this domain"
+
+  let owner_id s = match Atomic.get s.owner with -1 -> None | d -> Some d
 
   let live_register dsg cid =
     let c = Design.cell dsg cid in
@@ -398,17 +433,31 @@ module Session = struct
               end)
           touched)
 
-  let stage_allocate ctx s graph =
+  let stage_allocate ctx s ?cancel graph =
     stage ctx "allocate" (fun () ->
         Allocate.run_cached ~mode:s.options.mode
-          ~config:(allocate_config s.options) s.cache graph ~lib:s.library
-          ~blocker_index:s.blocker_index)
+          ~config:(allocate_config s.options) ?cancel s.cache graph
+          ~lib:s.library ~blocker_index:s.blocker_index)
 
   (* The whole pass runs under one ["flow.recompose"] span whose
      duration IS [runtime_s] — the stage spans nest inside it, so the
      exported trace accounts for the run's wall time with no second
      clock involved. *)
-  let recompose s =
+  let recompose ?cancel s =
+    (* Single-writer gate. A caller that already holds the session
+       keeps it; an unowned session is claimed for just this call
+       (which is what keeps plain single-threaded usage ceremony-free);
+       a session held by another domain is a caller bug. *)
+    let me = self_id () in
+    let transient = Atomic.get s.owner <> me in
+    if transient && not (Atomic.compare_and_set s.owner (-1) me) then
+      invalid_arg
+        (Printf.sprintf
+           "Flow.Session.recompose: session is owned by domain %d (self: %d)"
+           (Atomic.get s.owner) me);
+    Fun.protect ~finally:(fun () ->
+        if transient then ignore (Atomic.compare_and_set s.owner me (-1)))
+    @@ fun () ->
     let result, runtime_s =
       Mbr_obs.Trace.timed_span ~name:"flow.recompose"
         ~args:[ ("round", Mbr_obs.Trace.Int s.n_recomposes) ]
@@ -427,10 +476,10 @@ module Session = struct
       let n_split = stage_decompose ctx in
       let graph = stage_graph ctx s in
       stage_blocker_index ctx s;
-      let selection, cache_stats = stage_allocate ctx s graph in
+      let selection, cache_stats = stage_allocate ctx s ?cancel graph in
       let merged = stage_merge ctx graph selection in
       let scan_report = stage_scan_restitch ctx in
-      let skew_report = stage_skew ctx in
+      let skew_report = stage_skew ctx ?cancel () in
       let n_resized = stage_resize ctx merged.mo_new_mbrs in
       let after = stage_metrics_after ctx in
       s.last_after <-
@@ -461,6 +510,10 @@ module Session = struct
         sta_refreshes = Engine.refreshes s.eng;
         eco_blocks_resolved = cache_stats.Allocate.blocks_resolved;
         eco_blocks_reused = cache_stats.Allocate.blocks_reused;
+        cancelled =
+          (match cancel with
+          | Some t -> Mbr_util.Cancel.cancelled t
+          | None -> false);
       }
     in
     { result with runtime_s }

@@ -93,6 +93,12 @@ type result = {
       (** partition blocks spliced in from the session's solve cache —
           0 for a from-scratch [run], > 0 when a recompose found blocks
           the ECO left untouched *)
+  cancelled : bool;
+      (** the recompose's cancellation token tripped at some point
+          while it ran: the pass still completed every stage and the
+          result is complete and feasible, but the allocation may hold
+          unproven incumbents and the skew sweep may have stopped
+          early. Always [false] when no token was passed. *)
 }
 
 (** A persistent composition session for ECO workflows.
@@ -122,7 +128,19 @@ type result = {
 
     Each [recompose] is property-tested equivalent to a from-scratch
     {!run} on the same mutated inputs (same register count, ILP cost,
-    WNS/TNS). *)
+    WNS/TNS).
+
+    {b Ownership.} The session is one mutable value with no internal
+    locking; at most one domain may drive it at a time (the
+    single-writer discipline). The discipline is explicit: a domain
+    {!acquire}s the session (a CAS on the owner field, so two domains
+    can never both hold it), drives it through any number of edits and
+    recomposes, and {!release}s it — after which any other domain may
+    acquire it. Nothing in the state pins a session to the domain that
+    created it, so sessions are movable: a service can park hundreds of
+    them and hand each to whichever worker domain serves its next
+    request. {!recompose} on an unowned session claims it for just
+    that call, keeping plain single-threaded use ceremony-free. *)
 module Session : sig
   type t
 
@@ -139,12 +157,46 @@ module Session : sig
       first {!recompose}. Raises [Invalid_argument] when [placement]
       was not built over [design]. *)
 
-  val recompose : t -> result
+  val recompose : ?cancel:Mbr_util.Cancel.t -> t -> result
   (** Run the composition pipeline over the current design/placement
       state, reusing everything the edit logs prove untouched. The
       first call is exactly {!run}; later calls report
       [eco_blocks_reused] > 0 whenever the ECO left partition blocks
-      clean. *)
+      clean.
+
+      Requires the session to be owned by the calling domain or
+      unowned (then it is claimed for the duration of the call);
+      raises [Invalid_argument] when another domain holds it.
+
+      [cancel] reaches the two open-ended stages — the per-block
+      branch-and-bound ({!Allocate.run_cached}) and the skew sweep
+      ({!Mbr_sta.Skew.optimize}). A tripped token never aborts the
+      pass: every stage still runs, the solvers fall back to their
+      incumbents, the result reports [cancelled = true], and the
+      session remains fully consistent — the next recompose behaves as
+      if this one had simply used a smaller node budget (the solve
+      cache keeps its previous generation rather than memoizing
+      time-dependent incumbents). *)
+
+  (** {2 Ownership} *)
+
+  val try_acquire : t -> bool
+  (** Claim the session for the calling domain: [true] when the domain
+      now holds it (re-acquiring one's own session succeeds), [false]
+      when another domain does. *)
+
+  val acquire : t -> unit
+  (** {!try_acquire}, raising [Invalid_argument] on failure. *)
+
+  val release : t -> unit
+  (** Give the session up so another domain can acquire it. Raises
+      [Invalid_argument] when the calling domain does not hold it —
+      releasing somebody else's session is always a bug. *)
+
+  val owner_id : t -> int option
+  (** Domain id currently holding the session, [None] when unowned.
+      For diagnostics and assertions; racing a decision on it is what
+      {!try_acquire} is for. *)
 
   val design : t -> Mbr_netlist.Design.t
 

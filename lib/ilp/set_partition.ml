@@ -50,6 +50,8 @@ let m_components = Mbr_obs.Metrics.counter "ilp.components"
 
 let m_fixed = Mbr_obs.Metrics.counter "ilp.fixed_vars"
 
+let m_cancelled = Mbr_obs.Metrics.counter "ilp.cancelled"
+
 (* ---- LP relaxation (shared by the public entry point and the
    per-component root bound) ---- *)
 
@@ -310,8 +312,13 @@ type comp_result =
 (* Solve one connected component. [nodes] is the global node counter
    shared across components; the budget [node_limit] applies to the
    whole solve, so a component entered with an exhausted budget falls
-   back to its greedy/1-swap incumbent immediately. *)
-let solve_component ~lp_bound ~node_limit ~nodes (comp0 : cand array) =
+   back to its greedy/1-swap incumbent immediately. [poll] is the
+   cancellation check, called exactly once per search node in the same
+   position as the node-limit test — a tripped token therefore behaves
+   bit-for-bit like an exhausted node budget (property-tested), and the
+   incumbent seeded before the search is what a cancelled component
+   returns. *)
+let solve_component ~lp_bound ~node_limit ~poll ~nodes (comp0 : cand array) =
   let n_elems = Bitset.universe_size comp0.(0).set in
   let target =
     Array.fold_left (fun acc c -> Bitset.union acc c.set) (Bitset.create n_elems)
@@ -387,7 +394,7 @@ let solve_component ~lp_bound ~node_limit ~nodes (comp0 : cand array) =
     in
     let rec branch covered cost sel =
       incr nodes;
-      if !nodes > node_limit then limit_hit := true
+      if !nodes > node_limit || poll () then limit_hit := true
       else if proved_by_lp () then ()
       else if Bitset.equal covered target then begin
         if cost < !best_cost -. 1e-12 then begin
@@ -463,7 +470,7 @@ let solve_component ~lp_bound ~node_limit ~nodes (comp0 : cand array) =
 
 (* ---- the staged solve: reduce, decompose, search ---- *)
 
-let solve_raw ~node_limit ~lp_bound ~reductions p cands =
+let solve_raw ~node_limit ~lp_bound ~reductions ~poll p cands =
   let n = p.n_elems in
   if n = 0 then { status = Optimal; cost = 0.0; chosen = []; nodes = 0 }
   else begin
@@ -496,7 +503,7 @@ let solve_raw ~node_limit ~lp_bound ~reductions p cands =
         List.iter
           (fun comp ->
             if not !comp_infeasible then
-              match solve_component ~lp_bound ~node_limit ~nodes comp with
+              match solve_component ~lp_bound ~node_limit ~poll ~nodes comp with
               | C_opt (c, s) ->
                 cost := !cost +. c;
                 sel := s @ !sel
@@ -527,8 +534,14 @@ let solve_raw ~node_limit ~lp_bound ~reductions p cands =
     end
   end
 
-let solve ?(node_limit = 2_000_000) ?(lp_bound = true) ?(reductions = true) p =
+let solve ?(node_limit = 2_000_000) ?(lp_bound = true) ?(reductions = true)
+    ?cancel p =
   Mbr_obs.Metrics.incr m_solves;
+  let poll =
+    match cancel with
+    | None -> fun () -> false
+    | Some t -> fun () -> Mbr_util.Cancel.check t
+  in
   let r =
     Mbr_obs.Trace.with_span ~name:"ilp.solve"
       ~args:
@@ -540,11 +553,14 @@ let solve ?(node_limit = 2_000_000) ?(lp_bound = true) ?(reductions = true) p =
         (* prepare once: the same candidate array feeds the reduction
            pass, every component's root LP and the branch-and-bound *)
         let cands = prepare p in
-        solve_raw ~node_limit ~lp_bound ~reductions p cands)
+        solve_raw ~node_limit ~lp_bound ~reductions ~poll p cands)
   in
   Mbr_obs.Metrics.incr ~by:r.nodes m_nodes;
   (* [Feasible] only ever arises from the node limit tripping. *)
   if r.status = Feasible then Mbr_obs.Metrics.incr m_limit_hits;
+  (match cancel with
+  | Some t when Mbr_util.Cancel.cancelled t -> Mbr_obs.Metrics.incr m_cancelled
+  | _ -> ());
   r
 
 let brute_force p =

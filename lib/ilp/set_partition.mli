@@ -60,7 +60,12 @@ type result = {
 }
 
 val solve :
-  ?node_limit:int -> ?lp_bound:bool -> ?reductions:bool -> problem -> result
+  ?node_limit:int ->
+  ?lp_bound:bool ->
+  ?reductions:bool ->
+  ?cancel:Mbr_util.Cancel.t ->
+  problem ->
+  result
 (** [node_limit] (default 2_000_000) caps the search across all
     components; when it trips, the best incumbent found so far (at
     worst the greedy + 1-swap seed) is returned with
@@ -71,7 +76,17 @@ val solve :
     runs the dominance / unique-cover / component-decomposition pass;
     disabling it is for tests and ablations — the reductions never
     change [status] or [cost] (property-tested), only the work needed
-    to get there. *)
+    to get there.
+
+    [cancel] is polled ([Mbr_util.Cancel.check]) exactly once per
+    search node, in the same position as the node-limit test, so a
+    token that trips at the [m]-th check yields the identical result to
+    [~node_limit:(m - 1)] with no token (property-tested): same status,
+    cost, chosen set and node count. Cancellation therefore shares the
+    node-limit contract above — the incumbent comes back, the proof is
+    abandoned. Reductions and root LPs are not interruptible; they are
+    polynomial and small per block. A solve whose token tripped bumps
+    the [ilp.cancelled] counter. *)
 
 val lp_relaxation : problem -> float option
 (** Optimal value of the LP relaxation, [None] when LP-infeasible.

@@ -6,7 +6,33 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
+type error_kind =
+  | Unexpected_end
+  | Unterminated_string
+  | Bad_escape
+  | Bad_number
+  | Trailing_garbage
+  | Expected of string
+
+type error = { offset : int; kind : error_kind }
+
+let error_to_string { offset; kind } =
+  let what =
+    match kind with
+    | Unexpected_end -> "unexpected end of input"
+    | Unterminated_string -> "unterminated string"
+    | Bad_escape -> "bad escape"
+    | Bad_number -> "malformed number"
+    | Trailing_garbage -> "trailing garbage"
+    | Expected w -> "expected " ^ w
+  in
+  Printf.sprintf "%s at offset %d" what offset
+
 exception Parse_error of string
+
+(* internal carrier so [of_string_result] never pays a string format on
+   the error path; [of_string] renders it for the legacy exception *)
+exception Err of error
 
 (* ---- printing ---- *)
 
@@ -61,12 +87,50 @@ let to_string v =
   go v;
   Buffer.contents buf
 
+(* Two-space indented rendering, for files a person diffs (BENCH.json).
+   Empty containers stay on one line; everything else breaks. *)
+let to_string_pretty v =
+  let buf = Buffer.create 1024 in
+  let pad d = Buffer.add_string buf (String.make (2 * d) ' ') in
+  let rec go d = function
+    | (Null | Bool _ | Num _ | Str _) as v -> Buffer.add_string buf (to_string v)
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Arr l ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (d + 1);
+          go (d + 1) x)
+        l;
+      Buffer.add_char buf '\n';
+      pad d;
+      Buffer.add_char buf ']'
+    | Obj l ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (d + 1);
+          escape buf k;
+          Buffer.add_string buf ": ";
+          go (d + 1) x)
+        l;
+      Buffer.add_char buf '\n';
+      pad d;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
 (* ---- parsing ---- *)
 
-let of_string s =
+let parse_exn s =
   let n = String.length s in
   let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let fail kind = raise (Err { offset = !pos; kind }) in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
   let rec skip_ws () =
@@ -79,7 +143,7 @@ let of_string s =
   let expect c =
     match peek () with
     | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
+    | _ -> fail (Expected (Printf.sprintf "'%c'" c))
   in
   let literal word v =
     let l = String.length word in
@@ -87,7 +151,7 @@ let of_string s =
       pos := !pos + l;
       v
     end
-    else fail (Printf.sprintf "expected %s" word)
+    else fail (Expected word)
   in
   (* encode a Unicode scalar value as UTF-8 *)
   let add_utf8 buf u =
@@ -107,7 +171,7 @@ let of_string s =
     let buf = Buffer.create 16 in
     let rec go () =
       match peek () with
-      | None -> fail "unterminated string"
+      | None -> fail Unterminated_string
       | Some '"' -> advance ()
       | Some '\\' -> (
         advance ();
@@ -122,16 +186,16 @@ let of_string s =
         | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
         | Some 'u' ->
           advance ();
-          if !pos + 4 > n then fail "truncated \\u escape";
+          if !pos + 4 > n then fail Bad_escape;
           let hex = String.sub s !pos 4 in
           let u =
             try int_of_string ("0x" ^ hex)
-            with _ -> fail "bad \\u escape"
+            with _ -> fail Bad_escape
           in
           pos := !pos + 4;
           add_utf8 buf u;
           go ()
-        | _ -> fail "bad escape")
+        | _ -> fail Bad_escape)
       | Some c ->
         advance ();
         Buffer.add_char buf c;
@@ -150,15 +214,15 @@ let of_string s =
     while (match peek () with Some c when num_char c -> true | _ -> false) do
       advance ()
     done;
-    if !pos = start then fail "expected number";
+    if !pos = start then fail Bad_number;
     match float_of_string_opt (String.sub s start (!pos - start)) with
     | Some f -> f
-    | None -> fail "malformed number"
+    | None -> fail Bad_number
   in
   let rec parse_value () =
     skip_ws ();
     match peek () with
-    | None -> fail "unexpected end of input"
+    | None -> fail Unexpected_end
     | Some '{' ->
       advance ();
       skip_ws ();
@@ -174,7 +238,7 @@ let of_string s =
           match peek () with
           | Some ',' -> advance (); members ((k, v) :: acc)
           | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
+          | _ -> fail (Expected "',' or '}'")
         in
         members []
       end
@@ -189,7 +253,7 @@ let of_string s =
           match peek () with
           | Some ',' -> advance (); elems (v :: acc)
           | Some ']' -> advance (); Arr (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
+          | _ -> fail (Expected "',' or ']'")
         in
         elems []
       end
@@ -201,8 +265,16 @@ let of_string s =
   in
   let v = parse_value () in
   skip_ws ();
-  if !pos <> n then fail "trailing garbage";
+  if !pos <> n then fail Trailing_garbage;
   v
+
+let of_string_result s =
+  match parse_exn s with v -> Ok v | exception Err e -> Error e
+
+let of_string s =
+  match parse_exn s with
+  | v -> v
+  | exception Err e -> raise (Parse_error (error_to_string e))
 
 (* ---- accessors ---- *)
 

@@ -1,9 +1,12 @@
 (** Minimal JSON tree, printer and parser.
 
-    Just enough JSON for the telemetry layer: Chrome trace files and
-    metrics snapshots are emitted through {!to_string}, and the tests /
-    CI checker parse them back with {!of_string} instead of trusting
-    the emitter. No dependency beyond the stdlib (the repo has no
+    Just enough JSON for the telemetry layer and the [mbrd] wire
+    protocol: Chrome trace files and metrics snapshots are emitted
+    through {!to_string}, the tests / CI checker parse them back with
+    {!of_string} instead of trusting the emitter, and the service
+    parses untrusted client lines with {!of_string_result} (typed
+    errors — a malformed request is an error {e response}, never a
+    daemon crash). No dependency beyond the stdlib (the repo has no
     yojson offline). *)
 
 type t =
@@ -14,6 +17,24 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
+(** Why parsing failed, as data: the service turns these into
+    [invalid-json] error responses, and tests can assert the failure
+    mode rather than substring-match a message. *)
+type error_kind =
+  | Unexpected_end  (** input stopped mid-value *)
+  | Unterminated_string  (** no closing quote before end of input *)
+  | Bad_escape  (** backslash escape that JSON does not define *)
+  | Bad_number
+  | Trailing_garbage  (** a complete value followed by more input *)
+  | Expected of string  (** specific punctuation or literal missing *)
+
+type error = { offset : int; kind : error_kind }
+(** [offset] is the byte position in the input where parsing stopped. *)
+
+val error_to_string : error -> string
+(** Human-readable, position-annotated — the same text {!of_string}
+    puts in its exception. *)
+
 exception Parse_error of string
 (** Raised by {!of_string} with a position-annotated message. *)
 
@@ -22,10 +43,20 @@ val to_string : t -> string
     [2^53] print without a decimal point; non-finite floats print as
     [null] (JSON has no representation for them). *)
 
+val to_string_pretty : t -> string
+(** Two-space-indented multi-line rendering ending in a newline, for
+    files people read and diff (BENCH.json). Parses back to the same
+    tree as {!to_string} (property-tested). *)
+
 val of_string : string -> t
 (** Strict parser for the subset {!to_string} emits plus standard JSON:
     escapes (including [\uXXXX], encoded to UTF-8), exponents, nested
     containers. Rejects trailing garbage. *)
+
+val of_string_result : string -> (t, error) result
+(** {!of_string} without the exception: same grammar, same strictness,
+    the failure as a typed {!error}. This is the entry point for
+    untrusted input (the daemon's wire protocol). *)
 
 (** {2 Accessors} — all total, returning [None] on shape mismatch. *)
 

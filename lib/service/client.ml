@@ -1,0 +1,70 @@
+module J = Mbr_obs.Json
+module P = Protocol
+
+type t = {
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+exception Protocol_violation of string
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  {
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 0;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* ic and oc share the fd; closing one channel closes it *)
+    try close_in t.ic with Sys_error _ -> ()
+  end
+
+let call t ?(params = Fun.id) verb =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let req = params (P.request ~id verb) in
+  output_string t.oc (J.to_string (P.request_to_json { req with P.id }));
+  output_char t.oc '\n';
+  flush t.oc;
+  (* drain until our id: a synchronous client has one request in
+     flight, so anything else is a peer bug worth surfacing *)
+  let rec await () =
+    let line = input_line t.ic in
+    match J.of_string_result line with
+    | Error e ->
+      raise (Protocol_violation ("unparseable response: " ^ J.error_to_string e))
+    | Ok j -> (
+      match P.response_of_json j with
+      | Error m -> raise (Protocol_violation m)
+      | Ok resp -> if resp.P.id = id || resp.P.id = -1 then resp.P.result else await ())
+  in
+  await ()
+
+let load t ~session ?profile ?scale ?seed () =
+  call t P.Load ~params:(fun r ->
+      { r with P.session = Some session; profile; scale; seed })
+
+let perturb t ~session ?seed ?frac () =
+  call t P.Perturb ~params:(fun r ->
+      { r with P.session = Some session; seed; frac })
+
+let recompose t ~session ?timeout_s () =
+  call t P.Recompose ~params:(fun r ->
+      { r with P.session = Some session; timeout_s })
+
+let query_metrics t = call t P.Query_metrics
+
+let export_trace t ~path = call t P.Export_trace ~params:(fun r -> { r with P.path = Some path })
+
+let shutdown t = call t P.Shutdown

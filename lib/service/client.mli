@@ -1,0 +1,53 @@
+(** Synchronous [mbrd] client: one connection, blocking request/response.
+
+    Each call writes one protocol line and reads lines until the
+    response carrying the request's id arrives (the daemon may
+    interleave responses to other in-flight ids on the same
+    connection; a synchronous client never has any, but the loop makes
+    the pairing explicit rather than assumed). Ids are assigned from a
+    per-connection counter.
+
+    Not thread-safe: one {!t} per thread. Concurrency belongs to many
+    connections, matching the daemon's accept-loop design. *)
+
+type t
+
+exception Protocol_violation of string
+(** The peer sent something that is not an [mbrd] response — wrong
+    shape, unparseable JSON, or the connection died mid-request. *)
+
+val connect : string -> t
+(** Connect to the daemon's Unix socket at the given path. Raises
+    [Unix.Unix_error] when nothing is listening. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val call : t -> ?params:(Protocol.request -> Protocol.request) ->
+  Protocol.verb -> (Mbr_obs.Json.t, Protocol.error) result
+(** Lowest-level entry: send the verb with an auto-assigned id,
+    [params] patching the defaults-free request, and return the
+    matched response's result. Raises {!Protocol_violation} on a
+    non-protocol peer, [Sys_error]/[End_of_file] on a dead one. *)
+
+(** {2 Typed helpers} — thin wrappers over {!call}. *)
+
+val load :
+  t -> session:string -> ?profile:string -> ?scale:float -> ?seed:int ->
+  unit -> (Mbr_obs.Json.t, Protocol.error) result
+
+val perturb :
+  t -> session:string -> ?seed:int -> ?frac:float -> unit ->
+  (Mbr_obs.Json.t, Protocol.error) result
+
+val recompose :
+  t -> session:string -> ?timeout_s:float -> unit ->
+  (Mbr_obs.Json.t, Protocol.error) result
+
+val query_metrics : t -> (Mbr_obs.Json.t, Protocol.error) result
+
+val export_trace : t -> path:string -> (Mbr_obs.Json.t, Protocol.error) result
+
+val shutdown : t -> (Mbr_obs.Json.t, Protocol.error) result
+(** Asks the daemon to stop; the daemon still answers this request
+    (and everything already queued) before exiting. *)

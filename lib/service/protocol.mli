@@ -1,0 +1,107 @@
+(** The [mbrd] wire protocol: line-delimited JSON over a Unix socket.
+
+    One request per line, one response per line, matched by the
+    client-chosen [id] (responses to one connection may interleave
+    across sessions, since each session's work is serialized
+    independently). The grammar is deliberately small — see DESIGN.md
+    §14 for the full protocol description:
+
+    {v request  := {"id": int, "verb": verb, ...verb params}
+       verb     := "load" | "perturb" | "recompose"
+                 | "query-metrics" | "export-trace" | "shutdown"
+       response := {"id": int, "ok": true, "data": value}
+                 | {"id": int, "ok": false, "error": code,
+                    "message": string} v}
+
+    Everything here is pure data and codecs — both the daemon and the
+    client link against this module, and the qcheck round-trip test
+    pins the two directions together. Malformed input is a value
+    ({!Mbr_obs.Json.of_string_result}, {!request_of_json}), never an
+    exception: the daemon answers garbage with an error response. *)
+
+type verb = Load | Perturb | Recompose | Query_metrics | Export_trace | Shutdown
+
+val verb_to_string : verb -> string
+(** ["load"], ["perturb"], ["recompose"], ["query-metrics"],
+    ["export-trace"], ["shutdown"]. *)
+
+val verb_of_string : string -> verb option
+
+val all_verbs : verb list
+
+type request = {
+  id : int;  (** echoed in the response; client's correlation key *)
+  verb : verb;
+  session : string option;  (** required by load / perturb / recompose *)
+  profile : string option;  (** load: ["tiny"] (default) or ["d1"]..["d5"] *)
+  scale : float option;  (** load: register-count multiplier, > 0 *)
+  seed : int option;  (** load: generator seed; perturb: ECO seed *)
+  frac : float option;  (** perturb: scales the default ECO fractions *)
+  timeout_s : float option;  (** recompose: cancellation deadline *)
+  path : string option;  (** export-trace: file to write *)
+}
+
+val request :
+  ?session:string ->
+  ?profile:string ->
+  ?scale:float ->
+  ?seed:int ->
+  ?frac:float ->
+  ?timeout_s:float ->
+  ?path:string ->
+  id:int ->
+  verb ->
+  request
+
+(** Error codes a response can carry. [Overloaded] is the backpressure
+    signal (a session's bounded queue is full — retry later);
+    [Cancelled] is a recompose whose deadline tripped (the session
+    stays usable); the rest are request or server faults. *)
+type error_code =
+  | Invalid_json  (** the line did not parse as JSON *)
+  | Bad_request  (** missing/ill-typed field, bad parameter value *)
+  | Unknown_verb
+  | Unknown_session
+  | Session_exists  (** load onto a name already in use *)
+  | Overloaded  (** per-session queue full: explicit backpressure *)
+  | Cancelled  (** recompose deadline exceeded; incumbent discarded upstream *)
+  | Shutting_down
+  | Internal  (** handler raised; the daemon survived, the request did not *)
+
+val error_code_to_string : error_code -> string
+(** Kebab-case wire form, e.g. ["unknown-session"]. *)
+
+val error_code_of_string : string -> error_code option
+
+type error = { code : error_code; message : string }
+
+exception Reject of error
+(** Internal control flow for request validation: codecs and the
+    daemon's handlers raise it, and the nearest request boundary turns
+    it into an error response. Never escapes {!request_of_json}. *)
+
+val reject : error_code -> ('a, unit, string, 'b) format4 -> 'a
+(** [reject code fmt ...] raises {!Reject} with a formatted message. *)
+
+type response = { id : int; result : (Mbr_obs.Json.t, error) result }
+
+val ok : int -> Mbr_obs.Json.t -> response
+
+val fail : int -> error_code -> string -> response
+
+val request_to_json : request -> Mbr_obs.Json.t
+(** Omits [None] fields — the wire form carries only what the verb
+    needs. *)
+
+val request_of_json : Mbr_obs.Json.t -> (request, int * error) result
+(** The [int] in the error is the request's [id] when one could be
+    read ([-1] otherwise), so even a rejected request gets a
+    correlatable response. Ill-typed known fields are [Bad_request];
+    an unrecognized verb is [Unknown_verb]; unknown extra fields are
+    ignored (forward compatibility). *)
+
+val response_to_json : response -> Mbr_obs.Json.t
+
+val response_of_json : Mbr_obs.Json.t -> (response, string) result
+(** [Error] describes the shape violation — a client talking to
+    something that is not an [mbrd]. *)

@@ -1,0 +1,484 @@
+module J = Mbr_obs.Json
+module P = Protocol
+module Flow = Mbr_core.Flow
+module G = Mbr_designgen.Generate
+module Prof = Mbr_designgen.Profile
+module Eco = Mbr_designgen.Eco
+module Executor = Mbr_util.Pool.Executor
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_limit : int;
+  alloc_jobs : int;
+}
+
+let default_config =
+  { socket_path = "mbrd.sock"; workers = 0; queue_limit = 32; alloc_jobs = 1 }
+
+(* ---- metrics (pre-registered: the registry mutex never sits on the
+   request path, and a metrics query sees every series from the start) ---- *)
+
+let m_requests = Mbr_obs.Metrics.counter "svc.requests"
+
+let m_errors = Mbr_obs.Metrics.counter "svc.errors"
+
+let m_overloaded = Mbr_obs.Metrics.counter "svc.overloaded"
+
+let m_cancelled = Mbr_obs.Metrics.counter "svc.cancelled"
+
+let latency_histograms =
+  List.map
+    (fun v ->
+      (v, Mbr_obs.Metrics.histogram ("svc.latency." ^ P.verb_to_string v)))
+    P.all_verbs
+
+let latency_histogram verb = List.assq verb latency_histograms
+
+(* ---- connections ---- *)
+
+type conn = {
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t;  (** responses from several worker domains interleave *)
+  mutable alive : bool;
+}
+
+(* A dead peer must not take the daemon down: write failures just mark
+   the connection, and the work that produced the response is already
+   done (and has updated the session) either way. *)
+let send conn resp =
+  Mutex.lock conn.wlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.wlock) @@ fun () ->
+  if conn.alive then
+    try
+      output_string conn.oc (J.to_string (P.response_to_json resp));
+      output_char conn.oc '\n';
+      flush conn.oc
+    with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false
+
+(* ---- sessions ---- *)
+
+type session_state =
+  | Loading  (** name reserved; the load request is still in the queue *)
+  | Ready of { gen : G.t; flow : Flow.Session.t }
+
+type session = {
+  sname : string;
+  mutable state : session_state;
+  pending : pending Queue.t;  (** guarded by the server lock *)
+  mutable running : bool;  (** an executor job is draining this queue *)
+  mutable served : int;
+}
+
+and pending = { preq : P.request; pconn : conn; t_recv : float }
+
+type t = {
+  config : config;
+  exec : Executor.t;
+  lock : Mutex.t;
+  sessions : (string, session) Hashtbl.t;
+  mutable stopping : bool;
+}
+
+(* ---- request execution (on executor worker domains) ---- *)
+
+let profile_of req =
+  let seed = Option.value req.P.seed ~default:1 in
+  let base =
+    match Option.value req.P.profile ~default:"tiny" with
+    | "tiny" -> Prof.tiny ~seed
+    | "d1" -> { Prof.d1 with Prof.seed }
+    | "d2" -> { Prof.d2 with Prof.seed }
+    | "d3" -> { Prof.d3 with Prof.seed }
+    | "d4" -> { Prof.d4 with Prof.seed }
+    | "d5" -> { Prof.d5 with Prof.seed }
+    | other -> P.reject P.Bad_request "unknown profile %S" other
+  in
+  match req.P.scale with
+  | None -> base
+  | Some f when f > 0.0 && Float.is_finite f -> Prof.scaled base f
+  | Some _ -> P.reject P.Bad_request "\"scale\" must be a positive number"
+
+let eco_config frac =
+  if not (Float.is_finite frac && frac >= 0.0) then
+    P.reject P.Bad_request "\"frac\" must be a non-negative number";
+  let d = Eco.default_config in
+  {
+    Eco.move_frac = d.Eco.move_frac *. frac;
+    move_sigma = d.Eco.move_sigma;
+    retype_frac = d.Eco.retype_frac *. frac;
+    remove_frac = d.Eco.remove_frac *. frac;
+    add_frac = d.Eco.add_frac *. frac;
+  }
+
+let recompose_payload (r : Flow.result) round =
+  J.Obj
+    [
+      ("round", J.Num (float_of_int round));
+      ("runtime_s", J.Num r.Flow.runtime_s);
+      ("wns", J.Num r.Flow.after.Mbr_core.Metrics.wns);
+      ("tns", J.Num r.Flow.after.Mbr_core.Metrics.tns);
+      ("total_regs", J.Num (float_of_int r.Flow.after.Mbr_core.Metrics.total_regs));
+      ("n_merges", J.Num (float_of_int r.Flow.n_merges));
+      ("n_regs_merged", J.Num (float_of_int r.Flow.n_regs_merged));
+      ("ilp_cost", J.Num r.Flow.ilp_cost);
+      ("all_optimal", J.Bool r.Flow.all_optimal);
+      ("blocks_resolved", J.Num (float_of_int r.Flow.eco_blocks_resolved));
+      ("blocks_reused", J.Num (float_of_int r.Flow.eco_blocks_reused));
+      ("cancelled", J.Bool r.Flow.cancelled);
+    ]
+
+(* One session request, on whichever worker domain picked it up. The
+   session is held (acquire/release) for exactly the mutating part, so
+   the ownership invariant is machine-checked on every request — a
+   routing bug that let two domains at one session would trip
+   [acquire], not corrupt state. *)
+let exec_pending t sess p =
+  let req = p.preq in
+  try
+    Mbr_obs.Trace.with_span ~name:("svc." ^ P.verb_to_string req.P.verb)
+      ~args:[ ("session", Mbr_obs.Trace.Str sess.sname) ]
+    @@ fun () ->
+    match (req.P.verb, sess.state) with
+    | P.Load, Loading ->
+      let gen = G.generate (profile_of req) in
+      let options =
+        {
+          Flow.default_options with
+          Flow.jobs = Some (max 1 t.config.alloc_jobs);
+        }
+      in
+      let flow =
+        Flow.Session.create ~options ~design:gen.G.design
+          ~placement:gen.G.placement ~library:gen.G.library
+          ~sta_config:gen.G.sta_config ()
+      in
+      sess.state <- Ready { gen; flow };
+      P.ok req.P.id
+        (J.Obj
+           [
+             ("session", J.Str sess.sname);
+             ( "registers",
+               J.Num
+                 (float_of_int
+                    (List.length (Mbr_netlist.Design.registers gen.G.design)))
+             );
+             ("profile", J.Str gen.G.profile.Prof.name);
+           ])
+    | P.Load, Ready _ ->
+      (* unreachable: load is only ever queued on a fresh entry *)
+      P.fail req.P.id P.Session_exists sess.sname
+    | (P.Perturb | P.Recompose), Loading ->
+      (* only reachable if this session's load failed and teardown
+         raced new requests in; answered like the load never happened *)
+      P.fail req.P.id P.Unknown_session sess.sname
+    | P.Perturb, Ready { gen; flow } ->
+      Flow.Session.acquire flow;
+      Fun.protect ~finally:(fun () -> Flow.Session.release flow) @@ fun () ->
+      let cfg = eco_config (Option.value req.P.frac ~default:1.0) in
+      let rng = Mbr_util.Rng.create (Option.value req.P.seed ~default:0) in
+      let stats = Eco.perturb ~config:cfg rng gen in
+      P.ok req.P.id
+        (J.Obj
+           [
+             ("moved", J.Num (float_of_int stats.Eco.moved));
+             ("retyped", J.Num (float_of_int stats.Eco.retyped));
+             ("removed", J.Num (float_of_int stats.Eco.removed));
+             ("added", J.Num (float_of_int stats.Eco.added));
+           ])
+    | P.Recompose, Ready { flow; _ } ->
+      Flow.Session.acquire flow;
+      Fun.protect ~finally:(fun () -> Flow.Session.release flow) @@ fun () ->
+      let cancel =
+        Option.map
+          (fun dt ->
+            if not (Float.is_finite dt && dt >= 0.0) then
+              P.reject P.Bad_request "\"timeout_s\" must be non-negative";
+            Mbr_util.Cancel.create ~timeout_s:dt ())
+          req.P.timeout_s
+      in
+      let r = Flow.Session.recompose ?cancel flow in
+      if r.Flow.cancelled then
+        P.fail req.P.id P.Cancelled
+          (Printf.sprintf
+             "recompose exceeded its %gs deadline; session %S is consistent \
+              and usable"
+             (Option.value req.P.timeout_s ~default:0.0)
+             sess.sname)
+      else P.ok req.P.id (recompose_payload r (Flow.Session.recomposes flow))
+    | (P.Query_metrics | P.Export_trace | P.Shutdown), _ ->
+      (* global verbs never reach a session queue *)
+      assert false
+  with
+  | P.Reject e -> { P.id = req.P.id; result = Error e }
+  | e -> P.fail req.P.id P.Internal (Printexc.to_string e)
+
+let account verb t_recv result =
+  (match result with
+  | Ok _ -> ()
+  | Error { P.code; _ } ->
+    Mbr_obs.Metrics.incr m_errors;
+    (match code with
+    | P.Overloaded -> Mbr_obs.Metrics.incr m_overloaded
+    | P.Cancelled -> Mbr_obs.Metrics.incr m_cancelled
+    | _ -> ()));
+  Mbr_obs.Metrics.observe (latency_histogram verb)
+    (Mbr_obs.Clock.now_s () -. t_recv)
+
+let answer verb t_recv conn resp =
+  send conn resp;
+  account verb t_recv resp.P.result
+
+(* Drain one request, then resubmit: the executor's FIFO round-robins
+   the sessions, so a deep queue on one session cannot starve the
+   others. [running] guarantees at most one in-flight job per session —
+   that, plus acquire/release inside, IS the serialization. *)
+let rec pump t sess () =
+  let next =
+    Mutex.lock t.lock;
+    let j = Queue.take_opt sess.pending in
+    if j = None then sess.running <- false;
+    Mutex.unlock t.lock;
+    j
+  in
+  match next with
+  | None -> ()
+  | Some p ->
+    let resp = exec_pending t sess p in
+    sess.served <- sess.served + 1;
+    answer p.preq.P.verb p.t_recv p.pconn resp;
+    (* a failed load tears the reservation down: the name frees up and
+       anything already queued behind it is answered unknown-session *)
+    let orphans =
+      match (p.preq.P.verb, resp.P.result) with
+      | P.Load, Error _ ->
+        Mutex.lock t.lock;
+        Hashtbl.remove t.sessions sess.sname;
+        let q = Queue.fold (fun acc x -> x :: acc) [] sess.pending in
+        Queue.clear sess.pending;
+        sess.running <- false;
+        Mutex.unlock t.lock;
+        List.rev q
+      | _ -> []
+    in
+    List.iter
+      (fun o ->
+        answer o.preq.P.verb o.t_recv o.pconn
+          (P.fail o.preq.P.id P.Unknown_session sess.sname))
+      orphans;
+    if orphans = [] then
+      try Executor.submit t.exec (pump t sess)
+      with Invalid_argument _ ->
+        (* executor already shut down: finish the drain here *)
+        pump t sess ()
+
+(* ---- global verbs (answered on the reader thread: cheap) ---- *)
+
+let metrics_payload t =
+  let sessions =
+    Mutex.lock t.lock;
+    let l =
+      Hashtbl.fold
+        (fun name sess acc ->
+          J.Obj
+            [
+              ("name", J.Str name);
+              ("loaded", J.Bool (match sess.state with Ready _ -> true | Loading -> false));
+              ( "recomposes",
+                J.Num
+                  (float_of_int
+                     (match sess.state with
+                     | Ready { flow; _ } -> Flow.Session.recomposes flow
+                     | Loading -> 0)) );
+              ("served", J.Num (float_of_int sess.served));
+              ("pending", J.Num (float_of_int (Queue.length sess.pending)));
+            ]
+          :: acc)
+        t.sessions []
+    in
+    Mutex.unlock t.lock;
+    l
+  in
+  J.Obj
+    [
+      ("metrics", Mbr_obs.Metrics.snapshot_json (Mbr_obs.Metrics.snapshot ()));
+      ("sessions", J.Arr sessions);
+    ]
+
+(* Wake the accept loop: connect-and-close is portable where closing a
+   listening socket out from under accept(2) is not. *)
+let initiate_stop t =
+  let fresh =
+    Mutex.lock t.lock;
+    let fresh = not t.stopping in
+    t.stopping <- true;
+    Mutex.unlock t.lock;
+    fresh
+  in
+  if fresh then
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX t.config.socket_path)
+    with Unix.Unix_error _ -> ()
+
+(* ---- request routing (on reader threads) ---- *)
+
+let route_session_verb t conn req t_recv =
+  match req.P.session with
+  | None ->
+    answer req.P.verb t_recv conn
+      (P.fail req.P.id P.Bad_request
+         (Printf.sprintf "verb %S needs a \"session\""
+            (P.verb_to_string req.P.verb)))
+  | Some name ->
+    let p = { preq = req; pconn = conn; t_recv } in
+    let decision =
+      Mutex.lock t.lock;
+      let d =
+        if t.stopping then `Err (P.Shutting_down, "server is shutting down")
+        else
+          match (req.P.verb, Hashtbl.find_opt t.sessions name) with
+          | P.Load, Some _ ->
+            `Err (P.Session_exists, Printf.sprintf "session %S exists" name)
+          | P.Load, None ->
+            let sess =
+              {
+                sname = name;
+                state = Loading;
+                pending = Queue.create ();
+                running = false;
+                served = 0;
+              }
+            in
+            Hashtbl.add t.sessions name sess;
+            Queue.add p sess.pending;
+            sess.running <- true;
+            `Pump sess
+          | _, None ->
+            `Err (P.Unknown_session, Printf.sprintf "no session %S" name)
+          | _, Some sess ->
+            if Queue.length sess.pending >= t.config.queue_limit then
+              `Err
+                ( P.Overloaded,
+                  Printf.sprintf "session %S has %d requests pending" name
+                    (Queue.length sess.pending) )
+            else begin
+              Queue.add p sess.pending;
+              if sess.running then `Queued
+              else begin
+                sess.running <- true;
+                `Pump sess
+              end
+            end
+      in
+      Mutex.unlock t.lock;
+      d
+    in
+    (match decision with
+    | `Err (code, msg) -> answer req.P.verb t_recv conn (P.fail req.P.id code msg)
+    | `Queued -> ()
+    | `Pump sess -> (
+      try Executor.submit t.exec (pump t sess)
+      with Invalid_argument _ -> pump t sess ()))
+
+let handle_line t conn line =
+  Mbr_obs.Metrics.incr m_requests;
+  let t_recv = Mbr_obs.Clock.now_s () in
+  match J.of_string_result line with
+  | Error e -> send conn (P.fail (-1) P.Invalid_json (J.error_to_string e))
+  | Ok j -> (
+    match P.request_of_json j with
+    | Error (id, e) -> send conn { P.id; result = Error e }
+    | Ok req -> (
+      match req.P.verb with
+      | P.Query_metrics ->
+        answer req.P.verb t_recv conn (P.ok req.P.id (metrics_payload t))
+      | P.Export_trace -> (
+        match req.P.path with
+        | None ->
+          answer req.P.verb t_recv conn
+            (P.fail req.P.id P.Bad_request "export-trace needs a \"path\"")
+        | Some path ->
+          let resp =
+            try
+              Mbr_obs.Trace.write path;
+              P.ok req.P.id (J.Obj [ ("path", J.Str path) ])
+            with Sys_error m -> P.fail req.P.id P.Internal m
+          in
+          answer req.P.verb t_recv conn resp)
+      | P.Shutdown ->
+        answer req.P.verb t_recv conn
+          (P.ok req.P.id (J.Obj [ ("stopping", J.Bool true) ]));
+        initiate_stop t
+      | P.Load | P.Perturb | P.Recompose -> route_session_verb t conn req t_recv)
+    )
+
+let reader t conn () =
+  let rec loop () =
+    match input_line conn.ic with
+    | line ->
+      if String.length line > 0 then handle_line t conn line;
+      loop ()
+    | exception (End_of_file | Sys_error _) -> ()
+  in
+  loop ();
+  Mutex.lock conn.wlock;
+  conn.alive <- false;
+  Mutex.unlock conn.wlock;
+  (* closing ic closes the shared fd; oc's buffer is already flushed
+     after every response *)
+  try close_in conn.ic with Sys_error _ -> ()
+
+(* ---- lifecycle ---- *)
+
+let run ?on_ready config =
+  let t =
+    {
+      config;
+      exec =
+        Executor.create
+          ?workers:(if config.workers <= 0 then None else Some config.workers)
+          ();
+      lock = Mutex.create ();
+      sessions = Hashtbl.create 64;
+      stopping = false;
+    }
+  in
+  (if Sys.file_exists config.socket_path then
+     try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 64;
+  Option.iter (fun f -> f ()) on_ready;
+  let threads = ref [] in
+  let rec accept_loop () =
+    if not t.stopping then begin
+      match Unix.accept listen_fd with
+      | fd, _ ->
+        if t.stopping then Unix.close fd
+        else begin
+          let conn =
+            {
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+              wlock = Mutex.create ();
+              alive = true;
+            }
+          in
+          threads := Thread.create (reader t conn) () :: !threads
+        end;
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> if not t.stopping then raise Exit
+    end
+  in
+  accept_loop ();
+  Unix.close listen_fd;
+  (* drain: every queued request is answered before the workers go *)
+  Executor.shutdown t.exec;
+  (* readers exit on client EOF; shutdown-side nudge is the socket file
+     disappearing — clients close when their last response arrives *)
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  List.iter Thread.join !threads

@@ -1,0 +1,52 @@
+(** The [mbrd] daemon: many named {!Mbr_core.Flow.Session}s behind one
+    Unix-domain socket.
+
+    Architecture (DESIGN.md §14):
+
+    - one {b accept loop} on the calling thread, spawning a reader
+      thread per connection;
+    - {b reader threads} parse lines, answer the cheap global verbs
+      (query-metrics, export-trace, shutdown) inline, and enqueue
+      session verbs (load, perturb, recompose) onto the target
+      session's bounded queue — a full queue is answered [overloaded]
+      immediately (explicit backpressure, the client retries);
+    - a shared {!Mbr_util.Pool.Executor} of worker domains drains the
+      session queues, {b one in-flight request per session} (the
+      single-writer discipline: the worker holds the
+      {!Mbr_core.Flow.Session} via [acquire]/[release] for the
+      request's duration, and the session moves freely between worker
+      domains across requests);
+    - a recompose with a [timeout_s] runs under a
+      {!Mbr_util.Cancel} token: past the deadline the solvers wind
+      down to their incumbents and the request is answered
+      [cancelled] — the session stays consistent and serves the next
+      request.
+
+    Observability: every request is a ["svc.<verb>"] trace span on the
+    domain that served it, and its receipt-to-response latency feeds
+    the [svc.latency.<verb>] histogram ([svc.requests],
+    [svc.errors], [svc.overloaded], [svc.cancelled] count traffic).
+
+    Shutdown (the verb) stops accepting, drains every queued request,
+    joins the workers and removes the socket file. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** executor domains; [<= 0] = {!Mbr_util.Pool.recommended_jobs} *)
+  queue_limit : int;  (** pending requests per session before [overloaded] *)
+  alloc_jobs : int;
+      (** [jobs] inside each recompose's allocate stage. Default 1:
+          with many concurrent sessions the executor already uses the
+          machine; nested fan-out only helps a lone giant session. *)
+}
+
+val default_config : config
+(** [{socket_path = "mbrd.sock"; workers = 0; queue_limit = 32;
+    alloc_jobs = 1}] *)
+
+val run : ?on_ready:(unit -> unit) -> config -> unit
+(** Bind the socket (replacing a stale file), call [on_ready] once
+    accepting (test/launcher synchronization), and serve until a
+    [shutdown] request arrives. Returns after the full drain: accepted
+    requests are answered, worker domains joined, socket unlinked.
+    Raises [Unix.Unix_error] if the socket cannot be bound. *)

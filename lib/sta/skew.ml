@@ -37,7 +37,7 @@ let step cfg s_d s_q =
    whole-design sweep ([full_sweep:true], kept as the property-test
    reference) while reading O(active + touched) slacks per iteration
    instead of O(registers). *)
-let optimize ?(config = default_config) ?(full_sweep = false) eng =
+let optimize ?(config = default_config) ?(full_sweep = false) ?cancel eng =
   let dsg = Placement.design (Engine.placement eng) in
   let regs = Array.of_list (Design.registers dsg) in
   let n = Array.length regs in
@@ -62,8 +62,14 @@ let optimize ?(config = default_config) ?(full_sweep = false) eng =
       refresh_activity i
     done;
   let sweeps = ref 0 in
+  let poll () =
+    match cancel with Some t -> Mbr_util.Cancel.check t | None -> false
+  in
   (try
      for _ = 1 to config.iterations do
+       (* cancellation exits like convergence does: the best assignment
+          seen so far is restored below, never a half-applied sweep *)
+       if poll () then raise Exit;
        incr sweeps;
        (* Jacobi sweep: read every candidate slack under the current
           assignment, then apply all moves at once; the engine patches

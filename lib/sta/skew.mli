@@ -28,7 +28,8 @@ type report = {
   sweeps_run : int;
 }
 
-val optimize : ?config:config -> ?full_sweep:bool -> Engine.t -> report
+val optimize :
+  ?config:config -> ?full_sweep:bool -> ?cancel:Mbr_util.Cancel.t -> Engine.t -> report
 (** Assign per-register skews on the engine (visible via
     {!Engine.skew}) and re-analyze. Never returns a solution worse than
     the zero-skew start: the final sweep keeps the best-TNS
@@ -41,4 +42,10 @@ val optimize : ?config:config -> ?full_sweep:bool -> Engine.t -> report
     hence the result, bit for bit) is identical to examining every
     register. [~full_sweep:true] forces the whole-design sweep; it
     exists as the reference implementation for the equivalence property
-    test and for diagnostics. *)
+    test and for diagnostics.
+
+    [cancel] is polled once per sweep, before any move is read or
+    applied: a tripped token ends the optimization exactly as
+    convergence does, restoring the best complete assignment seen so
+    far — never a half-applied sweep. The never-worse-than-zero-skew
+    guarantee above holds for cancelled runs too. *)

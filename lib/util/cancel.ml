@@ -1,0 +1,46 @@
+type t = {
+  flag : bool Atomic.t;
+  deadline_s : float;  (* Mbr_obs.Clock.now_s deadline; infinity = none *)
+  budget : int Atomic.t;  (* checks remaining before auto-trip *)
+  has_budget : bool;  (* avoids a fetch_and_add per check on plain tokens *)
+}
+
+let make ?(deadline_s = infinity) ?budget () =
+  let has_budget, budget0 =
+    match budget with None -> (false, 0) | Some n -> (true, n)
+  in
+  {
+    flag = Atomic.make false;
+    deadline_s;
+    budget = Atomic.make budget0;
+    has_budget;
+  }
+
+let create ?timeout_s () =
+  match timeout_s with
+  | None -> make ()
+  | Some dt -> make ~deadline_s:(Mbr_obs.Clock.now_s () +. dt) ()
+
+let after_checks n =
+  if n < 1 then invalid_arg "Cancel.after_checks: n < 1";
+  make ~budget:n ()
+
+let cancel t = Atomic.set t.flag true
+
+let cancelled t = Atomic.get t.flag
+
+(* The deadline and budget trip the flag rather than being re-evaluated
+   forever: after the first positive answer every later check is one
+   atomic load, and [cancelled] agrees with [check] from then on. *)
+let check t =
+  Atomic.get t.flag
+  ||
+  if t.deadline_s < infinity && Mbr_obs.Clock.now_s () >= t.deadline_s then begin
+    cancel t;
+    true
+  end
+  else if t.has_budget && Atomic.fetch_and_add t.budget (-1) <= 1 then begin
+    cancel t;
+    true
+  end
+  else false

@@ -1,0 +1,52 @@
+(** Cooperative cancellation tokens for long-running solves.
+
+    A token is a single atomic flag plus two optional auto-trip
+    sources: a monotonic-clock deadline and a deterministic poll
+    budget. Producers (a service request timeout, a client abort, a
+    solver race losing its bet) call {!cancel}; consumers (the
+    set-partition branch-and-bound, the useful-skew sweep) call
+    {!check} at their natural step boundary and wind down to their
+    current incumbent when it answers [true].
+
+    Cancellation is a {e request}, not an interrupt: a cancelled solve
+    still returns a usable (feasible, just unproven) result, exactly as
+    if its node budget had run out — see
+    [Mbr_ilp.Set_partition.solve]'s [node_limit] contract, which
+    cancellation shares by construction (property-tested).
+
+    Tokens are domain-safe: the flag is an [Atomic.t], so one token can
+    be handed to every worker of a {!Pool} fan-out and a single
+    {!cancel} stops them all at their next check. Once tripped — by
+    {!cancel}, a passed deadline, or an exhausted budget — a token
+    stays cancelled forever. *)
+
+type t
+
+val create : ?timeout_s:float -> unit -> t
+(** A fresh token. With [timeout_s], {!check} starts answering [true]
+    once that many seconds of monotonic time have elapsed since
+    creation (the deadline trips the flag, so later checks are a single
+    atomic load). Without it, only {!cancel} (or nothing) trips the
+    token. *)
+
+val after_checks : int -> t
+(** A token that trips on its [n]-th {!check} ([n >= 1]). Deterministic
+    by construction — the trip point is a function of the consumer's
+    check sequence alone, not of time — which is what lets the tests
+    prove cancel-at-any-point equivalent to node-limit semantics.
+    Raises [Invalid_argument] when [n < 1]. *)
+
+val cancel : t -> unit
+(** Request cancellation. Idempotent. *)
+
+val check : t -> bool
+(** Poll the token from the consuming solver: [true] once the token has
+    tripped. This is the only function that advances the deadline /
+    budget machinery, so call it exactly once per step. Safe from any
+    domain. *)
+
+val cancelled : t -> bool
+(** Passive observation: has the token tripped? Never advances the
+    budget and never trips the deadline itself — use it for reporting
+    (a solver deciding what status to return, a service labelling the
+    response) after the polling loop has finished. *)

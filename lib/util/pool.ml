@@ -66,3 +66,89 @@ let map_array ?(chunk = 1) ?order ~jobs f tasks =
     | None ->
       Array.map (function Some v -> v | None -> assert false) results
   end
+
+module Executor = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable domains : unit Domain.t array;
+    n_workers : int;
+  }
+
+  let m_submitted = Mbr_obs.Metrics.counter "pool.exec.submitted"
+
+  let m_completed = Mbr_obs.Metrics.counter "pool.exec.completed"
+
+  let m_failed = Mbr_obs.Metrics.counter "pool.exec.failed"
+
+  (* Workers block on the condition until a job or the stop flag shows
+     up; on stop they drain what is already queued, then exit — so
+     shutdown never drops accepted work. A job that raises is the
+     submitter's bug: the exception is counted, reported on stderr and
+     swallowed, because one bad job must not take a long-lived worker
+     (and every job queued behind it) down with it. *)
+  let worker t () =
+    Mbr_obs.Trace.with_span ~name:"pool.exec.worker" (fun () ->
+        let rec loop () =
+          Mutex.lock t.mutex;
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.nonempty t.mutex
+          done;
+          match Queue.take_opt t.queue with
+          | None -> Mutex.unlock t.mutex (* stopping, and fully drained *)
+          | Some job ->
+            Mutex.unlock t.mutex;
+            (try
+               job ();
+               Mbr_obs.Metrics.incr m_completed
+             with e ->
+               Mbr_obs.Metrics.incr m_failed;
+               Printf.eprintf "Pool.Executor: job raised %s\n%!"
+                 (Printexc.to_string e));
+            loop ()
+        in
+        loop ())
+
+  let create ?workers () =
+    let n_workers =
+      match workers with
+      | None -> recommended_jobs ()
+      | Some w when w >= 1 -> w
+      | Some _ -> invalid_arg "Pool.Executor.create: workers < 1"
+    in
+    let t =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        stopping = false;
+        domains = [||];
+        n_workers;
+      }
+    in
+    t.domains <- Array.init n_workers (fun _ -> Domain.spawn (worker t));
+    t
+
+  let workers t = t.n_workers
+
+  let submit t job =
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.Executor.submit: executor is shut down"
+    end;
+    Queue.add job t.queue;
+    Mbr_obs.Metrics.incr m_submitted;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let first = not t.stopping in
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    if first then Array.iter Domain.join t.domains
+end

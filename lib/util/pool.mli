@@ -52,3 +52,49 @@ val map_array :
   ?chunk:int -> ?order:int array -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** See above. Raises [Invalid_argument] when [jobs < 1], [chunk < 1],
     or [order] is not a permutation of the task indices. *)
+
+(** Long-lived worker domains draining a shared job queue.
+
+    {!map_array} spawns and joins domains per fan-out, which is right
+    for one large batch but wrong for a service handling a steady
+    stream of independent requests — domain spawn is milliseconds, and
+    a daemon must bound its domain count regardless of load. An
+    executor spawns its workers once; {!submit} then costs one
+    mutex-protected queue push.
+
+    Jobs are [unit -> unit] thunks and run in submission order
+    (FIFO), picked up by whichever worker frees first. A job that
+    raises is counted ([pool.exec.failed]), reported on stderr and
+    swallowed — a bad job must not kill a shared worker. Anything a
+    job touches must be safe to reach from the worker's domain; the
+    serialized-session discipline of [Mbr_service] is the canonical
+    way to uphold that.
+
+    Telemetry: each worker's lifetime is a ["pool.exec.worker"] trace
+    span (so per-job spans nest under the lane of the domain that ran
+    them), and [pool.exec.submitted] / [.completed] / [.failed] count
+    the traffic. *)
+module Executor : sig
+  type t
+
+  val create : ?workers:int -> unit -> t
+  (** Spawn the worker domains ([workers] defaults to
+      {!recommended_jobs}; raises [Invalid_argument] when [< 1]).
+      Remember that each worker is an OS-level domain: one executor
+      per process, sized to the machine, shared by all sessions — not
+      one per request source. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a job. Never blocks (the queue is unbounded here;
+      backpressure belongs to the caller, which knows its per-source
+      limits — see [Mbr_service.Server]). Raises [Invalid_argument]
+      after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting jobs, drain everything already queued, and join
+      the worker domains. Blocks until the drain completes; accepted
+      jobs are never dropped. Idempotent — concurrent callers race to
+      be the one that joins, the rest return once stopping is set. *)
+
+  val workers : t -> int
+end

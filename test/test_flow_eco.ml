@@ -142,6 +142,83 @@ let test_session_localized_eco_reuses_some () =
   Alcotest.(check bool) "strictly fewer blocks resolved than exist" true
     (r.Flow.eco_blocks_resolved < r.Flow.n_blocks)
 
+(* ---- ownership (the single-writer discipline) ---- *)
+
+let test_session_ownership () =
+  let g = G.generate (profile 11) in
+  let session =
+    Flow.Session.create ~design:g.G.design ~placement:g.G.placement
+      ~library:g.G.library ~sta_config:g.G.sta_config ()
+  in
+  Alcotest.(check (option int)) "fresh session unowned" None
+    (Flow.Session.owner_id session);
+  Flow.Session.acquire session;
+  Alcotest.(check bool) "re-acquiring one's own session" true
+    (Flow.Session.try_acquire session);
+  (* another domain must neither steal nor drive the held session *)
+  let stolen, drove =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let stolen = Flow.Session.try_acquire session in
+           let drove =
+             match Flow.Session.recompose session with
+             | _ -> true
+             | exception Invalid_argument _ -> false
+           in
+           (stolen, drove)))
+  in
+  Alcotest.(check bool) "try_acquire from another domain" false stolen;
+  Alcotest.(check bool) "recompose from another domain" false drove;
+  (* the owner works as usual, then hands the session over *)
+  ignore (Flow.Session.recompose session);
+  Flow.Session.release session;
+  Alcotest.(check bool) "released: other domain takes it and drives it" true
+    (Domain.join
+       (Domain.spawn (fun () ->
+            Flow.Session.acquire session;
+            let r = Flow.Session.recompose session in
+            Flow.Session.release session;
+            r.Flow.n_blocks >= 0)));
+  (* releasing a session we no longer hold is a bug, loudly *)
+  Alcotest.(check bool) "double release raises" true
+    (match Flow.Session.release session with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* A deadline that has already passed cancels the recompose's solver
+   work, yet the pass completes, the result is feasible, and — the
+   service-level promise — the same session serves the next request
+   as if nothing happened. *)
+let test_cancelled_recompose_session_usable () =
+  let g = G.generate (profile 13) in
+  let session =
+    Flow.Session.create ~design:g.G.design ~placement:g.G.placement
+      ~library:g.G.library ~sta_config:g.G.sta_config ()
+  in
+  let cancel = Mbr_util.Cancel.create ~timeout_s:0.0 () in
+  let r1 = Flow.Session.recompose ~cancel session in
+  Alcotest.(check bool) "reported cancelled" true r1.Flow.cancelled;
+  Alcotest.(check bool) "still a complete pass" true (r1.Flow.n_blocks > 0);
+  Alcotest.(check (option int)) "transient claim released" None
+    (Flow.Session.owner_id session);
+  (* the uncancelled rerun must match a from-scratch run on an
+     identically-prepared twin: no cancelled-incumbent residue *)
+  let r2 = Flow.Session.recompose session in
+  Alcotest.(check bool) "not cancelled" false r2.Flow.cancelled;
+  let gb = G.generate (profile 13) in
+  let twin_session =
+    Flow.Session.create ~design:gb.G.design ~placement:gb.G.placement
+      ~library:gb.G.library ~sta_config:gb.G.sta_config ()
+  in
+  let t1 = Flow.Session.recompose ~cancel:(Mbr_util.Cancel.create ~timeout_s:0.0 ()) twin_session in
+  Alcotest.(check bool) "twin cancelled too" true t1.Flow.cancelled;
+  let t2 = Flow.Session.recompose twin_session in
+  Alcotest.(check int) "same merges after recovery" t2.Flow.n_merges r2.Flow.n_merges;
+  Alcotest.(check bool) "same cost after recovery" true
+    (close t2.Flow.ilp_cost r2.Flow.ilp_cost);
+  Alcotest.(check int) "same register count" t2.Flow.after.Metrics.total_regs
+    r2.Flow.after.Metrics.total_regs
+
 (* ---- the equivalence property ---- *)
 
 let compare_results ~seed ~round (ra : Flow.result) (rb : Flow.result) =
@@ -221,6 +298,10 @@ let () =
             test_session_fixed_point_reuses_all;
           Alcotest.test_case "localized ECO reuses some blocks" `Quick
             test_session_localized_eco_reuses_some;
+          Alcotest.test_case "ownership discipline" `Quick
+            test_session_ownership;
+          Alcotest.test_case "cancelled recompose leaves session usable" `Quick
+            test_cancelled_recompose_session_usable;
         ] );
       ( "equivalence",
         [ QCheck_alcotest.to_alcotest recompose_equivalence ] );

@@ -165,6 +165,52 @@ let test_node_limit_incumbent () =
        0.0 r.Sp.chosen)
     r.Sp.cost
 
+(* ---- cancellation (shares the node-limit contract) ---- *)
+
+let test_cancel_keeps_incumbent () =
+  (* a token tripping at the very first check behaves like node_limit 0:
+     the greedy(+1-swap) incumbent comes back as a real exact cover,
+     never an empty Feasible. Same instance as the node-limit test. *)
+  let p =
+    {
+      Sp.n_elems = 4;
+      candidates =
+        [|
+          cand 1.0 [ 0 ]; cand 1.0 [ 1 ]; cand 1.0 [ 2 ]; cand 1.0 [ 3 ];
+          cand 1.1 [ 0; 1 ]; cand 1.1 [ 2; 3 ]; cand 0.4 [ 1; 2 ];
+        |];
+    }
+  in
+  let t = Mbr_util.Cancel.after_checks 1 in
+  let r = Sp.solve ~lp_bound:false ~cancel:t p in
+  check "token tripped" true (Mbr_util.Cancel.cancelled t);
+  check "feasible, not proven" true (r.Sp.status = Sp.Feasible);
+  check "non-empty chosen" true (r.Sp.chosen <> []);
+  check "finite cost" true (Float.is_finite r.Sp.cost);
+  let covered = List.concat_map (fun i -> p.Sp.candidates.(i).Sp.elems) r.Sp.chosen in
+  Alcotest.(check (list int)) "exact cover" [ 0; 1; 2; 3 ] (List.sort compare covered)
+
+let test_cancel_pre_tripped () =
+  (* cancelling before the solve even starts = a zero node budget *)
+  let p =
+    {
+      Sp.n_elems = 3;
+      candidates =
+        [|
+          cand 1.0 [ 0 ]; cand 1.0 [ 1 ]; cand 1.0 [ 2 ];
+          cand 0.5 [ 0; 1 ]; cand 0.5 [ 1; 2 ];
+        |];
+    }
+  in
+  let t = Mbr_util.Cancel.create () in
+  Mbr_util.Cancel.cancel t;
+  let a = Sp.solve ~lp_bound:false ~cancel:t p in
+  let b = Sp.solve ~lp_bound:false ~node_limit:0 p in
+  check "same status" true (a.Sp.status = b.Sp.status);
+  checkf "same cost" b.Sp.cost a.Sp.cost;
+  Alcotest.(check (list int)) "same chosen" b.Sp.chosen a.Sp.chosen;
+  Alcotest.(check int) "same nodes" b.Sp.nodes a.Sp.nodes
+
 let test_lp_relaxation_bound () =
   let p =
     {
@@ -228,6 +274,67 @@ let dense_problem_gen =
   return { Sp.n_elems = n; candidates = Array.of_list (singles @ extra) }
 
 let dense_problem_arb = QCheck.make ~print:print_problem dense_problem_gen
+
+(* The central cancellation contract: a token tripping at the m-th
+   check is bit-identical to a node limit of m-1 with no token —
+   cancellation at ANY point has node-limit semantics. Costs may both
+   be nan (no cover found under a tiny budget without singletons),
+   which counts as equal. *)
+let cancel_equals_node_limit =
+  QCheck.Test.make ~name:"cancel at m-th check = node_limit (m-1)" ~count:300
+    QCheck.(pair dense_problem_arb (int_range 1 40))
+    (fun (p, m) ->
+      let a = Sp.solve ~cancel:(Mbr_util.Cancel.after_checks m) p in
+      let b = Sp.solve ~node_limit:(m - 1) p in
+      let cost_eq =
+        a.Sp.cost = b.Sp.cost
+        || (Float.is_nan a.Sp.cost && Float.is_nan b.Sp.cost)
+      in
+      a.Sp.status = b.Sp.status && cost_eq && a.Sp.chosen = b.Sp.chosen
+      && a.Sp.nodes = b.Sp.nodes)
+
+(* And with the bound/reduction machinery disabled the search is
+   longest, so the budget lands inside it most often. *)
+let cancel_equals_node_limit_raw =
+  QCheck.Test.make
+    ~name:"cancel = node limit (no LP bound, no reductions)" ~count:300
+    QCheck.(pair problem_arb (int_range 1 60))
+    (fun (p, m) ->
+      let solve_with ~cancel ~node_limit =
+        Sp.solve ~lp_bound:false ~reductions:false ?cancel ~node_limit p
+      in
+      let a =
+        solve_with ~cancel:(Some (Mbr_util.Cancel.after_checks m))
+          ~node_limit:2_000_000
+      in
+      let b = solve_with ~cancel:None ~node_limit:(m - 1) in
+      let cost_eq =
+        a.Sp.cost = b.Sp.cost
+        || (Float.is_nan a.Sp.cost && Float.is_nan b.Sp.cost)
+      in
+      a.Sp.status = b.Sp.status && cost_eq && a.Sp.chosen = b.Sp.chosen
+      && a.Sp.nodes = b.Sp.nodes)
+
+let cancelled_solve_still_covers =
+  QCheck.Test.make ~name:"a cancelled solve still returns an exact cover"
+    ~count:300
+    QCheck.(pair problem_arb (int_range 1 20))
+    (fun (p, m) ->
+      (* problem_arb always includes singletons, so an incumbent exists
+         no matter how early the token trips *)
+      let r = Sp.solve ~cancel:(Mbr_util.Cancel.after_checks m) p in
+      match r.Sp.status with
+      | Sp.Infeasible -> false (* singletons make the instance feasible *)
+      | Sp.Optimal | Sp.Feasible ->
+        r.Sp.chosen <> []
+        && Float.is_finite r.Sp.cost
+        &&
+        let covered =
+          List.concat_map
+            (fun i -> List.sort_uniq compare p.Sp.candidates.(i).Sp.elems)
+            r.Sp.chosen
+        in
+        List.sort compare covered = List.init p.Sp.n_elems Fun.id)
 
 let bb_matches_brute_force =
   QCheck.Test.make ~name:"branch-and-bound = brute force optimum" ~count:300
@@ -300,6 +407,13 @@ let () =
           Alcotest.test_case "node limit keeps incumbent" `Quick
             test_node_limit_incumbent;
           Alcotest.test_case "lp relaxation" `Quick test_lp_relaxation_bound;
+          Alcotest.test_case "cancel keeps incumbent" `Quick
+            test_cancel_keeps_incumbent;
+          Alcotest.test_case "pre-tripped cancel = zero budget" `Quick
+            test_cancel_pre_tripped;
+          QCheck_alcotest.to_alcotest cancel_equals_node_limit;
+          QCheck_alcotest.to_alcotest cancel_equals_node_limit_raw;
+          QCheck_alcotest.to_alcotest cancelled_solve_still_covers;
           QCheck_alcotest.to_alcotest bb_matches_brute_force;
           QCheck_alcotest.to_alcotest bb_chosen_is_exact_cover;
           QCheck_alcotest.to_alcotest reduced_matches_brute_force;

@@ -72,6 +72,85 @@ let test_json_parse () =
     | _ -> false);
   check "to_int on non-integral" true (J.to_int (J.Num 1.5) = None)
 
+(* typed errors: the wire-format entry point reports the failure mode
+   as data, and agrees with the legacy exception's message *)
+let test_json_typed_errors () =
+  let kind_of s =
+    match J.of_string_result s with
+    | Ok _ -> None
+    | Error e -> Some e.J.kind
+  in
+  check "trailing garbage" true (kind_of "{} x" = Some J.Trailing_garbage);
+  check "unterminated string" true
+    (kind_of "\"abc" = Some J.Unterminated_string);
+  check "unterminated key mid-object" true
+    (kind_of "{\"k" = Some J.Unterminated_string);
+  check "empty input" true (kind_of "" = Some J.Unexpected_end);
+  check "truncated object" true (kind_of "{\"k\": 1" = Some (J.Expected "',' or '}'"));
+  check "bad escape" true (kind_of "\"a\\x\"" = Some J.Bad_escape);
+  check "truncated \\u escape" true (kind_of "\"\\u00" = Some J.Bad_escape);
+  check "bad number" true (kind_of "-" = Some J.Bad_number);
+  check "missing colon" true (kind_of "{\"k\" 1}" = Some (J.Expected "':'"));
+  check "bare garbage" true (kind_of "@" = Some J.Bad_number);
+  (match J.of_string_result "{} x" with
+  | Error e ->
+    checki "offset points at the garbage" 3 e.J.offset;
+    let msg =
+      match J.of_string "{} x" with
+      | exception J.Parse_error m -> m
+      | _ -> Alcotest.fail "of_string accepted trailing garbage"
+    in
+    Alcotest.(check string)
+      "exception message = error_to_string" (J.error_to_string e) msg
+  | Ok _ -> Alcotest.fail "of_string_result accepted trailing garbage");
+  check "ok path" true (J.of_string_result "[1, 2]" = Ok (J.Arr [ J.Num 1.0; J.Num 2.0 ]))
+
+(* qcheck: anything the printers emit, the parser reads back, bit for
+   bit — compact and pretty. Numbers are drawn from values [%.12g]
+   renders exactly (integers and sixteenths), since JSON printing of
+   arbitrary doubles is deliberately lossy in this module. *)
+let json_gen =
+  let open QCheck2.Gen in
+  let num =
+    oneof
+      [
+        map float_of_int (int_range (-1_000_000) 1_000_000);
+        map (fun i -> float_of_int i /. 16.0) (int_range (-16_000) 16_000);
+      ]
+  in
+  let str = small_string ~gen:(map Char.chr (int_range 0 255)) in
+  let leaf =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun f -> J.Num f) num;
+        map (fun s -> J.Str s) str;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map (fun l -> J.Arr l) (list_size (int_range 0 4) (self (n / 2)));
+               map
+                 (fun l -> J.Obj l)
+                 (list_size (int_range 0 4) (pair str (self (n / 2))));
+             ])
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"json: write -> read roundtrip"
+    json_gen
+    (fun v ->
+      J.of_string (J.to_string v) = v
+      &&
+      match J.of_string_result (J.to_string_pretty v) with
+      | Ok v' -> v' = v
+      | Error _ -> false)
+
 (* ---- metrics ---- *)
 
 let test_metrics_registry () =
@@ -292,6 +371,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "typed errors" `Quick test_json_typed_errors;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
       ( "metrics",
         [

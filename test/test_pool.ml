@@ -161,6 +161,67 @@ let prop_order_matches_array_map =
       let f x = (x * 17) + 3 in
       Pool.map_array ~chunk ~order ~jobs f tasks = Array.map f tasks)
 
+(* ---- Executor ---- *)
+
+let test_exec_runs_everything () =
+  let exec = Pool.Executor.create ~workers:4 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 500 do
+    Pool.Executor.submit exec (fun () -> Atomic.incr hits)
+  done;
+  Pool.Executor.shutdown exec;
+  checki "every job ran before shutdown returned" 500 (Atomic.get hits)
+
+let test_exec_job_exception_contained () =
+  (* a raising job must not kill its worker or poison the queue *)
+  let exec = Pool.Executor.create ~workers:2 () in
+  let hits = Atomic.make 0 in
+  for i = 1 to 100 do
+    Pool.Executor.submit exec (fun () ->
+        if i mod 3 = 0 then failwith "job bug";
+        Atomic.incr hits)
+  done;
+  Pool.Executor.shutdown exec;
+  checki "non-raising jobs all ran" 67 (Atomic.get hits)
+
+let test_exec_submit_after_shutdown () =
+  let exec = Pool.Executor.create ~workers:1 () in
+  Pool.Executor.shutdown exec;
+  Pool.Executor.shutdown exec (* idempotent *);
+  check "submit after shutdown raises" true
+    (match Pool.Executor.submit exec (fun () -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_exec_invalid_workers () =
+  check "workers < 1 rejected" true
+    (match Pool.Executor.create ~workers:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let exec = Pool.Executor.create ~workers:1 () in
+  checki "worker count" 1 (Pool.Executor.workers exec);
+  Pool.Executor.shutdown exec
+
+let test_exec_concurrent_submitters () =
+  (* several domains feeding one executor: nothing lost, nothing run
+     twice (the sum is exact, not just the count) *)
+  let exec = Pool.Executor.create ~workers:3 () in
+  let sum = Atomic.make 0 in
+  let feeder base () =
+    for i = 1 to 100 do
+      Pool.Executor.submit exec (fun () ->
+          ignore (Atomic.fetch_and_add sum (base + i)))
+    done
+  in
+  let ds = Array.init 4 (fun k -> Domain.spawn (feeder (k * 1000))) in
+  Array.iter Domain.join ds;
+  Pool.Executor.shutdown exec;
+  let expected =
+    (* sum over k of sum over i of (1000k + i) *)
+    (1000 * 100 * (0 + 1 + 2 + 3)) + (4 * (100 * 101 / 2))
+  in
+  checki "exact sum" expected (Atomic.get sum)
+
 let () =
   Alcotest.run "mbr_util.pool"
     [
@@ -178,6 +239,17 @@ let () =
           Alcotest.test_case "invalid args" `Quick test_invalid_args;
           Alcotest.test_case "claim order" `Quick test_order_param;
           Alcotest.test_case "invalid claim order" `Quick test_invalid_order;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "runs everything" `Quick test_exec_runs_everything;
+          Alcotest.test_case "job exception contained" `Quick
+            test_exec_job_exception_contained;
+          Alcotest.test_case "submit after shutdown" `Quick
+            test_exec_submit_after_shutdown;
+          Alcotest.test_case "invalid workers" `Quick test_exec_invalid_workers;
+          Alcotest.test_case "concurrent submitters" `Quick
+            test_exec_concurrent_submitters;
         ] );
       ( "qcheck",
         [

@@ -7,6 +7,7 @@ module Bitset = Mbr_util.Bitset
 module Union_find = Mbr_util.Union_find
 module Vec = Mbr_util.Vec
 module Texttab = Mbr_util.Texttab
+module Cancel = Mbr_util.Cancel
 
 let check = Alcotest.(check bool)
 
@@ -257,6 +258,62 @@ let test_texttab_formats () =
   Alcotest.(check string) "float" "3.14" (Texttab.fmt_float 3.14159);
   Alcotest.(check string) "pct" "+3.1 %" (Texttab.fmt_pct 3.1)
 
+(* ---- Cancel ---- *)
+
+let test_cancel_explicit () =
+  let t = Cancel.create () in
+  check "fresh: not cancelled" false (Cancel.cancelled t);
+  check "fresh: check false" false (Cancel.check t);
+  Cancel.cancel t;
+  check "tripped" true (Cancel.cancelled t);
+  check "check true" true (Cancel.check t);
+  Cancel.cancel t;
+  check "idempotent" true (Cancel.cancelled t)
+
+let test_cancel_after_checks () =
+  let t = Cancel.after_checks 3 in
+  check "1st check" false (Cancel.check t);
+  check "2nd check" false (Cancel.check t);
+  (* passive observation must not consume budget *)
+  for _ = 1 to 50 do
+    check "cancelled is passive" false (Cancel.cancelled t)
+  done;
+  check "3rd check trips" true (Cancel.check t);
+  check "sticky" true (Cancel.check t);
+  check "observed tripped" true (Cancel.cancelled t)
+
+let test_cancel_after_checks_one () =
+  let t = Cancel.after_checks 1 in
+  check "first check trips" true (Cancel.check t)
+
+let test_cancel_deadline () =
+  let hot = Cancel.create ~timeout_s:0.0 () in
+  check "elapsed deadline trips on check" true (Cancel.check hot);
+  check "stays tripped" true (Cancel.cancelled hot);
+  let cold = Cancel.create ~timeout_s:3600.0 () in
+  check "distant deadline does not" false (Cancel.check cold);
+  check "not cancelled" false (Cancel.cancelled cold)
+
+let test_cancel_invalid () =
+  Alcotest.check_raises "after_checks 0"
+    (Invalid_argument "Cancel.after_checks: n < 1") (fun () ->
+      ignore (Cancel.after_checks 0))
+
+let test_cancel_cross_domain () =
+  (* one token shared by several domains: a single cancel stops all *)
+  let t = Cancel.create () in
+  let seen = Atomic.make 0 in
+  let worker () =
+    while not (Cancel.check t) do
+      Domain.cpu_relax ()
+    done;
+    Atomic.incr seen
+  in
+  let ds = Array.init 3 (fun _ -> Domain.spawn worker) in
+  Cancel.cancel t;
+  Array.iter Domain.join ds;
+  checki "all workers saw the trip" 3 (Atomic.get seen)
+
 let () =
   Alcotest.run "mbr_util"
     [
@@ -310,5 +367,14 @@ let () =
           Alcotest.test_case "renders" `Quick test_texttab_renders;
           Alcotest.test_case "width mismatch" `Quick test_texttab_width_mismatch;
           Alcotest.test_case "formats" `Quick test_texttab_formats;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "explicit cancel" `Quick test_cancel_explicit;
+          Alcotest.test_case "check budget" `Quick test_cancel_after_checks;
+          Alcotest.test_case "budget of one" `Quick test_cancel_after_checks_one;
+          Alcotest.test_case "deadline" `Quick test_cancel_deadline;
+          Alcotest.test_case "invalid budget" `Quick test_cancel_invalid;
+          Alcotest.test_case "cross-domain" `Quick test_cancel_cross_domain;
         ] );
     ]
