@@ -34,7 +34,9 @@ module Common_args = struct
       | "d4" -> P.d4
       | "d5" -> P.d5
       | "tiny" -> P.tiny ~seed:(match seed with Some s -> s | None -> 1)
-      | other -> failwith (Printf.sprintf "unknown profile %S (d1..d5, tiny)" other)
+      | "flat" -> P.flat ~seed:(match seed with Some s -> s | None -> 1)
+      | other ->
+        failwith (Printf.sprintf "unknown profile %S (d1..d5, tiny, flat)" other)
     in
     let base = match seed with Some s -> { base with P.seed = s } | None -> base in
     P.scaled base scale
@@ -45,7 +47,15 @@ module Common_args = struct
     | Some 0 -> Some (Mbr_util.Pool.recommended_jobs ())
     | Some n -> Some n
 
-  let options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs =
+  let corners_of = function
+    | None -> Flow.default_options.Flow.corners
+    | Some spec -> (
+      match Mbr_sta.Corner.parse_set spec with
+      | Ok cs -> cs
+      | Error m -> failwith (Printf.sprintf "--corners: %s" m))
+
+  let options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs
+      ~corners ~recover =
     let mode =
       match String.lowercase_ascii mode with
       | "ilp" -> `Ilp
@@ -53,10 +63,13 @@ module Common_args = struct
       | "clique" -> `Clique
       | other -> failwith (Printf.sprintf "unknown mode %S (ilp|greedy|clique)" other)
     in
+    if recover < 0 then failwith "--recover must be non-negative";
     {
       Flow.default_options with
       Flow.mode;
       decompose;
+      corners = corners_of corners;
+      recover;
       jobs = resolve_jobs jobs;
       skew = (if no_skew then None else Flow.default_options.Flow.skew);
       allocate =
@@ -73,7 +86,8 @@ module Common_args = struct
 
   let profile_arg =
     Arg.(value & opt string "d1" & info [ "p"; "profile" ] ~docv:"NAME"
-           ~doc:"Design profile: d1..d5 or tiny.")
+           ~doc:"Design profile: d1..d5, tiny, or flat (aggregation-hostile \
+                 flat netlist).")
 
   let seed_arg =
     Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
@@ -100,6 +114,19 @@ module Common_args = struct
   let decompose_arg =
     Arg.(value & flag & info [ "decompose" ]
            ~doc:"Decompose max-width MBRs before composing (paper's future work).")
+
+  let corners_arg =
+    Arg.(value & opt (some string) None & info [ "corners" ] ~docv:"SPEC"
+           ~doc:"Multi-corner STA: comma-separated corner set, each element \
+                 a built-in name (typical, slow, fast, harsh) or a custom \
+                 name:cell:wire:setup derate quadruple. All QoR numbers \
+                 become worst-corner. Default: typical only.")
+
+  let recover_arg =
+    Arg.(value & opt int 0 & info [ "recover" ] ~docv:"N"
+           ~doc:"Recovery-round budget: after composing, decompose MBRs \
+                 whose worst-corner slack went negative and re-run the flow \
+                 on the affected region, up to N rounds (default 0 = off).")
 
   let jobs_arg =
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
@@ -168,12 +195,22 @@ open Common_args
 
 let run_cmd =
   let run tele profile seed scale mode no_skew no_incomplete bound decompose
-      jobs =
+      jobs corners recover =
     with_telemetry tele @@ fun () ->
     let p = profile_of_name profile seed scale in
-    let options = options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs in
+    let options =
+      options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs ~corners
+        ~recover
+    in
     Printf.printf "running %s (%d registers)...\n%!" p.P.name p.P.n_registers;
     let r = E.run_profile ~options p in
+    List.iter
+      (fun (name, wns, tns) ->
+        Printf.printf "corner %-10s wns %8.1f  tns %10.1f\n" name wns tns)
+      r.E.result.Flow.after.Metrics.corners;
+    if r.E.result.Flow.recover_rounds > 0 then
+      Printf.printf "recovery: %d rounds, %d registers split\n"
+        r.E.result.Flow.recover_rounds r.E.result.Flow.recover_splits;
     Format.printf "before: %a@." Metrics.pp_row r.E.result.Flow.before;
     Format.printf "after : %a@." Metrics.pp_row r.E.result.Flow.after;
     Printf.printf
@@ -190,17 +227,23 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run the MBR-composition flow on one design.")
     Term.(const run $ telemetry_term $ profile_arg $ seed_arg $ scale_arg
           $ mode_arg $ no_skew_arg $ no_incomplete_arg $ bound_arg
-          $ decompose_arg $ jobs_arg)
+          $ decompose_arg $ jobs_arg $ corners_arg $ recover_arg)
 
 let eco_cmd =
-  let run tele profile seed scale mode jobs rounds eco_seed move_frac =
+  let run tele profile seed scale mode jobs rounds eco_seed move_frac corners
+      recover =
     with_telemetry tele @@ fun () ->
     let p = profile_of_name profile seed scale in
     let options =
       options_of ~mode ~no_skew:false ~no_incomplete:false ~bound:30
-        ~decompose:false ~jobs
+        ~decompose:false ~jobs ~corners ~recover
     in
     let g = G.generate p in
+    (* no --corners: analyze under the profile's own derate set *)
+    let options =
+      if corners = None then { options with Flow.corners = g.G.corners }
+      else options
+    in
     Printf.printf "eco session on %s (%d registers), %d rounds\n%!" p.P.name
       p.P.n_registers rounds;
     let session =
@@ -221,6 +264,9 @@ let eco_cmd =
         "  recompose: %d merges, %d/%d blocks re-solved (%d reused), %.2f s\n"
         r.Flow.n_merges r.Flow.eco_blocks_resolved r.Flow.n_blocks
         r.Flow.eco_blocks_reused r.Flow.runtime_s;
+      if r.Flow.recover_rounds > 0 then
+        Printf.printf "  recovery: %d rounds, %d registers split\n"
+          r.Flow.recover_rounds r.Flow.recover_splits;
       Format.printf "  after: %a@." Metrics.pp_row r.Flow.after
     done
   in
@@ -243,7 +289,8 @@ let eco_cmd =
        ~doc:"Open a persistent session and alternate random ECO batches with \
              incremental recompose, printing block reuse per round.")
     Term.(const run $ telemetry_term $ profile_arg $ seed_arg $ scale_arg
-          $ mode_arg $ jobs_arg $ rounds_arg $ eco_seed_arg $ move_frac_arg)
+          $ mode_arg $ jobs_arg $ rounds_arg $ eco_seed_arg $ move_frac_arg
+          $ corners_arg $ recover_arg)
 
 let profiles_scaled scale = List.map (fun p -> P.scaled p scale) P.all
 
@@ -368,7 +415,7 @@ let export_cmd =
 
 let compose_cmd =
   let run tele netlist def lib outdir period mode no_skew no_incomplete
-      decompose bound jobs =
+      decompose bound jobs corners recover =
     with_telemetry tele @@ fun () ->
     let read path =
       let ic = open_in path in
@@ -384,7 +431,10 @@ let compose_cmd =
         (read netlist)
     in
     let placement = Mbr_export.Def.of_def design (read def) in
-    let options = options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs in
+    let options =
+      options_of ~mode ~no_skew ~no_incomplete ~bound ~decompose ~jobs ~corners
+        ~recover
+    in
     Printf.printf "loaded %s: %d cells, %d registers\n%!"
       (Mbr_netlist.Design.name design)
       (Mbr_netlist.Design.n_cells design)
@@ -432,7 +482,7 @@ let compose_cmd =
        ~doc:"Run MBR composition on a Verilog+DEF+Liberty design from disk.")
     Term.(const run $ telemetry_term $ netlist_arg $ def_arg $ lib_arg
           $ dir_arg $ period_arg $ mode_arg $ no_skew_arg $ no_incomplete_arg
-          $ decompose_arg $ bound_arg $ jobs_arg)
+          $ decompose_arg $ bound_arg $ jobs_arg $ corners_arg $ recover_arg)
 
 let example_cmd =
   let run tele jobs =
@@ -499,7 +549,8 @@ let serve_cmd =
 let client_cmd =
   let module C = Mbr_service.Client in
   let module Pr = Mbr_service.Protocol in
-  let run socket verb session profile scale seed frac timeout_s path =
+  let run socket verb session profile scale seed frac timeout_s path corners
+      recover =
     let verb =
       match Pr.verb_of_string verb with
       | Some v -> v
@@ -512,7 +563,8 @@ let client_cmd =
     Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
     match
       C.call c verb ~params:(fun r ->
-          { r with Pr.session; profile; scale; seed; frac; timeout_s; path })
+          { r with Pr.session; profile; scale; seed; frac; timeout_s; path;
+            corners; recover })
     with
     | Ok data -> print_string (Mbr_obs.Json.to_string_pretty data)
     | Error { Pr.code; message } ->
@@ -521,8 +573,8 @@ let client_cmd =
   in
   let verb_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
-           ~doc:"load | perturb | recompose | query-metrics | export-trace \
-                 | shutdown")
+           ~doc:"load | perturb | recompose | set-corners | query-metrics \
+                 | export-trace | shutdown")
   in
   let session_arg =
     Arg.(value & opt (some string) None & info [ "session" ] ~docv:"NAME"
@@ -549,12 +601,22 @@ let client_cmd =
     Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"F"
            ~doc:"load: scale the register count.")
   in
+  let opt_corners_arg =
+    Arg.(value & opt (some string) None & info [ "corners" ] ~docv:"SPEC"
+           ~doc:"load / set-corners: comma-separated corner set (built-in \
+                 names or name:cell:wire:setup quadruples).")
+  in
+  let opt_recover_arg =
+    Arg.(value & opt (some int) None & info [ "recover" ] ~docv:"N"
+           ~doc:"recompose: recovery-round budget for this pass.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running mbrd daemon and print the JSON \
              answer (exit 1 with the error on stderr otherwise).")
     Term.(const run $ socket_arg $ verb_arg $ session_arg $ opt_profile_arg
-          $ opt_scale_arg $ seed_arg $ frac_arg $ timeout_arg $ path_arg)
+          $ opt_scale_arg $ seed_arg $ frac_arg $ timeout_arg $ path_arg
+          $ opt_corners_arg $ opt_recover_arg)
 
 let () =
   let doc = "timing-driven incremental multi-bit register composition (DAC'17)" in

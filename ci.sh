@@ -43,6 +43,21 @@ dune exec bin/mbrc.exe -- run -p tiny -j 2 \
 dune exec tools/telemetry_check.exe -- "$trace_tmp" "$metrics_tmp"
 rm -f "$trace_tmp" "$metrics_tmp"
 
+echo "== recovery smoke (derate set forces a decompose round, then closes) =="
+trace_tmp=$(mktemp /tmp/mbrc_rtrace.XXXXXX.json)
+metrics_tmp=$(mktemp /tmp/mbrc_rmetrics.XXXXXX.json)
+dune exec tools/recover_smoke.exe -- "$trace_tmp" "$metrics_tmp"
+dune exec tools/telemetry_check.exe -- "$trace_tmp" "$metrics_tmp"
+rm -f "$trace_tmp" "$metrics_tmp"
+
+echo "== BENCH.json schema (v7: per-corner QoR + recovery loop section) =="
+grep -q '"schema_version": 7' BENCH.json \
+  || { echo "BENCH.json is not schema v7"; exit 1; }
+grep -q '"recovery_loop"' BENCH.json \
+  || { echo "BENCH.json lacks the recovery_loop section"; exit 1; }
+grep -q '"after_corners"' BENCH.json \
+  || { echo "BENCH.json recovery_loop lacks per-corner QoR"; exit 1; }
+
 echo "== service smoke (mbrd daemon + scripted mbrc client session) =="
 sock=$(mktemp -u /tmp/mbrd_ci.XXXXXX.sock)
 dune exec bin/mbrd.exe -- --socket "$sock" --queue-limit 8 &

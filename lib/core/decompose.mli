@@ -27,3 +27,34 @@ val split_max_width :
     original location (lower bits keep the original corner). The
     netlist stays valid; connectivity, clock, reset, scan-enable and
     gating attributes are preserved bit-for-bit. *)
+
+val splittable :
+  Mbr_place.Placement.t ->
+  Mbr_liberty.Library.t ->
+  Mbr_netlist.Types.cell_id ->
+  bool
+(** Would {!split_cells} actually split this register? True iff it is
+    placed and passes every eligibility rule (not fixed/size-only, even
+    width >= 2, no ordered-scan section, half-width cell available).
+    The recovery loop uses this to pick victims that are guaranteed to
+    make progress — a nonempty victim list always yields >= 1 split. *)
+
+val split_cells :
+  ?pin:bool ->
+  Mbr_place.Placement.t ->
+  Mbr_liberty.Library.t ->
+  Mbr_netlist.Types.cell_id list ->
+  report
+(** Split the given registers (any even width >= 2, not just max-width;
+    the other eligibility rules still apply — ineligible ids are
+    silently skipped). This is the recovery loop's entry point: a
+    composed MBR whose worst-corner slack went negative is decomposed
+    here and re-enters partitioning.
+
+    With [~pin:true] (default false) the halves are marked
+    [size_only], excluding them from {!Compat.is_composable} — they can
+    be resized but never re-composed, which makes the recovery loop
+    monotone (a split can never be undone, so rounds converge). Pinned
+    halves are also placed at the centroid of their connected nets'
+    other pins rather than at the original corner, recovering
+    wirelength the oversized MBR was paying. *)

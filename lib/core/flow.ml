@@ -15,6 +15,8 @@ type options = {
   skew : Skew.config option;
   resize : Resize.config option;
   decompose : bool;
+  corners : Mbr_sta.Corner.t array;
+  recover : int;
   route_config : Mbr_route.Estimator.config option;
   cts_config : Mbr_cts.Synth.config option;
 }
@@ -28,6 +30,8 @@ let default_options =
     skew = Some Skew.default_config;
     resize = Some Resize.default_config;
     decompose = false;
+    corners = Mbr_sta.Corner.default;
+    recover = 0;
     route_config = None;
     cts_config = None;
   }
@@ -56,6 +60,8 @@ type result = {
   sta_refreshes : int;
   eco_blocks_resolved : int;
   eco_blocks_reused : int;
+  recover_rounds : int;
+  recover_splits : int;
   cancelled : bool;
 }
 
@@ -79,6 +85,8 @@ let stage ctx name f =
   r
 
 let m_recomposes = Mbr_obs.Metrics.counter "flow.recomposes"
+
+let m_recover_rounds = Mbr_obs.Metrics.counter "flow.recover_rounds"
 
 (* The effective allocate configuration: [options.jobs] (the frontends'
    [-j]) overrides the config's own [jobs] field when given. *)
@@ -276,7 +284,7 @@ module Session = struct
       design;
       placement;
       library;
-      eng = Engine.build ~config:sta_config placement;
+      eng = Engine.build ~config:sta_config ~corners:options.corners placement;
       cache = Allocate.create_cache ();
       blocker_index = Spatial.create ();
       blocker_pos = Hashtbl.create 1024;
@@ -298,6 +306,14 @@ module Session = struct
   let recomposes s = s.n_recomposes
 
   let last_compat_stats s = s.last_compat_stats
+
+  (* Swapping the corner set invalidates every timing-derived number;
+     the engine re-analyzes lazily, but the cached "after" snapshot is
+     keyed only on design/placement revisions and would otherwise be
+     served stale by the next metrics-before pass. *)
+  let set_corners s cs =
+    Engine.set_corners s.eng cs;
+    s.last_after <- None
 
   (* ---- ownership: the single-writer discipline ----
 
@@ -443,7 +459,46 @@ module Session = struct
      duration IS [runtime_s] — the stage spans nest inside it, so the
      exported trace accounts for the run's wall time with no second
      clock involved. *)
-  let recompose ?cancel s =
+  (* One recovery round: decompose the victims (pinning the halves so
+     they can never re-compose — that monotonicity is what bounds the
+     loop), then re-enter the pipeline from the compat graph. The
+     session's incrementality keeps each round regional: only blocks
+     the splits dirtied are re-solved, only touched cones re-timed. *)
+  let recover_round ctx s ?cancel ~round victims =
+    fst
+    @@ Mbr_obs.Trace.timed_span ~name:"flow.recover"
+         ~args:
+           [
+             ("round", Mbr_obs.Trace.Int round);
+             ("victims", Mbr_obs.Trace.Int (List.length victims));
+           ]
+    @@ fun () ->
+    let split =
+      stage ctx "decompose" (fun () ->
+          let rep =
+            Decompose.split_cells ~pin:true s.placement s.library victims
+          in
+          Engine.refresh s.eng;
+          rep)
+    in
+    let graph = stage_graph ctx s in
+    stage_blocker_index ctx s;
+    let selection, cache_stats = stage_allocate ctx s ?cancel graph in
+    let merged = stage_merge ctx graph selection in
+    let scan_report = stage_scan_restitch ctx in
+    let skew_report = stage_skew ctx ?cancel () in
+    let n_resized = stage_resize ctx merged.mo_new_mbrs in
+    let after = stage_metrics_after ctx in
+    ( split,
+      selection,
+      cache_stats,
+      merged,
+      scan_report,
+      skew_report,
+      n_resized,
+      after )
+
+  let recompose ?cancel ?recover s =
     (* Single-writer gate. A caller that already holds the session
        keeps it; an unowned session is claimed for just this call
        (which is what keeps plain single-threaded usage ceremony-free);
@@ -482,34 +537,126 @@ module Session = struct
       let skew_report = stage_skew ctx ?cancel () in
       let n_resized = stage_resize ctx merged.mo_new_mbrs in
       let after = stage_metrics_after ctx in
+      (* ---- recovery loop: worst-corner-negative MBRs go back through
+         decompose → (partition → allocate → compose) until every MBR
+         this pass created is clean or the round budget runs out ---- *)
+      let budget =
+        match recover with Some r -> max 0 r | None -> s.options.recover
+      in
+      (* Victims are a function of design + placement + timing state
+         alone, never of session history: a from-scratch [run] over the
+         same state must reach the same recovery decisions (the
+         equivalence property). Any live register {!Decompose.splittable}
+         would actually split — composed this pass, by an earlier
+         recompose (a set-corners in between can turn those into
+         victims), or multi-bit in the input — qualifies when its worst
+         corner goes negative. Splittability guarantees every round
+         makes >= 1 split, so rounds are never spent on unsplittable
+         violators. *)
+      let tv = Mbr_sta.Timing_view.of_engine s.eng in
+      let victims () =
+        List.filter
+          (fun cid ->
+            live_register s.design cid
+            && Decompose.splittable s.placement s.library cid
+            &&
+            let sl =
+              Float.min
+                (Mbr_sta.Timing_view.reg_d_slack tv cid)
+                (Mbr_sta.Timing_view.reg_q_slack tv cid)
+            in
+            Float.is_finite sl && sl < 0.0)
+          (Design.registers s.design)
+      in
+      let r_after = ref after in
+      let r_mbrs = ref merged.mo_new_mbrs in
+      let r_regs = ref merged.mo_n_regs_merged in
+      let r_incomplete = ref merged.mo_n_incomplete in
+      let r_displacement = ref merged.mo_displacement in
+      let r_resized = ref n_resized in
+      let r_cost = ref selection.Allocate.cost in
+      let r_blocks = ref selection.Allocate.n_blocks in
+      let r_candidates = ref selection.Allocate.n_candidates in
+      let r_all_optimal = ref selection.Allocate.all_optimal in
+      let r_resolved = ref cache_stats.Allocate.blocks_resolved in
+      let r_reused = ref cache_stats.Allocate.blocks_reused in
+      let r_scan_wl = ref scan_report.Mbr_dft.Scan_stitch.wirelength in
+      let r_skew = ref skew_report in
+      let recover_rounds = ref 0 in
+      let recover_splits = ref 0 in
+      (try
+         while !recover_rounds < budget do
+           (match cancel with
+           | Some t when Mbr_util.Cancel.cancelled t -> raise Exit
+           | _ -> ());
+           match victims () with
+           | [] -> raise Exit
+           | victims ->
+             incr recover_rounds;
+             Mbr_obs.Metrics.incr m_recover_rounds;
+             let ( split,
+                   selection,
+                   cache_stats,
+                   merged,
+                   scan_report,
+                   skew_report,
+                   n_resized,
+                   after ) =
+               recover_round ctx s ?cancel ~round:!recover_rounds victims
+             in
+             recover_splits := !recover_splits + split.Decompose.n_split;
+             r_after := after;
+             (* dead (split) ids drop out through the final liveness
+                filter on [new_mbrs], so appending is enough *)
+             r_mbrs := !r_mbrs @ merged.mo_new_mbrs;
+             r_regs := !r_regs + merged.mo_n_regs_merged;
+             r_incomplete := !r_incomplete + merged.mo_n_incomplete;
+             r_displacement := !r_displacement +. merged.mo_displacement;
+             r_resized := !r_resized + n_resized;
+             r_cost := !r_cost +. selection.Allocate.cost;
+             r_blocks := !r_blocks + selection.Allocate.n_blocks;
+             r_candidates := !r_candidates + selection.Allocate.n_candidates;
+             r_all_optimal := !r_all_optimal && selection.Allocate.all_optimal;
+             r_resolved := !r_resolved + cache_stats.Allocate.blocks_resolved;
+             r_reused := !r_reused + cache_stats.Allocate.blocks_reused;
+             r_scan_wl := scan_report.Mbr_dft.Scan_stitch.wirelength;
+             r_skew := skew_report
+         done
+       with Exit -> ());
+      let live_mbrs =
+        List.filter (fun cid -> live_register s.design cid) !r_mbrs
+      in
       s.last_after <-
-        Some (after, Design.revision s.design, Placement.revision s.placement);
+        Some
+          (!r_after, Design.revision s.design, Placement.revision s.placement);
       s.n_recomposes <- s.n_recomposes + 1;
       Mbr_obs.Metrics.incr m_recomposes;
       {
         before;
-        after;
+        after = !r_after;
         n_split;
-        scan_chain_wl = scan_report.Mbr_dft.Scan_stitch.wirelength;
-        merge_displacement = merged.mo_displacement;
-        n_merges = List.length merged.mo_new_mbrs;
-        n_regs_merged = merged.mo_n_regs_merged;
-        n_incomplete = merged.mo_n_incomplete;
-        n_resized;
-        ilp_cost = selection.Allocate.cost;
-        n_blocks = selection.Allocate.n_blocks;
-        n_candidates = selection.Allocate.n_candidates;
-        all_optimal = selection.Allocate.all_optimal;
+        scan_chain_wl = !r_scan_wl;
+        merge_displacement = !r_displacement;
+        n_merges = List.length !r_mbrs;
+        n_regs_merged = !r_regs;
+        n_incomplete = !r_incomplete;
+        n_resized = !r_resized;
+        ilp_cost = !r_cost;
+        n_blocks = !r_blocks;
+        n_candidates = !r_candidates;
+        all_optimal = !r_all_optimal;
         alloc_jobs = (allocate_config s.options).Allocate.jobs;
         alloc_block_times = selection.Allocate.block_times;
-        skew_report;
-        new_mbrs = merged.mo_new_mbrs;
+        skew_report = !r_skew;
+        new_mbrs = live_mbrs;
         runtime_s = 0.0 (* patched below from the span's duration *);
         stage_times = List.rev ctx.stage_times_rev;
         sta_full_builds = Engine.full_builds s.eng;
         sta_refreshes = Engine.refreshes s.eng;
-        eco_blocks_resolved = cache_stats.Allocate.blocks_resolved;
-        eco_blocks_reused = cache_stats.Allocate.blocks_reused;
+        eco_blocks_resolved = !r_resolved;
+        eco_blocks_reused = !r_reused;
+        recover_rounds = !recover_rounds;
+        recover_splits = !recover_splits;
         cancelled =
           (match cancel with
           | Some t -> Mbr_util.Cancel.cancelled t

@@ -38,6 +38,17 @@ type options = {
       (** split max-width MBRs first and let composition rebuild better
           groupings — the paper's §5 future work (off by default, as in
           the paper's experiments) *)
+  corners : Mbr_sta.Corner.t array;
+      (** timing corners the session's engine analyzes; every slack the
+          flow consumes is the worst over this set (default:
+          {!Mbr_sta.Corner.default}, single typical corner) *)
+  recover : int;
+      (** recovery-round budget per recompose: after composition, MBRs
+          with negative worst-corner slack are decomposed (halves
+          pinned) and the affected region re-enters
+          partition→allocate→compose, up to this many rounds (default
+          0 = loop off). {!Session.recompose}'s [?recover] overrides
+          it per call. *)
   route_config : Mbr_route.Estimator.config option;
   cts_config : Mbr_cts.Synth.config option;
 }
@@ -93,6 +104,11 @@ type result = {
       (** partition blocks spliced in from the session's solve cache —
           0 for a from-scratch [run], > 0 when a recompose found blocks
           the ECO left untouched *)
+  recover_rounds : int;
+      (** recovery rounds this pass actually ran: 0 when the budget was
+          0 or every new MBR was already clean in every corner *)
+  recover_splits : int;
+      (** violating MBRs decomposed across all recovery rounds *)
   cancelled : bool;
       (** the recompose's cancellation token tripped at some point
           while it ran: the pass still completed every stage and the
@@ -157,12 +173,23 @@ module Session : sig
       first {!recompose}. Raises [Invalid_argument] when [placement]
       was not built over [design]. *)
 
-  val recompose : ?cancel:Mbr_util.Cancel.t -> t -> result
+  val recompose : ?cancel:Mbr_util.Cancel.t -> ?recover:int -> t -> result
   (** Run the composition pipeline over the current design/placement
       state, reusing everything the edit logs prove untouched. The
       first call is exactly {!run}; later calls report
       [eco_blocks_reused] > 0 whenever the ECO left partition blocks
       clean.
+
+      [recover] overrides [options.recover] for this call: after the
+      main pass, while some splittable MBR (composed by any pass, or
+      multi-bit in the input design) has negative worst-corner slack
+      and rounds remain, the violators are decomposed with
+      {!Decompose.split_cells}[ ~pin:true] (the halves
+      can be resized but never re-composed, so rounds are monotone)
+      and the pipeline re-enters at the compat graph. Each round rides
+      the session's incrementality — only blocks the splits dirtied
+      re-solve. Accumulated counts land in [recover_rounds] /
+      [recover_splits]; [after] is the final post-recovery snapshot.
 
       Requires the session to be owned by the calling domain or
       unowned (then it is claimed for the duration of the call);
@@ -209,6 +236,13 @@ module Session : sig
 
   val recomposes : t -> int
   (** Completed {!recompose} calls. *)
+
+  val set_corners : t -> Mbr_sta.Corner.t array -> unit
+  (** Swap the corner set the session's engine analyzes (see
+      {!Mbr_sta.Engine.set_corners}); the next recompose re-measures
+      everything under the new set (the cached "after" snapshot is
+      dropped — its timing columns are stale). Raises
+      [Invalid_argument] on an empty set. *)
 
   val last_compat_stats : t -> Compat.refresh_stats option
   (** Dirtiness accounting of the most recent incremental compat-graph

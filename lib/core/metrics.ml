@@ -1,6 +1,7 @@
 module Design = Mbr_netlist.Design
 module Placement = Mbr_place.Placement
 module Engine = Mbr_sta.Engine
+module Timing_view = Mbr_sta.Timing_view
 module Synth = Mbr_cts.Synth
 module Estimator = Mbr_route.Estimator
 module Stats = Mbr_util.Stats
@@ -22,11 +23,13 @@ type t = {
   endpoints : int;
   ovfl : int;
   utilization : float;
+  corners : (string * float * float) list;
 }
 
 let collect ?route_config ?cts_config eng lib =
   let pl = Engine.placement eng in
   let dsg = Placement.design pl in
+  let tv = Timing_view.of_engine eng in
   Engine.refresh eng;
   let cts = Synth.synthesize ?config:cts_config pl in
   let route = Estimator.estimate ?config:route_config pl in
@@ -54,12 +57,13 @@ let collect ?route_config ?cts_config eng lib =
     clk_cap = cts.Synth.total_cap;
     clk_power = power.Power.clock_power;
     clk_power_frac = power.Power.clock_fraction;
-    tns = Engine.tns eng;
-    wns = Engine.wns eng;
-    failing = Engine.failing_endpoints eng;
-    endpoints = Engine.n_endpoints eng;
+    tns = Timing_view.tns tv;
+    wns = Timing_view.wns tv;
+    failing = Timing_view.failing_endpoints tv;
+    endpoints = Timing_view.n_endpoints tv;
     ovfl = route.Estimator.overflow_edges;
     utilization = Placement.utilization pl;
+    corners = Timing_view.per_corner tv;
   }
 
 let pp_row ppf m =

@@ -13,12 +13,15 @@ type t = {
   clk_cap : float;  (** fF: sinks + clock wire + buffers *)
   clk_power : float;  (** µW at the design's clock period (see {!Power}) *)
   clk_power_frac : float;  (** clock share of dynamic power (§1: 20–40 %) *)
-  tns : float;  (** ps, <= 0 *)
-  wns : float;  (** ps *)
+  tns : float;  (** ps, <= 0, worst-corner *)
+  wns : float;  (** ps, worst-corner *)
   failing : int;
   endpoints : int;
   ovfl : int;  (** overflow edges *)
   utilization : float;
+  corners : (string * float * float) list;
+      (** per-corner [(name, wns, tns)], in the engine's corner-set
+          order; a single ["typical"] entry for single-corner runs *)
 }
 
 val collect :

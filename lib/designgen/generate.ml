@@ -16,6 +16,7 @@ type t = {
   placement : Placement.t;
   library : Library.t;
   sta_config : Engine.config;
+  corners : Mbr_sta.Corner.t array;
   profile : Profile.t;
 }
 
@@ -188,13 +189,19 @@ let generate (p : Profile.t) =
   in
   assign_sections 0 0 n_ordered scannable;
 
-  (* ---- clustering: group compatible registers, chunk into clusters ---- *)
+  (* ---- clustering: group compatible registers, chunk into clusters ----
+     A flat profile deliberately destroys the module correlation: every
+     register lands in one shuffled pool, so spatial neighbours mix
+     classes, clocks, enables and scan partitions freely. *)
   let group_key i =
-    let s = specs.(i) in
-    ( s.r_class,
-      s.r_clock,
-      s.r_enable,
-      match s.r_scan with Some sc -> sc.Types.partition | None -> -1 )
+    if p.Profile.flat then ("", clk_root_net, None, -1)
+    else begin
+      let s = specs.(i) in
+      ( s.r_class,
+        s.r_clock,
+        s.r_enable,
+        match s.r_scan with Some sc -> sc.Types.partition | None -> -1 )
+    end
   in
   let groups = Hashtbl.create 32 in
   Array.iteri
@@ -208,6 +215,14 @@ let generate (p : Profile.t) =
   Hashtbl.iter
     (fun _ members ->
       let members = List.rev members in
+      let members =
+        if p.Profile.flat then begin
+          let a = Array.of_list members in
+          Rng.shuffle rng a;
+          Array.to_list a
+        end
+        else members
+      in
       let rec chunk = function
         | [] -> ()
         | l ->
@@ -237,7 +252,9 @@ let generate (p : Profile.t) =
      dominant width (with stragglers from the global mix). Likewise,
      composability is module-correlated: designers pin whole banks
      (interface/CDC modules), not random registers, so each cluster is
-     mostly composable or mostly not. *)
+     mostly composable or mostly not. Flat profiles skip this entirely:
+     widths and composability stay independent draws. *)
+  if not p.Profile.flat then
   List.iter
     (fun (_, members) ->
       let dominant = draw_width rng p.Profile.width_mix in
@@ -472,6 +489,9 @@ let generate (p : Profile.t) =
         let bits = s.r_cell.Cell_lib.bits in
         let d = Array.init bits (fun _ -> Some (build_cone i)) in
         let q = Array.map (fun nid -> Some nid) q_nets.(i) in
+        (* flat netlists scramble bit order: q_<i>_<b> no longer sits at
+           bit index b, so nothing downstream can read order off names *)
+        if p.Profile.flat then Rng.shuffle rng q;
         let conn =
           {
             Design.d_nets = d;
@@ -580,7 +600,8 @@ let generate (p : Profile.t) =
       Mbr_util.Stats.percentile vs keep
   in
   let sta_config = { Engine.default_config with Engine.clock_period = period } in
-  { design = dsg; placement = pl; library = lib; sta_config; profile = p }
+  let corners = Mbr_sta.Corner.spread_set p.Profile.corner_spread in
+  { design = dsg; placement = pl; library = lib; sta_config; corners; profile = p }
 
 let gate_resolver name =
   Array.fold_left

@@ -21,6 +21,10 @@ type t = {
   placement : Mbr_place.Placement.t;
   library : Mbr_liberty.Library.t;
   sta_config : Mbr_sta.Engine.config;
+  corners : Mbr_sta.Corner.t array;
+      (** the profile's derate set
+          ({!Mbr_sta.Corner.spread_set} of [corner_spread]) — what a
+          flow session built from this design should analyze under *)
   profile : Profile.t;
 }
 

@@ -14,6 +14,8 @@ type t = {
   target_util : float;
   failing_frac : float;
   cross_cluster_frac : float;
+  flat : bool;
+  corner_spread : float;
   seed : int;
 }
 
@@ -41,6 +43,8 @@ let d1 =
     target_util = 0.62;
     failing_frac = 0.38;
     cross_cluster_frac = 0.10;
+    flat = false;
+    corner_spread = 0.0;
     seed = 0x5EED_D1;
   }
 
@@ -61,6 +65,8 @@ let d2 =
     target_util = 0.60;
     failing_frac = 0.38;
     cross_cluster_frac = 0.12;
+    flat = false;
+    corner_spread = 0.0;
     seed = 0x5EED_D2;
   }
 
@@ -81,6 +87,8 @@ let d3 =
     target_util = 0.72;
     failing_frac = 0.40;
     cross_cluster_frac = 0.15;
+    flat = false;
+    corner_spread = 0.0;
     seed = 0x5EED_D3;
   }
 
@@ -101,6 +109,8 @@ let d4 =
     target_util = 0.65;
     failing_frac = 0.36;
     cross_cluster_frac = 0.10;
+    flat = false;
+    corner_spread = 0.0;
     seed = 0x5EED_D4;
   }
 
@@ -121,6 +131,8 @@ let d5 =
     target_util = 0.63;
     failing_frac = 0.38;
     cross_cluster_frac = 0.11;
+    flat = false;
+    corner_spread = 0.0;
     seed = 0x5EED_D5;
   }
 
@@ -143,7 +155,22 @@ let tiny ~seed =
     target_util = 0.55;
     failing_frac = 0.35;
     cross_cluster_frac = 0.1;
+    flat = false;
+    corner_spread = 0.0;
     seed;
+  }
+
+(* Aggregation-hostile: no name/clock/enable correlation between
+   spatially-near registers and randomized bit ordering (both applied
+   in Generate when [flat] is set), so composition has to earn every
+   merge from placement and timing alone. *)
+let flat ~seed =
+  {
+    (tiny ~seed) with
+    name = "flat";
+    n_registers = 150;
+    cluster_size_mean = 12;
+    flat = true;
   }
 
 let scaled p f =

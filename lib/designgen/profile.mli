@@ -27,6 +27,13 @@ type t = {
   target_util : float;  (** placement utilization *)
   failing_frac : float;  (** calibrated fraction of failing endpoints *)
   cross_cluster_frac : float;  (** cones sourced from far-away clusters *)
+  flat : bool;
+      (** aggregation-hostile generation: clusters mix register
+          classes/clocks freely (no module-name-style correlation) and
+          bit ordering is randomized — see {!flat} *)
+  corner_spread : float;
+      (** derate-profile knob: 0 means single typical corner; s > 0
+          adds a "derated" corner via {!Mbr_sta.Corner.spread_set} *)
   seed : int;
 }
 
@@ -48,6 +55,13 @@ val all : t list
 
 val tiny : seed:int -> t
 (** A fast small profile for tests and the quickstart example. *)
+
+val flat : seed:int -> t
+(** An aggregation-hostile flat netlist: [flat = true], so placement
+    clusters mix register classes, clocks and enables with no
+    correlation, and per-register bit order is shuffled. Composition
+    quality on this family measures how much the flow relies on
+    netlist-name structure versus placement and timing. *)
 
 val scaled : t -> float -> t
 (** [scaled p f] multiplies the register count by [f] (for quick runs:

@@ -51,17 +51,21 @@ let call t ?(params = Fun.id) verb =
   in
   await ()
 
-let load t ~session ?profile ?scale ?seed () =
+let load t ~session ?profile ?scale ?seed ?corners () =
   call t P.Load ~params:(fun r ->
-      { r with P.session = Some session; profile; scale; seed })
+      { r with P.session = Some session; profile; scale; seed; corners })
 
 let perturb t ~session ?seed ?frac () =
   call t P.Perturb ~params:(fun r ->
       { r with P.session = Some session; seed; frac })
 
-let recompose t ~session ?timeout_s () =
+let recompose t ~session ?timeout_s ?recover () =
   call t P.Recompose ~params:(fun r ->
-      { r with P.session = Some session; timeout_s })
+      { r with P.session = Some session; timeout_s; recover })
+
+let set_corners t ~session ~corners () =
+  call t P.Set_corners ~params:(fun r ->
+      { r with P.session = Some session; corners = Some corners })
 
 let query_metrics t = call t P.Query_metrics
 

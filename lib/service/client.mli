@@ -34,15 +34,27 @@ val call : t -> ?params:(Protocol.request -> Protocol.request) ->
 
 val load :
   t -> session:string -> ?profile:string -> ?scale:float -> ?seed:int ->
-  unit -> (Mbr_obs.Json.t, Protocol.error) result
+  ?corners:string -> unit -> (Mbr_obs.Json.t, Protocol.error) result
+(** [corners] is a {!Mbr_sta.Corner.parse_set} spec overriding the
+    profile's derate spread, e.g. ["typical,slow,fast"]. *)
 
 val perturb :
   t -> session:string -> ?seed:int -> ?frac:float -> unit ->
   (Mbr_obs.Json.t, Protocol.error) result
 
 val recompose :
-  t -> session:string -> ?timeout_s:float -> unit ->
+  t -> session:string -> ?timeout_s:float -> ?recover:int -> unit ->
   (Mbr_obs.Json.t, Protocol.error) result
+(** [recover] bounds the compose ↔ decompose recovery loop for this
+    pass (see {!Mbr_core.Flow.Session.recompose}); the response carries
+    [recover_rounds], [recover_splits] and per-corner WNS/TNS. *)
+
+val set_corners :
+  t -> session:string -> corners:string -> unit ->
+  (Mbr_obs.Json.t, Protocol.error) result
+(** Swap the session's corner set (comma-separated
+    {!Mbr_sta.Corner.parse_set} spec); takes effect on the next
+    recompose. *)
 
 val query_metrics : t -> (Mbr_obs.Json.t, Protocol.error) result
 

@@ -1,17 +1,25 @@
 module J = Mbr_obs.Json
 
-type verb = Load | Perturb | Recompose | Query_metrics | Export_trace | Shutdown
+type verb =
+  | Load
+  | Perturb
+  | Recompose
+  | Set_corners
+  | Query_metrics
+  | Export_trace
+  | Shutdown
 
 let verb_to_string = function
   | Load -> "load"
   | Perturb -> "perturb"
   | Recompose -> "recompose"
+  | Set_corners -> "set-corners"
   | Query_metrics -> "query-metrics"
   | Export_trace -> "export-trace"
   | Shutdown -> "shutdown"
 
 let all_verbs =
-  [ Load; Perturb; Recompose; Query_metrics; Export_trace; Shutdown ]
+  [ Load; Perturb; Recompose; Set_corners; Query_metrics; Export_trace; Shutdown ]
 
 let verb_of_string s =
   List.find_opt (fun v -> verb_to_string v = s) all_verbs
@@ -26,10 +34,25 @@ type request = {
   frac : float option;
   timeout_s : float option;
   path : string option;
+  corners : string option;
+  recover : int option;
 }
 
-let request ?session ?profile ?scale ?seed ?frac ?timeout_s ?path ~id verb =
-  { id; verb; session; profile; scale; seed; frac; timeout_s; path }
+let request ?session ?profile ?scale ?seed ?frac ?timeout_s ?path ?corners
+    ?recover ~id verb =
+  {
+    id;
+    verb;
+    session;
+    profile;
+    scale;
+    seed;
+    frac;
+    timeout_s;
+    path;
+    corners;
+    recover;
+  }
 
 type error_code =
   | Invalid_json
@@ -86,6 +109,8 @@ let request_to_json (r : request) =
          opt "frac" (fun f -> J.Num f) r.frac;
          opt "timeout_s" (fun f -> J.Num f) r.timeout_s;
          opt "path" (fun s -> J.Str s) r.path;
+         opt "corners" (fun s -> J.Str s) r.corners;
+         opt "recover" (fun i -> J.Num (float_of_int i)) r.recover;
        ])
 
 (* Field readers distinguish "absent" (fine, every param is optional at
@@ -137,6 +162,8 @@ let request_of_json j =
       frac = field "frac" J.to_float j;
       timeout_s = field "timeout_s" J.to_float j;
       path = field "path" J.to_str j;
+      corners = field "corners" J.to_str j;
+      recover = field "recover" J.to_int j;
     }
   with
   | r -> Ok r

@@ -7,7 +7,7 @@
     §14 for the full protocol description:
 
     {v request  := {"id": int, "verb": verb, ...verb params}
-       verb     := "load" | "perturb" | "recompose"
+       verb     := "load" | "perturb" | "recompose" | "set-corners"
                  | "query-metrics" | "export-trace" | "shutdown"
        response := {"id": int, "ok": true, "data": value}
                  | {"id": int, "ok": false, "error": code,
@@ -19,11 +19,18 @@
     ({!Mbr_obs.Json.of_string_result}, {!request_of_json}), never an
     exception: the daemon answers garbage with an error response. *)
 
-type verb = Load | Perturb | Recompose | Query_metrics | Export_trace | Shutdown
+type verb =
+  | Load
+  | Perturb
+  | Recompose
+  | Set_corners
+  | Query_metrics
+  | Export_trace
+  | Shutdown
 
 val verb_to_string : verb -> string
-(** ["load"], ["perturb"], ["recompose"], ["query-metrics"],
-    ["export-trace"], ["shutdown"]. *)
+(** ["load"], ["perturb"], ["recompose"], ["set-corners"],
+    ["query-metrics"], ["export-trace"], ["shutdown"]. *)
 
 val verb_of_string : string -> verb option
 
@@ -39,6 +46,11 @@ type request = {
   frac : float option;  (** perturb: scales the default ECO fractions *)
   timeout_s : float option;  (** recompose: cancellation deadline *)
   path : string option;  (** export-trace: file to write *)
+  corners : string option;
+      (** load / set-corners: corner-set spec, comma-separated
+          {!Mbr_sta.Corner.parse_set} syntax, e.g.
+          ["typical,slow,fast"] *)
+  recover : int option;  (** recompose: recovery-round budget *)
 }
 
 val request :
@@ -49,6 +61,8 @@ val request :
   ?frac:float ->
   ?timeout_s:float ->
   ?path:string ->
+  ?corners:string ->
+  ?recover:int ->
   id:int ->
   verb ->
   request

@@ -88,6 +88,7 @@ let profile_of req =
   let base =
     match Option.value req.P.profile ~default:"tiny" with
     | "tiny" -> Prof.tiny ~seed
+    | "flat" -> Prof.flat ~seed
     | "d1" -> { Prof.d1 with Prof.seed }
     | "d2" -> { Prof.d2 with Prof.seed }
     | "d3" -> { Prof.d3 with Prof.seed }
@@ -112,6 +113,13 @@ let eco_config frac =
     add_frac = d.Eco.add_frac *. frac;
   }
 
+let corners_payload (m : Mbr_core.Metrics.t) =
+  J.Arr
+    (List.map
+       (fun (name, wns, tns) ->
+         J.Obj [ ("name", J.Str name); ("wns", J.Num wns); ("tns", J.Num tns) ])
+       m.Mbr_core.Metrics.corners)
+
 let recompose_payload (r : Flow.result) round =
   J.Obj
     [
@@ -119,6 +127,7 @@ let recompose_payload (r : Flow.result) round =
       ("runtime_s", J.Num r.Flow.runtime_s);
       ("wns", J.Num r.Flow.after.Mbr_core.Metrics.wns);
       ("tns", J.Num r.Flow.after.Mbr_core.Metrics.tns);
+      ("corners", corners_payload r.Flow.after);
       ("total_regs", J.Num (float_of_int r.Flow.after.Mbr_core.Metrics.total_regs));
       ("n_merges", J.Num (float_of_int r.Flow.n_merges));
       ("n_regs_merged", J.Num (float_of_int r.Flow.n_regs_merged));
@@ -126,8 +135,15 @@ let recompose_payload (r : Flow.result) round =
       ("all_optimal", J.Bool r.Flow.all_optimal);
       ("blocks_resolved", J.Num (float_of_int r.Flow.eco_blocks_resolved));
       ("blocks_reused", J.Num (float_of_int r.Flow.eco_blocks_reused));
+      ("recover_rounds", J.Num (float_of_int r.Flow.recover_rounds));
+      ("recover_splits", J.Num (float_of_int r.Flow.recover_splits));
       ("cancelled", J.Bool r.Flow.cancelled);
     ]
+
+let parse_corners spec =
+  match Mbr_sta.Corner.parse_set spec with
+  | Ok cs -> cs
+  | Error m -> P.reject P.Bad_request "bad \"corners\": %s" m
 
 (* One session request, on whichever worker domain picked it up. The
    session is held (acquire/release) for exactly the mutating part, so
@@ -143,10 +159,18 @@ let exec_pending t sess p =
     match (req.P.verb, sess.state) with
     | P.Load, Loading ->
       let gen = G.generate (profile_of req) in
+      (* explicit corner spec wins; otherwise the profile's derate
+         spread decides (single typical corner when the spread is 0) *)
+      let corners =
+        match req.P.corners with
+        | Some spec -> parse_corners spec
+        | None -> gen.G.corners
+      in
       let options =
         {
           Flow.default_options with
           Flow.jobs = Some (max 1 t.config.alloc_jobs);
+          Flow.corners = corners;
         }
       in
       let flow =
@@ -165,11 +189,12 @@ let exec_pending t sess p =
                     (List.length (Mbr_netlist.Design.registers gen.G.design)))
              );
              ("profile", J.Str gen.G.profile.Prof.name);
+             ("corners", J.Str (Mbr_sta.Corner.set_to_string corners));
            ])
     | P.Load, Ready _ ->
       (* unreachable: load is only ever queued on a fresh entry *)
       P.fail req.P.id P.Session_exists sess.sname
-    | (P.Perturb | P.Recompose), Loading ->
+    | (P.Perturb | P.Recompose | P.Set_corners), Loading ->
       (* only reachable if this session's load failed and teardown
          raced new requests in; answered like the load never happened *)
       P.fail req.P.id P.Unknown_session sess.sname
@@ -198,7 +223,15 @@ let exec_pending t sess p =
             Mbr_util.Cancel.create ~timeout_s:dt ())
           req.P.timeout_s
       in
-      let r = Flow.Session.recompose ?cancel flow in
+      let recover =
+        Option.map
+          (fun n ->
+            if n < 0 then
+              P.reject P.Bad_request "\"recover\" must be non-negative";
+            n)
+          req.P.recover
+      in
+      let r = Flow.Session.recompose ?cancel ?recover flow in
       if r.Flow.cancelled then
         P.fail req.P.id P.Cancelled
           (Printf.sprintf
@@ -207,6 +240,22 @@ let exec_pending t sess p =
              (Option.value req.P.timeout_s ~default:0.0)
              sess.sname)
       else P.ok req.P.id (recompose_payload r (Flow.Session.recomposes flow))
+    | P.Set_corners, Ready { flow; _ } ->
+      Flow.Session.acquire flow;
+      Fun.protect ~finally:(fun () -> Flow.Session.release flow) @@ fun () ->
+      let cs =
+        match req.P.corners with
+        | None -> P.reject P.Bad_request "set-corners needs \"corners\""
+        | Some spec -> parse_corners spec
+      in
+      Flow.Session.set_corners flow cs;
+      P.ok req.P.id
+        (J.Obj
+           [
+             ("session", J.Str sess.sname);
+             ("corners", J.Str (Mbr_sta.Corner.set_to_string cs));
+             ("n_corners", J.Num (float_of_int (Array.length cs)));
+           ])
     | (P.Query_metrics | P.Export_trace | P.Shutdown), _ ->
       (* global verbs never reach a session queue *)
       assert false
@@ -412,7 +461,8 @@ let handle_line t conn line =
         answer req.P.verb t_recv conn
           (P.ok req.P.id (J.Obj [ ("stopping", J.Bool true) ]));
         initiate_stop t
-      | P.Load | P.Perturb | P.Recompose -> route_session_verb t conn req t_recv)
+      | P.Load | P.Perturb | P.Recompose | P.Set_corners ->
+        route_session_verb t conn req t_recv)
     )
 
 let reader t conn () =

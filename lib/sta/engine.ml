@@ -26,10 +26,13 @@ let default_config =
    and net loads, so they are recomputed per analysis — but the memo
    lives in the edge record itself, valid while [e_gen] matches the
    engine's current delay generation, and the propagation hot loops
-   never touch a hash table. A full invalidation (every [analyze],
-   which absorbs placement moves) is a single generation bump;
-   selective invalidation stamps the record stale. Fresh splices start
-   at generation -1, which never matches, and because the record is
+   never touch a hash table. The memo holds one derated delay per
+   active corner (index-aligned with the engine's corner set; an
+   array whose length disagrees with the set is stale regardless of
+   generation). A full invalidation (every [analyze], which absorbs
+   placement moves) is a single generation bump; selective
+   invalidation stamps the record stale. Fresh splices start at
+   generation -1, which never matches, and because the record is
    shared a delay is computed at most once per arc per generation no
    matter which direction reaches it first. [e_cell] distinguishes a
    comb input->output arc from a net driver->sink arc. *)
@@ -37,12 +40,12 @@ type edge = {
   e_src : Types.pin_id;
   e_dst : Types.pin_id;
   e_cell : bool;
-  mutable e_delay : float;
+  mutable e_delay : float array;
   mutable e_gen : int;
 }
 
 let mk_edge ~cell src dst =
-  { e_src = src; e_dst = dst; e_cell = cell; e_delay = 0.0; e_gen = -1 }
+  { e_src = src; e_dst = dst; e_cell = cell; e_delay = [||]; e_gen = -1 }
 
 type endpoint_kind = Ep_reg_d of Types.cell_id | Ep_out_port
 
@@ -99,10 +102,16 @@ module Pq = struct
     snd top
 end
 
+(* [arrival]/[required] are corner-major: one dense per-pin array per
+   active corner, all sharing the single graph (topology, arcs,
+   start/endpoints). Reachability is structural — a pin has a finite
+   arrival in one corner iff it does in every corner — so loops guard
+   on corner 0 and the per-corner inner loops never re-test. *)
 type t = {
   cfg : config;
   pl : Placement.t;
   dsg : Design.t;
+  mutable corners : Corner.t array;
   mutable n : int; (* pin count covered by the arrays below *)
   mutable in_graph : bool array;
   mutable succs : edge list array;
@@ -117,8 +126,8 @@ type t = {
   net_arcs : (Types.net_id, (Types.pin_id * Types.pin_id) list) Hashtbl.t;
       (** net arcs currently spliced into succs/preds, per net *)
   skews : (Types.cell_id, float) Hashtbl.t;
-  mutable arrival : float array;
-  mutable required : float array;
+  mutable arrival : float array array;
+  mutable required : float array array;
   mutable delay_gen : int; (* current validity stamp for edge memos *)
   mutable analyzed : bool;
   mutable dsg_cursor : int;  (** design edits already reflected *)
@@ -151,6 +160,10 @@ let cycle_to_string dsg pins =
 let config t = t.cfg
 
 let placement t = t.pl
+
+let corners t = t.corners
+
+let n_corners t = Array.length t.corners
 
 let set_skew t id s =
   Hashtbl.replace t.skews id s;
@@ -362,15 +375,22 @@ let compute_graph dsg =
     g_net_arcs = net_arcs;
   }
 
-let build ?(config = default_config) pl =
+let m_corners = Mbr_obs.Metrics.counter "sta.corners"
+
+let build ?(config = default_config) ?(corners = Corner.default) pl =
+  if Array.length corners = 0 then
+    invalid_arg "Sta.build: empty corner set";
   let dsg = Placement.design pl in
   let g = compute_graph dsg in
   let net_arcs = Hashtbl.create 1024 in
   Hashtbl.iter (fun k v -> Hashtbl.replace net_arcs k v) g.g_net_arcs;
+  let nc = Array.length corners in
+  Mbr_obs.Metrics.incr ~by:nc m_corners;
   {
     cfg = config;
     pl;
     dsg;
+    corners = Array.copy corners;
     n = g.g_n;
     in_graph = g.g_in_graph;
     succs = g.g_succs;
@@ -383,8 +403,8 @@ let build ?(config = default_config) pl =
     endpoints = g.g_endpoints;
     net_arcs;
     skews = Hashtbl.create 64;
-    arrival = Array.make g.g_n neg_infinity;
-    required = Array.make g.g_n infinity;
+    arrival = Array.init nc (fun _ -> Array.make g.g_n neg_infinity);
+    required = Array.init nc (fun _ -> Array.make g.g_n infinity);
     delay_gen = 0;
     analyzed = false;
     dsg_cursor = Design.revision dsg;
@@ -392,6 +412,15 @@ let build ?(config = default_config) pl =
     n_full_builds = 1;
     n_refreshes = 0;
   }
+
+let set_corners t cs =
+  if Array.length cs = 0 then invalid_arg "Sta.set_corners: empty corner set";
+  t.corners <- Array.copy cs;
+  let nc = Array.length cs in
+  t.arrival <- Array.init nc (fun _ -> Array.make t.n neg_infinity);
+  t.required <- Array.init nc (fun _ -> Array.make t.n infinity);
+  t.analyzed <- false;
+  Mbr_obs.Metrics.incr ~by:nc m_corners
 
 (* ---- delay computation ---- *)
 
@@ -424,7 +453,9 @@ let wire_delay t src dst =
     t.cfg.wire_res *. len *. ((t.cfg.wire_cap *. len /. 2.0) +. sink_cap)
   | _, _ -> 0.0
 
-let compute_edge_delay t e =
+(* Underated arc delay; corners scale it multiplicatively (wire factor
+   for net arcs, cell factor for comb arcs). *)
+let compute_edge_base_delay t e =
   if not e.e_cell then wire_delay t e.e_src e.e_dst
   else begin
     let p = Design.pin t.dsg e.e_dst in
@@ -442,10 +473,20 @@ let compute_edge_delay t e =
       0.0
   end
 
-let edge_delay t e =
-  if e.e_gen = t.delay_gen then e.e_delay
+let edge_delays t e =
+  let nc = Array.length t.corners in
+  if e.e_gen = t.delay_gen && Array.length e.e_delay = nc then e.e_delay
   else begin
-    let d = compute_edge_delay t e in
+    let base = compute_edge_base_delay t e in
+    let d = if Array.length e.e_delay = nc then e.e_delay else Array.make nc 0.0 in
+    if e.e_cell then
+      for k = 0 to nc - 1 do
+        d.(k) <- base *. t.corners.(k).Corner.cell
+      done
+    else
+      for k = 0 to nc - 1 do
+        d.(k) <- base *. t.corners.(k).Corner.wire
+      done;
     e.e_delay <- d;
     e.e_gen <- t.delay_gen;
     d
@@ -453,8 +494,8 @@ let edge_delay t e =
 
 let clock_arrival t cid = skew t cid
 
-let launch_arrival t pid =
-  (* arrival at a startpoint *)
+let launch_arrival t k pid =
+  (* arrival at a startpoint, under corner [k] *)
   let p = Design.pin t.dsg pid in
   let c = Design.cell t.dsg p.Types.p_cell in
   match (c.Types.c_kind, p.Types.p_kind) with
@@ -463,50 +504,66 @@ let launch_arrival t pid =
       match p.Types.p_net with Some nid -> net_load t nid | None -> 0.0
     in
     clock_arrival t p.Types.p_cell
-    +. Cell_lib.clk_to_q a.Types.lib_cell ~load
+    +. (Cell_lib.clk_to_q a.Types.lib_cell ~load *. t.corners.(k).Corner.cell)
   | Types.Port Types.In_port, _ -> t.cfg.input_delay
   | (Types.Register _ | Types.Comb _ | Types.Clock_root | Types.Clock_gate _
     | Types.Port Types.Out_port), _ ->
     0.0
 
-let endpoint_required t (pid, kind) =
+let endpoint_required t k (pid, kind) =
   ignore pid;
   match kind with
   | Ep_reg_d cid ->
     let a = Design.reg_attrs t.dsg cid in
     t.cfg.clock_period +. clock_arrival t cid
-    -. a.Types.lib_cell.Cell_lib.setup
+    -. (a.Types.lib_cell.Cell_lib.setup *. t.corners.(k).Corner.setup)
   | Ep_out_port -> t.cfg.clock_period -. t.cfg.output_delay
 
 let analyze t =
   t.delay_gen <- t.delay_gen + 1;
-  Array.fill t.arrival 0 t.n neg_infinity;
-  Array.fill t.required 0 t.n infinity;
+  let nc = Array.length t.corners in
+  for k = 0 to nc - 1 do
+    Array.fill t.arrival.(k) 0 t.n neg_infinity;
+    Array.fill t.required.(k) 0 t.n infinity
+  done;
   List.iter
-    (fun pid -> t.arrival.(pid) <- Float.max t.arrival.(pid) (launch_arrival t pid))
+    (fun pid ->
+      for k = 0 to nc - 1 do
+        t.arrival.(k).(pid) <-
+          Float.max t.arrival.(k).(pid) (launch_arrival t k pid)
+      done)
     t.startpoints;
   (* forward *)
   Array.iter
     (fun pid ->
-      if t.arrival.(pid) > neg_infinity then
+      if t.arrival.(0).(pid) > neg_infinity then
         List.iter
           (fun e ->
-            let a = t.arrival.(pid) +. edge_delay t e in
-            if a > t.arrival.(e.e_dst) then t.arrival.(e.e_dst) <- a)
+            let d = edge_delays t e in
+            for k = 0 to nc - 1 do
+              let a = t.arrival.(k).(pid) +. d.(k) in
+              if a > t.arrival.(k).(e.e_dst) then t.arrival.(k).(e.e_dst) <- a
+            done)
           t.succs.(pid))
     t.topo;
   (* backward *)
   List.iter
     (fun (pid, kind) ->
-      t.required.(pid) <- Float.min t.required.(pid) (endpoint_required t (pid, kind)))
+      for k = 0 to nc - 1 do
+        t.required.(k).(pid) <-
+          Float.min t.required.(k).(pid) (endpoint_required t k (pid, kind))
+      done)
     t.endpoints;
-  for k = Array.length t.topo - 1 downto 0 do
-    let pid = t.topo.(k) in
-    if t.required.(pid) < infinity then
+  for i = Array.length t.topo - 1 downto 0 do
+    let pid = t.topo.(i) in
+    if t.required.(0).(pid) < infinity then
       List.iter
         (fun e ->
-          let r = t.required.(pid) -. edge_delay t e in
-          if r < t.required.(e.e_src) then t.required.(e.e_src) <- r)
+          let d = edge_delays t e in
+          for k = 0 to nc - 1 do
+            let r = t.required.(k).(pid) -. d.(k) in
+            if r < t.required.(k).(e.e_src) then t.required.(k).(e.e_src) <- r
+          done)
         t.preds.(pid)
   done;
   (* A full numeric pass recomputes every delay against the current
@@ -536,8 +593,8 @@ let grow t n' =
     t.topo_pos <- grow_arr t.topo_pos (-1);
     t.is_start <- grow_arr t.is_start false;
     t.ep_of <- grow_arr t.ep_of None;
-    t.arrival <- grow_arr t.arrival neg_infinity;
-    t.required <- grow_arr t.required infinity;
+    t.arrival <- Array.map (fun a -> grow_arr a neg_infinity) t.arrival;
+    t.required <- Array.map (fun r -> grow_arr r infinity) t.required;
     t.n <- n'
   end
 
@@ -545,7 +602,8 @@ let grow t n' =
    refresh stay incremental, and how much does it touch when it does".
    [sta.dirty_pins] accumulates the seed set of each incremental
    splice; [sta.rebuild_fallbacks] counts Bail escapes to the O(n)
-   path. All no-ops while [Mbr_obs] is disabled. *)
+   path. [sta.corners] accumulates the corner count of every engine
+   build / corner-set swap. All no-ops while [Mbr_obs] is disabled. *)
 let m_refreshes = Mbr_obs.Metrics.counter "sta.refreshes"
 
 let m_rebuild_fallbacks = Mbr_obs.Metrics.counter "sta.rebuild_fallbacks"
@@ -557,6 +615,7 @@ let m_dirty_pins = Mbr_obs.Metrics.counter "sta.dirty_pins"
    is discarded wholesale because every array is replaced. *)
 let rebuild t =
   let g = compute_graph t.dsg in
+  let nc = Array.length t.corners in
   t.n <- g.g_n;
   t.in_graph <- g.g_in_graph;
   t.succs <- g.g_succs;
@@ -569,11 +628,72 @@ let rebuild t =
   t.endpoints <- g.g_endpoints;
   Hashtbl.reset t.net_arcs;
   Hashtbl.iter (fun k v -> Hashtbl.replace t.net_arcs k v) g.g_net_arcs;
-  t.arrival <- Array.make g.g_n neg_infinity;
-  t.required <- Array.make g.g_n infinity;
+  t.arrival <- Array.init nc (fun _ -> Array.make g.g_n neg_infinity);
+  t.required <- Array.init nc (fun _ -> Array.make g.g_n infinity);
   t.dsg_cursor <- Design.revision t.dsg;
   t.n_full_builds <- t.n_full_builds + 1;
   analyze t
+
+(* Recompute one pin's arrivals (all corners) from its final
+   predecessors into [tmp]; true if any corner differs from the stored
+   value. Shared by refresh and skew propagation so the fixpoint is the
+   full analysis's, corner by corner. *)
+let recompute_arrival t tmp pid =
+  let nc = Array.length t.corners in
+  for k = 0 to nc - 1 do
+    tmp.(k) <- (if t.is_start.(pid) then launch_arrival t k pid else neg_infinity)
+  done;
+  List.iter
+    (fun e ->
+      if t.arrival.(0).(e.e_src) > neg_infinity then begin
+        let d = edge_delays t e in
+        for k = 0 to nc - 1 do
+          let a = t.arrival.(k).(e.e_src) +. d.(k) in
+          if a > tmp.(k) then tmp.(k) <- a
+        done
+      end)
+    t.preds.(pid);
+  let changed = ref false in
+  for k = 0 to nc - 1 do
+    if tmp.(k) <> t.arrival.(k).(pid) then changed := true
+  done;
+  !changed
+
+let recompute_required t tmp pid =
+  let nc = Array.length t.corners in
+  (match t.ep_of.(pid) with
+  | Some kind ->
+    for k = 0 to nc - 1 do
+      tmp.(k) <- endpoint_required t k (pid, kind)
+    done
+  | None -> Array.fill tmp 0 nc infinity);
+  List.iter
+    (fun e ->
+      if t.required.(0).(e.e_dst) < infinity then begin
+        let d = edge_delays t e in
+        for k = 0 to nc - 1 do
+          let r = t.required.(k).(e.e_dst) -. d.(k) in
+          if r < tmp.(k) then tmp.(k) <- r
+        done
+      end)
+    t.succs.(pid);
+  let changed = ref false in
+  for k = 0 to nc - 1 do
+    if tmp.(k) <> t.required.(k).(pid) then changed := true
+  done;
+  !changed
+
+let commit_arrival t tmp pid =
+  let nc = Array.length t.corners in
+  for k = 0 to nc - 1 do
+    t.arrival.(k).(pid) <- tmp.(k)
+  done
+
+let commit_required t tmp pid =
+  let nc = Array.length t.corners in
+  for k = 0 to nc - 1 do
+    t.required.(k).(pid) <- tmp.(k)
+  done
 
 (* Splice the edits logged since the cursors into the existing graph and
    re-propagate only what they touched. The structural part handles
@@ -654,6 +774,7 @@ let refresh ?(rebuild_threshold = 0.25) t =
       if float_of_int estimate > rebuild_threshold *. float_of_int (max t.n 1)
       then raise Bail;
       grow t (Design.n_pins t.dsg);
+      let nc = Array.length t.corners in
       let fwd_dirty = Array.make t.n false in
       let bwd_dirty = Array.make t.n false in
       let mark_fwd pid = fwd_dirty.(pid) <- true in
@@ -682,8 +803,10 @@ let refresh ?(rebuild_threshold = 0.25) t =
                 t.is_start.(pid) <- false;
                 t.ep_of.(pid) <- None;
                 t.topo_pos.(pid) <- -1;
-                t.arrival.(pid) <- neg_infinity;
-                t.required.(pid) <- infinity
+                for k = 0 to nc - 1 do
+                  t.arrival.(k).(pid) <- neg_infinity;
+                  t.required.(k).(pid) <- infinity
+                done
               end)
             (Design.pins_of t.dsg cid))
         !removed;
@@ -810,12 +933,15 @@ let refresh ?(rebuild_threshold = 0.25) t =
       end;
       (* 6. worklist propagation in topological order; a pin is
          recomputed from scratch off its (final) predecessors, and its
-         cone is chased only while values actually change *)
+         cone is chased only while values actually change. All corners
+         ride one worklist: a pin requeues when any corner moved, and
+         every corner's value is committed together. *)
       let n_dirty = ref 0 in
       for pid = 0 to t.n - 1 do
         if fwd_dirty.(pid) || bwd_dirty.(pid) then incr n_dirty
       done;
       Mbr_obs.Metrics.incr ~by:!n_dirty m_dirty_pins;
+      let tmp = Array.make nc 0.0 in
       let fq = Pq.create () in
       let fqueued = Array.make t.n false in
       let fpush pid =
@@ -830,17 +956,8 @@ let refresh ?(rebuild_threshold = 0.25) t =
       done;
       while not (Pq.is_empty fq) do
         let pid = Pq.pop fq in
-        let a = if t.is_start.(pid) then launch_arrival t pid else neg_infinity in
-        let a =
-          List.fold_left
-            (fun acc e ->
-              if t.arrival.(e.e_src) > neg_infinity then
-                Float.max acc (t.arrival.(e.e_src) +. edge_delay t e)
-              else acc)
-            a t.preds.(pid)
-        in
-        if a <> t.arrival.(pid) then begin
-          t.arrival.(pid) <- a;
+        if recompute_arrival t tmp pid then begin
+          commit_arrival t tmp pid;
           List.iter (fun e -> fpush e.e_dst) t.succs.(pid)
         end
       done;
@@ -858,21 +975,8 @@ let refresh ?(rebuild_threshold = 0.25) t =
       done;
       while not (Pq.is_empty bq) do
         let pid = Pq.pop bq in
-        let r =
-          match t.ep_of.(pid) with
-          | Some kind -> endpoint_required t (pid, kind)
-          | None -> infinity
-        in
-        let r =
-          List.fold_left
-            (fun acc e ->
-              if t.required.(e.e_dst) < infinity then
-                Float.min acc (t.required.(e.e_dst) -. edge_delay t e)
-              else acc)
-            r t.succs.(pid)
-        in
-        if r <> t.required.(pid) then begin
-          t.required.(pid) <- r;
+        if recompute_required t tmp pid then begin
+          commit_required t tmp pid;
           List.iter (fun e -> bpush e.e_src) t.preds.(pid)
         end
       done;
@@ -930,27 +1034,21 @@ let update_skews_impl t ~collect_touched assignments =
     (* Convergence-driven propagation instead of whole-cone recompute: a
        pin is re-evaluated only when a fan-in (arrivals) or fan-out
        (requireds) value actually changed, and propagation stops where
-       the recomputed value equals the stored one. The recompute formula
-       is the full analysis's, so the fixpoint — and every slack — is
-       bit-identical to sweeping the whole cone; reconvergent paths
-       whose other side dominates just stop the wave early. *)
+       the recomputed values equal the stored ones in every corner. The
+       recompute formula is the full analysis's, so the fixpoint — and
+       every slack — is bit-identical to sweeping the whole cone;
+       reconvergent paths whose other side dominates just stop the wave
+       early. *)
+    let nc = Array.length t.corners in
+    let tmp = Array.make nc 0.0 in
     let need_f = Array.make t.n false in
     List.iter (fun pid -> need_f.(pid) <- true) !q_seeds;
     let changed = ref [] in
     Array.iter
       (fun pid ->
         if need_f.(pid) then begin
-          let a = if t.is_start.(pid) then launch_arrival t pid else neg_infinity in
-          let a =
-            List.fold_left
-              (fun acc e ->
-                if t.arrival.(e.e_src) > neg_infinity then
-                  Float.max acc (t.arrival.(e.e_src) +. edge_delay t e)
-                else acc)
-              a t.preds.(pid)
-          in
-          if a <> t.arrival.(pid) then begin
-            t.arrival.(pid) <- a;
+          if recompute_arrival t tmp pid then begin
+            commit_arrival t tmp pid;
             changed := pid :: !changed;
             List.iter (fun e -> need_f.(e.e_dst) <- true) t.succs.(pid)
           end
@@ -958,24 +1056,11 @@ let update_skews_impl t ~collect_touched assignments =
       t.topo;
     let need_b = Array.make t.n false in
     List.iter (fun pid -> need_b.(pid) <- true) !d_seeds;
-    for k = Array.length t.topo - 1 downto 0 do
-      let pid = t.topo.(k) in
+    for i = Array.length t.topo - 1 downto 0 do
+      let pid = t.topo.(i) in
       if need_b.(pid) then begin
-        let r =
-          match t.ep_of.(pid) with
-          | Some kind -> endpoint_required t (pid, kind)
-          | None -> infinity
-        in
-        let r =
-          List.fold_left
-            (fun acc e ->
-              if t.required.(e.e_dst) < infinity then
-                Float.min acc (t.required.(e.e_dst) -. edge_delay t e)
-              else acc)
-            r t.succs.(pid)
-        in
-        if r <> t.required.(pid) then begin
-          t.required.(pid) <- r;
+        if recompute_required t tmp pid then begin
+          commit_required t tmp pid;
           changed := pid :: !changed;
           List.iter (fun e -> need_b.(e.e_src) <- true) t.preds.(pid)
         end
@@ -1002,26 +1087,66 @@ let update_skews t assignments =
 let update_skews_touched t assignments =
   update_skews_impl t ~collect_touched:true assignments
 
+(* ---- worst-corner accessors ----
+
+   Reachability is structural (corner-independent), so a pin either has
+   a finite arrival in every corner or in none; likewise requireds. The
+   worst arrival over corners is the max, the worst required the min,
+   and the worst slack is the min of the per-corner slacks — note this
+   is NOT (min required) - (max arrival), which could pair values from
+   different corners. *)
+
 let arrival t pid =
   ensure t;
   if pid < 0 || pid >= t.n || not t.in_graph.(pid) then None
   else begin
-    let a = t.arrival.(pid) in
-    if a = neg_infinity then None else Some a
+    let nc = Array.length t.corners in
+    let best = ref neg_infinity in
+    for k = 0 to nc - 1 do
+      if t.arrival.(k).(pid) > !best then best := t.arrival.(k).(pid)
+    done;
+    if !best = neg_infinity then None else Some !best
   end
 
 let required t pid =
   ensure t;
   if pid < 0 || pid >= t.n || not t.in_graph.(pid) then None
   else begin
-    let r = t.required.(pid) in
-    if r = infinity then None else Some r
+    let nc = Array.length t.corners in
+    let best = ref infinity in
+    for k = 0 to nc - 1 do
+      if t.required.(k).(pid) < !best then best := t.required.(k).(pid)
+    done;
+    if !best = infinity then None else Some !best
   end
 
 let slack t pid =
-  match (arrival t pid, required t pid) with
-  | Some a, Some r -> Some (r -. a)
-  | _, _ -> None
+  ensure t;
+  if pid < 0 || pid >= t.n || not t.in_graph.(pid) then None
+  else begin
+    let nc = Array.length t.corners in
+    let worst = ref infinity in
+    let valid = ref false in
+    for k = 0 to nc - 1 do
+      let a = t.arrival.(k).(pid) and r = t.required.(k).(pid) in
+      if a > neg_infinity && r < infinity then begin
+        valid := true;
+        let s = r -. a in
+        if s < !worst then worst := s
+      end
+    done;
+    if !valid then Some !worst else None
+  end
+
+let corner_slack t k pid =
+  ensure t;
+  if k < 0 || k >= Array.length t.corners then
+    invalid_arg "Sta.corner_slack: corner index out of range";
+  if pid < 0 || pid >= t.n || not t.in_graph.(pid) then None
+  else begin
+    let a = t.arrival.(k).(pid) and r = t.required.(k).(pid) in
+    if a > neg_infinity && r < infinity then Some (r -. a) else None
+  end
 
 let endpoint_slacks t =
   ensure t;
@@ -1042,6 +1167,29 @@ let wns_tns t =
   List.fold_left
     (fun (w, tn) (_, s) -> (Float.min w s, if s < 0.0 then tn +. s else tn))
     (infinity, 0.0) (endpoint_slacks t)
+
+let corner_wns_tns t k =
+  ensure t;
+  if k < 0 || k >= Array.length t.corners then
+    invalid_arg "Sta.corner_wns_tns: corner index out of range";
+  List.fold_left
+    (fun (w, tn) (pid, _) ->
+      let a = t.arrival.(k).(pid) and r = t.required.(k).(pid) in
+      if a > neg_infinity && r < infinity then begin
+        let s = r -. a in
+        (Float.min w s, if s < 0.0 then tn +. s else tn)
+      end
+      else (w, tn))
+    (infinity, 0.0) t.endpoints
+
+let per_corner_wns_tns t =
+  ensure t;
+  Array.to_list
+    (Array.mapi
+       (fun k c ->
+         let w, tn = corner_wns_tns t k in
+         (c.Corner.name, w, tn))
+       t.corners)
 
 let failing_endpoints t =
   List.length (List.filter (fun (_, s) -> s < 0.0) (endpoint_slacks t))

@@ -17,7 +17,19 @@
     converge. {!analyze} remains the full-propagation fallback and is
     what {!refresh} degrades to (via an internal rebuild) when an edit
     batch is structural in a way local repair cannot express or touches
-    more of the graph than recomputing it would cost. *)
+    more of the graph than recomputing it would cost.
+
+    The engine is corner-indexed: it carries a set of {!Corner.t}
+    derate factors and maintains one arrival/required array per corner
+    over the single shared graph — every propagation (full analyze,
+    refresh worklists, skew cones) walks each arc once and relaxes all
+    corners against its per-corner memoized delays. Plain accessors
+    ({!slack}, {!wns_tns}, {!reg_d_slack}, ...) report worst-corner
+    values (worst slack = min over per-corner slacks); use
+    {!corner_slack} / {!per_corner_wns_tns} to see individual corners,
+    or {!Timing_view} from consumer code. A single-[Corner.typical]
+    engine (the default) is bit-identical to the historical
+    single-corner engine: unit derates multiply by exactly 1.0. *)
 
 type config = {
   clock_period : float;  (** ps *)
@@ -43,13 +55,26 @@ val cycle_to_string :
 (** Formats a {!Combinational_cycle} witness as
     ["cell/PIN -> cell/PIN -> ..."] using the design's cell names. *)
 
-val build : ?config:config -> Mbr_place.Placement.t -> t
-(** Constructs the timing graph. Raises {!Combinational_cycle} on a
-    combinational cycle. *)
+val build : ?config:config -> ?corners:Corner.t array -> Mbr_place.Placement.t -> t
+(** Constructs the timing graph. [corners] defaults to
+    [Corner.default] (the single typical corner); the array is copied.
+    Raises {!Combinational_cycle} on a combinational cycle and
+    [Invalid_argument] on an empty corner set. *)
 
 val config : t -> config
 
 val placement : t -> Mbr_place.Placement.t
+
+val corners : t -> Corner.t array
+(** The active corner set. Do not mutate the returned array. *)
+
+val n_corners : t -> int
+
+val set_corners : t -> Corner.t array -> unit
+(** Swap the active corner set (copied). Per-corner state is
+    reallocated and the next timing query triggers a full re-analysis;
+    the graph, skews and edit-log cursors are untouched. Raises
+    [Invalid_argument] on an empty set. *)
 
 val set_skew : t -> Mbr_netlist.Types.cell_id -> float -> unit
 (** Useful-skew offset of a register's clock arrival (ps; positive =
@@ -122,20 +147,38 @@ val update_skews_touched :
     register is reported. *)
 
 val arrival : t -> Mbr_netlist.Types.pin_id -> float option
-(** [None] for pins outside the data graph or unreached. *)
+(** Worst-corner (latest) arrival; [None] for pins outside the data
+    graph or unreached. *)
 
 val required : t -> Mbr_netlist.Types.pin_id -> float option
+(** Worst-corner (earliest) required time. *)
 
 val slack : t -> Mbr_netlist.Types.pin_id -> float option
+(** Worst-corner slack: the min over corners of that corner's
+    [required - arrival] (not the naive pairing of worst arrival with
+    worst required). *)
+
+val corner_slack : t -> int -> Mbr_netlist.Types.pin_id -> float option
+(** Slack under one corner, by index into {!corners}. Raises
+    [Invalid_argument] on an out-of-range corner index. *)
 
 val wns : t -> float
-(** Worst endpoint slack (+inf when there are no endpoints). *)
+(** Worst-corner worst endpoint slack (+inf when there are no
+    endpoints). *)
 
 val tns : t -> float
-(** Total negative slack (sum of negative endpoint slacks, <= 0). *)
+(** Total negative worst-corner slack (sum of negative endpoint
+    slacks, <= 0). *)
 
 val wns_tns : t -> float * float
 (** [(wns, tns)] from a single endpoint sweep. *)
+
+val corner_wns_tns : t -> int -> float * float
+(** [(wns, tns)] under one corner, by index into {!corners}. *)
+
+val per_corner_wns_tns : t -> (string * float * float) list
+(** [(corner name, wns, tns)] for every active corner, in corner-set
+    order. *)
 
 val failing_endpoints : t -> int
 

@@ -39,12 +39,16 @@ let step cfg s_d s_q =
    instead of O(registers). *)
 let optimize ?(config = default_config) ?(full_sweep = false) ?cancel eng =
   let dsg = Placement.design (Engine.placement eng) in
+  (* all slack reads go through the worst-corner view: under a
+     multi-corner set a sweep balances each register's worst D side
+     against its worst Q side, whichever corners those come from *)
+  let tv = Timing_view.of_engine eng in
   let regs = Array.of_list (Design.registers dsg) in
   let n = Array.length regs in
   let ix = Hashtbl.create (max 16 n) in
   Array.iteri (fun i r -> Hashtbl.replace ix r i) regs;
   Engine.refresh eng;
-  let wns_before, tns_before = Engine.wns_tns eng in
+  let wns_before, tns_before = Timing_view.wns_tns tv in
   let clamp v = Float.max (-.config.bound) (Float.min config.bound v) in
   (* flat mirrors of the engine's skew table: snapshots are an
      Array.blit, restore is a diff — no per-sweep assoc lists *)
@@ -55,7 +59,8 @@ let optimize ?(config = default_config) ?(full_sweep = false) ?cancel eng =
   let refresh_activity i =
     let r = regs.(i) in
     active.(i) <-
-      Float.min (Engine.reg_d_slack eng r) (Engine.reg_q_slack eng r) < 0.0
+      Float.min (Timing_view.reg_d_slack tv r) (Timing_view.reg_q_slack tv r)
+      < 0.0
   in
   if not full_sweep then
     for i = 0 to n - 1 do
@@ -79,7 +84,9 @@ let optimize ?(config = default_config) ?(full_sweep = false) ?cancel eng =
          if full_sweep || active.(i) then begin
            let r = regs.(i) in
            let delta =
-             step config (Engine.reg_d_slack eng r) (Engine.reg_q_slack eng r)
+             step config
+               (Timing_view.reg_d_slack tv r)
+               (Timing_view.reg_q_slack tv r)
            in
            let next = clamp (cur.(i) +. delta) in
            if Float.abs (next -. cur.(i)) > 0.5 then moves := (i, next) :: !moves
@@ -96,7 +103,7 @@ let optimize ?(config = default_config) ?(full_sweep = false) ?cancel eng =
              | Some i -> refresh_activity i
              | None -> ())
            touched;
-       let wns, tns = Engine.wns_tns eng in
+       let wns, tns = Timing_view.wns_tns tv in
        if (tns, wns) > (!best_tns, !best_wns) then begin
          best_tns := tns;
          best_wns := wns;
@@ -110,7 +117,7 @@ let optimize ?(config = default_config) ?(full_sweep = false) ?cancel eng =
     if cur.(i) <> best.(i) then restore := (regs.(i), best.(i)) :: !restore
   done;
   if !restore <> [] then Engine.update_skews eng !restore;
-  let wns_after, tns_after = Engine.wns_tns eng in
+  let wns_after, tns_after = Timing_view.wns_tns tv in
   let max_abs_skew =
     Array.fold_left (fun acc s -> Float.max acc (Float.abs s)) 0.0 best
   in

@@ -1,0 +1,31 @@
+type t = { eng : Engine.t }
+
+let of_engine eng = { eng }
+
+let engine v = v.eng
+
+let refresh v = Engine.refresh v.eng
+
+let slack v pid = Engine.slack v.eng pid
+
+let arrival v pid = Engine.arrival v.eng pid
+
+let required v pid = Engine.required v.eng pid
+
+let reg_d_slack v cid = Engine.reg_d_slack v.eng cid
+
+let reg_q_slack v cid = Engine.reg_q_slack v.eng cid
+
+let wns v = Engine.wns v.eng
+
+let tns v = Engine.tns v.eng
+
+let wns_tns v = Engine.wns_tns v.eng
+
+let failing_endpoints v = Engine.failing_endpoints v.eng
+
+let n_endpoints v = Engine.n_endpoints v.eng
+
+let corners v = Engine.corners v.eng
+
+let per_corner v = Engine.per_corner_wns_tns v.eng

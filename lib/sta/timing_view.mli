@@ -1,0 +1,45 @@
+(** The worst-corner slack view every flow consumer reads timing
+    through.
+
+    The corner-indexed {!Engine} exposes both per-corner and
+    worst-corner accessors; this module is the deliberately narrow
+    subset the composition pipeline ({!Mbr_core}: Compat, Allocate,
+    Skew, Resize, Metrics, Flow recovery) is written against — all
+    single-valued, all worst-corner, so no caller ever indexes a corner
+    by hand. With the default single-typical corner set it degenerates
+    to exactly the historical single-corner readings. *)
+
+type t
+
+val of_engine : Engine.t -> t
+(** A view is a free wrapper: no copy, no analysis. Readings always
+    reflect the engine's current corner set and analysis state. *)
+
+val engine : t -> Engine.t
+
+val refresh : t -> unit
+(** {!Engine.refresh} with default threshold. *)
+
+val slack : t -> Mbr_netlist.Types.pin_id -> float option
+(** Worst-corner pin slack. *)
+
+val arrival : t -> Mbr_netlist.Types.pin_id -> float option
+val required : t -> Mbr_netlist.Types.pin_id -> float option
+
+val reg_d_slack : t -> Mbr_netlist.Types.cell_id -> float
+(** Worst-corner worst slack over the register's connected D pins. *)
+
+val reg_q_slack : t -> Mbr_netlist.Types.cell_id -> float
+
+val wns : t -> float
+val tns : t -> float
+val wns_tns : t -> float * float
+val failing_endpoints : t -> int
+val n_endpoints : t -> int
+
+val corners : t -> Corner.t array
+(** The active corner set (for reporting; do not mutate). *)
+
+val per_corner : t -> (string * float * float) list
+(** [(corner name, wns, tns)] per active corner — the one
+    deliberately corner-shaped reading, for QoR reports. *)

@@ -170,6 +170,37 @@ let test_small_registers_untouched () =
   let report = Decompose.split_max_width pl lib in
   checki "4-bit not max width? still max-only rule" 0 report.Decompose.n_split
 
+(* split_cells ~pin:true — the recovery loop's entry point. The halves
+   must be valid, placed, legal, and frozen: [size_only] keeps them out
+   of any later composition (Compat.is_composable), which is exactly
+   what makes recovery rounds monotone. [splittable] must agree with
+   what split_cells then does, on both sides. *)
+let test_pinned_split_halves_frozen () =
+  let d, pl, r, _, _ = eight_bit () in
+  check "victim splittable" true (Decompose.splittable pl lib r);
+  let report = Decompose.split_cells ~pin:true pl lib [ r ] in
+  checki "one split" 1 report.Decompose.n_split;
+  checki "two halves" 2 (List.length report.Decompose.new_ids);
+  check "original dead" true (Design.cell d r).Types.c_dead;
+  Alcotest.(check (list string)) "netlist valid" [] (Design.validate d);
+  checki "no overlaps" 0 (List.length (Placement.overlapping_registers pl));
+  List.iter
+    (fun cid ->
+      let a = Design.reg_attrs d cid in
+      check "half is size_only (pinned)" true a.Types.size_only;
+      check "half placed" true (Placement.is_placed pl cid);
+      check "half inside the core" true
+        (Rect.contains_rect fp.Floorplan.core (Placement.footprint pl cid));
+      (* pinned halves are terminal for the loop: not splittable again *)
+      check "half not splittable" true (not (Decompose.splittable pl lib cid)))
+    report.Decompose.new_ids;
+  (* a second pinned pass over the same ids is a no-op: the original is
+     dead, the halves are size_only *)
+  let again =
+    Decompose.split_cells ~pin:true pl lib (r :: report.Decompose.new_ids)
+  in
+  checki "nothing left to split" 0 again.Decompose.n_split
+
 (* ---- flow integration ---- *)
 
 let test_flow_with_decompose () =
@@ -223,6 +254,8 @@ let () =
           Alcotest.test_case "ordered scan protected" `Quick test_ordered_scan_not_split;
           Alcotest.test_case "free scan splits" `Quick test_free_scan_is_split;
           Alcotest.test_case "small untouched" `Quick test_small_registers_untouched;
+          Alcotest.test_case "pinned split freezes halves" `Quick
+            test_pinned_split_halves_frozen;
         ] );
       ( "flow",
         [

@@ -133,6 +133,38 @@ let test_scaled_profile () =
   checki "half the registers" (tiny.P.n_registers / 2)
     (List.length (Design.registers gh.G.design))
 
+(* The flat family must be structurally sound like any other profile,
+   and actually aggregation-hostile: running the composition flow on it
+   merges a materially smaller fraction of the registers than the
+   clustered tiny profile does — if the two densities ever converge,
+   "flat" has stopped exercising anything. *)
+let test_flat_profile () =
+  let p = P.flat ~seed:2 in
+  let gf = G.generate p in
+  check "flat flag set" true p.P.flat;
+  checki "register count" p.P.n_registers
+    (List.length (Design.registers gf.G.design));
+  Alcotest.(check (list string)) "netlist valid" []
+    (Design.validate gf.G.design);
+  checki "no register overlaps" 0
+    (List.length (Placement.overlapping_registers gf.G.placement));
+  let merge_density (g : G.t) n_regs =
+    let r =
+      Mbr_core.Flow.run ~design:g.G.design ~placement:g.G.placement
+        ~library:g.G.library ~sta_config:g.G.sta_config ()
+    in
+    float_of_int r.Mbr_core.Flow.n_merges /. float_of_int n_regs
+  in
+  let flat_d = merge_density gf p.P.n_registers in
+  let tiny_p = P.tiny ~seed:2 in
+  let tiny_d = merge_density (G.generate tiny_p) tiny_p.P.n_registers in
+  check "flat composes something" true (flat_d > 0.0);
+  check
+    (Printf.sprintf "flat merge density %.3f well below tiny's %.3f" flat_d
+       tiny_d)
+    true
+    (flat_d < 0.6 *. tiny_d)
+
 let () =
   Alcotest.run "mbr_designgen"
     [
@@ -155,5 +187,7 @@ let () =
           Alcotest.test_case "failing fraction" `Quick test_failing_fraction_calibrated;
           Alcotest.test_case "timing acyclic" `Quick test_timing_graph_acyclic;
           Alcotest.test_case "scaled profile" `Quick test_scaled_profile;
+          Alcotest.test_case "flat profile is aggregation-hostile" `Quick
+            test_flat_profile;
         ] );
     ]

@@ -1,9 +1,14 @@
-(* Equivalence properties backing the streaming/worklist rewrites:
+(* Equivalence properties backing the streaming/worklist rewrites and
+   the multi-corner engine:
    - the streaming candidate enumerator, when materialized, is exactly
      the list-building enumeration (same candidates, same order);
    - the worklist-driven skew optimizer is bit-identical to the
      whole-design reference sweep ([~full_sweep:true]) — same report,
-     same final per-register skews. *)
+     same final per-register skews;
+   - an engine analyzing one unit-derate corner is bit-identical to
+     the default (pre-corner) engine, through builds AND refreshes —
+     the corner-indexed arrays are a pure generalization, never a
+     numeric drift. *)
 
 module Candidate = Mbr_core.Candidate
 module Compat = Mbr_core.Compat
@@ -11,10 +16,13 @@ module Allocate = Mbr_core.Allocate
 module Spatial = Mbr_core.Spatial
 module Design = Mbr_netlist.Design
 module Engine = Mbr_sta.Engine
+module Corner = Mbr_sta.Corner
 module Skew = Mbr_sta.Skew
 module Kpart = Mbr_graph.Kpart
 module G = Mbr_designgen.Generate
 module P = Mbr_designgen.Profile
+module Eco = Mbr_designgen.Eco
+module Rng = Mbr_util.Rng
 
 let blocker_index_of graph =
   let idx = Spatial.create () in
@@ -96,6 +104,60 @@ let worklist_skew_matches_full_sweep =
         (Design.registers g.G.design);
       !ok)
 
+(* A single unit-derate corner — whatever its name — must be
+   indistinguishable from the default engine, bit for bit: same wns /
+   tns / failing counts and identical arrival / required on every pin.
+   The property must survive {!Engine.refresh} too, because the
+   incremental path re-times only dirty regions: both engines watch the
+   same design/placement objects, so one ECO batch drives both and any
+   corner-indexed refresh bug shows up as a pin-level mismatch. *)
+let unit_corner_matches_default =
+  QCheck.Test.make ~name:"1 unit corner engine = default engine (bit-exact)"
+    ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = G.generate (P.tiny ~seed:(seed mod 37)) in
+      let unit = Corner.make ~name:"u" ~cell:1.0 ~wire:1.0 ~setup:1.0 in
+      let eng_default = Engine.build ~config:g.G.sta_config g.G.placement in
+      let eng_unit =
+        Engine.build ~config:g.G.sta_config ~corners:[| unit |] g.G.placement
+      in
+      let fail fmt = QCheck.Test.fail_reportf fmt in
+      let compare_engines what =
+        Engine.analyze eng_default;
+        Engine.analyze eng_unit;
+        if Engine.wns eng_default <> Engine.wns eng_unit then
+          fail "seed %d (%s): wns %.17g (default) <> %.17g (unit corner)" seed
+            what (Engine.wns eng_default) (Engine.wns eng_unit);
+        if Engine.tns eng_default <> Engine.tns eng_unit then
+          fail "seed %d (%s): tns %.17g (default) <> %.17g (unit corner)" seed
+            what (Engine.tns eng_default) (Engine.tns eng_unit);
+        if
+          Engine.failing_endpoints eng_default
+          <> Engine.failing_endpoints eng_unit
+        then
+          fail "seed %d (%s): failing endpoints %d <> %d" seed what
+            (Engine.failing_endpoints eng_default)
+            (Engine.failing_endpoints eng_unit);
+        for pid = 0 to Design.n_pins g.G.design - 1 do
+          if Engine.arrival eng_default pid <> Engine.arrival eng_unit pid then
+            fail "seed %d (%s): arrival mismatch at pin %d" seed what pid;
+          if Engine.required eng_default pid <> Engine.required eng_unit pid
+          then fail "seed %d (%s): required mismatch at pin %d" seed what pid
+        done
+      in
+      compare_engines "fresh build";
+      (* same ECO batch hits both engines (shared design/placement);
+         the refreshed timings must stay bit-identical *)
+      let rng = Rng.create ((seed * 13) + 5) in
+      for round = 1 to 2 do
+        ignore (Eco.perturb rng g);
+        Engine.refresh eng_default;
+        Engine.refresh eng_unit;
+        compare_engines (Printf.sprintf "refresh %d" round)
+      done;
+      true)
+
 let () =
   Alcotest.run "mbr.equivalence"
     [
@@ -103,4 +165,6 @@ let () =
         [ QCheck_alcotest.to_alcotest streaming_matches_materialized ] );
       ( "skew",
         [ QCheck_alcotest.to_alcotest worklist_skew_matches_full_sweep ] );
+      ( "corners",
+        [ QCheck_alcotest.to_alcotest unit_corner_matches_default ] );
     ]

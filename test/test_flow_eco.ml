@@ -13,6 +13,7 @@
 module Design = Mbr_netlist.Design
 module Placement = Mbr_place.Placement
 module Engine = Mbr_sta.Engine
+module Corner = Mbr_sta.Corner
 module Spatial = Mbr_core.Spatial
 module Compat = Mbr_core.Compat
 module Allocate = Mbr_core.Allocate
@@ -244,6 +245,23 @@ let compare_results ~seed ~round (ra : Flow.result) (rb : Flow.result) =
   then
     fail "seed %d round %d: counters %d + %d do not cover %d blocks" seed round
       ra.Flow.eco_blocks_resolved ra.Flow.eco_blocks_reused ra.Flow.n_blocks;
+  if ra.Flow.recover_rounds <> rb.Flow.recover_rounds then
+    fail "seed %d round %d: recovery rounds %d vs %d" seed round
+      ra.Flow.recover_rounds rb.Flow.recover_rounds;
+  if ra.Flow.recover_splits <> rb.Flow.recover_splits then
+    fail "seed %d round %d: recovery splits %d vs %d" seed round
+      ra.Flow.recover_splits rb.Flow.recover_splits;
+  (if List.length ma.Metrics.corners <> List.length mb.Metrics.corners then
+     fail "seed %d round %d: %d corner rows (session) vs %d (fresh)" seed round
+       (List.length ma.Metrics.corners)
+       (List.length mb.Metrics.corners)
+   else
+     List.iter2
+       (fun (na, wa, ta) (nb, wb, tb) ->
+         if na <> nb || not (close wa wb) || not (close ta tb) then
+           fail "seed %d round %d: corner %s wns %g tns %g vs %s wns %g tns %g"
+             seed round na wa ta nb wb tb)
+       ma.Metrics.corners mb.Metrics.corners);
   true
 
 let recompose_equivalence =
@@ -285,6 +303,63 @@ let recompose_equivalence =
       done;
       !ok)
 
+(* The equivalence must also hold when the session analyzes several
+   corners and carries a recovery budget: the recovery loop's extra
+   decompose rounds ride the incremental path (splits dirty blocks,
+   re-solve only those), while the from-scratch run rebuilds the same
+   state outright. Worst-corner victim picks, split placement, pinning
+   and the per-corner QoR rows must all land identically — asserted by
+   the recover_rounds / recover_splits / corner-row clauses of
+   [compare_results]. The clock period is tightened so the derated
+   corner has real violations and the recovery budget has work. *)
+let multicorner_recompose_equivalence =
+  QCheck.Test.make
+    ~name:"multi-corner + recover: recompose = from-scratch run" ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let corners =
+        if seed mod 2 = 0 then [| Corner.typical; Corner.harsh |]
+        else Corner.spread_set 0.25
+      in
+      let options =
+        { Flow.default_options with
+          Flow.corners;
+          recover = 1 + (seed mod 3);
+          jobs = Some (if seed mod 4 < 2 then 1 else 4)
+        }
+      in
+      let gen_seed = seed mod 37 in
+      let tighten g =
+        { g.G.sta_config with
+          Engine.clock_period = g.G.sta_config.Engine.clock_period *. 0.9 }
+      in
+      let ga = G.generate (profile gen_seed) in
+      let gb = G.generate (profile gen_seed) in
+      let session =
+        Flow.Session.create ~options ~design:ga.G.design
+          ~placement:ga.G.placement ~library:ga.G.library
+          ~sta_config:(tighten ga) ()
+      in
+      let fresh_run () =
+        Flow.run ~options ~design:gb.G.design ~placement:gb.G.placement
+          ~library:gb.G.library ~sta_config:(tighten gb) ()
+      in
+      let ok = ref true in
+      ok := !ok && compare_results ~seed ~round:0
+                     (Flow.Session.recompose session)
+                     (fresh_run ());
+      for round = 1 to 1 + (seed mod 2) do
+        let batch_seed = (seed * 53) + round in
+        ignore (Eco.perturb (Rng.create batch_seed) ga);
+        ignore (Eco.perturb (Rng.create batch_seed) gb);
+        ok :=
+          !ok
+          && compare_results ~seed ~round
+               (Flow.Session.recompose session)
+               (fresh_run ())
+      done;
+      !ok)
+
 let () =
   Alcotest.run "mbr_core.flow_eco"
     [
@@ -304,5 +379,8 @@ let () =
             test_cancelled_recompose_session_usable;
         ] );
       ( "equivalence",
-        [ QCheck_alcotest.to_alcotest recompose_equivalence ] );
+        [
+          QCheck_alcotest.to_alcotest recompose_equivalence;
+          QCheck_alcotest.to_alcotest multicorner_recompose_equivalence;
+        ] );
     ]

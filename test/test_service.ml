@@ -46,7 +46,11 @@ let request_gen =
   opt exact_float_gen >>= fun frac ->
   opt exact_float_gen >>= fun timeout_s ->
   opt wire_string_gen >>= fun path ->
-  return { P.id; verb; session; profile; scale; seed; frac; timeout_s; path }
+  opt wire_string_gen >>= fun corners ->
+  opt (int_range 0 9) >>= fun recover ->
+  return
+    { P.id; verb; session; profile; scale; seed; frac; timeout_s; path;
+      corners; recover }
 
 let request_print (r : P.request) = J.to_string (P.request_to_json r)
 

@@ -17,7 +17,12 @@
    metrics:
      - well-formed {"counters": {...}, ...} snapshot;
      - the counters a traced flow run must have bumped are present and
-       positive. *)
+       positive (including "sta.corners": every engine build registers
+       its corner set);
+     - the recovery-loop and warm-start counters are present (they are
+       0 on runs that never decompose or never near-hit the cache);
+     - when "flow.recover_rounds" > 0, the trace must carry a
+       "flow.recover" span — the loop is required to announce itself. *)
 
 module J = Mbr_obs.Json
 
@@ -135,7 +140,8 @@ let check_trace path =
       (100.0 *. coverage);
   Printf.printf
     "trace OK: %d events, %d closed spans, stage coverage %.1f %%\n"
-    (List.length events) (List.length spans) (100.0 *. coverage)
+    (List.length events) (List.length spans) (100.0 *. coverage);
+  spans
 
 let check_metrics path =
   let j = parse "metrics" path in
@@ -153,15 +159,19 @@ let check_metrics path =
     (fun name ->
       if counter name <= 0 then fail "metrics: counter %S is 0" name)
     [ "flow.recomposes"; "ilp.solves"; "ilp.components";
-      "lp.simplex_solves"; "lp.simplex_pivots"; "sta.refreshes" ];
-  (* the reduction counters must exist in every snapshot (the kernel
-     registers them at init); they are legitimately 0 on designs with
-     nothing to prune, so presence — via [counter]'s missing check —
-     and non-negativity are all we require *)
+      "lp.simplex_solves"; "lp.simplex_pivots"; "sta.refreshes";
+      "sta.corners" ];
+  (* the reduction, recovery-loop and warm-start counters must exist in
+     every snapshot (their modules register them at init); they are
+     legitimately 0 on designs with nothing to prune, runs that never
+     decompose, or caches that never near-hit, so presence — via
+     [counter]'s missing check — and non-negativity are all we
+     require *)
   List.iter
     (fun name ->
       if counter name < 0 then fail "metrics: counter %S is negative" name)
-    [ "ilp.dominated_pruned"; "ilp.fixed_vars" ];
+    [ "ilp.dominated_pruned"; "ilp.fixed_vars"; "flow.recover_rounds";
+      "decompose.requested"; "decompose.splits"; "ilp.warm_start_hits" ];
   (match
      Option.bind (J.member "histograms" j) (fun h ->
          Option.bind (J.member "alloc.block_solve_s" h) (fun hs ->
@@ -172,13 +182,21 @@ let check_metrics path =
   | None -> fail "metrics: alloc.block_solve_s histogram missing");
   Printf.printf "metrics OK: flow.recomposes=%d ilp.solves=%d pivots=%d\n"
     (counter "flow.recomposes") (counter "ilp.solves")
-    (counter "lp.simplex_pivots")
+    (counter "lp.simplex_pivots");
+  counter "flow.recover_rounds"
 
 let () =
   match Sys.argv with
   | [| _; trace; metrics |] ->
-    check_trace trace;
-    check_metrics metrics
+    let spans = check_trace trace in
+    let recover_rounds = check_metrics metrics in
+    if
+      recover_rounds > 0
+      && not (List.exists (fun (n, _, _) -> n = "flow.recover") spans)
+    then
+      fail "metrics count %d recovery rounds but the trace has no \
+            flow.recover span"
+        recover_rounds
   | _ ->
     prerr_endline "usage: telemetry_check TRACE.json METRICS.json";
     exit 2
