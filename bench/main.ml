@@ -610,9 +610,14 @@ let heap_mb () =
   float_of_int (Gc.stat ()).Gc.heap_words *. float_of_int (Sys.word_size / 8)
   /. 1048576.0
 
-let section_soak () =
-  banner "7. mbrd service soak (concurrent sessions, randomized ECO traffic)";
-  let cfg = default_soak in
+(* [telemetry] switches the whole observability plane: per-session
+   labeled metric series, the periodic sampler, and progress-event
+   streaming on every recompose. The overhead section runs the same
+   soak both ways and compares tails. *)
+let section_soak ?(cfg = default_soak) ?(telemetry = true)
+    ?(title = "7. mbrd service soak (concurrent sessions, randomized ECO traffic)")
+    () =
+  banner title;
   let socket_path =
     Printf.sprintf "%s/mbrd-soak-%d.sock" (Filename.get_temp_dir_name ())
       (Unix.getpid ())
@@ -636,10 +641,13 @@ let section_soak () =
             Condition.signal cond;
             Mutex.unlock ready)
           {
+            Svc_server.default_config with
             Svc_server.socket_path;
             workers;
             queue_limit = cfg.sk_queue_limit;
             alloc_jobs = 1;
+            session_metrics = telemetry;
+            sample_period_s = (if telemetry then 0.25 else 0.0);
           })
       ()
   in
@@ -665,6 +673,13 @@ let section_soak () =
   let t0 = Mbr_obs.Clock.now_s () in
   let client k () =
     let sink = sinks.(k) in
+    (* when the plane is on, every recompose also streams its
+       per-stage progress events — the cost of consuming them is part
+       of what the overhead section measures *)
+    let on_progress =
+      if telemetry then Some (fun (_ : Svc_protocol.progress_event) -> ())
+      else None
+    in
     let c = Svc_client.connect socket_path in
     Fun.protect ~finally:(fun () -> Svc_client.close c) @@ fun () ->
     let timed verb f =
@@ -708,14 +723,14 @@ let section_soak () =
                 ())
         else
           send Svc_protocol.Recompose (fun () ->
-              Svc_client.recompose c ~session:name ())
+              Svc_client.recompose c ~session:name ?on_progress ())
       done;
       (* every session exercises the deadline path, then proves it is
          still usable *)
       send ~expect_cancelled:true Svc_protocol.Recompose (fun () ->
-          Svc_client.recompose c ~session:name ~timeout_s:0.0 ());
+          Svc_client.recompose c ~session:name ~timeout_s:0.0 ?on_progress ());
       send Svc_protocol.Recompose (fun () ->
-          Svc_client.recompose c ~session:name ());
+          Svc_client.recompose c ~session:name ?on_progress ());
       s := !s + cfg.sk_clients
     done
   in
@@ -847,6 +862,86 @@ let soak_to_json (r : soak_result) =
                         ("max_ms", num (snd (Mbr_util.Stats.min_max a) *. 1e3));
                       ]))
              r.so_latencies) );
+    ]
+
+(* ---- section 9: telemetry overhead ----
+
+   The observability plane must be cheap enough to leave on: the same
+   (smaller) soak runs twice, once with per-session labeled series +
+   the 0.25 s sampler + progress streaming on every recompose, once
+   with all of it off, and the per-verb latency tails are compared.
+   The acceptance bar lives in EXPERIMENTS.md: recompose p99 within a
+   few percent. Ratios are reported rather than enforced here — a
+   loaded CI host can blur a 2 ms tail — but the JSON records both
+   runs so regressions are visible. *)
+
+let telemetry_soak =
+  {
+    sk_sessions = 8;
+    sk_clients = 4;
+    sk_reqs_per_session = 36;  (* 8 x 36 = 288 requests per run *)
+    sk_scale = 0.3;
+    sk_queue_limit = 64;
+  }
+
+type telemetry_overhead = {
+  tv_on : soak_result;
+  tv_off : soak_result;
+}
+
+let percentile_of verb pct (r : soak_result) =
+  match List.assoc_opt verb r.so_latencies with
+  | Some (_ :: _ as lats) ->
+    Some (Mbr_util.Stats.percentile (Array.of_list lats) pct)
+  | _ -> None
+
+let section_telemetry_overhead () =
+  let on =
+    section_soak ~cfg:telemetry_soak ~telemetry:true
+      ~title:
+        "9. telemetry overhead — soak with the plane ON (labeled series, \
+         sampler, progress streaming)"
+      ()
+  in
+  let off =
+    section_soak ~cfg:telemetry_soak ~telemetry:false
+      ~title:"9 (cont.) — same soak with the plane OFF" ()
+  in
+  List.iter
+    (fun verb ->
+      match
+        ( percentile_of verb 50.0 on,
+          percentile_of verb 99.0 on,
+          percentile_of verb 50.0 off,
+          percentile_of verb 99.0 off )
+      with
+      | Some p50_on, Some p99_on, Some p50_off, Some p99_off ->
+        Printf.printf
+          "  %-10s p50 %7.2f -> %7.2f ms (%+5.1f%%)  p99 %7.2f -> %7.2f ms \
+           (%+5.1f%%)\n"
+          verb (p50_off *. 1e3) (p50_on *. 1e3)
+          (100.0 *. ((p50_on /. Float.max 1e-9 p50_off) -. 1.0))
+          (p99_off *. 1e3) (p99_on *. 1e3)
+          (100.0 *. ((p99_on /. Float.max 1e-9 p99_off) -. 1.0))
+      | _ -> ())
+    [ "load"; "perturb"; "recompose" ];
+  { tv_on = on; tv_off = off }
+
+let telemetry_overhead_to_json (tv : telemetry_overhead) =
+  let module J = Mbr_obs.Json in
+  let ratio verb pct =
+    match (percentile_of verb pct tv.tv_on, percentile_of verb pct tv.tv_off)
+    with
+    | Some a, Some b when b > 0.0 -> J.Num (a /. b)
+    | _ -> J.Null
+  in
+  J.Obj
+    [
+      ("on", soak_to_json tv.tv_on);
+      ("off", soak_to_json tv.tv_off);
+      ("recompose_p50_ratio", ratio "recompose" 50.0);
+      ("recompose_p99_ratio", ratio "recompose" 99.0);
+      ("perturb_p99_ratio", ratio "perturb" 99.0);
     ]
 
 (* ---- section 8: compose <-> decompose recovery loop ----
@@ -1080,13 +1175,13 @@ let patch_bench_json ~path ~key value =
   | J.Obj kvs ->
     let kvs =
       List.map
-        (fun (k, v) -> if k = "schema_version" then (k, J.Num 7.0) else (k, v))
+        (fun (k, v) -> if k = "schema_version" then (k, J.Num 8.0) else (k, v))
         (List.filter (fun (k, _) -> k <> key) kvs)
       @ [ (key, value) ]
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (J.to_string_pretty (J.Obj kvs)));
-    Printf.printf "\npatched %s (schema_version 7, %s refreshed)\n" path key
+    Printf.printf "\npatched %s (schema_version 8, %s refreshed)\n" path key
   | _ -> failwith (path ^ ": not a JSON object")
 
 (* ---- BENCH.json: the numbers above, machine-readable ---- *)
@@ -1135,11 +1230,11 @@ let aggregate_stages stage_times =
   List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
 
 let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows ~soak
-    ~recovery =
+    ~recovery ~telemetry_overhead =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 7,\n";
+  p "  \"schema_version\": 8,\n";
   p "  \"generated_by\": \"bench/main.exe\",\n";
   (* core count up front: speedup and degraded flags below are only
      interpretable against the parallelism the host actually offers *)
@@ -1239,6 +1334,7 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows ~soak
     eco_rows;
   p "  ],\n";
   p "  \"service_soak\": %s,\n" (Mbr_obs.Json.to_string soak);
+  p "  \"telemetry_overhead\": %s,\n" (Mbr_obs.Json.to_string telemetry_overhead);
   p "  \"recovery_loop\": %s\n" (Mbr_obs.Json.to_string recovery);
   p "}\n";
   close_out oc;
@@ -1262,6 +1358,12 @@ let () =
     patch_bench_json ~path:"BENCH.json" ~key:"recovery_loop"
       (recovery_to_json row)
   end
+  else if Array.exists (fun a -> a = "--telemetry-overhead") Sys.argv then begin
+    (* on/off soak pair only; same splice-in-place protocol *)
+    let tv = section_telemetry_overhead () in
+    patch_bench_json ~path:"BENCH.json" ~key:"telemetry_overhead"
+      (telemetry_overhead_to_json tv)
+  end
   else begin
     Printf.printf "MBR composition benchmark harness (DAC'17 reproduction)\n";
     section_tables ();
@@ -1271,10 +1373,12 @@ let () =
     let eco_rows = section_eco () in
     let kernels = section_kernels () in
     let soak = section_soak () in
+    let telemetry_overhead = section_telemetry_overhead () in
     let recovery = section_recovery () in
     emit_bench_json ~path:"BENCH.json" ~kernels ~scaling ~alloc_scaling
       ~eco_rows ~soak:(soak_to_json soak)
-      ~recovery:(recovery_to_json recovery);
+      ~recovery:(recovery_to_json recovery)
+      ~telemetry_overhead:(telemetry_overhead_to_json telemetry_overhead);
     banner "done";
     print_endline
       "Recorded paper-vs-measured comparisons live in EXPERIMENTS.md;\n\

@@ -520,7 +520,13 @@ let serve_cmd =
     Mbr_obs.Metrics.enable ();
     Printf.eprintf "mbrd: serving on %s\n%!" socket;
     Mbr_service.Server.run
-      { Mbr_service.Server.socket_path = socket; workers; queue_limit; alloc_jobs };
+      {
+        Mbr_service.Server.default_config with
+        Mbr_service.Server.socket_path = socket;
+        workers;
+        queue_limit;
+        alloc_jobs;
+      };
     Printf.eprintf "mbrd: drained, exiting\n%!"
   in
   let workers_arg =
@@ -550,7 +556,7 @@ let client_cmd =
   let module C = Mbr_service.Client in
   let module Pr = Mbr_service.Protocol in
   let run socket verb session profile scale seed frac timeout_s path corners
-      recover =
+      recover progress cursor flight =
     let verb =
       match Pr.verb_of_string verb with
       | Some v -> v
@@ -561,10 +567,20 @@ let client_cmd =
     in
     let c = C.connect socket in
     Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+    (* progress events go to stderr as raw JSON lines, one per stage, so
+       the pretty response on stdout stays machine-readable *)
+    let on_event =
+      if progress then
+        Some
+          (fun ev ->
+            Printf.eprintf "%s\n%!" (Mbr_obs.Json.to_string (Pr.progress_to_json ev)))
+      else None
+    in
     match
-      C.call c verb ~params:(fun r ->
+      C.call c verb ?on_event ~params:(fun r ->
           { r with Pr.session; profile; scale; seed; frac; timeout_s; path;
-            corners; recover })
+            corners; recover; cursor; flight;
+            progress = (if progress then Some true else None) })
     with
     | Ok data -> print_string (Mbr_obs.Json.to_string_pretty data)
     | Error { Pr.code; message } ->
@@ -574,7 +590,7 @@ let client_cmd =
   let verb_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
            ~doc:"load | perturb | recompose | set-corners | query-metrics \
-                 | export-trace | shutdown")
+                 | export-trace | telemetry | shutdown")
   in
   let session_arg =
     Arg.(value & opt (some string) None & info [ "session" ] ~docv:"NAME"
@@ -610,17 +626,187 @@ let client_cmd =
     Arg.(value & opt (some int) None & info [ "recover" ] ~docv:"N"
            ~doc:"recompose: recovery-round budget for this pass.")
   in
+  let progress_arg =
+    Arg.(value & flag & info [ "progress" ]
+           ~doc:"recompose: stream per-stage progress events and print each \
+                 as a JSON line on stderr as it arrives.")
+  in
+  let cursor_arg =
+    Arg.(value & opt (some int) None & info [ "cursor" ] ~docv:"N"
+           ~doc:"telemetry: ask for the metrics delta since this cursor \
+                 (from a previous telemetry response).")
+  in
+  let flight_arg =
+    Arg.(value & flag & info [ "flight" ]
+           ~doc:"telemetry: include the flight-recorder dump (last N \
+                 answered request digests).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running mbrd daemon and print the JSON \
              answer (exit 1 with the error on stderr otherwise).")
     Term.(const run $ socket_arg $ verb_arg $ session_arg $ opt_profile_arg
           $ opt_scale_arg $ seed_arg $ frac_arg $ timeout_arg $ path_arg
-          $ opt_corners_arg $ opt_recover_arg)
+          $ opt_corners_arg $ opt_recover_arg $ progress_arg $ cursor_arg
+          $ Term.(const (fun b -> if b then Some true else None) $ flight_arg))
+
+(* `mbrc top` — a terminal dashboard over the telemetry verb. Each
+   frame polls with the previous frame's cursor, so per-verb request
+   rates and latency quantiles come from the *delta* histograms (what
+   happened during the last interval), while gauges (heap, RSS, queue
+   depth) are absolute. *)
+let top_cmd =
+  let module C = Mbr_service.Client in
+  let module Pr = Mbr_service.Protocol in
+  let module M = Mbr_obs.Metrics in
+  let module J = Mbr_obs.Json in
+  let module T = Mbr_util.Texttab in
+  let render_frame ~frame ~mode ~interval data snap =
+    let buf = Buffer.create 2048 in
+    let gauge name =
+      List.assoc_opt name snap.M.gauges |> Option.value ~default:0.0
+    in
+    let queue_depth =
+      Option.bind (J.member "queue_depth" data) J.to_int
+      |> Option.value ~default:0
+    in
+    let sessions =
+      Option.bind (J.member "sessions" data) J.to_list
+      |> Option.value ~default:[]
+    in
+    Printf.bprintf buf
+      "mbrd top — frame %d (%s)  sessions %d  exec queue %d  heap %.1f MB  \
+       rss %.1f MB\n"
+      frame mode (List.length sessions) queue_depth (gauge "gc.heap_mb")
+      (gauge "rss.mb");
+    (* per-verb traffic, from the labeled svc.latency_s family *)
+    let verb_rows =
+      List.filter_map
+        (fun (key, h) ->
+          let base, labels = M.split_series key in
+          match (base, List.assoc_opt "verb" labels) with
+          | "svc.latency_s", Some v when h.M.count > 0 -> Some (v, h)
+          | _ -> None)
+        snap.M.histograms
+    in
+    if verb_rows <> [] then begin
+      let tab =
+        T.create ~headers:[ "verb"; "req"; "req/s"; "p50 ms"; "p99 ms" ]
+      in
+      List.iter
+        (fun (v, h) ->
+          T.add_row tab
+            [
+              v;
+              string_of_int h.M.count;
+              (if mode = "delta" then
+                 T.fmt_float ~dec:1 (float_of_int h.M.count /. interval)
+               else "-");
+              T.fmt_float ~dec:2 (1000.0 *. M.quantile h 0.5);
+              T.fmt_float ~dec:2 (1000.0 *. M.quantile h 0.99);
+            ])
+        (List.sort compare verb_rows);
+      Buffer.add_string buf (T.render tab)
+    end
+    else
+      Buffer.add_string buf
+        (if mode = "delta" then "(no requests this interval)\n"
+         else "(no requests yet)\n");
+    (* per-session status, including the in-flight recompose heartbeat *)
+    if sessions <> [] then begin
+      let tab =
+        T.create
+          ~headers:
+            [ "session"; "state"; "recomposes"; "served"; "pending"; "now" ]
+      in
+      List.iter
+        (fun s ->
+          let str k =
+            Option.bind (J.member k s) J.to_str |> Option.value ~default:"?"
+          in
+          let int k =
+            Option.bind (J.member k s) J.to_int |> Option.value ~default:0
+          in
+          let now =
+            match
+              Option.map Pr.progress_of_json (J.member "progress" s)
+            with
+            | Some (Ok ev) ->
+              Printf.sprintf "%s r%d %d/%d%s" ev.Pr.pe_stage ev.Pr.pe_round
+                ev.Pr.pe_resolved ev.Pr.pe_total
+                (match ev.Pr.pe_wns with
+                | Some w -> Printf.sprintf " wns %.0f" w
+                | None -> "")
+            | _ -> "idle"
+          in
+          T.add_row tab
+            [
+              str "name";
+              (match Option.bind (J.member "loaded" s) J.to_bool with
+              | Some true -> "ready"
+              | _ -> "loading");
+              string_of_int (int "recomposes");
+              string_of_int (int "served");
+              string_of_int (int "pending");
+              now;
+            ])
+        sessions;
+      Buffer.add_string buf (T.render tab)
+    end;
+    Buffer.contents buf
+  in
+  let run socket interval count =
+    if not (Float.is_finite interval && interval > 0.0) then
+      failwith "--interval must be positive";
+    let c = C.connect socket in
+    Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+    let clear = Unix.isatty Unix.stdout in
+    let cursor = ref None in
+    let frame = ref 0 in
+    while count <= 0 || !frame < count do
+      if !frame > 0 then Unix.sleepf interval;
+      incr frame;
+      match C.telemetry c ?cursor:!cursor () with
+      | Error { Pr.code; message } ->
+        Printf.eprintf "error %s: %s\n" (Pr.error_code_to_string code) message;
+        exit 1
+      | Ok data ->
+        cursor := Option.bind (J.member "cursor" data) J.to_int;
+        let mode =
+          Option.bind (J.member "mode" data) J.to_str
+          |> Option.value ~default:"full"
+        in
+        let snap =
+          match
+            Option.map M.snapshot_of_json (J.member "metrics" data)
+          with
+          | Some (Ok s) -> s
+          | _ -> { M.counters = []; gauges = []; histograms = [] }
+        in
+        if clear then print_string "\027[2J\027[H";
+        print_string (render_frame ~frame:!frame ~mode ~interval data snap);
+        flush stdout
+    done
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0 & info [ "n"; "interval" ] ~docv:"SECONDS"
+           ~doc:"Refresh interval between telemetry polls.")
+  in
+  let count_arg =
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N"
+           ~doc:"Stop after N frames (0 = run until interrupted).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal dashboard over a running mbrd: per-verb request \
+             rates and latency quantiles (from telemetry deltas), executor \
+             queue depth, process vitals, and per-session status including \
+             in-flight recompose progress.")
+    Term.(const run $ socket_arg $ interval_arg $ count_arg)
 
 let () =
   let doc = "timing-driven incremental multi-bit register composition (DAC'17)" in
   let info = Cmd.info "mbrc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ run_cmd; eco_cmd; table1_cmd; fig5_cmd; fig6_cmd; ablations_cmd;
-      export_cmd; compose_cmd; example_cmd; serve_cmd; client_cmd ]))
+      export_cmd; compose_cmd; example_cmd; serve_cmd; client_cmd; top_cmd ]))

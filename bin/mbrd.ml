@@ -9,16 +9,31 @@
 open Cmdliner
 module S = Mbr_service.Server
 
-let run socket workers queue_limit alloc_jobs trace log_level =
+let run socket workers queue_limit alloc_jobs trace log_level prom_file
+    sample_period no_session_metrics flight_capacity =
   (match Mbr_obs.Log.level_of_string log_level with
   | Ok level -> Mbr_obs.Log.setup ~level ()
   | Error m -> failwith (Printf.sprintf "--log-level: %s" m));
   Mbr_obs.Metrics.enable ();
-  (* tracing is opt-in: per-domain buffers hold every event, which a
-     long-running daemon would accumulate without bound *)
+  (* tracing is opt-in: per-domain ring buffers are bounded
+     (Trace.default_capacity), but recording still costs per event *)
   if trace then Mbr_obs.Trace.enable ();
   Printf.eprintf "mbrd: serving on %s\n%!" socket;
-  S.run { S.socket_path = socket; workers; queue_limit; alloc_jobs };
+  (match prom_file with
+  | Some f -> Printf.eprintf "mbrd: prometheus exposition at %s\n%!" f
+  | None -> ());
+  S.run
+    {
+      S.socket_path = socket;
+      workers;
+      queue_limit;
+      alloc_jobs;
+      session_metrics = not no_session_metrics;
+      sample_period_s = sample_period;
+      prom_file;
+      flight_capacity;
+      handle_sigusr2 = true;
+    };
   Printf.eprintf "mbrd: drained, exiting\n%!"
 
 let () =
@@ -47,6 +62,30 @@ let () =
     Arg.(value & opt string "warning" & info [ "log-level" ] ~docv:"LEVEL"
            ~doc:"quiet, error, warning, info or debug.")
   in
+  let prom_file_arg =
+    Arg.(value & opt (some string) None & info [ "prom-file" ] ~docv:"PATH"
+           ~doc:"Atomically rewrite $(docv) in Prometheus text format every \
+                 sampler tick (point a node_exporter textfile collector or \
+                 file scraper at it).")
+  in
+  let sample_period_arg =
+    Arg.(value & opt float S.default_config.S.sample_period_s
+         & info [ "sample-period" ] ~docv:"SECONDS"
+             ~doc:"Background sampler period for GC/RSS/queue-depth gauges \
+                   (0 disables unless --prom-file forces it at 1s).")
+  in
+  let no_session_metrics_arg =
+    Arg.(value & flag & info [ "no-session-metrics" ]
+           ~doc:"Skip per-session labeled metric series (bounds registry \
+                 growth under heavy session churn).")
+  in
+  let flight_capacity_arg =
+    Arg.(value & opt int S.default_config.S.flight_capacity
+         & info [ "flight-capacity" ] ~docv:"N"
+             ~doc:"Flight-recorder ring size: last N request digests, \
+                   dumped by SIGUSR2 or telemetry {flight:true} (0 \
+                   disables).")
+  in
   let info =
     Cmd.info "mbrd" ~version:"1.0.0"
       ~doc:"concurrent multi-session MBR-composition ECO daemon"
@@ -55,4 +94,6 @@ let () =
     (Cmd.eval
        (Cmd.v info
           Term.(const run $ socket_arg $ workers_arg $ queue_limit_arg
-                $ alloc_jobs_arg $ trace_arg $ log_level_arg)))
+                $ alloc_jobs_arg $ trace_arg $ log_level_arg $ prom_file_arg
+                $ sample_period_arg $ no_session_metrics_arg
+                $ flight_capacity_arg)))

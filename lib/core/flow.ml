@@ -65,21 +65,50 @@ type result = {
   cancelled : bool;
 }
 
+type progress = {
+  pr_stage : string;
+  pr_round : int;
+  pr_blocks_resolved : int;
+  pr_blocks_total : int;
+  pr_wns : float;
+}
+
 (* Everything the stage functions share: the run's inputs, the one STA
-   engine, and the stage-time accumulator (reversed; execution order is
-   restored when the result is assembled). *)
+   engine, the stage-time accumulator (reversed; execution order is
+   restored when the result is assembled), and the progress state the
+   notify callback reports — updated by the stages that learn
+   something (allocate: block counts; the metrics passes: WNS). *)
 type context = {
   options : options;
   placement : Placement.t;
   library : Mbr_liberty.Library.t;
   eng : Engine.t;
   mutable stage_times_rev : (string * float) list;
+  notify : (progress -> unit) option;
+  mutable pg_round : int;
+  mutable pg_resolved : int;
+  mutable pg_total : int;
+  mutable pg_wns : float;  (* nan until a metrics pass has run *)
 }
 
 (* Every stage is a trace span; the per-stage duration recorded in
    [stage_times] is the span's own (monotonic) duration, so the result
-   and an exported Chrome trace can never disagree. *)
+   and an exported Chrome trace can never disagree. Entering a stage
+   is also the progress heartbeat: the callback fires before the
+   stage's work, so a long allocate is announced when it starts, not
+   when it ends. *)
 let stage ctx name f =
+  (match ctx.notify with
+  | Some cb ->
+    cb
+      {
+        pr_stage = name;
+        pr_round = ctx.pg_round;
+        pr_blocks_resolved = ctx.pg_resolved;
+        pr_blocks_total = ctx.pg_total;
+        pr_wns = ctx.pg_wns;
+      }
+  | None -> ());
   let r, dt = Mbr_obs.Trace.timed_span ~name f in
   ctx.stage_times_rev <- (name, dt) :: ctx.stage_times_rev;
   r
@@ -473,6 +502,7 @@ module Session = struct
              ("victims", Mbr_obs.Trace.Int (List.length victims));
            ]
     @@ fun () ->
+    ctx.pg_round <- round;
     let split =
       stage ctx "decompose" (fun () ->
           let rep =
@@ -484,11 +514,14 @@ module Session = struct
     let graph = stage_graph ctx s in
     stage_blocker_index ctx s;
     let selection, cache_stats = stage_allocate ctx s ?cancel graph in
+    ctx.pg_resolved <- ctx.pg_resolved + cache_stats.Allocate.blocks_resolved;
+    ctx.pg_total <- ctx.pg_total + selection.Allocate.n_blocks;
     let merged = stage_merge ctx graph selection in
     let scan_report = stage_scan_restitch ctx in
     let skew_report = stage_skew ctx ?cancel () in
     let n_resized = stage_resize ctx merged.mo_new_mbrs in
     let after = stage_metrics_after ctx in
+    ctx.pg_wns <- after.Metrics.wns;
     ( split,
       selection,
       cache_stats,
@@ -498,7 +531,7 @@ module Session = struct
       n_resized,
       after )
 
-  let recompose ?cancel ?recover s =
+  let recompose ?cancel ?recover ?on_progress s =
     (* Single-writer gate. A caller that already holds the session
        keeps it; an unowned session is claimed for just this call
        (which is what keeps plain single-threaded usage ceremony-free);
@@ -524,19 +557,28 @@ module Session = struct
           library = s.library;
           eng = s.eng;
           stage_times_rev = [];
+          notify = on_progress;
+          pg_round = 0;
+          pg_resolved = 0;
+          pg_total = 0;
+          pg_wns = Float.nan;
         }
       in
       let skews_zeroed = stage_eco_reset ctx s in
       let before = stage_metrics_before ctx s ~skews_zeroed in
+      ctx.pg_wns <- before.Metrics.wns;
       let n_split = stage_decompose ctx in
       let graph = stage_graph ctx s in
       stage_blocker_index ctx s;
       let selection, cache_stats = stage_allocate ctx s ?cancel graph in
+      ctx.pg_resolved <- ctx.pg_resolved + cache_stats.Allocate.blocks_resolved;
+      ctx.pg_total <- ctx.pg_total + selection.Allocate.n_blocks;
       let merged = stage_merge ctx graph selection in
       let scan_report = stage_scan_restitch ctx in
       let skew_report = stage_skew ctx ?cancel () in
       let n_resized = stage_resize ctx merged.mo_new_mbrs in
       let after = stage_metrics_after ctx in
+      ctx.pg_wns <- after.Metrics.wns;
       (* ---- recovery loop: worst-corner-negative MBRs go back through
          decompose → (partition → allocate → compose) until every MBR
          this pass created is clean or the round budget runs out ---- *)

@@ -55,6 +55,26 @@ type options = {
 
 val default_options : options
 
+type progress = {
+  pr_stage : string;
+      (** the stage being entered, one of the [stage_times] names (a
+          recovery round re-enters at ["decompose"]) *)
+  pr_round : int;
+      (** 0 for the main pass, n for the n-th recovery round *)
+  pr_blocks_resolved : int;
+      (** partition blocks solved so far, cumulative over the pass *)
+  pr_blocks_total : int;
+      (** partition blocks of the passes whose allocate stage has
+          completed — 0 until the first allocate finishes *)
+  pr_wns : float;
+      (** worst-corner WNS (ps) as of the latest metrics pass;
+          [Float.nan] before the first one *)
+}
+(** A progress heartbeat, delivered by {!Session.recompose}'s
+    [on_progress] callback at every stage entry — what a server
+    forwards to clients as out-of-band events during a long
+    recompose. *)
+
 type result = {
   before : Metrics.t;
   after : Metrics.t;
@@ -173,7 +193,12 @@ module Session : sig
       first {!recompose}. Raises [Invalid_argument] when [placement]
       was not built over [design]. *)
 
-  val recompose : ?cancel:Mbr_util.Cancel.t -> ?recover:int -> t -> result
+  val recompose :
+    ?cancel:Mbr_util.Cancel.t ->
+    ?recover:int ->
+    ?on_progress:(progress -> unit) ->
+    t ->
+    result
   (** Run the composition pipeline over the current design/placement
       state, reusing everything the edit logs prove untouched. The
       first call is exactly {!run}; later calls report
@@ -194,6 +219,12 @@ module Session : sig
       Requires the session to be owned by the calling domain or
       unowned (then it is claimed for the duration of the call);
       raises [Invalid_argument] when another domain holds it.
+
+      [on_progress] fires synchronously on the calling domain at
+      every stage entry (main pass and recovery rounds alike) with
+      the cumulative {!progress} state. The callback must be cheap
+      and must not touch the session; an exception it raises aborts
+      the recompose.
 
       [cancel] reaches the two open-ended stages — the per-block
       branch-and-bound ({!Allocate.run_cached}) and the skew sweep

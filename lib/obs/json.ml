@@ -160,8 +160,14 @@ let parse_exn s =
       Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
     end
-    else begin
+    else if u < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
     end
@@ -186,14 +192,34 @@ let parse_exn s =
         | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
         | Some 'u' ->
           advance ();
-          if !pos + 4 > n then fail Bad_escape;
-          let hex = String.sub s !pos 4 in
-          let u =
-            try int_of_string ("0x" ^ hex)
-            with _ -> fail Bad_escape
+          let read_hex4 () =
+            if !pos + 4 > n then fail Bad_escape;
+            let hex = String.sub s !pos 4 in
+            let is_hex = function
+              | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+              | _ -> false
+            in
+            if not (String.for_all is_hex hex) then fail Bad_escape;
+            pos := !pos + 4;
+            int_of_string ("0x" ^ hex)
           in
-          pos := !pos + 4;
-          add_utf8 buf u;
+          let u = read_hex4 () in
+          if u >= 0xD800 && u <= 0xDBFF then begin
+            (* high surrogate: the low half must follow immediately *)
+            if
+              not
+                (!pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+            then fail Bad_escape;
+            pos := !pos + 2;
+            let lo = read_hex4 () in
+            if lo < 0xDC00 || lo > 0xDFFF then fail Bad_escape;
+            add_utf8 buf
+              (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if u >= 0xDC00 && u <= 0xDFFF then
+            (* lone low surrogate: not a scalar value *)
+            fail Bad_escape
+          else add_utf8 buf u;
           go ()
         | _ -> fail Bad_escape)
       | Some c ->
@@ -291,3 +317,5 @@ let to_int = function
   | _ -> None
 
 let to_str = function Str s -> Some s | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None

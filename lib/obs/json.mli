@@ -50,8 +50,9 @@ val to_string_pretty : t -> string
 
 val of_string : string -> t
 (** Strict parser for the subset {!to_string} emits plus standard JSON:
-    escapes (including [\uXXXX], encoded to UTF-8), exponents, nested
-    containers. Rejects trailing garbage. *)
+    escapes (including [\uXXXX], encoded to UTF-8 — surrogate pairs
+    combine into one code point, lone surrogates are a [Bad_escape]),
+    exponents, nested containers. Rejects trailing garbage. *)
 
 val of_string_result : string -> (t, error) result
 (** {!of_string} without the exception: same grammar, same strictness,
@@ -71,3 +72,5 @@ val to_int : t -> int option
 (** [Num] values that are integral. *)
 
 val to_str : t -> string option
+
+val to_bool : t -> bool option

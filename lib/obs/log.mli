@@ -8,7 +8,12 @@
 val setup : ?level:Logs.level option -> unit -> unit
 (** Install an [Fmt]-based reporter on [stderr] and set the global
     level (default [Some Warning]). [Some Debug] shows everything;
-    [None] silences all logging. Idempotent. *)
+    [None] silences all logging. Idempotent (re-running resets the
+    timestamp origin).
+
+    Each line is prefixed with [\[ssss.mmm dN\]] — monotonic seconds
+    since [setup] (the tracer's clock, so log lines correlate with
+    trace spans) and the emitting domain's id. *)
 
 val level_of_string : string -> (Logs.level option, string) result
 (** [Logs.level_of_string] plus the spellings ["quiet"], ["none"] and

@@ -24,6 +24,83 @@ let reg_mutex = Mutex.create ()
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* Labeled series are ordinary registry entries whose key is the
+   canonical series name [name{k="v",...}] — labels sorted by key,
+   values escaped the way the Prometheus text format escapes them
+   (backslash, double quote, newline). Everything downstream of
+   [snapshot] (JSON, diffs, the text renderer, List.assoc consumers
+   keyed on unlabeled names) keeps working on plain string keys;
+   [split_series] recovers the structure when a consumer wants it. *)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let series_name name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+    let labels =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    let buf = Buffer.create (String.length name + 16) in
+    Buffer.add_string buf name;
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+let split_series s =
+  let len = String.length s in
+  match String.index_opt s '{' with
+  | None -> (s, [])
+  | Some i when len > 0 && s.[len - 1] = '}' -> (
+    let base = String.sub s 0 i in
+    let body = String.sub s (i + 1) (len - i - 2) in
+    let n = String.length body in
+    let buf = Buffer.create 16 in
+    let rec value k j =
+      if j >= n then raise Exit
+      else
+        match body.[j] with
+        | '"' ->
+          let v = Buffer.contents buf in
+          Buffer.clear buf;
+          if j + 1 >= n then [ (k, v) ]
+          else if body.[j + 1] = ',' then (k, v) :: pair (j + 2)
+          else raise Exit
+        | '\\' when j + 1 < n ->
+          (match body.[j + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | c -> Buffer.add_char buf c);
+          value k (j + 2)
+        | c ->
+          Buffer.add_char buf c;
+          value k (j + 1)
+    and pair j =
+      match String.index_from_opt body j '=' with
+      | Some e when e > j && e + 1 < n && body.[e + 1] = '"' ->
+        value (String.sub body j (e - j)) (e + 2)
+      | _ -> raise Exit
+    in
+    try (base, if n = 0 then [] else pair 0) with Exit -> (s, []))
+  | Some _ -> (s, [])
+
 (* Registration is rare (once per handle); every lookup-or-create runs
    under the mutex so two domains registering the same name race
    safely. *)
@@ -46,7 +123,8 @@ let register name create cast =
         Hashtbl.replace registry name m;
         h)
 
-let counter name =
+let counter ?(labels = []) name =
+  let name = series_name name labels in
   register name
     (fun () ->
       let c = { c_name = name; c_v = Atomic.make 0 } in
@@ -58,7 +136,8 @@ let incr ?(by = 1) c =
 
 let counter_value c = Atomic.get c.c_v
 
-let gauge name =
+let gauge ?(labels = []) name =
+  let name = series_name name labels in
   register name
     (fun () ->
       let g = { g_name = name; g_v = Atomic.make 0.0 } in
@@ -72,7 +151,8 @@ let set g v = if Atomic.get enabled then Atomic.set g.g_v v
 let default_bins =
   [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0 |]
 
-let histogram ?(bins = default_bins) name =
+let histogram ?(bins = default_bins) ?(labels = []) name =
+  let name = series_name name labels in
   register name
     (fun () ->
       let h =
@@ -220,6 +300,142 @@ let pp ppf s =
       s.histograms;
     fprintf ppf "@]"
   end
+
+let quantile h q =
+  if h.count <= 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int h.count in
+    let nb = Array.length h.bins in
+    let nc = Array.length h.counts in
+    let rec go i cum =
+      if i >= nc then if nb = 0 then 0.0 else h.bins.(nb - 1)
+      else begin
+        let c = h.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then
+          if i >= nb then (* overflow bin: clamp to the last edge *)
+            if nb = 0 then 0.0 else h.bins.(nb - 1)
+          else begin
+            let lower = if i = 0 then 0.0 else h.bins.(i - 1) in
+            lower
+            +. ((h.bins.(i) -. lower) *. ((target -. cum) /. float_of_int c))
+          end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0.0
+  end
+
+module Snapshot = struct
+  type t = snapshot
+
+  let same_shape a b =
+    a.bins = b.bins && Array.length a.counts = Array.length b.counts
+
+  let diff ~base newer =
+    {
+      counters =
+        List.map
+          (fun (k, v) ->
+            ( k,
+              v - Option.value ~default:0 (List.assoc_opt k base.counters) ))
+          newer.counters;
+      gauges = newer.gauges;
+      histograms =
+        List.map
+          (fun (k, h) ->
+            match List.assoc_opt k base.histograms with
+            | Some hb when same_shape hb h ->
+              ( k,
+                {
+                  bins = h.bins;
+                  counts = Array.mapi (fun i c -> c - hb.counts.(i)) h.counts;
+                  sum = h.sum -. hb.sum;
+                  count = h.count - hb.count;
+                } )
+            | _ -> (k, h))
+          newer.histograms;
+    }
+
+  (* Both inputs are sorted by name (every producer in this module
+     sorts), so all three merges are single passes. *)
+  let rec merge combine b d =
+    match (b, d) with
+    | [], d -> d
+    | b, [] -> b
+    | (kb, vb) :: tb, (kd, vd) :: td ->
+      if kb = kd then (kb, combine vb vd) :: merge combine tb td
+      else if kb < kd then (kb, vb) :: merge combine tb ((kd, vd) :: td)
+      else (kd, vd) :: merge combine ((kb, vb) :: tb) td
+
+  let apply ~base delta =
+    {
+      counters = merge (fun b d -> b + d) base.counters delta.counters;
+      gauges = merge (fun _ d -> d) base.gauges delta.gauges;
+      histograms =
+        merge
+          (fun b d ->
+            if same_shape b d then
+              {
+                bins = d.bins;
+                counts = Array.mapi (fun i c -> c + b.counts.(i)) d.counts;
+                sum = b.sum +. d.sum;
+                count = b.count + d.count;
+              }
+            else d)
+          base.histograms delta.histograms;
+    }
+end
+
+exception Bad_snapshot of string
+
+let snapshot_of_json j =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad_snapshot s)) fmt in
+  let obj name =
+    match Json.member name j with
+    | Some (Json.Obj kvs) -> kvs
+    | Some _ -> fail "%S is not an object" name
+    | None -> []
+  in
+  let num k = function
+    | Json.Num f -> f
+    | _ -> fail "%S: expected a number" k
+  in
+  let farr k = function
+    | Json.Arr l -> Array.of_list (List.map (num k) l)
+    | _ -> fail "%S: expected an array" k
+  in
+  try
+    let counters =
+      List.map (fun (k, v) -> (k, int_of_float (num k v))) (obj "counters")
+    in
+    let gauges = List.map (fun (k, v) -> (k, num k v)) (obj "gauges") in
+    let histograms =
+      List.map
+        (fun (k, v) ->
+          let m field =
+            match Json.member field v with
+            | Some x -> x
+            | None -> fail "histogram %S lacks %S" k field
+          in
+          ( k,
+            {
+              bins = farr k (m "bins");
+              counts = Array.map int_of_float (farr k (m "counts"));
+              sum = num k (m "sum");
+              count = int_of_float (num k (m "count"));
+            } ))
+        (obj "histograms")
+    in
+    let by_name (a, _) (b, _) = compare a b in
+    Ok
+      {
+        counters = List.sort by_name counters;
+        gauges = List.sort by_name gauges;
+        histograms = List.sort by_name histograms;
+      }
+  with Bad_snapshot msg -> Error msg
 
 let write path =
   let oc = open_out path in

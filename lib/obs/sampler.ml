@@ -1,0 +1,79 @@
+(* Periodic background sampler: publishes process vitals (GC, RSS)
+   as gauges and optionally dumps a Prometheus rendering of the whole
+   registry to a file, atomically (write tmp + rename), every period.
+
+   A systhread, not a domain: sampling is a handful of syscalls and
+   atomic stores per tick, so it needs concurrency, not parallelism,
+   and must not occupy one of the flow's worker domains. *)
+
+let m_ticks = Metrics.counter "obs.sampler_ticks"
+
+let g_major_words = Metrics.gauge "gc.major_words"
+
+let g_compactions = Metrics.gauge "gc.compactions"
+
+let g_minor_collections = Metrics.gauge "gc.minor_collections"
+
+let g_major_collections = Metrics.gauge "gc.major_collections"
+
+let g_heap_mb = Metrics.gauge "gc.heap_mb"
+
+let g_rss_mb = Metrics.gauge "rss.mb"
+
+let sample ?extra () =
+  let st = Gc.quick_stat () in
+  Metrics.set g_major_words st.Gc.major_words;
+  Metrics.set g_compactions (float_of_int st.Gc.compactions);
+  Metrics.set g_minor_collections (float_of_int st.Gc.minor_collections);
+  Metrics.set g_major_collections (float_of_int st.Gc.major_collections);
+  Metrics.set g_heap_mb
+    (float_of_int st.Gc.heap_words
+    *. float_of_int (Sys.word_size / 8)
+    /. 1048576.0);
+  (match Rss.current_mb () with
+  | Some mb -> Metrics.set g_rss_mb mb
+  | None -> ());
+  (match extra with
+  | Some f -> ( try f () with _ -> ())
+  | None -> ());
+  Metrics.incr m_ticks
+
+let dump_prom path =
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out tmp in
+    output_string oc (Prom.render (Metrics.snapshot ()));
+    close_out oc;
+    Sys.rename tmp path
+  with Sys_error _ -> ()
+
+type t = { s_stop : bool Atomic.t; s_thread : Thread.t }
+
+let start ?(period_s = 1.0) ?prom_file ?extra () =
+  let period_s = Float.max 0.01 period_s in
+  let s_stop = Atomic.make false in
+  let tick () =
+    sample ?extra ();
+    Option.iter dump_prom prom_file
+  in
+  let s_thread =
+    Thread.create
+      (fun () ->
+        tick ();
+        while not (Atomic.get s_stop) do
+          (* sleep in short slices so [stop] is prompt *)
+          let slept = ref 0.0 in
+          while (not (Atomic.get s_stop)) && !slept < period_s do
+            let d = Float.min 0.05 (period_s -. !slept) in
+            Thread.delay d;
+            slept := !slept +. d
+          done;
+          tick ()
+        done)
+      ()
+  in
+  { s_stop; s_thread }
+
+let stop t =
+  Atomic.set t.s_stop true;
+  Thread.join t.s_thread

@@ -1,0 +1,39 @@
+(** Periodic background sampler for process vitals.
+
+    Every period the sampler publishes GC statistics
+    ([gc.major_words], [gc.compactions], [gc.minor_collections],
+    [gc.major_collections], [gc.heap_mb]), live RSS ([rss.mb], Linux
+    only), bumps [obs.sampler_ticks], runs the caller's [extra] hook
+    (where a server publishes executor queue depth and per-session
+    gauges), and — when [prom_file] is set — dumps the whole registry
+    in Prometheus text format, atomically (tmp file + [rename], so a
+    scraper's file collector never reads a torn write).
+
+    The sampler is a systhread: it costs no worker domain, and the
+    values it stores are ordinary {!Metrics} gauges, so everything it
+    publishes rides the same snapshot/delta/exposition machinery as
+    the rest of the registry. *)
+
+type t
+
+val sample : ?extra:(unit -> unit) -> unit -> unit
+(** One synchronous sampling pass (what the background thread runs
+    per tick). Exposed so short-lived processes can publish vitals
+    without starting a thread. Exceptions from [extra] are
+    swallowed. *)
+
+val dump_prom : string -> unit
+(** Render the current registry with {!Prom.render} and atomically
+    replace the file. Write errors are swallowed (telemetry must never
+    take the server down). *)
+
+val start :
+  ?period_s:float -> ?prom_file:string -> ?extra:(unit -> unit) -> unit -> t
+(** Launch the sampler thread; [period_s] defaults to 1.0 (clamped to
+    ≥ 10 ms). The first tick runs immediately, so even a short-lived
+    process gets one sample and one exposition dump. *)
+
+val stop : t -> unit
+(** Signal the thread and join it (bounded by one sleep slice,
+    ~50 ms). A final tick has always run — [stop] after [start] never
+    leaves a stale [prom_file] behind. *)

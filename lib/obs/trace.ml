@@ -20,34 +20,110 @@ let disable () = Atomic.set enabled false
 
 let is_enabled () = Atomic.get enabled
 
-(* Buffers hold events newest-first (constant-time push, no
-   synchronization: only the owning domain writes). The registry of
-   buffers is the module's only shared mutable structure; its mutex is
-   taken once per domain lifetime plus once per export. Buffers of
+(* Each domain records into a bounded ring (constant-time push, no
+   synchronization: only the owning domain writes). When a ring is
+   full the oldest event is overwritten and [trace.dropped] bumped —
+   a long-lived traced daemon keeps the newest [capacity] events per
+   domain instead of growing without limit. The registry of rings is
+   the module's only shared mutable structure; its mutex is taken once
+   per domain lifetime plus once per export/clear/resize. Rings of
    finished pool domains stay registered so their events survive into
    the export. *)
+
+let default_capacity = 65536
+
+let capacity = Atomic.make default_capacity
+
+(* The metrics counter makes drops visible in every snapshot; the
+   atomic keeps the count observable when metrics are disabled. *)
+let m_dropped = Metrics.counter "trace.dropped"
+
+let dropped = Atomic.make 0
+
+let dropped_events () = Atomic.get dropped
+
+type buf = {
+  b_tid : int;
+  mutable b_arr : event array;
+  mutable b_start : int;  (* index of the oldest event *)
+  mutable b_len : int;
+}
+
+let dummy =
+  { ev_name = ""; ev_ph = 'i'; ev_ts_us = 0.0; ev_tid = 0; ev_args = [] }
+
 let reg_mutex = Mutex.create ()
 
-let buffers : (int * event list ref) list ref = ref []
+let buffers : buf list ref = ref []
 
-let dls : (int * event list ref) Domain.DLS.key =
+let dls : buf Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      let tid = (Domain.self () :> int) in
-      let buf = ref [] in
+      let b =
+        {
+          b_tid = (Domain.self () :> int);
+          b_arr = Array.make (max 1 (Atomic.get capacity)) dummy;
+          b_start = 0;
+          b_len = 0;
+        }
+      in
       Mutex.lock reg_mutex;
-      buffers := (tid, buf) :: !buffers;
+      buffers := b :: !buffers;
       Mutex.unlock reg_mutex;
-      (tid, buf))
+      b)
+
+let buf_events b =
+  let cap = Array.length b.b_arr in
+  List.init b.b_len (fun i -> b.b_arr.((b.b_start + i) mod cap))
+
+let set_capacity n =
+  let n = max 1 n in
+  Atomic.set capacity n;
+  (* resize existing rings, keeping the newest events; like [export],
+     only safe while the owning domains are quiescent *)
+  Mutex.lock reg_mutex;
+  List.iter
+    (fun b ->
+      if Array.length b.b_arr <> n then begin
+        let evs = buf_events b in
+        let keep = List.filteri (fun i _ -> i >= List.length evs - n) evs in
+        let arr = Array.make n dummy in
+        List.iteri (fun i e -> arr.(i) <- e) keep;
+        b.b_arr <- arr;
+        b.b_start <- 0;
+        b.b_len <- List.length keep
+      end)
+    !buffers;
+  Mutex.unlock reg_mutex
+
+let get_capacity () = Atomic.get capacity
 
 let emit ~ts name ph args =
-  let tid, buf = Domain.DLS.get dls in
-  buf :=
-    { ev_name = name; ev_ph = ph; ev_ts_us = ts; ev_tid = tid; ev_args = args }
-    :: !buf
+  let b = Domain.DLS.get dls in
+  let ev =
+    { ev_name = name; ev_ph = ph; ev_ts_us = ts; ev_tid = b.b_tid;
+      ev_args = args }
+  in
+  let cap = Array.length b.b_arr in
+  if b.b_len = cap then begin
+    (* full: the new event takes the oldest slot *)
+    b.b_arr.(b.b_start) <- ev;
+    b.b_start <- (b.b_start + 1) mod cap;
+    Atomic.incr dropped;
+    Metrics.incr m_dropped
+  end
+  else begin
+    b.b_arr.((b.b_start + b.b_len) mod cap) <- ev;
+    b.b_len <- b.b_len + 1
+  end
 
 let clear () =
   Mutex.lock reg_mutex;
-  List.iter (fun (_, buf) -> buf := []) !buffers;
+  List.iter
+    (fun b ->
+      Array.fill b.b_arr 0 (Array.length b.b_arr) dummy;
+      b.b_start <- 0;
+      b.b_len <- 0)
+    !buffers;
   Mutex.unlock reg_mutex
 
 let timed_span ?(args = []) ~name f =
@@ -76,10 +152,10 @@ let instant ?(args = []) name =
 
 let events () =
   Mutex.lock reg_mutex;
-  let chunks = List.map (fun (_, buf) -> List.rev !buf) !buffers in
+  let chunks = List.map buf_events !buffers in
   Mutex.unlock reg_mutex;
-  (* per-buffer lists are chronological after the rev; the stable sort
-     keeps same-timestamp events of one domain in recording order *)
+  (* per-ring lists are chronological; the stable sort keeps
+     same-timestamp events of one domain in recording order *)
   List.stable_sort
     (fun a b -> compare a.ev_ts_us b.ev_ts_us)
     (List.concat chunks)

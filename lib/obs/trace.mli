@@ -12,6 +12,15 @@
     [with_span] is one atomic load plus the two clock reads that also
     produce the duration callers consume, so hot paths stay clean.
 
+    {b Bounded memory.} Each per-domain buffer is a ring of
+    {!get_capacity} events ({!default_capacity} unless
+    {!set_capacity} was called): once full, each new event overwrites
+    the oldest one in that domain and bumps the [trace.dropped]
+    metrics counter (also readable via {!dropped_events} when metrics
+    are off). A long-lived traced daemon therefore holds at most
+    [capacity × domains] events, and an export shows the newest
+    window, still in chronological order.
+
     Spans may nest freely and cross domains only by nesting (a span
     opened on one domain closes on the same domain — [Fun.protect]
     semantics, so an exception still closes the span). *)
@@ -29,7 +38,28 @@ val disable : unit -> unit
 val is_enabled : unit -> bool
 
 val clear : unit -> unit
-(** Drop every recorded event (buffers stay registered). *)
+(** Drop every recorded event (buffers stay registered; the
+    [trace.dropped] count is {e not} reset — it is cumulative like
+    every other counter). *)
+
+val default_capacity : int
+(** 65536 events per domain (an event is a few words plus its args;
+    the default bounds a busy 8-domain daemon to a few tens of MB). *)
+
+val set_capacity : int -> unit
+(** Ring size, in events per domain, for rings created after the call
+    — and existing rings are resized in place, keeping their newest
+    events. Clamped to at least 1. Like {!export}, only safe while
+    recording domains are quiescent; call it at setup, before
+    tracing. *)
+
+val get_capacity : unit -> int
+(** Current per-domain ring size. *)
+
+val dropped_events : unit -> int
+(** Events overwritten ring-buffer-style since process start, across
+    all domains — same value the [trace.dropped] counter reports, but
+    live even when metrics are disabled. *)
 
 val timed_span :
   ?args:(string * arg) list -> name:string -> (unit -> 'a) -> 'a * float

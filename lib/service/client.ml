@@ -30,7 +30,7 @@ let close t =
     try close_in t.ic with Sys_error _ -> ()
   end
 
-let call t ?(params = Fun.id) verb =
+let call t ?(params = Fun.id) ?on_event verb =
   let id = t.next_id in
   t.next_id <- id + 1;
   let req = params (P.request ~id verb) in
@@ -38,16 +38,27 @@ let call t ?(params = Fun.id) verb =
   output_char t.oc '\n';
   flush t.oc;
   (* drain until our id: a synchronous client has one request in
-     flight, so anything else is a peer bug worth surfacing *)
+     flight, so anything else is a peer bug worth surfacing. Event
+     lines (out-of-band progress) are routed to [on_event] — or
+     silently dropped, so a caller may request streaming and ignore
+     it — and never terminate the wait. *)
   let rec await () =
     let line = input_line t.ic in
     match J.of_string_result line with
     | Error e ->
       raise (Protocol_violation ("unparseable response: " ^ J.error_to_string e))
-    | Ok j -> (
-      match P.response_of_json j with
-      | Error m -> raise (Protocol_violation m)
-      | Ok resp -> if resp.P.id = id || resp.P.id = -1 then resp.P.result else await ())
+    | Ok j ->
+      if P.is_event j then begin
+        (match (on_event, P.progress_of_json j) with
+        | Some f, Ok ev when ev.P.pe_id = id -> f ev
+        | _ -> ());
+        await ()
+      end
+      else
+        match P.response_of_json j with
+        | Error m -> raise (Protocol_violation m)
+        | Ok resp ->
+          if resp.P.id = id || resp.P.id = -1 then resp.P.result else await ()
   in
   await ()
 
@@ -59,15 +70,24 @@ let perturb t ~session ?seed ?frac () =
   call t P.Perturb ~params:(fun r ->
       { r with P.session = Some session; seed; frac })
 
-let recompose t ~session ?timeout_s ?recover () =
-  call t P.Recompose ~params:(fun r ->
-      { r with P.session = Some session; timeout_s; recover })
+let recompose t ~session ?timeout_s ?recover ?on_progress () =
+  call t P.Recompose ?on_event:on_progress ~params:(fun r ->
+      {
+        r with
+        P.session = Some session;
+        timeout_s;
+        recover;
+        progress = (if on_progress = None then None else Some true);
+      })
 
 let set_corners t ~session ~corners () =
   call t P.Set_corners ~params:(fun r ->
       { r with P.session = Some session; corners = Some corners })
 
 let query_metrics t = call t P.Query_metrics
+
+let telemetry t ?cursor ?flight () =
+  call t P.Telemetry ~params:(fun r -> { r with P.cursor; flight })
 
 let export_trace t ~path = call t P.Export_trace ~params:(fun r -> { r with P.path = Some path })
 

@@ -24,11 +24,15 @@ val close : t -> unit
 (** Idempotent. *)
 
 val call : t -> ?params:(Protocol.request -> Protocol.request) ->
+  ?on_event:(Protocol.progress_event -> unit) ->
   Protocol.verb -> (Mbr_obs.Json.t, Protocol.error) result
 (** Lowest-level entry: send the verb with an auto-assigned id,
     [params] patching the defaults-free request, and return the
-    matched response's result. Raises {!Protocol_violation} on a
-    non-protocol peer, [Sys_error]/[End_of_file] on a dead one. *)
+    matched response's result. Out-of-band event lines carrying this
+    request's id are fed to [on_event] (dropped when absent) and never
+    end the wait — the daemon guarantees they arrive strictly before
+    the final response. Raises {!Protocol_violation} on a non-protocol
+    peer, [Sys_error]/[End_of_file] on a dead one. *)
 
 (** {2 Typed helpers} — thin wrappers over {!call}. *)
 
@@ -43,11 +47,15 @@ val perturb :
   (Mbr_obs.Json.t, Protocol.error) result
 
 val recompose :
-  t -> session:string -> ?timeout_s:float -> ?recover:int -> unit ->
+  t -> session:string -> ?timeout_s:float -> ?recover:int ->
+  ?on_progress:(Protocol.progress_event -> unit) -> unit ->
   (Mbr_obs.Json.t, Protocol.error) result
 (** [recover] bounds the compose ↔ decompose recovery loop for this
     pass (see {!Mbr_core.Flow.Session.recompose}); the response carries
-    [recover_rounds], [recover_splits] and per-corner WNS/TNS. *)
+    [recover_rounds], [recover_splits] and per-corner WNS/TNS.
+    [on_progress] asks the daemon to stream per-stage progress events
+    ([progress: true] on the wire) and receives each one as it
+    arrives; without it, no events are requested. *)
 
 val set_corners :
   t -> session:string -> corners:string -> unit ->
@@ -57,6 +65,14 @@ val set_corners :
     recompose. *)
 
 val query_metrics : t -> (Mbr_obs.Json.t, Protocol.error) result
+
+val telemetry :
+  t -> ?cursor:int -> ?flight:bool -> unit ->
+  (Mbr_obs.Json.t, Protocol.error) result
+(** One telemetry poll. The response carries a ["cursor"]; echo it on
+    the next poll to receive the metrics {e delta} since this snapshot
+    (["mode"] says whether the server answered ["delta"] or fell back
+    to ["full"]). [flight] asks for the flight-recorder dump too. *)
 
 val export_trace : t -> path:string -> (Mbr_obs.Json.t, Protocol.error) result
 

@@ -7,6 +7,7 @@ type verb =
   | Set_corners
   | Query_metrics
   | Export_trace
+  | Telemetry
   | Shutdown
 
 let verb_to_string = function
@@ -16,10 +17,14 @@ let verb_to_string = function
   | Set_corners -> "set-corners"
   | Query_metrics -> "query-metrics"
   | Export_trace -> "export-trace"
+  | Telemetry -> "telemetry"
   | Shutdown -> "shutdown"
 
 let all_verbs =
-  [ Load; Perturb; Recompose; Set_corners; Query_metrics; Export_trace; Shutdown ]
+  [
+    Load; Perturb; Recompose; Set_corners; Query_metrics; Export_trace;
+    Telemetry; Shutdown;
+  ]
 
 let verb_of_string s =
   List.find_opt (fun v -> verb_to_string v = s) all_verbs
@@ -36,10 +41,13 @@ type request = {
   path : string option;
   corners : string option;
   recover : int option;
+  cursor : int option;
+  flight : bool option;
+  progress : bool option;
 }
 
 let request ?session ?profile ?scale ?seed ?frac ?timeout_s ?path ?corners
-    ?recover ~id verb =
+    ?recover ?cursor ?flight ?progress ~id verb =
   {
     id;
     verb;
@@ -52,6 +60,9 @@ let request ?session ?profile ?scale ?seed ?frac ?timeout_s ?path ?corners
     path;
     corners;
     recover;
+    cursor;
+    flight;
+    progress;
   }
 
 type error_code =
@@ -111,6 +122,9 @@ let request_to_json (r : request) =
          opt "path" (fun s -> J.Str s) r.path;
          opt "corners" (fun s -> J.Str s) r.corners;
          opt "recover" (fun i -> J.Num (float_of_int i)) r.recover;
+         opt "cursor" (fun i -> J.Num (float_of_int i)) r.cursor;
+         opt "flight" (fun b -> J.Bool b) r.flight;
+         opt "progress" (fun b -> J.Bool b) r.progress;
        ])
 
 (* Field readers distinguish "absent" (fine, every param is optional at
@@ -164,6 +178,9 @@ let request_of_json j =
       path = field "path" J.to_str j;
       corners = field "corners" J.to_str j;
       recover = field "recover" J.to_int j;
+      cursor = field "cursor" J.to_int j;
+      flight = field "flight" J.to_bool j;
+      progress = field "progress" J.to_bool j;
     }
   with
   | r -> Ok r
@@ -200,3 +217,53 @@ let response_of_json j =
     | Some code -> Ok (fail id code message)
     | None -> Error (Printf.sprintf "unknown error code %S" code_s))
   | _ -> Error "response is not an mbrd response object"
+
+(* ---- out-of-band events ----
+
+   Event lines share the stream with responses but carry an "event"
+   member and no "ok" member, so a client can route on one lookup. *)
+
+type progress_event = {
+  pe_id : int;
+  pe_stage : string;
+  pe_round : int;
+  pe_resolved : int;
+  pe_total : int;
+  pe_wns : float option;
+}
+
+let is_event j = J.member "event" j <> None
+
+let progress_to_json (e : progress_event) =
+  J.Obj
+    ([
+       ("id", J.Num (float_of_int e.pe_id));
+       ("event", J.Str "progress");
+       ("stage", J.Str e.pe_stage);
+       ("round", J.Num (float_of_int e.pe_round));
+       ("blocks_resolved", J.Num (float_of_int e.pe_resolved));
+       ("blocks_total", J.Num (float_of_int e.pe_total));
+     ]
+    @ match e.pe_wns with None -> [] | Some w -> [ ("wns", J.Num w) ])
+
+let progress_of_json j =
+  match
+    ( Option.bind (J.member "id" j) J.to_int,
+      Option.bind (J.member "event" j) J.to_str,
+      Option.bind (J.member "stage" j) J.to_str,
+      Option.bind (J.member "round" j) J.to_int,
+      Option.bind (J.member "blocks_resolved" j) J.to_int,
+      Option.bind (J.member "blocks_total" j) J.to_int )
+  with
+  | Some id, Some "progress", Some stage, Some round, Some resolved, Some total
+    ->
+    Ok
+      {
+        pe_id = id;
+        pe_stage = stage;
+        pe_round = round;
+        pe_resolved = resolved;
+        pe_total = total;
+        pe_wns = Option.bind (J.member "wns" j) J.to_float;
+      }
+  | _ -> Error "not a progress event"

@@ -8,10 +8,20 @@
 
     {v request  := {"id": int, "verb": verb, ...verb params}
        verb     := "load" | "perturb" | "recompose" | "set-corners"
-                 | "query-metrics" | "export-trace" | "shutdown"
+                 | "query-metrics" | "export-trace" | "telemetry"
+                 | "shutdown"
        response := {"id": int, "ok": true, "data": value}
                  | {"id": int, "ok": false, "error": code,
-                    "message": string} v}
+                    "message": string}
+       event    := {"id": int, "event": "progress", "stage": string,
+                    "round": int, "blocks_resolved": int,
+                    "blocks_total": int, "wns"?: number} v}
+
+    Event lines are out-of-band: a recompose sent with
+    [progress: true] streams them on the requesting connection,
+    strictly before its final response, each carrying the request's
+    [id]. They have an ["event"] member and no ["ok"] member, so
+    {!is_event} routes a line with one lookup.
 
     Everything here is pure data and codecs — both the daemon and the
     client link against this module, and the qcheck round-trip test
@@ -26,11 +36,13 @@ type verb =
   | Set_corners
   | Query_metrics
   | Export_trace
+  | Telemetry
   | Shutdown
 
 val verb_to_string : verb -> string
 (** ["load"], ["perturb"], ["recompose"], ["set-corners"],
-    ["query-metrics"], ["export-trace"], ["shutdown"]. *)
+    ["query-metrics"], ["export-trace"], ["telemetry"],
+    ["shutdown"]. *)
 
 val verb_of_string : string -> verb option
 
@@ -51,6 +63,16 @@ type request = {
           {!Mbr_sta.Corner.parse_set} syntax, e.g.
           ["typical,slow,fast"] *)
   recover : int option;  (** recompose: recovery-round budget *)
+  cursor : int option;
+      (** telemetry: a cursor from an earlier telemetry response —
+          answer with the metrics {e delta} since that snapshot when
+          the server still remembers it, full snapshot otherwise *)
+  flight : bool option;
+      (** telemetry: include the flight-recorder dump (last N request
+          digests) in the response *)
+  progress : bool option;
+      (** recompose: stream progress event lines on this connection
+          before the final response *)
 }
 
 val request :
@@ -63,6 +85,9 @@ val request :
   ?path:string ->
   ?corners:string ->
   ?recover:int ->
+  ?cursor:int ->
+  ?flight:bool ->
+  ?progress:bool ->
   id:int ->
   verb ->
   request
@@ -119,3 +144,22 @@ val response_to_json : response -> Mbr_obs.Json.t
 val response_of_json : Mbr_obs.Json.t -> (response, string) result
 (** [Error] describes the shape violation — a client talking to
     something that is not an [mbrd]. *)
+
+(** {2 Out-of-band events} *)
+
+type progress_event = {
+  pe_id : int;  (** id of the recompose request being served *)
+  pe_stage : string;  (** stage entered (a {!Mbr_core.Flow} stage name) *)
+  pe_round : int;  (** 0 = main pass, n = n-th recovery round *)
+  pe_resolved : int;  (** blocks solved so far, cumulative *)
+  pe_total : int;  (** blocks of completed allocate stages *)
+  pe_wns : float option;  (** worst-corner WNS (ps); absent until known *)
+}
+
+val is_event : Mbr_obs.Json.t -> bool
+(** The line is an event, not a response: route it to the event
+    handler before trying {!response_of_json}. *)
+
+val progress_to_json : progress_event -> Mbr_obs.Json.t
+
+val progress_of_json : Mbr_obs.Json.t -> (progress_event, string) result

@@ -11,10 +11,25 @@ type config = {
   workers : int;
   queue_limit : int;
   alloc_jobs : int;
+  session_metrics : bool;
+  sample_period_s : float;
+  prom_file : string option;
+  flight_capacity : int;
+  handle_sigusr2 : bool;
 }
 
 let default_config =
-  { socket_path = "mbrd.sock"; workers = 0; queue_limit = 32; alloc_jobs = 1 }
+  {
+    socket_path = "mbrd.sock";
+    workers = 0;
+    queue_limit = 32;
+    alloc_jobs = 1;
+    session_metrics = true;
+    sample_period_s = 0.0;
+    prom_file = None;
+    flight_capacity = 256;
+    handle_sigusr2 = false;
+  }
 
 (* ---- metrics (pre-registered: the registry mutex never sits on the
    request path, and a metrics query sees every series from the start) ---- *)
@@ -35,6 +50,24 @@ let latency_histograms =
 
 let latency_histogram verb = List.assq verb latency_histograms
 
+(* the labeled twins: one family, one series per verb — what `mbrc
+   top` and the Prometheus side consume (the dotted per-verb names
+   above predate labels and stay for compatibility) *)
+let labeled_latency_histograms =
+  List.map
+    (fun v ->
+      ( v,
+        Mbr_obs.Metrics.histogram
+          ~labels:[ ("verb", P.verb_to_string v) ]
+          "svc.latency_s" ))
+    P.all_verbs
+
+let labeled_latency verb = List.assq verb labeled_latency_histograms
+
+let g_queue_depth = Mbr_obs.Metrics.gauge "svc.exec.queue_depth"
+
+let g_sessions = Mbr_obs.Metrics.gauge "svc.sessions"
+
 (* ---- connections ---- *)
 
 type conn = {
@@ -47,15 +80,17 @@ type conn = {
 (* A dead peer must not take the daemon down: write failures just mark
    the connection, and the work that produced the response is already
    done (and has updated the session) either way. *)
-let send conn resp =
+let send_json conn j =
   Mutex.lock conn.wlock;
   Fun.protect ~finally:(fun () -> Mutex.unlock conn.wlock) @@ fun () ->
   if conn.alive then
     try
-      output_string conn.oc (J.to_string (P.response_to_json resp));
+      output_string conn.oc (J.to_string j);
       output_char conn.oc '\n';
       flush conn.oc
     with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false
+
+let send conn resp = send_json conn (P.response_to_json resp)
 
 (* ---- sessions ---- *)
 
@@ -63,15 +98,55 @@ type session_state =
   | Loading  (** name reserved; the load request is still in the queue *)
   | Ready of { gen : G.t; flow : Flow.Session.t }
 
+(* Per-session labeled series, registered once at session creation so
+   the request path never touches the registry mutex. *)
+type session_handles = {
+  h_requests : Mbr_obs.Metrics.counter;
+  h_errors : Mbr_obs.Metrics.counter;
+  h_resolved : Mbr_obs.Metrics.counter;
+  h_reused : Mbr_obs.Metrics.counter;
+  h_recover_rounds : Mbr_obs.Metrics.counter;
+  h_recompose_s : Mbr_obs.Metrics.histogram;
+  h_pending : Mbr_obs.Metrics.gauge;
+  h_served : Mbr_obs.Metrics.gauge;
+}
+
+let session_handles name =
+  let labels = [ ("session", name) ] in
+  {
+    h_requests = Mbr_obs.Metrics.counter ~labels "svc.session.requests";
+    h_errors = Mbr_obs.Metrics.counter ~labels "svc.session.errors";
+    h_resolved = Mbr_obs.Metrics.counter ~labels "flow.session.blocks_resolved";
+    h_reused = Mbr_obs.Metrics.counter ~labels "flow.session.blocks_reused";
+    h_recover_rounds =
+      Mbr_obs.Metrics.counter ~labels "flow.session.recover_rounds";
+    h_recompose_s = Mbr_obs.Metrics.histogram ~labels "flow.session.recompose_s";
+    h_pending = Mbr_obs.Metrics.gauge ~labels "svc.session.pending";
+    h_served = Mbr_obs.Metrics.gauge ~labels "svc.session.served";
+  }
+
 type session = {
   sname : string;
   mutable state : session_state;
   pending : pending Queue.t;  (** guarded by the server lock *)
   mutable running : bool;  (** an executor job is draining this queue *)
   mutable served : int;
+  handles : session_handles option;  (** [None] when session metrics are off *)
+  mutable last_progress : P.progress_event option;
+      (** latest heartbeat of an in-flight recompose; [None] when idle *)
 }
 
 and pending = { preq : P.request; pconn : conn; t_recv : float }
+
+(* One answered request, as the flight recorder remembers it. *)
+type flight = {
+  fl_verb : string;
+  fl_session : string;  (** [""] for global verbs *)
+  fl_recv_s : float;  (** monotonic receipt time *)
+  fl_latency_s : float;
+  fl_outcome : string;  (** ["ok"] or the error code *)
+  fl_message : string;  (** error message, truncated *)
+}
 
 type t = {
   config : config;
@@ -79,7 +154,75 @@ type t = {
   lock : Mutex.t;
   sessions : (string, session) Hashtbl.t;
   mutable stopping : bool;
+  (* flight recorder: its own lock, never nested with [lock], so the
+     SIGUSR2 dump can try-lock it without deadlock risk *)
+  flight_lock : Mutex.t;
+  flight : flight option array;
+  mutable flight_next : int;  (** total recorded; slot = next mod cap *)
+  (* telemetry cursors: recent snapshots the delta protocol can diff
+     against (guarded by [lock]) *)
+  mutable telem_next : int;
+  mutable telem_snaps : (int * Mbr_obs.Metrics.snapshot) list;
 }
+
+(* how many snapshots the cursor protocol remembers: enough for a few
+   concurrent pollers, small enough to never matter for memory *)
+let telem_history = 8
+
+let record_flight t fl =
+  let cap = Array.length t.flight in
+  if cap > 0 then begin
+    Mutex.lock t.flight_lock;
+    t.flight.(t.flight_next mod cap) <- Some fl;
+    t.flight_next <- t.flight_next + 1;
+    Mutex.unlock t.flight_lock
+  end
+
+(* Oldest-to-newest dump; [locked] callers already hold the lock. *)
+let flight_list t =
+  let cap = Array.length t.flight in
+  let n = min t.flight_next cap in
+  List.filter_map
+    (fun i -> t.flight.((t.flight_next - n + i) mod cap))
+    (List.init n Fun.id)
+
+let flight_json t =
+  Mutex.lock t.flight_lock;
+  let l = flight_list t in
+  Mutex.unlock t.flight_lock;
+  J.Arr
+    (List.map
+       (fun fl ->
+         J.Obj
+           [
+             ("verb", J.Str fl.fl_verb);
+             ("session", J.Str fl.fl_session);
+             ("recv_s", J.Num fl.fl_recv_s);
+             ("latency_s", J.Num fl.fl_latency_s);
+             ("outcome", J.Str fl.fl_outcome);
+             ("message", J.Str fl.fl_message);
+           ])
+       l)
+
+(* The SIGUSR2 path: handlers run at safe points but may interrupt a
+   domain that holds the flight lock — try-lock and give up rather
+   than deadlock. *)
+let dump_flight_stderr t =
+  if Mutex.try_lock t.flight_lock then begin
+    let l = flight_list t in
+    Mutex.unlock t.flight_lock;
+    Printf.eprintf "mbrd flight recorder (%d of %d recorded):\n"
+      (List.length l) t.flight_next;
+    List.iter
+      (fun fl ->
+        Printf.eprintf "  %-12s %-16s recv=%.3fs lat=%.4fs %s%s\n" fl.fl_verb
+          (if fl.fl_session = "" then "-" else fl.fl_session)
+          fl.fl_recv_s fl.fl_latency_s fl.fl_outcome
+          (if fl.fl_message = "" then "" else " " ^ fl.fl_message))
+      l;
+    flush stderr
+  end
+  else prerr_endline "mbrd flight recorder: busy, try again"
 
 (* ---- request execution (on executor worker domains) ---- *)
 
@@ -231,7 +374,49 @@ let exec_pending t sess p =
             n)
           req.P.recover
       in
-      let r = Flow.Session.recompose ?cancel ?recover flow in
+      (* Progress heartbeats: always recorded on the session (so a
+         telemetry poll sees the in-flight stage), streamed to the
+         requesting connection only when asked. The stream terminates
+         unconditionally — cancelled or failed recomposes still send
+         their final response after the last event, and the callback
+         itself cannot raise (send_json swallows write errors). *)
+      let streaming = req.P.progress = Some true in
+      let on_progress (pg : Flow.progress) =
+        let ev =
+          {
+            P.pe_id = req.P.id;
+            pe_stage = pg.Flow.pr_stage;
+            pe_round = pg.Flow.pr_round;
+            pe_resolved = pg.Flow.pr_blocks_resolved;
+            pe_total = pg.Flow.pr_blocks_total;
+            pe_wns =
+              (if Float.is_nan pg.Flow.pr_wns then None
+               else Some pg.Flow.pr_wns);
+          }
+        in
+        sess.last_progress <- Some ev;
+        if streaming then send_json p.pconn (P.progress_to_json ev)
+      in
+      let r =
+        Fun.protect ~finally:(fun () -> sess.last_progress <- None)
+        @@ fun () -> Flow.Session.recompose ?cancel ?recover ~on_progress flow
+      in
+      (match sess.handles with
+      | Some h when t.config.session_metrics ->
+        Mbr_obs.Metrics.incr ~by:r.Flow.eco_blocks_resolved h.h_resolved;
+        Mbr_obs.Metrics.incr ~by:r.Flow.eco_blocks_reused h.h_reused;
+        Mbr_obs.Metrics.incr ~by:r.Flow.recover_rounds h.h_recover_rounds;
+        Mbr_obs.Metrics.observe h.h_recompose_s r.Flow.runtime_s;
+        (* per-corner WNS, labeled session x corner *)
+        List.iter
+          (fun (cname, wns, _) ->
+            Mbr_obs.Metrics.set
+              (Mbr_obs.Metrics.gauge
+                 ~labels:[ ("session", sess.sname); ("corner", cname) ]
+                 "svc.session.wns")
+              wns)
+          r.Flow.after.Mbr_core.Metrics.corners
+      | _ -> ());
       if r.Flow.cancelled then
         P.fail req.P.id P.Cancelled
           (Printf.sprintf
@@ -256,14 +441,18 @@ let exec_pending t sess p =
              ("corners", J.Str (Mbr_sta.Corner.set_to_string cs));
              ("n_corners", J.Num (float_of_int (Array.length cs)));
            ])
-    | (P.Query_metrics | P.Export_trace | P.Shutdown), _ ->
+    | (P.Query_metrics | P.Export_trace | P.Telemetry | P.Shutdown), _ ->
       (* global verbs never reach a session queue *)
       assert false
   with
   | P.Reject e -> { P.id = req.P.id; result = Error e }
   | e -> P.fail req.P.id P.Internal (Printexc.to_string e)
 
-let account verb t_recv result =
+let truncate_msg m =
+  if String.length m <= 120 then m else String.sub m 0 117 ^ "..."
+
+let account t ?sess verb t_recv result =
+  let dt = Mbr_obs.Clock.now_s () -. t_recv in
   (match result with
   | Ok _ -> ()
   | Error { P.code; _ } ->
@@ -272,12 +461,36 @@ let account verb t_recv result =
     | P.Overloaded -> Mbr_obs.Metrics.incr m_overloaded
     | P.Cancelled -> Mbr_obs.Metrics.incr m_cancelled
     | _ -> ()));
-  Mbr_obs.Metrics.observe (latency_histogram verb)
-    (Mbr_obs.Clock.now_s () -. t_recv)
+  Mbr_obs.Metrics.observe (latency_histogram verb) dt;
+  if t.config.session_metrics then begin
+    Mbr_obs.Metrics.observe (labeled_latency verb) dt;
+    match Option.bind sess (fun s -> s.handles) with
+    | Some h ->
+      Mbr_obs.Metrics.incr h.h_requests;
+      (match result with
+      | Error _ -> Mbr_obs.Metrics.incr h.h_errors
+      | Ok _ -> ())
+    | None -> ()
+  end;
+  let outcome, message =
+    match result with
+    | Ok _ -> ("ok", "")
+    | Error { P.code; message } ->
+      (P.error_code_to_string code, truncate_msg message)
+  in
+  record_flight t
+    {
+      fl_verb = P.verb_to_string verb;
+      fl_session = (match sess with Some s -> s.sname | None -> "");
+      fl_recv_s = t_recv;
+      fl_latency_s = dt;
+      fl_outcome = outcome;
+      fl_message = message;
+    }
 
-let answer verb t_recv conn resp =
+let answer t ?sess verb t_recv conn resp =
   send conn resp;
-  account verb t_recv resp.P.result
+  account t ?sess verb t_recv resp.P.result
 
 (* Drain one request, then resubmit: the executor's FIFO round-robins
    the sessions, so a deep queue on one session cannot starve the
@@ -296,7 +509,7 @@ let rec pump t sess () =
   | Some p ->
     let resp = exec_pending t sess p in
     sess.served <- sess.served + 1;
-    answer p.preq.P.verb p.t_recv p.pconn resp;
+    answer t ~sess p.preq.P.verb p.t_recv p.pconn resp;
     (* a failed load tears the reservation down: the name frees up and
        anything already queued behind it is answered unknown-session *)
     let orphans =
@@ -313,7 +526,7 @@ let rec pump t sess () =
     in
     List.iter
       (fun o ->
-        answer o.preq.P.verb o.t_recv o.pconn
+        answer t ~sess o.preq.P.verb o.t_recv o.pconn
           (P.fail o.preq.P.id P.Unknown_session sess.sname))
       orphans;
     if orphans = [] then
@@ -355,6 +568,71 @@ let metrics_payload t =
       ("sessions", J.Arr sessions);
     ]
 
+(* The telemetry verb: one poll = one snapshot, stamped with a cursor.
+   A poller that echoes its previous cursor gets the metrics *delta*
+   since that snapshot (counters/histograms subtract, gauges stay
+   absolute) as long as the server still remembers it — the ring keeps
+   the last [telem_history] cursors, so a handful of concurrent
+   dashboards each get deltas; a stale or unknown cursor degrades to a
+   full snapshot, never an error. *)
+let telemetry_payload t req =
+  (* snapshot outside the server lock: it takes the registry mutex,
+     and lock order is t.lock -> registry, never the reverse *)
+  let snap = Mbr_obs.Metrics.snapshot () in
+  let cursor, base, sessions =
+    Mutex.lock t.lock;
+    let base =
+      Option.bind req.P.cursor (fun c -> List.assoc_opt c t.telem_snaps)
+    in
+    let cursor = t.telem_next in
+    t.telem_next <- t.telem_next + 1;
+    t.telem_snaps <-
+      (cursor, snap) :: List.filteri (fun i _ -> i < telem_history - 1) t.telem_snaps;
+    let sessions =
+      Hashtbl.fold
+        (fun name sess acc ->
+          J.Obj
+            ([
+               ("name", J.Str name);
+               ( "loaded",
+                 J.Bool
+                   (match sess.state with Ready _ -> true | Loading -> false)
+               );
+               ( "recomposes",
+                 J.Num
+                   (float_of_int
+                      (match sess.state with
+                      | Ready { flow; _ } -> Flow.Session.recomposes flow
+                      | Loading -> 0)) );
+               ("served", J.Num (float_of_int sess.served));
+               ("pending", J.Num (float_of_int (Queue.length sess.pending)));
+             ]
+            @
+            match sess.last_progress with
+            | Some ev -> [ ("progress", P.progress_to_json ev) ]
+            | None -> [])
+          :: acc)
+        t.sessions []
+    in
+    Mutex.unlock t.lock;
+    (cursor, base, sessions)
+  in
+  let mode, metrics =
+    match base with
+    | Some b -> ("delta", Mbr_obs.Metrics.Snapshot.diff ~base:b snap)
+    | None -> ("full", snap)
+  in
+  J.Obj
+    ([
+       ("cursor", J.Num (float_of_int cursor));
+       ("mode", J.Str mode);
+       ( "queue_depth",
+         J.Num (float_of_int (Executor.queue_depth t.exec)) );
+       ("metrics", Mbr_obs.Metrics.snapshot_json metrics);
+       ("sessions", J.Arr sessions);
+     ]
+    @ if req.P.flight = Some true then [ ("flight", flight_json t) ] else [])
+
 (* Wake the accept loop: connect-and-close is portable where closing a
    listening socket out from under accept(2) is not. *)
 let initiate_stop t =
@@ -377,7 +655,7 @@ let initiate_stop t =
 let route_session_verb t conn req t_recv =
   match req.P.session with
   | None ->
-    answer req.P.verb t_recv conn
+    answer t req.P.verb t_recv conn
       (P.fail req.P.id P.Bad_request
          (Printf.sprintf "verb %S needs a \"session\""
             (P.verb_to_string req.P.verb)))
@@ -399,6 +677,10 @@ let route_session_verb t conn req t_recv =
                 pending = Queue.create ();
                 running = false;
                 served = 0;
+                handles =
+                  (if t.config.session_metrics then Some (session_handles name)
+                   else None);
+                last_progress = None;
               }
             in
             Hashtbl.add t.sessions name sess;
@@ -426,7 +708,8 @@ let route_session_verb t conn req t_recv =
       d
     in
     (match decision with
-    | `Err (code, msg) -> answer req.P.verb t_recv conn (P.fail req.P.id code msg)
+    | `Err (code, msg) ->
+      answer t req.P.verb t_recv conn (P.fail req.P.id code msg)
     | `Queued -> ()
     | `Pump sess -> (
       try Executor.submit t.exec (pump t sess)
@@ -443,11 +726,13 @@ let handle_line t conn line =
     | Ok req -> (
       match req.P.verb with
       | P.Query_metrics ->
-        answer req.P.verb t_recv conn (P.ok req.P.id (metrics_payload t))
+        answer t req.P.verb t_recv conn (P.ok req.P.id (metrics_payload t))
+      | P.Telemetry ->
+        answer t req.P.verb t_recv conn (P.ok req.P.id (telemetry_payload t req))
       | P.Export_trace -> (
         match req.P.path with
         | None ->
-          answer req.P.verb t_recv conn
+          answer t req.P.verb t_recv conn
             (P.fail req.P.id P.Bad_request "export-trace needs a \"path\"")
         | Some path ->
           let resp =
@@ -456,9 +741,9 @@ let handle_line t conn line =
               P.ok req.P.id (J.Obj [ ("path", J.Str path) ])
             with Sys_error m -> P.fail req.P.id P.Internal m
           in
-          answer req.P.verb t_recv conn resp)
+          answer t req.P.verb t_recv conn resp)
       | P.Shutdown ->
-        answer req.P.verb t_recv conn
+        answer t req.P.verb t_recv conn
           (P.ok req.P.id (J.Obj [ ("stopping", J.Bool true) ]));
         initiate_stop t
       | P.Load | P.Perturb | P.Recompose | P.Set_corners ->
@@ -494,7 +779,46 @@ let run ?on_ready config =
       lock = Mutex.create ();
       sessions = Hashtbl.create 64;
       stopping = false;
+      flight_lock = Mutex.create ();
+      flight = Array.make (max 0 config.flight_capacity) None;
+      flight_next = 0;
+      telem_next = 0;
+      telem_snaps = [];
     }
+  in
+  if config.handle_sigusr2 then
+    (try
+       Sys.set_signal Sys.sigusr2
+         (Sys.Signal_handle (fun _ -> dump_flight_stderr t))
+     with Invalid_argument _ | Sys_error _ -> ());
+  (* the sampler publishes process vitals plus the server's own gauges
+     (executor queue depth, session count, per-session pending/served) *)
+  let sampler =
+    if config.sample_period_s > 0.0 || config.prom_file <> None then begin
+      let period_s =
+        if config.sample_period_s > 0.0 then config.sample_period_s else 1.0
+      in
+      let extra () =
+        Mbr_obs.Metrics.set g_queue_depth
+          (float_of_int (Executor.queue_depth t.exec));
+        Mutex.lock t.lock;
+        Mbr_obs.Metrics.set g_sessions
+          (float_of_int (Hashtbl.length t.sessions));
+        Hashtbl.iter
+          (fun _ sess ->
+            match sess.handles with
+            | Some h ->
+              Mbr_obs.Metrics.set h.h_pending
+                (float_of_int (Queue.length sess.pending));
+              Mbr_obs.Metrics.set h.h_served (float_of_int sess.served)
+            | None -> ())
+          t.sessions;
+        Mutex.unlock t.lock
+      in
+      Some
+        (Mbr_obs.Sampler.start ~period_s ?prom_file:config.prom_file ~extra ())
+    end
+    else None
   in
   (if Sys.file_exists config.socket_path then
      try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
@@ -528,6 +852,9 @@ let run ?on_ready config =
   Unix.close listen_fd;
   (* drain: every queued request is answered before the workers go *)
   Executor.shutdown t.exec;
+  (* final sampler tick runs before the join, so a prom_file always
+     reflects the drained state *)
+  Option.iter Mbr_obs.Sampler.stop sampler;
   (* readers exit on client EOF; shutdown-side nudge is the socket file
      disappearing — clients close when their last response arrives *)
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());

@@ -26,9 +26,25 @@
     domain that served it, and its receipt-to-response latency feeds
     the [svc.latency.<verb>] histogram ([svc.requests],
     [svc.errors], [svc.overloaded], [svc.cancelled] count traffic).
+    With [session_metrics] on (the default), latency also lands in the
+    labeled [svc.latency_s{verb=...}] family, each session gets its
+    own labeled series ([svc.session.requests{session=...}],
+    [flow.session.blocks_resolved{session=...}],
+    [svc.session.wns{session=...,corner=...}], ...), and the
+    [telemetry] verb serves cursor-stamped snapshots/deltas plus
+    per-session status (including the in-flight recompose's latest
+    progress heartbeat). A recompose sent with [progress: true]
+    streams out-of-band progress event lines on its connection,
+    strictly before the final response. Every answered request also
+    lands in a bounded in-memory {b flight recorder} (last
+    [flight_capacity] request digests), dumped via
+    [telemetry {flight: true}] or — when [handle_sigusr2] — to stderr
+    on SIGUSR2.
 
     Shutdown (the verb) stops accepting, drains every queued request,
-    joins the workers and removes the socket file. *)
+    joins the workers, stops the sampler (final tick included, so a
+    [prom_file] reflects the drained state) and removes the socket
+    file. *)
 
 type config = {
   socket_path : string;
@@ -38,11 +54,27 @@ type config = {
       (** [jobs] inside each recompose's allocate stage. Default 1:
           with many concurrent sessions the executor already uses the
           machine; nested fan-out only helps a lone giant session. *)
+  session_metrics : bool;
+      (** register per-session labeled series and per-verb labeled
+          latency (default [true]; turn off to bound registry growth
+          under hostile session churn) *)
+  sample_period_s : float;
+      (** {!Mbr_obs.Sampler} period; [<= 0] disables the sampler
+          unless [prom_file] forces it (at 1 s) *)
+  prom_file : string option;
+      (** atomically rewrite this file in Prometheus text format every
+          sampler tick *)
+  flight_capacity : int;  (** flight-recorder ring size; [0] disables *)
+  handle_sigusr2 : bool;
+      (** install a SIGUSR2 handler that dumps the flight recorder to
+          stderr (opt-in: embedders may own their signals) *)
 }
 
 val default_config : config
 (** [{socket_path = "mbrd.sock"; workers = 0; queue_limit = 32;
-    alloc_jobs = 1}] *)
+    alloc_jobs = 1; session_metrics = true; sample_period_s = 0.0;
+    prom_file = None; flight_capacity = 256;
+    handle_sigusr2 = false}] *)
 
 val run : ?on_ready:(unit -> unit) -> config -> unit
 (** Bind the socket (replacing a stale file), call [on_ready] once

@@ -133,6 +133,12 @@ module Executor = struct
 
   let workers t = t.n_workers
 
+  let queue_depth t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.queue in
+    Mutex.unlock t.mutex;
+    n
+
   let submit t job =
     Mutex.lock t.mutex;
     if t.stopping then begin

@@ -97,4 +97,9 @@ module Executor : sig
       be the one that joins, the rest return once stopping is set. *)
 
   val workers : t -> int
+
+  val queue_depth : t -> int
+  (** Jobs accepted but not yet picked up by a worker — a telemetry
+      gauge (one mutex-protected [Queue.length]); by the time the
+      caller reads the value it may already have moved. *)
 end

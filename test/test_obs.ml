@@ -105,6 +105,30 @@ let test_json_typed_errors () =
   | Ok _ -> Alcotest.fail "of_string_result accepted trailing garbage");
   check "ok path" true (J.of_string_result "[1, 2]" = Ok (J.Arr [ J.Num 1.0; J.Num 2.0 ]))
 
+(* \uXXXX escapes: surrogate pairs combine into one code point (4-byte
+   UTF-8), lone surrogates are Bad_escape, and the error offset points
+   into the escape *)
+let test_json_surrogates () =
+  check "surrogate pair combines to 4-byte UTF-8" true
+    (J.of_string "\"\\uD83D\\uDE00\"" = J.Str "\240\159\152\128");
+  check "3-byte BMP escape" true
+    (J.of_string "\"\\u20AC\"" = J.Str "\226\130\172");
+  check "2-byte escape" true (J.of_string "\"\\u00E9\"" = J.Str "\195\169");
+  check "astral char roundtrips raw through the printer" true
+    (J.of_string (J.to_string (J.Str "\240\159\152\128"))
+    = J.Str "\240\159\152\128");
+  let err s =
+    match J.of_string_result s with
+    | Ok _ -> None
+    | Error e -> Some (e.J.kind, e.J.offset)
+  in
+  check "lone high surrogate" true (err "\"\\uD83D\"" = Some (J.Bad_escape, 7));
+  check "lone low surrogate" true (err "\"\\uDC00\"" = Some (J.Bad_escape, 7));
+  check "high surrogate + non-low escape" true
+    (err "\"\\uD83D\\u0041\"" = Some (J.Bad_escape, 13));
+  check "non-hex digits" true (err "\"\\uZZ00\"" = Some (J.Bad_escape, 3));
+  check "truncated escape" true (err "\"\\u00" = Some (J.Bad_escape, 3))
+
 (* qcheck: anything the printers emit, the parser reads back, bit for
    bit — compact and pretty. Numbers are drawn from values [%.12g]
    renders exactly (integers and sixteenths), since JSON printing of
@@ -239,6 +263,205 @@ let prop_concurrent_counts =
              parallel.Obs.Metrics.counters
       && serial.Obs.Metrics.histograms = parallel.Obs.Metrics.histograms)
 
+(* ---- labeled series, quantiles, snapshot algebra ---- *)
+
+let test_labeled_metrics () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let a = Obs.Metrics.counter ~labels:[ ("session", "a") ] "test.lab.c" in
+  let b = Obs.Metrics.counter ~labels:[ ("session", "b") ] "test.lab.c" in
+  Obs.Metrics.incr a;
+  Obs.Metrics.incr ~by:2 b;
+  let snap = Obs.Metrics.snapshot () in
+  checki "series a independent" 1
+    (List.assoc "test.lab.c{session=\"a\"}" snap.Obs.Metrics.counters);
+  checki "series b independent" 2
+    (List.assoc "test.lab.c{session=\"b\"}" snap.Obs.Metrics.counters);
+  check "label order canonicalized" true
+    (Obs.Metrics.series_name "m" [ ("z", "1"); ("a", "2") ]
+    = Obs.Metrics.series_name "m" [ ("a", "2"); ("z", "1") ]);
+  check "split_series inverts series_name" true
+    (Obs.Metrics.split_series "test.lab.c{session=\"a\"}"
+    = ("test.lab.c", [ ("session", "a") ]));
+  check "unlabeled key passes through split" true
+    (Obs.Metrics.split_series "plain.name" = ("plain.name", []));
+  check "escaped label value survives" true
+    (let key = Obs.Metrics.series_name "m" [ ("k", "a\"b\\c\nd") ] in
+     Obs.Metrics.split_series key = ("m", [ ("k", "a\"b\\c\nd") ]));
+  Obs.Metrics.disable ()
+
+(* qcheck: labeled series bumped from pool workers lose nothing and
+   agree between jobs settings, exactly like unlabeled ones *)
+let prop_labeled_concurrent =
+  QCheck2.Test.make ~count:20
+    ~name:"metrics: labeled series lose no increments under pool"
+    QCheck2.Gen.(int_range 1 200)
+    (fun n_tasks ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.enable ();
+      let series =
+        Array.init 4 (fun i ->
+            Obs.Metrics.counter
+              ~labels:[ ("w", string_of_int i) ]
+              "test.labc.c")
+      in
+      let work i = Obs.Metrics.incr series.(i mod 4) in
+      let totals_for jobs =
+        Obs.Metrics.reset ();
+        ignore (Mbr_util.Pool.map_array ~jobs work (Array.init n_tasks Fun.id));
+        let s = Obs.Metrics.snapshot () in
+        List.filter
+          (fun (k, _) -> fst (Obs.Metrics.split_series k) = "test.labc.c")
+          s.Obs.Metrics.counters
+      in
+      let serial = totals_for 1 in
+      let parallel = totals_for 4 in
+      Obs.Metrics.disable ();
+      serial = parallel
+      && List.fold_left (fun acc (_, v) -> acc + v) 0 serial = n_tasks)
+
+let test_quantile () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let h = Obs.Metrics.histogram ~bins:[| 1.0; 2.0; 4.0 |] "test.q.h" in
+  let hs () =
+    List.assoc "test.q.h" (Obs.Metrics.snapshot ()).Obs.Metrics.histograms
+  in
+  check "empty histogram -> 0" true (Obs.Metrics.quantile (hs ()) 0.5 = 0.0);
+  for _ = 1 to 100 do
+    Obs.Metrics.observe h 0.5
+  done;
+  (* 100 observations in (0,1]: rank interpolation is exact *)
+  check "p50 interpolates inside the bin" true
+    (Float.abs (Obs.Metrics.quantile (hs ()) 0.5 -. 0.5) < 1e-9);
+  check "p99 interpolates inside the bin" true
+    (Float.abs (Obs.Metrics.quantile (hs ()) 0.99 -. 0.99) < 1e-9);
+  for _ = 1 to 100 do
+    Obs.Metrics.observe h 100.0
+  done;
+  check "overflow rank clamps to the last finite edge" true
+    (Obs.Metrics.quantile (hs ()) 0.99 = 4.0);
+  check "q clamped to [0,1]" true (Obs.Metrics.quantile (hs ()) 2.0 = 4.0);
+  Obs.Metrics.disable ()
+
+(* qcheck: the delta algebra behind the telemetry verb — replaying a
+   diff onto its base reproduces the newer snapshot, and the JSON
+   codec is lossless *)
+let prop_snapshot_diff =
+  QCheck2.Test.make ~count:60 ~name:"metrics: apply(diff) = newer snapshot"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 30) (int_range 0 5))
+        (list_size (int_range 0 30) (int_range 0 5)))
+    (fun (ops1, ops2) ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.enable ();
+      let c = Obs.Metrics.counter "test.diff.c" in
+      let g = Obs.Metrics.gauge "test.diff.g" in
+      let h = Obs.Metrics.histogram ~bins:[| 1.0; 2.0 |] "test.diff.h" in
+      let lab = Obs.Metrics.counter ~labels:[ ("s", "x") ] "test.diff.c2" in
+      let apply_op i =
+        match i with
+        | 0 -> Obs.Metrics.incr c
+        | 1 -> Obs.Metrics.set g (float_of_int i)
+        | 2 -> Obs.Metrics.observe h 1.5
+        | 3 -> Obs.Metrics.incr lab
+        | 4 -> Obs.Metrics.observe h 0.25
+        | _ -> Obs.Metrics.set g 7.5
+      in
+      List.iter apply_op ops1;
+      let s1 = Obs.Metrics.snapshot () in
+      List.iter apply_op ops2;
+      let s2 = Obs.Metrics.snapshot () in
+      Obs.Metrics.disable ();
+      let delta = Obs.Metrics.Snapshot.diff ~base:s1 s2 in
+      Obs.Metrics.Snapshot.apply ~base:s1 delta = s2
+      && Obs.Metrics.snapshot_of_json (Obs.Metrics.snapshot_json s2) = Ok s2
+      && Obs.Metrics.snapshot_of_json (Obs.Metrics.snapshot_json delta)
+         = Ok delta)
+
+(* ---- prometheus exposition ---- *)
+
+(* qcheck: whatever garbage the registry holds, the renderer's output
+   obeys the exposition grammar — legal metric and label names, one
+   # TYPE per family, every sample line value parseable *)
+let prom_snapshot_gen =
+  let open QCheck2.Gen in
+  let str = small_string ~gen:(map Char.chr (int_range 32 126)) in
+  let key =
+    map2 Obs.Metrics.series_name str (list_size (int_range 0 2) (pair str str))
+  in
+  let histo =
+    map2
+      (fun edges counts ->
+        let bins =
+          Array.of_list
+            (List.sort_uniq compare (List.map (fun i -> float_of_int i /. 4.0) edges))
+        in
+        let counts =
+          Array.init
+            (Array.length bins + 1)
+            (fun i -> try List.nth counts i with _ -> 0)
+        in
+        {
+          Obs.Metrics.bins;
+          counts;
+          sum = Array.fold_left (fun a c -> a +. float_of_int c) 0.0 counts;
+          count = Array.fold_left ( + ) 0 counts;
+        })
+      (list_size (int_range 1 4) (int_range (-8) 32))
+      (list_size (return 5) (int_range 0 50))
+  in
+  map3
+    (fun cs gs hs -> { Obs.Metrics.counters = cs; gauges = gs; histograms = hs })
+    (list_size (int_range 0 5) (pair key (int_range 0 1000)))
+    (list_size (int_range 0 5)
+       (pair key (map (fun i -> float_of_int i /. 8.0) (int_range (-800) 800))))
+    (list_size (int_range 0 3) (pair key histo))
+
+let prop_prom_legal =
+  QCheck2.Test.make ~count:100 ~name:"prom: rendered exposition is legal"
+    prom_snapshot_gen
+    (fun snap ->
+      let text = Obs.Prom.render snap in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+      in
+      let type_fams = Hashtbl.create 8 in
+      List.for_all
+        (fun line ->
+          if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then (
+            match String.split_on_char ' ' line with
+            | [ _; _; fam; kind ] ->
+              Obs.Prom.is_legal_metric_name fam
+              && List.mem kind [ "counter"; "gauge"; "histogram" ]
+              && not (Hashtbl.mem type_fams fam)
+              && (Hashtbl.add type_fams fam ();
+                  true)
+            | _ -> false)
+          else if String.length line >= 1 && line.[0] = '#' then true
+          else
+            (* sample: NAME["{" labels "}"] " " VALUE *)
+            let name_end =
+              match
+                (String.index_opt line '{', String.index_opt line ' ')
+              with
+              | Some a, Some b -> min a b
+              | None, Some b -> b
+              | _, None -> -1
+            in
+            name_end > 0
+            && Obs.Prom.is_legal_metric_name (String.sub line 0 name_end)
+            && (* label values never contain raw spaces after escaping, so
+                  the last space separates the value *)
+            (match String.rindex_opt line ' ' with
+            | None -> false
+            | Some sp ->
+              let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+              v = "+Inf" || v = "-Inf" || v = "NaN"
+              || float_of_string_opt v <> None))
+        lines)
+
 (* ---- trace export over a real flow ---- *)
 
 let fig4_stages =
@@ -362,6 +585,47 @@ let test_trace_disabled () =
   check "stage times measured anyway" true
     (List.for_all (fun (_, t) -> t >= 0.0) r.Flow.stage_times)
 
+(* the ring is bounded: with capacity 8, 100 instants keep only the
+   last 8 in order and account for the rest in dropped_events *)
+let test_trace_ring_bound () =
+  let saved = Obs.Trace.get_capacity () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.disable ();
+      Obs.Metrics.disable ();
+      Obs.Trace.set_capacity saved;
+      Obs.Trace.clear ())
+    (fun () ->
+      Obs.Trace.set_capacity 8;
+      Obs.Trace.clear ();
+      Obs.Metrics.reset ();
+      Obs.Metrics.enable ();
+      let dropped0 = Obs.Trace.dropped_events () in
+      Obs.Trace.enable ();
+      for i = 0 to 99 do
+        Obs.Trace.instant (Printf.sprintf "tick%d" i)
+      done;
+      Obs.Trace.disable ();
+      checki "ring holds exactly capacity" 8 (Obs.Trace.n_events ());
+      checki "overflow counted as dropped" 92
+        (Obs.Trace.dropped_events () - dropped0);
+      let names =
+        List.map
+          (fun e -> e.name)
+          (events_of_export (J.of_string (J.to_string (Obs.Trace.export ()))))
+      in
+      Alcotest.(check (list string))
+        "export keeps the newest events in order"
+        (List.init 8 (fun i -> Printf.sprintf "tick%d" (92 + i)))
+        names;
+      check "dropped surfaces in metrics snapshot" true
+        (match
+           List.assoc_opt "trace.dropped"
+             (Obs.Metrics.snapshot ()).Obs.Metrics.counters
+         with
+        | Some n -> n >= 92
+        | None -> false))
+
 let () =
   Alcotest.run "mbr_obs"
     [
@@ -372,17 +636,25 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse" `Quick test_json_parse;
           Alcotest.test_case "typed errors" `Quick test_json_typed_errors;
+          Alcotest.test_case "surrogates" `Quick test_json_surrogates;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
           Alcotest.test_case "histogram bins" `Quick test_histogram_bins;
+          Alcotest.test_case "labeled series" `Quick test_labeled_metrics;
+          Alcotest.test_case "quantile" `Quick test_quantile;
           QCheck_alcotest.to_alcotest prop_concurrent_counts;
+          QCheck_alcotest.to_alcotest prop_labeled_concurrent;
+          QCheck_alcotest.to_alcotest prop_snapshot_diff;
         ] );
+      ( "prom",
+        [ QCheck_alcotest.to_alcotest prop_prom_legal ] );
       ( "trace",
         [
           Alcotest.test_case "export over traced flow" `Quick test_trace_export;
           Alcotest.test_case "disabled mode" `Quick test_trace_disabled;
+          Alcotest.test_case "ring bound" `Quick test_trace_ring_bound;
         ] );
     ]

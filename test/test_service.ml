@@ -48,9 +48,12 @@ let request_gen =
   opt wire_string_gen >>= fun path ->
   opt wire_string_gen >>= fun corners ->
   opt (int_range 0 9) >>= fun recover ->
+  opt (int_range 0 1_000_000) >>= fun cursor ->
+  opt bool >>= fun flight ->
+  opt bool >>= fun progress ->
   return
     { P.id; verb; session; profile; scale; seed; frac; timeout_s; path;
-      corners; recover }
+      corners; recover; cursor; flight; progress }
 
 let request_print (r : P.request) = J.to_string (P.request_to_json r)
 
@@ -269,6 +272,188 @@ let test_cancelled_recompose_usable () =
   check "session usable after cancellation" true (int_field "n_merges" r >= 0);
   ignore (get_ok (C.shutdown c))
 
+(* ---- progress streaming ----
+
+   A recompose sent with [progress: true] streams one event per Fig.-4
+   stage entered, strictly before the final response, all carrying the
+   request's id. The raw-socket variant checks the wire ordering
+   directly; the typed variant checks the event contents. *)
+
+let fig4_stages =
+  [ "eco-reset"; "metrics-before"; "decompose"; "compat-graph";
+    "blocker-index"; "allocate"; "merge"; "scan-restitch"; "skew";
+    "resize"; "metrics-after" ]
+
+let test_progress_stream_wire () =
+  with_server @@ fun socket_path ->
+  let c = C.connect socket_path in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  ignore (get_ok (C.load c ~session:"s" ~profile:"tiny" ~seed:4 ()));
+  (* raw connection: observe the exact line sequence for one request *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  let req_id = 41 in
+  output_string oc
+    (J.to_string
+       (P.request_to_json
+          { (P.request ~id:req_id ~session:"s" P.Recompose) with
+            P.progress = Some true })
+    ^ "\n");
+  flush oc;
+  let events = ref [] and response = ref None in
+  while !response = None do
+    let j = J.of_string (input_line ic) in
+    if P.is_event j then begin
+      check "events arrive strictly before the final response" true
+        (!response = None);
+      match P.progress_of_json j with
+      | Ok ev -> events := ev :: !events
+      | Error m -> Alcotest.failf "malformed event: %s" m
+    end
+    else
+      match P.response_of_json j with
+      | Ok r -> response := Some r
+      | Error m -> Alcotest.failf "protocol violation: %s" m
+  done;
+  close_in ic;
+  let events = List.rev !events in
+  (match !response with
+  | Some { P.id; result = Ok _; _ } -> checki "response id" req_id id
+  | _ -> Alcotest.fail "recompose must succeed");
+  check "at least one event per stage" true
+    (List.length events >= List.length fig4_stages);
+  check "every event carries the request id" true
+    (List.for_all (fun e -> e.P.pe_id = req_id) events);
+  (* the main pass (round 0) enters every Fig.-4 stage, in order *)
+  let round0 =
+    List.filter_map
+      (fun e -> if e.P.pe_round = 0 then Some e.P.pe_stage else None)
+      events
+  in
+  Alcotest.(check (list string))
+    "round 0 walks the Fig.-4 pipeline" fig4_stages round0;
+  (* monotonicity: rounds and block counters never go backwards *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      a.P.pe_round <= b.P.pe_round
+      && a.P.pe_resolved <= b.P.pe_resolved
+      && monotone rest
+    | _ -> true
+  in
+  check "rounds and resolved counts are monotone" true (monotone events);
+  check "resolved <= total" true
+    (List.for_all (fun e -> e.P.pe_resolved <= e.P.pe_total) events);
+  ignore (get_ok (C.shutdown c))
+
+let test_progress_typed_client () =
+  with_server @@ fun socket_path ->
+  let c = C.connect socket_path in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  ignore (get_ok (C.load c ~session:"s" ~profile:"tiny" ~seed:6 ()));
+  let seen = ref [] in
+  let r =
+    get_ok
+      (C.recompose c ~session:"s"
+         ~on_progress:(fun e -> seen := e.P.pe_stage :: !seen)
+         ())
+  in
+  check "recompose answered" true (int_field "n_merges" r >= 0);
+  Alcotest.(check (list string))
+    "typed client sees the stage walk" fig4_stages (List.rev !seen);
+  (* without on_progress no events are requested — the callback-free
+     path still works against the same daemon *)
+  let r2 = get_ok (C.recompose c ~session:"s" ()) in
+  check "plain recompose still fine" true (int_field "n_merges" r2 >= 0);
+  ignore (get_ok (C.shutdown c))
+
+(* a cancelled recompose must still terminate the event stream: the
+   final (error) response arrives after whatever events escaped, and
+   the client call returns instead of hanging *)
+let test_cancelled_progress_terminates () =
+  with_server @@ fun socket_path ->
+  let c = C.connect socket_path in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  ignore (get_ok (C.load c ~session:"s" ~profile:"tiny" ~seed:3 ()));
+  let n_events = ref 0 in
+  let e =
+    get_err
+      (C.recompose c ~session:"s" ~timeout_s:0.0
+         ~on_progress:(fun _ -> incr n_events)
+         ())
+  in
+  Alcotest.(check string) "cancelled" "cancelled"
+    (P.error_code_to_string e.P.code);
+  (* the stream terminated and the connection is still usable *)
+  let r = get_ok (C.recompose c ~session:"s" ()) in
+  check "session usable after cancelled stream" true
+    (int_field "n_merges" r >= 0);
+  ignore (get_ok (C.shutdown c))
+
+(* ---- telemetry verb ---- *)
+
+let test_telemetry_cursor () =
+  with_server @@ fun socket_path ->
+  let c = C.connect socket_path in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  ignore (get_ok (C.load c ~session:"s" ~profile:"tiny" ~seed:9 ()));
+  ignore (get_ok (C.recompose c ~session:"s" ()));
+  let str_field name j =
+    match Option.bind (J.member name j) J.to_str with
+    | Some s -> s
+    | None -> Alcotest.failf "field %S missing in %s" name (J.to_string j)
+  in
+  let t1 = get_ok (C.telemetry c ()) in
+  Alcotest.(check string) "first poll is full" "full" (str_field "mode" t1);
+  check "snapshot parses back" true
+    (match
+       Option.map Mbr_obs.Metrics.snapshot_of_json (J.member "metrics" t1)
+     with
+    | Some (Ok _) -> true
+    | _ -> false);
+  check "queue depth reported" true (int_field "queue_depth" t1 >= 0);
+  check "sessions listed" true
+    (match Option.bind (J.member "sessions" t1) J.to_list with
+    | Some l ->
+      List.exists (fun s -> J.member "name" s = Some (J.Str "s")) l
+    | None -> false);
+  let c1 = int_field "cursor" t1 in
+  ignore (get_ok (C.perturb c ~session:"s" ~seed:17 ()));
+  let t2 = get_ok (C.telemetry c ~cursor:c1 ()) in
+  Alcotest.(check string) "echoed cursor answers a delta" "delta"
+    (str_field "mode" t2);
+  check "cursor advances" true (int_field "cursor" t2 > c1);
+  (* a delta applied to nothing still decodes as a snapshot *)
+  check "delta parses back" true
+    (match
+       Option.map Mbr_obs.Metrics.snapshot_of_json (J.member "metrics" t2)
+     with
+    | Some (Ok _) -> true
+    | _ -> false);
+  (* an unknown (expired) cursor degrades to full, never errors *)
+  let t3 = get_ok (C.telemetry c ~cursor:999_999 ()) in
+  Alcotest.(check string) "unknown cursor falls back to full" "full"
+    (str_field "mode" t3);
+  (* the flight recorder remembers the requests just made *)
+  let t4 = get_ok (C.telemetry c ~flight:true ()) in
+  (match Option.bind (J.member "flight" t4) J.to_list with
+  | Some digests ->
+    check "flight recorder non-empty" true (digests <> []);
+    check "flight digests carry verb/outcome" true
+      (List.for_all
+         (fun d ->
+           J.member "verb" d <> None && J.member "outcome" d <> None
+           && J.member "latency_s" d <> None)
+         digests);
+    check "flight remembers the recompose" true
+      (List.exists
+         (fun d -> J.member "verb" d = Some (J.Str "recompose"))
+         digests)
+  | None -> Alcotest.fail "flight dump missing despite flight: true");
+  check "no flight dump unless asked" true (J.member "flight" t1 = None);
+  ignore (get_ok (C.shutdown c))
+
 (* ---- concurrency equivalence ----
 
    [n_sessions] sessions, [n_clients] client threads, each thread
@@ -408,6 +593,17 @@ let () =
             test_cancelled_recompose_usable;
           Alcotest.test_case "overload backpressure" `Quick
             test_overload_backpressure;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "progress stream on the wire" `Quick
+            test_progress_stream_wire;
+          Alcotest.test_case "typed client progress callback" `Quick
+            test_progress_typed_client;
+          Alcotest.test_case "cancelled recompose terminates the stream"
+            `Quick test_cancelled_progress_terminates;
+          Alcotest.test_case "telemetry cursor and flight recorder" `Quick
+            test_telemetry_cursor;
         ] );
       ( "equivalence",
         [

@@ -1,0 +1,50 @@
+(* prom_export — metrics snapshot JSON -> Prometheus text exposition.
+   Usage: prom_export METRICS.json   (or - for stdin)
+
+   The file is whatever `mbrc --metrics`, the daemon's query-metrics /
+   telemetry verbs, or Metrics.write produced. Parsing goes through
+   Metrics.snapshot_of_json, so a file this tool accepts is exactly a
+   file the telemetry clients accept; rendering goes through
+   Prom.render, the same code path as mbrd --prom-file. Exit 1 with a
+   message on malformed input. *)
+
+let read_all ic =
+  let buf = Buffer.create 65536 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _ |] -> "-"
+    | [| _; p |] -> p
+    | _ ->
+      prerr_endline "usage: prom_export [METRICS.json | -]";
+      exit 2
+  in
+  let text =
+    if path = "-" then read_all stdin
+    else begin
+      let ic = try open_in_bin path with Sys_error m -> prerr_endline m; exit 1 in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    end
+  in
+  match Mbr_obs.Json.of_string_result text with
+  | Error e ->
+    Printf.eprintf "prom_export: %s: %s\n" path (Mbr_obs.Json.error_to_string e);
+    exit 1
+  | Ok j -> (
+    (* accept both a bare snapshot and a query-metrics/telemetry
+       response payload that wraps it under "metrics" *)
+    let j = match Mbr_obs.Json.member "metrics" j with Some m -> m | None -> j in
+    match Mbr_obs.Metrics.snapshot_of_json j with
+    | Error m ->
+      Printf.eprintf "prom_export: %s: %s\n" path m;
+      exit 1
+    | Ok snap -> print_string (Mbr_obs.Prom.render snap))
