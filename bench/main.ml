@@ -1175,13 +1175,13 @@ let patch_bench_json ~path ~key value =
   | J.Obj kvs ->
     let kvs =
       List.map
-        (fun (k, v) -> if k = "schema_version" then (k, J.Num 8.0) else (k, v))
+        (fun (k, v) -> if k = "schema_version" then (k, J.Num 9.0) else (k, v))
         (List.filter (fun (k, _) -> k <> key) kvs)
       @ [ (key, value) ]
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (J.to_string_pretty (J.Obj kvs)));
-    Printf.printf "\npatched %s (schema_version 8, %s refreshed)\n" path key
+    Printf.printf "\npatched %s (schema_version 9, %s refreshed)\n" path key
   | _ -> failwith (path ^ ": not a JSON object")
 
 (* ---- BENCH.json: the numbers above, machine-readable ---- *)
@@ -1234,7 +1234,7 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows ~soak
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 8,\n";
+  p "  \"schema_version\": 9,\n";
   p "  \"generated_by\": \"bench/main.exe\",\n";
   (* core count up front: speedup and degraded flags below are only
      interpretable against the parallelism the host actually offers *)
@@ -1280,13 +1280,24 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows ~soak
           None alloc_scaling
       in
       let bt = r.Mbr_core.Flow.alloc_block_times in
+      (* v9: the skew stage's own counters surfaced per row, so ladder
+         diffs see frontier growth without digging into "metrics" *)
+      let skew_counter name =
+        match
+          List.assoc_opt name row.sc_metrics.Mbr_obs.Metrics.counters
+        with
+        | Some v -> v
+        | None -> 0
+      in
       p
         "    {\"profile\": \"%s\", \"scale\": %s, \"registers\": %d, \
          \"cells\": %d, \"wall_s\": %s, \"rss_mb\": %s, \"jobs\": %d, \
          \"allocate_parallel_speedup\": %s, \"block_solve_mean_s\": %s, \
          \"block_solve_max_s\": %s, \"sta_full_builds\": %d, \
          \"sta_refreshes\": %d, \"recover_rounds\": %d, \
-         \"recover_splits\": %d, \"corners\": [%s], \"stages\": {%s}, \
+         \"recover_splits\": %d, \"skew_frontier_pins\": %d, \
+         \"skew_level_passes\": %d, \"skew_corner_par\": %d, \
+         \"corners\": [%s], \"stages\": {%s}, \
          \"metrics\": %s}%s\n"
         (json_escape row.sc_profile) (json_float row.sc_scale)
         row.sc_registers row.sc_cells
@@ -1297,8 +1308,11 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows ~soak
         (json_float bt.Mbr_core.Allocate.mean_s)
         (json_float bt.Mbr_core.Allocate.max_s)
         r.Mbr_core.Flow.sta_full_builds r.Mbr_core.Flow.sta_refreshes
-        r.Mbr_core.Flow.recover_rounds r.Mbr_core.Flow.recover_splits corners
-        stages
+        r.Mbr_core.Flow.recover_rounds r.Mbr_core.Flow.recover_splits
+        (skew_counter "sta.skew.frontier_pins")
+        (skew_counter "sta.skew.level_passes")
+        (skew_counter "sta.skew.corner_par")
+        corners stages
         (json_of_counters row.sc_metrics)
         (if i = List.length scaling - 1 then "" else ","))
     scaling;
@@ -1341,6 +1355,7 @@ let emit_bench_json ~path ~kernels ~scaling ~alloc_scaling ~eco_rows ~soak
   Printf.printf "\nwrote %s\n" path
 
 let () =
+  Mbr_util.Runtime.tune ();
   Mbr_obs.Log.setup ();
   (* counters on for the whole harness; each reporting row resets and
      snapshots around the run it describes *)

@@ -805,6 +805,7 @@ let top_cmd =
     Term.(const run $ socket_arg $ interval_arg $ count_arg)
 
 let () =
+  Mbr_util.Runtime.tune ();
   let doc = "timing-driven incremental multi-bit register composition (DAC'17)" in
   let info = Cmd.info "mbrc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info

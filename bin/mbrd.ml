@@ -37,6 +37,7 @@ let run socket workers queue_limit alloc_jobs trace log_level prom_file
   Printf.eprintf "mbrd: drained, exiting\n%!"
 
 let () =
+  Mbr_util.Runtime.tune ();
   let socket_arg =
     Arg.(value & opt string S.default_config.S.socket_path
          & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")

@@ -32,7 +32,7 @@ done
 echo "== bench smoke (parallel allocate jobs = 2; ECO recompose round) =="
 dune exec bench/main.exe -- --smoke
 
-echo "== large-scale smoke (scale-8 D1, jobs 1, wall + RSS ceilings) =="
+echo "== large-scale smoke (scale-8 D1, jobs 1, wall + RSS + skew-stage ceilings) =="
 dune exec tools/scale_smoke.exe
 
 echo "== telemetry smoke (traced flow -> Chrome JSON + metrics snapshot) =="
@@ -59,9 +59,11 @@ dune exec tools/recover_smoke.exe -- "$trace_tmp" "$metrics_tmp"
 dune exec tools/telemetry_check.exe -- "$trace_tmp" "$metrics_tmp"
 rm -f "$trace_tmp" "$metrics_tmp"
 
-echo "== BENCH.json schema (v8: telemetry overhead on top of v7) =="
-grep -q '"schema_version": 8' BENCH.json \
-  || { echo "BENCH.json is not schema v8"; exit 1; }
+echo "== BENCH.json schema (v9: per-row skew-stage counters on top of v8) =="
+grep -q '"schema_version": 9' BENCH.json \
+  || { echo "BENCH.json is not schema v9"; exit 1; }
+grep -q '"skew_frontier_pins"' BENCH.json \
+  || { echo "BENCH.json flow_scaling lacks the skew-stage counters"; exit 1; }
 grep -q '"recovery_loop"' BENCH.json \
   || { echo "BENCH.json lacks the recovery_loop section"; exit 1; }
 grep -q '"after_corners"' BENCH.json \

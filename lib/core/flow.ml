@@ -255,7 +255,9 @@ let stage_scan_restitch ctx =
 let stage_skew ctx ?cancel () =
   stage ctx "skew" (fun () ->
       match ctx.options.skew with
-      | Some cfg -> Some (Skew.optimize ~config:cfg ?cancel ctx.eng)
+      | Some cfg ->
+        let jobs = match ctx.options.jobs with Some j -> max 1 j | None -> 1 in
+        Some (Skew.optimize ~config:cfg ~jobs ?cancel ctx.eng)
       | None ->
         Engine.refresh ctx.eng;
         None)

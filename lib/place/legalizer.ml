@@ -2,12 +2,25 @@ module Point = Mbr_geom.Point
 module Rect = Mbr_geom.Rect
 module Design = Mbr_netlist.Design
 module Types = Mbr_netlist.Types
+module Fmap = Map.Make (Float)
 
 module Occupancy = struct
-  type t = {
-    fp : Floorplan.t;
-    rows : (float * float) list array; (* sorted disjoint x-intervals *)
+  (* Per row, the occupied x-extent twice over: [raw] keeps every added
+     rectangle exactly as handed in (so [remove] can drop the exact
+     interval it was given, tolerance and all), while [occ] is the
+     merged disjoint union keyed by interval start — the structure
+     [find_nearest] descends in O(log intervals) instead of rebuilding
+     the whole row's gap list per query. [used] is the measure of the
+     union clipped to the core x-extent: an O(1) upper bound on the
+     widest free gap in the row, so packed rows are skipped without
+     touching the map at all. *)
+  type row = {
+    mutable raw : (float * float) list; (* sorted x-intervals, as added *)
+    mutable occ : float Fmap.t; (* merged disjoint: start -> end *)
+    mutable used : float; (* measure of the union ∩ core x-extent *)
   }
+
+  type t = { fp : Floorplan.t; rows : row array }
 
   (* Rows a rectangle's interior touches: floor-based so a cell lying
      exactly on rows [i, i+k) marks exactly those rows (row_of_y rounds
@@ -23,7 +36,14 @@ module Occupancy = struct
     let hi = row_floor (r.Rect.hy -. 1e-6) in
     List.init (hi - lo + 1) (fun k -> lo + k)
 
-  let create fp = { fp; rows = Array.make (max 1 (Floorplan.n_rows fp)) [] }
+  let create fp =
+    {
+      fp;
+      rows =
+        Array.init
+          (max 1 (Floorplan.n_rows fp))
+          (fun _ -> { raw = []; occ = Fmap.empty; used = 0.0 });
+    }
 
   let insert_interval intervals (lo, hi) =
     let rec go = function
@@ -33,15 +53,46 @@ module Occupancy = struct
     in
     go intervals
 
+  let clip_span t lo hi =
+    let core = t.fp.Floorplan.core in
+    let l = Float.max lo core.Rect.lx and h = Float.min hi core.Rect.hx in
+    Float.max 0.0 (h -. l)
+
+  (* Merge [lo, hi] into the row's union. Endpoints stay exact: the
+     merged end is a Float.max over member ends (associative and
+     commutative), so any merge order yields the same float the linear
+     left-to-right cursor scan used to compute. Intervals separated by
+     a strictly positive gap stay separate — a zero gap merges, which
+     is exactly when the old scan emitted no free gap between them. *)
+  let absorb t row lo hi =
+    let rec go occ lo hi removed =
+      match Fmap.find_last_opt (fun k -> k <= hi) occ with
+      | Some (a, b) when b >= lo ->
+        go (Fmap.remove a occ) (Float.min a lo) (Float.max b hi)
+          (removed +. clip_span t a b)
+      | _ ->
+        row.used <- row.used +. (clip_span t lo hi -. removed);
+        Fmap.add lo hi occ
+    in
+    row.occ <- go row.occ lo hi 0.0
+
+  let rebuild t row =
+    row.occ <- Fmap.empty;
+    row.used <- 0.0;
+    List.iter (fun (a, b) -> absorb t row a b) row.raw
+
   let add t r =
     List.iter
-      (fun row ->
-        t.rows.(row) <- insert_interval t.rows.(row) (r.Rect.lx, r.Rect.hx))
+      (fun i ->
+        let row = t.rows.(i) in
+        row.raw <- insert_interval row.raw (r.Rect.lx, r.Rect.hx);
+        absorb t row r.Rect.lx r.Rect.hx)
       (rows_of_rect t r)
 
   let remove t r =
     List.iter
-      (fun row ->
+      (fun i ->
+        let row = t.rows.(i) in
         let eq (a, b) =
           Float.abs (a -. r.Rect.lx) < 1e-9 && Float.abs (b -. r.Rect.hx) < 1e-9
         in
@@ -49,7 +100,8 @@ module Occupancy = struct
           | [] -> []
           | iv :: rest -> if eq iv then rest else iv :: drop_first rest
         in
-        t.rows.(row) <- drop_first t.rows.(row))
+        row.raw <- drop_first row.raw;
+        rebuild t row)
       (rows_of_rect t r)
 
   let of_placement pl =
@@ -58,39 +110,79 @@ module Occupancy = struct
     t
 
   let row_free t row (lo, hi) =
-    List.for_all (fun (a, b) -> b <= lo +. 1e-9 || a >= hi -. 1e-9) t.rows.(row)
+    List.for_all (fun (a, b) -> b <= lo +. 1e-9 || a >= hi -. 1e-9) t.rows.(row).raw
 
   let fits t r =
     Floorplan.inside t.fp r
     && List.for_all (fun row -> row_free t row (r.Rect.lx, r.Rect.hx)) (rows_of_rect t r)
 
-  (* Nearest x position in a row where a width-w cell fits, given the
-     sorted occupied intervals and the allowed x-range. *)
-  let nearest_x_in_row t row ~w ~xmin ~xmax ~desired =
+  (* Nearest x position in a row where a width-w cell fits: locate the
+     free gap around [desired] in the merged map and walk outward gap by
+     gap, pruning on the best cost so far — O(log m + gaps visited)
+     instead of materializing every gap in the row. Gap boundaries are
+     exactly the floats the old linear cursor scan produced (a gap
+     starts at Float.max xmin (previous merged end)), and equal-cost
+     ties keep the rightmost gap, like the old right-to-left gap list
+     did. *)
+  let nearest_x_in_row row ~w ~xmin ~xmax ~desired =
     if xmax -. xmin < w -. 1e-9 then None
     else begin
-      let intervals = t.rows.(row) in
-      (* Build free gaps clipped to [xmin, xmax]. *)
-      let gaps = ref [] in
-      let cursor = ref xmin in
-      List.iter
-        (fun (a, b) ->
-          if a > !cursor then gaps := (!cursor, Float.min a xmax) :: !gaps;
-          cursor := Float.max !cursor b)
-        intervals;
-      if !cursor < xmax then gaps := (!cursor, xmax) :: !gaps;
+      let occ = row.occ in
+      (* best = (x, cost, gap lo): min cost, ties to the larger gap lo *)
       let best = ref None in
-      List.iter
-        (fun (glo, ghi) ->
-          if ghi -. glo >= w -. 1e-9 then begin
-            let x = Float.max glo (Float.min (ghi -. w) desired) in
-            let cost = Float.abs (x -. desired) in
+      let try_gap glo ghi =
+        if ghi -. glo >= w -. 1e-9 then begin
+          let x = Float.max glo (Float.min (ghi -. w) desired) in
+          let cost = Float.abs (x -. desired) in
+          let better =
             match !best with
-            | Some (_, c) when c <= cost -> ()
-            | Some _ | None -> best := Some (x, cost)
-          end)
-        !gaps;
-      Option.map fst !best
+            | Some (_, c, g) -> cost < c || (cost = c && glo > g)
+            | None -> true
+          in
+          if better then best := Some (x, cost, glo)
+        end
+      in
+      let cost_bound () =
+        match !best with Some (_, c, _) -> c | None -> infinity
+      in
+      (* rightward: [cursor] is the scan cursor (Float.max of xmin and
+         every interval end at or left of here); each step emits the
+         free gap ahead, then jumps past the next interval. Gaps
+         further right cost at least [cursor - desired], so stop once
+         that exceeds the best (ties can still win via the gap-lo
+         tie-break, hence <=). *)
+      let rec walk_right cursor =
+        if cursor -. desired <= cost_bound () then
+          match Fmap.find_first_opt (fun k -> k > cursor) occ with
+          | Some (a, b) ->
+            if a > cursor then try_gap cursor (Float.min a xmax);
+            walk_right b
+          | None -> if cursor < xmax then try_gap cursor xmax
+      in
+      (* leftward from the interval starting at [k0]: the free gap
+         ending at that interval's start, then recurse past the
+         previous interval. A gap ending at ghi costs at least
+         [desired - (ghi - w)], monotone in the walk. *)
+      let rec walk_left k0 =
+        if k0 > xmin then begin
+          let ghi = Float.min k0 xmax in
+          if desired -. (ghi -. w) <= cost_bound () then begin
+            match Fmap.find_last_opt (fun k -> k < k0) occ with
+            | Some (a, b) ->
+              let glo = Float.max xmin b in
+              if k0 > glo then try_gap glo ghi;
+              walk_left a
+            | None -> try_gap xmin ghi
+          end
+        end
+      in
+      let start = Float.max xmin (Float.min desired xmax) in
+      (match Fmap.find_last_opt (fun k -> k <= start) occ with
+      | Some (a0, b0) ->
+        walk_right (Float.max xmin b0);
+        walk_left a0
+      | None -> walk_right xmin);
+      Option.map (fun (x, _, _) -> x) !best
     end
 
   let find_nearest t ?region ~w (desired : Point.t) =
@@ -110,6 +202,7 @@ module Occupancy = struct
     if xmax < xmin -. 1e-9 || ymax < ymin -. 1e-9 then None
     else begin
       let n_rows = Floorplan.n_rows fp in
+      let core_w = core.Rect.hx -. core.Rect.lx in
       let desired_row = Floorplan.row_of_y fp desired.Point.y in
       let best = ref None in
       let consider row =
@@ -120,9 +213,13 @@ module Occupancy = struct
             let prune =
               match !best with Some (_, c) -> dy >= c | None -> false
             in
-            if not prune then begin
+            (* the query window is inside the core x-extent, so no gap
+               can be wider than the row's unoccupied core width: a
+               packed row is rejected in O(1) *)
+            let rw = t.rows.(row) in
+            if (not prune) && core_w -. rw.used >= w -. 1e-9 then begin
               match
-                nearest_x_in_row t row ~w ~xmin ~xmax:(xmax +. w) ~desired:desired.Point.x
+                nearest_x_in_row rw ~w ~xmin ~xmax:(xmax +. w) ~desired:desired.Point.x
               with
               | Some x ->
                 let cost = dy +. Float.abs (x -. desired.Point.x) in

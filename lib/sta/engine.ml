@@ -102,11 +102,102 @@ module Pq = struct
     snd top
 end
 
-(* [arrival]/[required] are corner-major: one dense per-pin array per
-   active corner, all sharing the single graph (topology, arcs,
-   start/endpoints). Reachability is structural — a pin has a finite
-   arrival in one corner iff it does in every corner — so loops guard
-   on corner 0 and the per-corner inner loops never re-test. *)
+(* Arrival/required storage: one flat [Bigarray] float64 plane per
+   corner, indexed by pin id. Unboxed end to end — the propagation
+   inner loops and the worst-corner folds read and write raw doubles,
+   never a boxed [float array array] cell — and a plane is a single
+   malloc'd block outside the OCaml heap, so 100k-register planes
+   neither fragment the major heap nor add GC scan work. *)
+type plane =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let plane_make n v : plane =
+  let p = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max n 0) in
+  Bigarray.Array1.fill p v;
+  p
+
+(* All plane indices come from the engine's own graph arrays (or are
+   bounds-checked by the accessor), so the hot paths skip the per-read
+   bounds test. *)
+let pget : plane -> int -> float = Bigarray.Array1.unsafe_get
+
+let pset : plane -> int -> float -> unit = Bigarray.Array1.unsafe_set
+
+(* A growable int buffer for changed-pin collection: [int array] backed
+   (unboxed), unlike a list whose cons cells would churn the minor heap
+   once per changed pin. *)
+type ivec = { mutable iv_a : int array; mutable iv_len : int }
+
+let ivec_create () = { iv_a = Array.make 64 0; iv_len = 0 }
+
+let ivec_push v x =
+  if v.iv_len = Array.length v.iv_a then begin
+    let b = Array.make (2 * v.iv_len) 0 in
+    Array.blit v.iv_a 0 b 0 v.iv_len;
+    v.iv_a <- b
+  end;
+  v.iv_a.(v.iv_len) <- x;
+  v.iv_len <- v.iv_len + 1
+
+(* The levelized propagation plan and its per-corner scratch; see the
+   skew-propagation section below. *)
+type plan_scratch = {
+  ps_mark : int array;  (* per-pin epoch stamp: queued this pass *)
+  ps_next : int array;  (* intrusive per-level singly-linked list *)
+  ps_head : int array;  (* level -> first queued pin, -1 when empty *)
+  ps_tmp : float array;  (* per-corner recompute scratch *)
+  mutable ps_epoch : int;
+}
+
+type plan = {
+  pl_struct_gen : int;
+  mutable pl_delay_gen : int;
+      (* delays can be refilled in place when only [delay_gen] moved
+         (an [analyze] absorbing placement moves): the CSR layout is
+         keyed by [pl_struct_gen] alone *)
+  pl_nc : int;
+  pl_level : int array;
+      (* forward topological level per pin (-1 outside the graph);
+         every arc strictly increases the level, so the pins of one
+         level are mutually independent in both directions *)
+  pl_n_levels : int;
+  (* CSR adjacency with the per-corner derated delays flattened
+     alongside (entry-major: pred entry [j]'s corner-[k] delay sits at
+     [j * nc + k]) — the propagation loops stream flat int/float
+     arrays instead of chasing [edge list] cons cells; each direction
+     streams its own delay image sequentially *)
+  pr_off : int array;
+  pr_src : int array;
+  pr_cell : Bytes.t;
+      (* per pred entry, 1 when the arc is a cell arc — lets the delay
+         refill stream the CSR without touching the edge records *)
+  pr_delay : float array;
+  su_off : int array;
+  su_dst : int array;
+  su_delay : float array;
+  su_pr : int array;
+      (* per succ entry, the pred-CSR entry of the same arc — used only
+         by the delay refill to gather [su_delay] from [pr_delay]; the
+         hot backward passes never touch it *)
+  (* startpoint launch = skew(st_cell) + st_base (st_base alone for
+     skewless startpoints); endpoint required =
+     (clock_period + skew(ep_cell)) - ep_term (period - ep_term when
+     skewless). Float op order matches [launch_arrival] /
+     [endpoint_required] exactly, so recomputed values are
+     bit-identical. *)
+  st_slot : int array;
+  st_cell : int array;
+  st_base : float array;
+  ep_slot : int array;
+  ep_cell : int array;
+  ep_term : float array;
+  pl_scratch : plan_scratch option array;
+      (* one lazily-created scratch per corner slot; slot 0 doubles as
+         the serial (all-corners-at-once) scratch. A parallel fan-out
+         gives each corner its own slot, so tasks never share mutable
+         scratch. *)
+}
+
 type t = {
   cfg : config;
   pl : Placement.t;
@@ -123,17 +214,45 @@ type t = {
   mutable ep_of : endpoint_kind option array;
   mutable startpoints : Types.pin_id list;
   mutable endpoints : (Types.pin_id * endpoint_kind) list;
-  net_arcs : (Types.net_id, (Types.pin_id * Types.pin_id) list) Hashtbl.t;
+  mutable net_arcs : (Types.net_id, (Types.pin_id * Types.pin_id) list) Hashtbl.t;
       (** net arcs currently spliced into succs/preds, per net *)
   skews : (Types.cell_id, float) Hashtbl.t;
-  mutable arrival : float array array;
-  mutable required : float array array;
+  mutable skew_dense : float array;
+      (* dense mirror of [skews] (0.0 = unset, the default): the
+         propagation passes read a skew per start/endpoint per pass, and
+         an array load there beats a Hashtbl probe *)
+  mutable arrival : plane;
+      (* corner-interleaved: one flat float64 plane indexed
+         [pid * nc + k], so all corners of a pin share a cache line and
+         a pred/succ read costs one miss regardless of the corner
+         count. Reachability is structural — a pin has a finite arrival
+         in one corner iff it does in every corner — so loops may guard
+         on corner 0 alone. *)
+  mutable required : plane;
   mutable delay_gen : int; (* current validity stamp for edge memos *)
+  mutable struct_gen : int;
+      (* bumped whenever graph structure or spliced arc delays change
+         outside an [analyze] (rebuild, grow, incremental refresh);
+         with [delay_gen] it keys the propagation plan's validity *)
+  mutable plan : plan option;
+  mutable reg_cache : (int * Types.cell_id array * int array) option;
+      (* design revision, registers in [Design.registers] order, dense
+         cell-id -> slot map (-1 for non-registers) *)
   mutable analyzed : bool;
   mutable dsg_cursor : int;  (** design edits already reflected *)
   mutable pl_cursor : int;  (** placement moves already reflected *)
   mutable n_full_builds : int;
   mutable n_refreshes : int;
+  (* Epoch-scoped net-load memo. A load folds the sink caps and the
+     net's bounding box, and the same net is consulted once per comb
+     arc through its driver plus once per launch seed — [nl_open]
+     starts a fresh epoch at every point where design and placement
+     are frozen for the duration (analyze, plan delay fill, refresh),
+     and [net_load_memo] then computes each net at most once. Query
+     paths outside those windows keep calling the raw [net_load]. *)
+  mutable nl_cache : float array;
+  mutable nl_stamp : int array;
+  mutable nl_epoch : int;
 }
 
 exception Combinational_cycle of Types.pin_id list
@@ -165,11 +284,23 @@ let corners t = t.corners
 
 let n_corners t = Array.length t.corners
 
-let set_skew t id s =
+let write_skew t id s =
   Hashtbl.replace t.skews id s;
+  if id >= Array.length t.skew_dense then begin
+    let b = Array.make (max (id + 1) (2 * Array.length t.skew_dense)) 0.0 in
+    Array.blit t.skew_dense 0 b 0 (Array.length t.skew_dense);
+    t.skew_dense <- b
+  end;
+  t.skew_dense.(id) <- s
+
+let set_skew t id s =
+  write_skew t id s;
   t.analyzed <- false
 
-let skew t id = match Hashtbl.find_opt t.skews id with Some s -> s | None -> 0.0
+let skew t id =
+  if id >= 0 && id < Array.length t.skew_dense then
+    Array.unsafe_get t.skew_dense id
+  else 0.0
 
 let skew_assignments t =
   Hashtbl.fold
@@ -241,10 +372,14 @@ let compute_graph dsg =
   done;
   let succs = Array.make n [] in
   let preds = Array.make n [] in
+  (* in-degrees are tallied as arcs are created, so Kahn below never
+     has to re-walk the pred lists *)
+  let indeg = Array.make n 0 in
   let add_arc ~cell src dst =
     let e = mk_edge ~cell src dst in
     succs.(src) <- e :: succs.(src);
-    preds.(dst) <- e :: preds.(dst)
+    preds.(dst) <- e :: preds.(dst);
+    indeg.(dst) <- indeg.(dst) + 1
   in
   (* net arcs *)
   let net_arcs = Hashtbl.create 1024 in
@@ -261,18 +396,21 @@ let compute_graph dsg =
       let c = Design.cell dsg cid in
       match c.Types.c_kind with
       | Types.Comb _ ->
-        let outs, ins =
-          List.partition
-            (fun pid -> (Design.pin dsg pid).Types.p_dir = Types.Output)
-            c.Types.c_pins
-        in
+        (* arcs from every input to every output; the double walk over
+           [c_pins] costs the same pin lookups as a partition without
+           allocating the two intermediate lists *)
         List.iter
           (fun o ->
-            List.iter
-              (fun i ->
-                if in_graph.(i) && in_graph.(o) then add_arc ~cell:true i o)
-              ins)
-          outs
+            if (Design.pin dsg o).Types.p_dir = Types.Output && in_graph.(o)
+            then
+              List.iter
+                (fun i ->
+                  if
+                    (Design.pin dsg i).Types.p_dir = Types.Input
+                    && in_graph.(i)
+                  then add_arc ~cell:true i o)
+                c.Types.c_pins)
+          c.Types.c_pins
       | Types.Register _ | Types.Clock_root | Types.Clock_gate _ | Types.Port _
         ->
         ())
@@ -282,31 +420,44 @@ let compute_graph dsg =
   let endpoints = ref [] in
   for pid = 0 to n - 1 do
     if in_graph.(pid) then begin
-      match pin_start_end dsg pid with
-      | true, _ -> startpoints := pid :: !startpoints
-      | false, Some kind -> endpoints := (pid, kind) :: !endpoints
-      | false, None -> ()
+      let p = Design.pin dsg pid in
+      let c = Design.cell dsg p.Types.p_cell in
+      match (c.Types.c_kind, p.Types.p_kind) with
+      | Types.Register _, Types.Pin_q _ ->
+        if p.Types.p_net <> None then startpoints := pid :: !startpoints
+      | Types.Register _, Types.Pin_d _ ->
+        if p.Types.p_net <> None then
+          endpoints := (pid, Ep_reg_d p.Types.p_cell) :: !endpoints
+      | Types.Port Types.In_port, _ -> startpoints := pid :: !startpoints
+      | Types.Port Types.Out_port, _ ->
+        if p.Types.p_net <> None then
+          endpoints := (pid, Ep_out_port) :: !endpoints
+      | _, _ -> ()
     end
   done;
-  (* Kahn topological order over pins that are in the graph *)
-  let indeg = Array.make n 0 in
-  for pid = 0 to n - 1 do
-    indeg.(pid) <- List.length preds.(pid)
-  done;
-  let queue = Queue.create () in
-  for pid = 0 to n - 1 do
-    if in_graph.(pid) && indeg.(pid) = 0 then Queue.add pid queue
-  done;
+  (* in-place Kahn: [topo.(0..k)] doubles as the ready queue — resolved
+     pins are final in [topo] the moment they are appended, so no
+     separate FIFO (or its per-element allocation) is needed *)
   let topo = Array.make n (-1) in
   let k = ref 0 in
-  while not (Queue.is_empty queue) do
-    let pid = Queue.pop queue in
-    topo.(!k) <- pid;
-    incr k;
+  for pid = 0 to n - 1 do
+    if in_graph.(pid) && indeg.(pid) = 0 then begin
+      topo.(!k) <- pid;
+      incr k
+    end
+  done;
+  let i = ref 0 in
+  while !i < !k do
+    let pid = topo.(!i) in
+    incr i;
     List.iter
       (fun e ->
-        indeg.(e.e_dst) <- indeg.(e.e_dst) - 1;
-        if indeg.(e.e_dst) = 0 then Queue.add e.e_dst queue)
+        let d = indeg.(e.e_dst) - 1 in
+        indeg.(e.e_dst) <- d;
+        if d = 0 then begin
+          topo.(!k) <- e.e_dst;
+          incr k
+        end)
       succs.(pid)
   done;
   let n_in_graph = ref 0 in
@@ -382,8 +533,8 @@ let build ?(config = default_config) ?(corners = Corner.default) pl =
     invalid_arg "Sta.build: empty corner set";
   let dsg = Placement.design pl in
   let g = compute_graph dsg in
-  let net_arcs = Hashtbl.create 1024 in
-  Hashtbl.iter (fun k v -> Hashtbl.replace net_arcs k v) g.g_net_arcs;
+  (* [compute_graph]'s table is fresh per call — own it directly *)
+  let net_arcs = g.g_net_arcs in
   let nc = Array.length corners in
   Mbr_obs.Metrics.incr ~by:nc m_corners;
   {
@@ -403,24 +554,50 @@ let build ?(config = default_config) ?(corners = Corner.default) pl =
     endpoints = g.g_endpoints;
     net_arcs;
     skews = Hashtbl.create 64;
-    arrival = Array.init nc (fun _ -> Array.make g.g_n neg_infinity);
-    required = Array.init nc (fun _ -> Array.make g.g_n infinity);
+    skew_dense = [||];
+    arrival = plane_make (g.g_n * nc) neg_infinity;
+    required = plane_make (g.g_n * nc) infinity;
     delay_gen = 0;
+    struct_gen = 0;
+    plan = None;
+    reg_cache = None;
     analyzed = false;
     dsg_cursor = Design.revision dsg;
     pl_cursor = Placement.revision pl;
     n_full_builds = 1;
     n_refreshes = 0;
+    nl_cache = [||];
+    nl_stamp = [||];
+    nl_epoch = 0;
   }
 
 let set_corners t cs =
   if Array.length cs = 0 then invalid_arg "Sta.set_corners: empty corner set";
   t.corners <- Array.copy cs;
   let nc = Array.length cs in
-  t.arrival <- Array.init nc (fun _ -> Array.make t.n neg_infinity);
-  t.required <- Array.init nc (fun _ -> Array.make t.n infinity);
+  t.arrival <- plane_make (t.n * nc) neg_infinity;
+  t.required <- plane_make (t.n * nc) infinity;
+  t.plan <- None;
   t.analyzed <- false;
   Mbr_obs.Metrics.incr ~by:nc m_corners
+
+(* Packed register index, cached per design revision: the registers in
+   [Design.registers] order plus a dense cell-id -> slot map. Shared by
+   the skew optimizer and the touched-register reporting so neither
+   re-hashes ~100k registers per call. Both arrays are read-only to
+   callers. *)
+let register_index t =
+  let rev = Design.revision t.dsg in
+  match t.reg_cache with
+  | Some (r, regs, slot) when r = rev -> (regs, slot)
+  | _ ->
+    let regs = Array.of_list (Design.registers t.dsg) in
+    (* cell ids are Vec indices, not bounded by the live-cell count *)
+    let bound = Array.fold_left (fun acc cid -> max acc (cid + 1)) 1 regs in
+    let slot = Array.make bound (-1) in
+    Array.iteri (fun i cid -> slot.(cid) <- i) regs;
+    t.reg_cache <- Some (rev, regs, slot);
+    (regs, slot)
 
 (* ---- delay computation ---- *)
 
@@ -437,6 +614,23 @@ let net_load t nid =
     | None -> 0.0
   in
   pin_caps +. (t.cfg.wire_cap *. wire_len)
+
+let nl_open t =
+  let nn = Design.n_nets t.dsg in
+  if Array.length t.nl_stamp < nn then begin
+    t.nl_cache <- Array.make nn 0.0;
+    t.nl_stamp <- Array.make nn 0
+  end;
+  t.nl_epoch <- t.nl_epoch + 1
+
+let net_load_memo t nid =
+  if t.nl_stamp.(nid) = t.nl_epoch then t.nl_cache.(nid)
+  else begin
+    let v = net_load t nid in
+    t.nl_cache.(nid) <- v;
+    t.nl_stamp.(nid) <- t.nl_epoch;
+    v
+  end
 
 let wire_delay t src dst =
   let dsg = t.dsg in
@@ -464,7 +658,7 @@ let compute_edge_base_delay t e =
     | Types.Comb a ->
       let load =
         match p.Types.p_net with
-        | Some nid -> net_load t nid
+        | Some nid -> net_load_memo t nid
         | None -> 0.0
       in
       a.Types.intrinsic +. (a.Types.drive_res *. load)
@@ -501,7 +695,7 @@ let launch_arrival t k pid =
   match (c.Types.c_kind, p.Types.p_kind) with
   | Types.Register a, Types.Pin_q _ ->
     let load =
-      match p.Types.p_net with Some nid -> net_load t nid | None -> 0.0
+      match p.Types.p_net with Some nid -> net_load_memo t nid | None -> 0.0
     in
     clock_arrival t p.Types.p_cell
     +. (Cell_lib.clk_to_q a.Types.lib_cell ~load *. t.corners.(k).Corner.cell)
@@ -519,58 +713,744 @@ let endpoint_required t k (pid, kind) =
     -. (a.Types.lib_cell.Cell_lib.setup *. t.corners.(k).Corner.setup)
   | Ep_out_port -> t.cfg.clock_period -. t.cfg.output_delay
 
-let analyze t =
-  t.delay_gen <- t.delay_gen + 1;
-  let nc = Array.length t.corners in
-  for k = 0 to nc - 1 do
-    Array.fill t.arrival.(k) 0 t.n neg_infinity;
-    Array.fill t.required.(k) 0 t.n infinity
+(* ---- levelized propagation plan ----
+
+   A CSR image of the graph with per-corner delays flattened alongside,
+   a forward topological level per pin, and per-startpoint/endpoint
+   launch/required constants. The plan is a pure function of
+   (structure, delays, corners) — keyed on [struct_gen]/[delay_gen]/
+   corner count — and serves both the full analysis and every batched
+   skew sweep: one build per structural generation, one delay refill
+   per numeric generation.
+
+   Propagation over the plan comes in two shapes with one per-pin
+   formula (recompute from final predecessors, in the full analysis's
+   float op order, so fixpoints are bit-identical — property-tested):
+
+   - frontier passes ([forward_pass]/[backward_pass]) seed the union
+     frontier of a move batch (epoch-stamped marks, so a pin enqueues
+     once no matter how many moved registers reach it) and process it
+     level by level, pushing a pin's successors only when its value
+     actually moved;
+   - markless full sweeps ([forward_full]/[backward_full]) recompute
+     every in-graph pin once in topological order (reverse for
+     requireds) with no frontier bookkeeping at all — cheaper than the
+     frontier machinery as soon as the frontier would cover most of
+     the graph, and the backbone of [analyze]. *)
+
+(* (Re)compute the numeric half of a plan against the current delays:
+   per-arc derated delays into [pr_delay]/[su_delay], launch bases
+   into [st_base], skewless required terms into [ep_term]. The CSR
+   layout itself is keyed by [pl_struct_gen] alone, so a structurally-
+   valid plan absorbs an [analyze]'s delay-generation bump with this
+   refill - no rebuild. *)
+let plan_fill_delays t p =
+  Mbr_obs.Trace.with_span ~name:"sta.plan.delays" @@ fun () ->
+  nl_open t;
+  let nc = p.pl_nc in
+  (* pin geometry snapshot: [pin_location] and [pin_cap] walk the
+     design records (cell kind match, lib offsets), so resolve each
+     in-graph pin once up front instead of once per incident arc — a
+     driver with fanout f is otherwise resolved f times *)
+  let px = Array.make t.n 0.0 and py = Array.make t.n 0.0 in
+  let placed = Array.make t.n false in
+  let cap = Array.make t.n 0.0 in
+  Mbr_obs.Trace.with_span ~name:"sta.plan.snap" (fun () ->
+  for pid = 0 to t.n - 1 do
+     if t.in_graph.(pid) then begin
+       let pn = Design.pin t.dsg pid in
+       match Placement.location_opt t.pl pn.Types.p_cell with
+       | Some _ ->
+         let l = Placement.pin_location t.pl pid in
+         px.(pid) <- l.Point.x;
+         py.(pid) <- l.Point.y;
+         placed.(pid) <- true;
+         cap.(pid) <- Design.pin_cap t.dsg pid
+       | None -> ()
+     end
+   done);
+  (* pred side: each arc's derated delays straight into the CSR — same
+     float ops (same order) as [edge_delays], but no per-edge memo
+     array is allocated (the lazy memo still serves the refresh
+     worklist) *)
+  (* the dst cell's intrinsic + drive into its output load — shared by
+     every cell arc into [pid]; same float ops as the cell branch of
+     [compute_edge_base_delay] *)
+  let comb_base pid =
+    let pn = Design.pin t.dsg pid in
+    let c = Design.cell t.dsg pn.Types.p_cell in
+    match c.Types.c_kind with
+    | Types.Comb a ->
+      let load =
+        match pn.Types.p_net with
+        | Some nid -> net_load_memo t nid
+        | None -> 0.0
+      in
+      a.Types.intrinsic +. (a.Types.drive_res *. load)
+    | Types.Register _ | Types.Clock_root | Types.Clock_gate _
+    | Types.Port _ ->
+      0.0
+  in
+  (* streamed off the CSR + snapshot arrays: no edge record or cons
+      cell is touched, and the per-destination cell base is computed
+      once, not once per input pin *)
+   for pid = 0 to t.n - 1 do
+     let j1 = Array.unsafe_get p.pr_off (pid + 1) in
+     let cell_base = ref nan in
+     for j = Array.unsafe_get p.pr_off pid to j1 - 1 do
+       let is_cell = Bytes.unsafe_get p.pr_cell j = '\001' in
+       let base =
+         if is_cell then begin
+           if Float.is_nan !cell_base then cell_base := comb_base pid;
+           !cell_base
+         end
+         else begin
+           let s = Array.unsafe_get p.pr_src j in
+           if Array.unsafe_get placed s && Array.unsafe_get placed pid then begin
+             (* [wire_delay] verbatim, off the snapshot *)
+             let len =
+               Float.abs (Array.unsafe_get px s -. Array.unsafe_get px pid)
+               +. Float.abs (Array.unsafe_get py s -. Array.unsafe_get py pid)
+             in
+             t.cfg.wire_res *. len
+             *. ((t.cfg.wire_cap *. len /. 2.0) +. Array.unsafe_get cap pid)
+           end
+           else 0.0
+         end
+       in
+       let b = j * nc in
+       if is_cell then
+         for k = 0 to nc - 1 do
+           p.pr_delay.(b + k) <- base *. t.corners.(k).Corner.cell
+         done
+       else
+         for k = 0 to nc - 1 do
+           p.pr_delay.(b + k) <- base *. t.corners.(k).Corner.wire
+         done
+     done
+   done;
+  (* succ side: the same numbers gathered through [su_pr], so the
+     scattered read happens once per refill and the backward passes
+     stream [su_delay] sequentially *)
+  let ns = p.su_off.(Array.length p.su_off - 1) in
+  for j = 0 to ns - 1 do
+    let s = p.su_pr.(j) * nc and d = j * nc in
+    for k = 0 to nc - 1 do
+      p.su_delay.(d + k) <- p.pr_delay.(s + k)
+    done
   done;
-  List.iter
-    (fun pid ->
-      for k = 0 to nc - 1 do
-        t.arrival.(k).(pid) <-
-          Float.max t.arrival.(k).(pid) (launch_arrival t k pid)
-      done)
+  List.iteri
+    (fun i pid ->
+      let pn = Design.pin t.dsg pid in
+      let c = Design.cell t.dsg pn.Types.p_cell in
+      match (c.Types.c_kind, pn.Types.p_kind) with
+      | Types.Register a, Types.Pin_q _ ->
+        p.st_cell.(i) <- pn.Types.p_cell;
+        let load =
+          match pn.Types.p_net with
+          | Some nid -> net_load_memo t nid
+          | None -> 0.0
+        in
+        let cq = Cell_lib.clk_to_q a.Types.lib_cell ~load in
+        for k = 0 to nc - 1 do
+          p.st_base.((i * nc) + k) <- cq *. t.corners.(k).Corner.cell
+        done
+      | Types.Port Types.In_port, _ ->
+        for k = 0 to nc - 1 do
+          p.st_base.((i * nc) + k) <- t.cfg.input_delay
+        done
+      | _, _ -> ())
     t.startpoints;
-  (* forward *)
+  List.iteri
+    (fun i (_, kind) ->
+      match kind with
+      | Ep_reg_d cid ->
+        p.ep_cell.(i) <- cid;
+        let a = Design.reg_attrs t.dsg cid in
+        let setup = a.Types.lib_cell.Cell_lib.setup in
+        for k = 0 to nc - 1 do
+          p.ep_term.((i * nc) + k) <- setup *. t.corners.(k).Corner.setup
+        done
+      | Ep_out_port ->
+        for k = 0 to nc - 1 do
+          p.ep_term.((i * nc) + k) <- t.cfg.output_delay
+        done)
+    t.endpoints
+
+let build_plan t =
+  Mbr_obs.Trace.with_span ~name:"sta.plan.build"
+    ~args:[ ("n_pins", Mbr_obs.Trace.Int t.n) ]
+  @@ fun () ->
+  let n = t.n in
+  let nc = Array.length t.corners in
+  let pr_off = Array.make (n + 1) 0 and su_off = Array.make (n + 1) 0 in
+  for pid = 0 to n - 1 do
+    pr_off.(pid + 1) <- pr_off.(pid) + List.length t.preds.(pid);
+    su_off.(pid + 1) <- su_off.(pid) + List.length t.succs.(pid)
+  done;
+  let ne = pr_off.(n) in
+  let pr_src = Array.make (max ne 1) 0 in
+  let pr_cell = Bytes.make (max ne 1) '\000' in
+  let pr_delay = Array.make (max (ne * nc) 1) 0.0 in
+  let su_dst = Array.make (max su_off.(n) 1) 0 in
+  let su_delay = Array.make (max (su_off.(n) * nc) 1) 0.0 in
+  let su_pr = Array.make (max su_off.(n) 1) 0 in
+  (* an arc is one shared record on both adjacency lists, and the pred
+     CSR mirrors [t.preds] list order — so the arc's pred entry is its
+     physical position in [t.preds.(e_dst)], found by a short scan
+     (in-degrees are small: one net driver or a handful of cell ins) *)
+  let pr_entry_of e =
+    let rec find k = function
+      | e' :: tl -> if e' == e then k else find (k + 1) tl
+      | [] -> assert false
+    in
+    find pr_off.(e.e_dst) t.preds.(e.e_dst)
+  in
+  for pid = 0 to n - 1 do
+    let j = ref pr_off.(pid) in
+    List.iter
+      (fun e ->
+        pr_src.(!j) <- e.e_src;
+        if e.e_cell then Bytes.unsafe_set pr_cell !j '\001';
+        incr j)
+      t.preds.(pid);
+    let j = ref su_off.(pid) in
+    List.iter
+      (fun e ->
+        su_dst.(!j) <- e.e_dst;
+        su_pr.(!j) <- pr_entry_of e;
+        incr j)
+      t.succs.(pid)
+  done;
+  let level = Array.make n (-1) in
+  let n_levels = ref 0 in
   Array.iter
     (fun pid ->
-      if t.arrival.(0).(pid) > neg_infinity then
-        List.iter
-          (fun e ->
-            let d = edge_delays t e in
-            for k = 0 to nc - 1 do
-              let a = t.arrival.(k).(pid) +. d.(k) in
-              if a > t.arrival.(k).(e.e_dst) then t.arrival.(k).(e.e_dst) <- a
-            done)
-          t.succs.(pid))
+      let l =
+        List.fold_left
+          (fun acc e -> max acc (level.(e.e_src) + 1))
+          0 t.preds.(pid)
+      in
+      level.(pid) <- l;
+      if l + 1 > !n_levels then n_levels := l + 1)
     t.topo;
-  (* backward *)
-  List.iter
-    (fun (pid, kind) ->
-      for k = 0 to nc - 1 do
-        t.required.(k).(pid) <-
-          Float.min t.required.(k).(pid) (endpoint_required t k (pid, kind))
-      done)
-    t.endpoints;
-  for i = Array.length t.topo - 1 downto 0 do
-    let pid = t.topo.(i) in
-    if t.required.(0).(pid) < infinity then
-      List.iter
-        (fun e ->
-          let d = edge_delays t e in
-          for k = 0 to nc - 1 do
-            let r = t.required.(k).(pid) -. d.(k) in
-            if r < t.required.(k).(e.e_src) then t.required.(k).(e.e_src) <- r
-          done)
-        t.preds.(pid)
+  let st_slot = Array.make n (-1) in
+  let n_st = List.length t.startpoints in
+  let st_cell = Array.make (max n_st 1) (-1) in
+  let st_base = Array.make (max (n_st * nc) 1) 0.0 in
+  List.iteri (fun i pid -> st_slot.(pid) <- i) t.startpoints;
+  let ep_slot = Array.make n (-1) in
+  let n_ep = List.length t.endpoints in
+  let ep_cell = Array.make (max n_ep 1) (-1) in
+  let ep_term = Array.make (max (n_ep * nc) 1) 0.0 in
+  List.iteri (fun i (pid, _) -> ep_slot.(pid) <- i) t.endpoints;
+  let p =
+    {
+      pl_struct_gen = t.struct_gen;
+      pl_delay_gen = t.delay_gen;
+      pl_nc = nc;
+      pl_level = level;
+      pl_n_levels = !n_levels;
+      pr_off;
+      pr_src;
+      pr_cell;
+      pr_delay;
+      su_off;
+      su_dst;
+      su_delay;
+      su_pr;
+      st_slot;
+      st_cell;
+      st_base;
+      ep_slot;
+      ep_cell;
+      ep_term;
+      pl_scratch = Array.make (max nc 1) None;
+    }
+  in
+  plan_fill_delays t p;
+  p
+
+let ensure_plan t =
+  let nc = Array.length t.corners in
+  match t.plan with
+  | Some p when p.pl_struct_gen = t.struct_gen && p.pl_nc = nc ->
+    if p.pl_delay_gen <> t.delay_gen then begin
+      plan_fill_delays t p;
+      p.pl_delay_gen <- t.delay_gen
+    end;
+    p
+  | Some _ | None ->
+    let p = build_plan t in
+    t.plan <- Some p;
+    p
+
+let plan_scratch_for p slot =
+  match p.pl_scratch.(slot) with
+  | Some s -> s
+  | None ->
+    let n = Array.length p.pl_level in
+    let s =
+      {
+        ps_mark = Array.make (max n 1) 0;
+        ps_next = Array.make (max n 1) (-1);
+        ps_head = Array.make (max p.pl_n_levels 1) (-1);
+        ps_tmp = Array.make (max p.pl_nc 1) 0.0;
+        ps_epoch = 0;
+      }
+    in
+    p.pl_scratch.(slot) <- Some s;
+    s
+
+(* One levelized forward pass over corner range [k0..k1]. The cancel
+   token, when given, is polled once per level so a deadline or budget
+   trips promptly — but the pass always runs to completion (a batch is
+   atomic; callers like [Skew.optimize] act on the token at their own
+   sweep boundary), so a cancelled batch leaves exactly the same planes
+   as an uncancelled one. Returns (pins processed, non-empty levels). *)
+let forward_pass t p scr ~k0 ~k1 ~seeds ~changed ~cancel =
+  let nc = p.pl_nc in
+  scr.ps_epoch <- scr.ps_epoch + 1;
+  let epoch = scr.ps_epoch in
+  let mark = scr.ps_mark and next = scr.ps_next and head = scr.ps_head in
+  let lmin = ref p.pl_n_levels and lmax = ref (-1) in
+  let push pid =
+    if Array.unsafe_get mark pid <> epoch then begin
+      Array.unsafe_set mark pid epoch;
+      let l = Array.unsafe_get p.pl_level pid in
+      Array.unsafe_set next pid (Array.unsafe_get head l);
+      Array.unsafe_set head l pid;
+      if l < !lmin then lmin := l;
+      if l > !lmax then lmax := l
+    end
+  in
+  List.iter (fun pid -> if t.topo_pos.(pid) >= 0 then push pid) seeds;
+  let tmp = scr.ps_tmp in
+  let arr = t.arrival in
+  let processed = ref 0 and levels = ref 0 in
+  let l = ref !lmin in
+  while !l <= !lmax do
+    (match cancel with
+    | Some c -> ignore (Mbr_util.Cancel.check c)
+    | None -> ());
+    let pid = ref head.(!l) in
+    if !pid >= 0 then incr levels;
+    while !pid >= 0 do
+      let q = !pid in
+      incr processed;
+      (* recompute arrival over [k0..k1] from final predecessors *)
+      let sl = Array.unsafe_get p.st_slot q in
+      if sl >= 0 then begin
+        let cid = Array.unsafe_get p.st_cell sl in
+        if cid >= 0 then begin
+          let sk = skew t cid in
+          for k = k0 to k1 do
+            Array.unsafe_set tmp k (sk +. Array.unsafe_get p.st_base ((sl * nc) + k))
+          done
+        end
+        else
+          for k = k0 to k1 do
+            Array.unsafe_set tmp k (Array.unsafe_get p.st_base ((sl * nc) + k))
+          done
+      end
+      else
+        for k = k0 to k1 do
+          Array.unsafe_set tmp k neg_infinity
+        done;
+      for j = Array.unsafe_get p.pr_off q to Array.unsafe_get p.pr_off (q + 1) - 1 do
+        let sb = Array.unsafe_get p.pr_src j * nc in
+        let b = j * nc in
+        for k = k0 to k1 do
+          let a =
+            pget arr (sb + k) +. Array.unsafe_get p.pr_delay (b + k)
+          in
+          if a > Array.unsafe_get tmp k then Array.unsafe_set tmp k a
+        done
+      done;
+      let moved = ref false in
+      let qb = q * nc in
+      for k = k0 to k1 do
+        let v = Array.unsafe_get tmp k in
+        if v <> pget arr (qb + k) then begin
+          moved := true;
+          pset arr (qb + k) v
+        end
+      done;
+      if !moved then begin
+        (match changed with Some v -> ivec_push v q | None -> ());
+        for j = Array.unsafe_get p.su_off q to Array.unsafe_get p.su_off (q + 1) - 1 do
+          push (Array.unsafe_get p.su_dst j)
+        done
+      end;
+      pid := Array.unsafe_get next q
+    done;
+    head.(!l) <- -1;
+    incr l
   done;
-  (* A full numeric pass recomputes every delay against the current
-     placement, so pending moves are absorbed. Pending *structural*
-     design edits are not: the graph arrays are untouched here, so
-     [dsg_cursor] stays where it is and a later {!refresh} repairs the
-     structure. *)
+  (!processed, !levels)
+
+(* Backward mirror: seeds are D pins, levels run high to low (a pin's
+   required depends only on strictly higher levels), pushes go to
+   predecessors. *)
+let backward_pass t p scr ~k0 ~k1 ~seeds ~changed ~cancel =
+  let nc = p.pl_nc in
+  scr.ps_epoch <- scr.ps_epoch + 1;
+  let epoch = scr.ps_epoch in
+  let mark = scr.ps_mark and next = scr.ps_next and head = scr.ps_head in
+  let lmin = ref p.pl_n_levels and lmax = ref (-1) in
+  let push pid =
+    if Array.unsafe_get mark pid <> epoch then begin
+      Array.unsafe_set mark pid epoch;
+      let l = Array.unsafe_get p.pl_level pid in
+      Array.unsafe_set next pid (Array.unsafe_get head l);
+      Array.unsafe_set head l pid;
+      if l < !lmin then lmin := l;
+      if l > !lmax then lmax := l
+    end
+  in
+  List.iter (fun pid -> if t.topo_pos.(pid) >= 0 then push pid) seeds;
+  let tmp = scr.ps_tmp in
+  let req = t.required in
+  let period = t.cfg.clock_period in
+  let processed = ref 0 and levels = ref 0 in
+  let l = ref !lmax in
+  while !l >= !lmin do
+    (match cancel with
+    | Some c -> ignore (Mbr_util.Cancel.check c)
+    | None -> ());
+    let pid = ref head.(!l) in
+    if !pid >= 0 then incr levels;
+    while !pid >= 0 do
+      let q = !pid in
+      incr processed;
+      let sl = Array.unsafe_get p.ep_slot q in
+      if sl >= 0 then begin
+        let cid = Array.unsafe_get p.ep_cell sl in
+        if cid >= 0 then begin
+          let sk = skew t cid in
+          for k = k0 to k1 do
+            Array.unsafe_set tmp k (period +. sk -. Array.unsafe_get p.ep_term ((sl * nc) + k))
+          done
+        end
+        else
+          for k = k0 to k1 do
+            Array.unsafe_set tmp k (period -. Array.unsafe_get p.ep_term ((sl * nc) + k))
+          done
+      end
+      else
+        for k = k0 to k1 do
+          Array.unsafe_set tmp k infinity
+        done;
+      for j = Array.unsafe_get p.su_off q to Array.unsafe_get p.su_off (q + 1) - 1 do
+        let db = Array.unsafe_get p.su_dst j * nc in
+        let b = j * nc in
+        for k = k0 to k1 do
+          let r =
+            pget req (db + k) -. Array.unsafe_get p.su_delay (b + k)
+          in
+          if r < Array.unsafe_get tmp k then Array.unsafe_set tmp k r
+        done
+      done;
+      let moved = ref false in
+      let qb = q * nc in
+      for k = k0 to k1 do
+        let v = Array.unsafe_get tmp k in
+        if v <> pget req (qb + k) then begin
+          moved := true;
+          pset req (qb + k) v
+        end
+      done;
+      if !moved then begin
+        (match changed with Some v -> ivec_push v q | None -> ());
+        for j = Array.unsafe_get p.pr_off q to Array.unsafe_get p.pr_off (q + 1) - 1 do
+          push (Array.unsafe_get p.pr_src j)
+        done
+      end;
+      pid := Array.unsafe_get next q
+    done;
+    head.(!l) <- -1;
+    decr l
+  done;
+  (!processed, !levels)
+
+(* Markless full sweep: the frontier pass's per-pin recompute applied
+   to every in-graph pin once, in topological order — a pin whose
+   inputs did not move recomputes to its stored value bit-for-bit, so
+   the fixpoint AND the changed-pin set match the frontier pass
+   exactly. Cancellation is polled every 4096 pins instead of per
+   level. Returns the processed-pin count. *)
+let forward_full t p scr ~k0 ~k1 ~changed ~cancel =
+  let nc = p.pl_nc in
+  let tmp = scr.ps_tmp in
+  let arr = t.arrival in
+  let topo = t.topo in
+  let m = Array.length topo in
+  for i = 0 to m - 1 do
+    (match cancel with
+    | Some c when i land 4095 = 0 -> ignore (Mbr_util.Cancel.check c)
+    | Some _ | None -> ());
+    let q = Array.unsafe_get topo i in
+    let sl = Array.unsafe_get p.st_slot q in
+    if sl >= 0 then begin
+      let cid = Array.unsafe_get p.st_cell sl in
+      if cid >= 0 then begin
+        let sk = skew t cid in
+        for k = k0 to k1 do
+          Array.unsafe_set tmp k (sk +. Array.unsafe_get p.st_base ((sl * nc) + k))
+        done
+      end
+      else
+        for k = k0 to k1 do
+          Array.unsafe_set tmp k (Array.unsafe_get p.st_base ((sl * nc) + k))
+        done
+    end
+    else
+      for k = k0 to k1 do
+        Array.unsafe_set tmp k neg_infinity
+      done;
+    for j = Array.unsafe_get p.pr_off q to Array.unsafe_get p.pr_off (q + 1) - 1 do
+      let sb = Array.unsafe_get p.pr_src j * nc in
+      let b = j * nc in
+      for k = k0 to k1 do
+        let a =
+          pget arr (sb + k) +. Array.unsafe_get p.pr_delay (b + k)
+        in
+        if a > Array.unsafe_get tmp k then Array.unsafe_set tmp k a
+      done
+    done;
+    let moved = ref false in
+    let qb = q * nc in
+    for k = k0 to k1 do
+      let v = Array.unsafe_get tmp k in
+      if v <> pget arr (qb + k) then begin
+        moved := true;
+        pset arr (qb + k) v
+      end
+    done;
+    if !moved then
+      match changed with Some v -> ivec_push v q | None -> ()
+  done;
+  m
+
+let backward_full t p scr ~k0 ~k1 ~changed ~cancel =
+  let nc = p.pl_nc in
+  let tmp = scr.ps_tmp in
+  let req = t.required in
+  let period = t.cfg.clock_period in
+  let topo = t.topo in
+  let m = Array.length topo in
+  for i = m - 1 downto 0 do
+    (match cancel with
+    | Some c when i land 4095 = 0 -> ignore (Mbr_util.Cancel.check c)
+    | Some _ | None -> ());
+    let q = Array.unsafe_get topo i in
+    let sl = Array.unsafe_get p.ep_slot q in
+    if sl >= 0 then begin
+      let cid = Array.unsafe_get p.ep_cell sl in
+      if cid >= 0 then begin
+        let sk = skew t cid in
+        for k = k0 to k1 do
+          Array.unsafe_set tmp k (period +. sk -. Array.unsafe_get p.ep_term ((sl * nc) + k))
+        done
+      end
+      else
+        for k = k0 to k1 do
+          Array.unsafe_set tmp k (period -. Array.unsafe_get p.ep_term ((sl * nc) + k))
+        done
+    end
+    else
+      for k = k0 to k1 do
+        Array.unsafe_set tmp k infinity
+      done;
+    for j = Array.unsafe_get p.su_off q to Array.unsafe_get p.su_off (q + 1) - 1 do
+      let db = Array.unsafe_get p.su_dst j * nc in
+      let b = j * nc in
+      for k = k0 to k1 do
+        let r =
+          pget req (db + k) -. Array.unsafe_get p.su_delay (b + k)
+        in
+        if r < Array.unsafe_get tmp k then Array.unsafe_set tmp k r
+      done
+    done;
+    let moved = ref false in
+    let qb = q * nc in
+    for k = k0 to k1 do
+      let v = Array.unsafe_get tmp k in
+      if v <> pget req (qb + k) then begin
+        moved := true;
+        pset req (qb + k) v
+      end
+    done;
+    if !moved then
+      match changed with Some v -> ivec_push v q | None -> ()
+  done;
+  m
+
+(* Mark-skip sweeps: stream the whole topo order like the full sweeps,
+   but recompute a pin only when it is a seed or a predecessor actually
+   moved — one epoch-stamped mark per pin, no per-level lists, so the
+   CSR walk stays sequential and a quiet pin costs one array read.
+   Skipping is sound because an unmarked pin would recompute to its
+   stored value bit-for-bit (same final predecessors, same delays), so
+   the planes AND the changed-pin set match the markless full sweep
+   exactly. This is the batch shape for big move batches: frontier
+   level lists jump around the CSR, and the markless full sweep pays
+   the recompute for every quiet pin. *)
+let forward_scan t p scr ~k0 ~k1 ~seeds ~changed ~cancel =
+  let nc = p.pl_nc in
+  scr.ps_epoch <- scr.ps_epoch + 1;
+  let epoch = scr.ps_epoch in
+  let mark = scr.ps_mark in
+  List.iter
+    (fun pid -> if t.topo_pos.(pid) >= 0 then Array.unsafe_set mark pid epoch)
+    seeds;
+  let tmp = scr.ps_tmp in
+  let arr = t.arrival in
+  let topo = t.topo in
+  let m = Array.length topo in
+  let processed = ref 0 in
+  for i = 0 to m - 1 do
+    (match cancel with
+    | Some c when i land 4095 = 0 -> ignore (Mbr_util.Cancel.check c)
+    | Some _ | None -> ());
+    let q = Array.unsafe_get topo i in
+    if Array.unsafe_get mark q = epoch then begin
+      incr processed;
+      let sl = Array.unsafe_get p.st_slot q in
+      if sl >= 0 then begin
+        let cid = Array.unsafe_get p.st_cell sl in
+        if cid >= 0 then begin
+          let sk = skew t cid in
+          for k = k0 to k1 do
+            Array.unsafe_set tmp k (sk +. Array.unsafe_get p.st_base ((sl * nc) + k))
+          done
+        end
+        else
+          for k = k0 to k1 do
+            Array.unsafe_set tmp k (Array.unsafe_get p.st_base ((sl * nc) + k))
+          done
+      end
+      else
+        for k = k0 to k1 do
+          Array.unsafe_set tmp k neg_infinity
+        done;
+      for j = Array.unsafe_get p.pr_off q to Array.unsafe_get p.pr_off (q + 1) - 1 do
+        let sb = Array.unsafe_get p.pr_src j * nc in
+        let b = j * nc in
+        for k = k0 to k1 do
+          let a =
+            pget arr (sb + k) +. Array.unsafe_get p.pr_delay (b + k)
+          in
+          if a > Array.unsafe_get tmp k then Array.unsafe_set tmp k a
+        done
+      done;
+      let moved = ref false in
+      let qb = q * nc in
+      for k = k0 to k1 do
+        let v = Array.unsafe_get tmp k in
+        if v <> pget arr (qb + k) then begin
+          moved := true;
+          pset arr (qb + k) v
+        end
+      done;
+      if !moved then begin
+        (match changed with Some v -> ivec_push v q | None -> ());
+        for j = Array.unsafe_get p.su_off q to Array.unsafe_get p.su_off (q + 1) - 1 do
+          Array.unsafe_set mark (Array.unsafe_get p.su_dst j) epoch
+        done
+      end
+    end
+  done;
+  !processed
+
+let backward_scan t p scr ~k0 ~k1 ~seeds ~changed ~cancel =
+  let nc = p.pl_nc in
+  scr.ps_epoch <- scr.ps_epoch + 1;
+  let epoch = scr.ps_epoch in
+  let mark = scr.ps_mark in
+  List.iter
+    (fun pid -> if t.topo_pos.(pid) >= 0 then Array.unsafe_set mark pid epoch)
+    seeds;
+  let tmp = scr.ps_tmp in
+  let req = t.required in
+  let period = t.cfg.clock_period in
+  let topo = t.topo in
+  let m = Array.length topo in
+  let processed = ref 0 in
+  for i = m - 1 downto 0 do
+    (match cancel with
+    | Some c when i land 4095 = 0 -> ignore (Mbr_util.Cancel.check c)
+    | Some _ | None -> ());
+    let q = Array.unsafe_get topo i in
+    if Array.unsafe_get mark q = epoch then begin
+      incr processed;
+      let sl = Array.unsafe_get p.ep_slot q in
+      if sl >= 0 then begin
+        let cid = Array.unsafe_get p.ep_cell sl in
+        if cid >= 0 then begin
+          let sk = skew t cid in
+          for k = k0 to k1 do
+            Array.unsafe_set tmp k (period +. sk -. Array.unsafe_get p.ep_term ((sl * nc) + k))
+          done
+        end
+        else
+          for k = k0 to k1 do
+            Array.unsafe_set tmp k (period -. Array.unsafe_get p.ep_term ((sl * nc) + k))
+          done
+      end
+      else
+        for k = k0 to k1 do
+          Array.unsafe_set tmp k infinity
+        done;
+      for j = Array.unsafe_get p.su_off q to Array.unsafe_get p.su_off (q + 1) - 1 do
+        let db = Array.unsafe_get p.su_dst j * nc in
+        let b = j * nc in
+        for k = k0 to k1 do
+          let r =
+            pget req (db + k) -. Array.unsafe_get p.su_delay (b + k)
+          in
+          if r < Array.unsafe_get tmp k then Array.unsafe_set tmp k r
+        done
+      done;
+      let moved = ref false in
+      let qb = q * nc in
+      for k = k0 to k1 do
+        let v = Array.unsafe_get tmp k in
+        if v <> pget req (qb + k) then begin
+          moved := true;
+          pset req (qb + k) v
+        end
+      done;
+      if !moved then begin
+        (match changed with Some v -> ivec_push v q | None -> ());
+        for j = Array.unsafe_get p.pr_off q to Array.unsafe_get p.pr_off (q + 1) - 1 do
+          Array.unsafe_set mark (Array.unsafe_get p.pr_src j) epoch
+        done
+      end
+    end
+  done;
+  !processed
+
+(* A full numeric pass: every delay recomputed against the current
+   placement (pending moves are absorbed; delay refill when the plan's
+   structure is still valid, full plan build otherwise), every
+   arrival/required recomputed by the markless full sweeps — one
+   shared plan serves this analysis and every subsequent skew sweep.
+   Pending *structural* design edits are not absorbed: the graph
+   arrays are untouched here, so [dsg_cursor] stays where it is and a
+   later {!refresh} repairs the structure. *)
+let analyze t =
+  Mbr_obs.Trace.with_span ~name:"sta.analyze"
+    ~args:[ ("n_pins", Mbr_obs.Trace.Int t.n) ]
+  @@ fun () ->
+  t.delay_gen <- t.delay_gen + 1;
+  let nc = Array.length t.corners in
+  let p = ensure_plan t in
+  Bigarray.Array1.fill t.arrival neg_infinity;
+  Bigarray.Array1.fill t.required infinity;
+  let scr = plan_scratch_for p 0 in
+  ignore (forward_full t p scr ~k0:0 ~k1:(nc - 1) ~changed:None ~cancel:None);
+  ignore (backward_full t p scr ~k0:0 ~k1:(nc - 1) ~changed:None ~cancel:None);
   t.pl_cursor <- Placement.revision t.pl;
   t.analyzed <- true
 
@@ -593,8 +1473,21 @@ let grow t n' =
     t.topo_pos <- grow_arr t.topo_pos (-1);
     t.is_start <- grow_arr t.is_start false;
     t.ep_of <- grow_arr t.ep_of None;
-    t.arrival <- Array.map (fun a -> grow_arr a neg_infinity) t.arrival;
-    t.required <- Array.map (fun r -> grow_arr r infinity) t.required;
+    (* the corner count is unchanged, so the interleaved prefix of the
+       old plane is position-identical in the new one — one blit *)
+    let nc = Array.length t.corners in
+    let grow_plane pl def =
+      let b = plane_make (n' * nc) def in
+      if t.n > 0 then
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub pl 0 (t.n * nc))
+          (Bigarray.Array1.sub b 0 (t.n * nc));
+      b
+    in
+    t.arrival <- grow_plane t.arrival neg_infinity;
+    t.required <- grow_plane t.required infinity;
+    t.plan <- None;
+    t.struct_gen <- t.struct_gen + 1;
     t.n <- n'
   end
 
@@ -614,7 +1507,9 @@ let m_dirty_pins = Mbr_obs.Metrics.counter "sta.dirty_pins"
    complete analyze. Any partial splicing a bailed refresh left behind
    is discarded wholesale because every array is replaced. *)
 let rebuild t =
-  let g = compute_graph t.dsg in
+  let g =
+    Mbr_obs.Trace.with_span ~name:"sta.graph" (fun () -> compute_graph t.dsg)
+  in
   let nc = Array.length t.corners in
   t.n <- g.g_n;
   t.in_graph <- g.g_in_graph;
@@ -626,10 +1521,12 @@ let rebuild t =
   t.ep_of <- g.g_ep_of;
   t.startpoints <- g.g_startpoints;
   t.endpoints <- g.g_endpoints;
-  Hashtbl.reset t.net_arcs;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.net_arcs k v) g.g_net_arcs;
-  t.arrival <- Array.init nc (fun _ -> Array.make g.g_n neg_infinity);
-  t.required <- Array.init nc (fun _ -> Array.make g.g_n infinity);
+  (* [compute_graph]'s table is fresh per call — own it directly *)
+  t.net_arcs <- g.g_net_arcs;
+  t.arrival <- plane_make (g.g_n * nc) neg_infinity;
+  t.required <- plane_make (g.g_n * nc) infinity;
+  t.plan <- None;
+  t.struct_gen <- t.struct_gen + 1;
   t.dsg_cursor <- Design.revision t.dsg;
   t.n_full_builds <- t.n_full_builds + 1;
   analyze t
@@ -645,17 +1542,17 @@ let recompute_arrival t tmp pid =
   done;
   List.iter
     (fun e ->
-      if t.arrival.(0).(e.e_src) > neg_infinity then begin
+      if pget t.arrival (e.e_src * nc) > neg_infinity then begin
         let d = edge_delays t e in
         for k = 0 to nc - 1 do
-          let a = t.arrival.(k).(e.e_src) +. d.(k) in
+          let a = pget t.arrival ((e.e_src * nc) + k) +. d.(k) in
           if a > tmp.(k) then tmp.(k) <- a
         done
       end)
     t.preds.(pid);
   let changed = ref false in
   for k = 0 to nc - 1 do
-    if tmp.(k) <> t.arrival.(k).(pid) then changed := true
+    if tmp.(k) <> pget t.arrival ((pid * nc) + k) then changed := true
   done;
   !changed
 
@@ -669,30 +1566,30 @@ let recompute_required t tmp pid =
   | None -> Array.fill tmp 0 nc infinity);
   List.iter
     (fun e ->
-      if t.required.(0).(e.e_dst) < infinity then begin
+      if pget t.required (e.e_dst * nc) < infinity then begin
         let d = edge_delays t e in
         for k = 0 to nc - 1 do
-          let r = t.required.(k).(e.e_dst) -. d.(k) in
+          let r = pget t.required ((e.e_dst * nc) + k) -. d.(k) in
           if r < tmp.(k) then tmp.(k) <- r
         done
       end)
     t.succs.(pid);
   let changed = ref false in
   for k = 0 to nc - 1 do
-    if tmp.(k) <> t.required.(k).(pid) then changed := true
+    if tmp.(k) <> pget t.required ((pid * nc) + k) then changed := true
   done;
   !changed
 
 let commit_arrival t tmp pid =
   let nc = Array.length t.corners in
   for k = 0 to nc - 1 do
-    t.arrival.(k).(pid) <- tmp.(k)
+    pset t.arrival ((pid * nc) + k) tmp.(k)
   done
 
 let commit_required t tmp pid =
   let nc = Array.length t.corners in
   for k = 0 to nc - 1 do
-    t.required.(k).(pid) <- tmp.(k)
+    pset t.required ((pid * nc) + k) tmp.(k)
   done
 
 (* Splice the edits logged since the cursors into the existing graph and
@@ -702,17 +1599,18 @@ let commit_required t tmp pid =
    edits never perturb the relative order of surviving pins and the
    topological order can be repaired by prepending new sources and
    appending new sinks. Anything that could reorder the interior — a
-   combinational cell appearing or vanishing, or a new arc that
-   contradicts the current order — bails to {!rebuild}, as does an edit
-   batch whose touched-pin estimate exceeds [rebuild_threshold] of the
-   graph. The incremental splice costs roughly an order of magnitude
-   more per touched pin than the batched full build (list surgery and a
-   worklist heap vs three linear passes), so the break-even sits near a
-   0.1 pin ratio; the 0.25 default keeps genuinely local ECO batches (a
-   few % of pins) on the cheap path and sends bulk edits — like a full
-   composition pass replacing half the registers — to the rebuild they
-   are better served by. *)
-let refresh ?(rebuild_threshold = 0.25) t =
+   combinational cell appearing, or a new arc that contradicts the
+   current order — bails to {!rebuild}, as does an edit batch whose
+   touched-pin estimate exceeds [rebuild_threshold] of the graph (a
+   vanishing comb cell is fine: a subgraph of a DAG keeps the DAG's
+   topological order). The splice's numeric repair rides the same
+   mark-skip scans as the skew sweeps and its status bookkeeping is
+   batched, so what remains over the batched full build is the per-net
+   arc surgery; the break-even now sits above half the graph. The 0.6
+   default keeps composition-scale batches — a merge pass replacing a
+   third of the registers dirties ~half the pins — on the splice, and
+   sends only wholesale rewrites to {!rebuild}. *)
+let refresh ?(rebuild_threshold = 0.6) t =
   let dsg_rev = Design.revision t.dsg in
   let pl_rev = Placement.revision t.pl in
   if not t.analyzed then begin
@@ -735,15 +1633,17 @@ let refresh ?(rebuild_threshold = 0.25) t =
           | Design.Cell_removed cid -> removed := cid :: !removed
           | Design.Cell_retyped cid -> retyped := cid :: !retyped)
         edits;
-      (* A comb cell appearing or vanishing can reshape the interior of
-         the topological order — punt. *)
+      (* A comb cell *appearing* can reshape the interior of the
+         topological order — punt. A comb cell vanishing cannot: a
+         subgraph of a DAG keeps the DAG's topological order, so
+         removals only drop arcs and ride the generic removed-cell
+         path below. *)
       let is_comb cid =
         match (Design.cell t.dsg cid).Types.c_kind with
         | Types.Comb _ -> true
         | _ -> false
       in
-      if List.exists is_comb !added || List.exists is_comb !removed then
-        raise Bail;
+      if List.exists is_comb !added then raise Bail;
       let nets_of_cell cid =
         List.filter_map
           (fun pid -> (Design.pin t.dsg pid).Types.p_net)
@@ -774,11 +1674,16 @@ let refresh ?(rebuild_threshold = 0.25) t =
       if float_of_int estimate > rebuild_threshold *. float_of_int (max t.n 1)
       then raise Bail;
       grow t (Design.n_pins t.dsg);
+      (* design + placement are frozen for the rest of the splice: one
+         net-load memo epoch covers every respliced arc and relaunched
+         startpoint *)
+      nl_open t;
       let nc = Array.length t.corners in
       let fwd_dirty = Array.make t.n false in
       let bwd_dirty = Array.make t.n false in
       let mark_fwd pid = fwd_dirty.(pid) <- true in
       let mark_bwd pid = bwd_dirty.(pid) <- true in
+      Mbr_obs.Trace.with_span ~name:"sta.splice" (fun () ->
       (* 1. removed cells leave the graph *)
       List.iter
         (fun cid ->
@@ -804,16 +1709,13 @@ let refresh ?(rebuild_threshold = 0.25) t =
                 t.ep_of.(pid) <- None;
                 t.topo_pos.(pid) <- -1;
                 for k = 0 to nc - 1 do
-                  t.arrival.(k).(pid) <- neg_infinity;
-                  t.required.(k).(pid) <- infinity
+                  pset t.arrival ((pid * nc) + k) neg_infinity;
+                  pset t.required ((pid * nc) + k) infinity
                 done
               end)
             (Design.pins_of t.dsg cid))
         !removed;
-      if !removed <> [] then begin
-        t.startpoints <- List.filter (fun pid -> t.in_graph.(pid)) t.startpoints;
-        t.endpoints <- List.filter (fun (pid, _) -> t.in_graph.(pid)) t.endpoints
-      end;
+      let sts_dirty = ref (!removed <> []) in
       (* 2. added cells join the graph; their start/endpoint status and
          arcs arrive through the Net_changed edits their wiring logged *)
       let new_pins = ref [] in
@@ -843,12 +1745,15 @@ let refresh ?(rebuild_threshold = 0.25) t =
             (Design.pins_of t.dsg cid))
         !retyped;
       (* 4. resplice every dirty net *)
+      (* status flips only touch the flag arrays here; the start/end
+         *lists* are rebuilt once after the splice (the old per-flip
+         [List.filter] over a 10k+-long startpoint list made bulk
+         splices quadratic) *)
       let check_status pid =
         let should_start, should_end = pin_start_end t.dsg pid in
         if should_start <> t.is_start.(pid) then begin
           t.is_start.(pid) <- should_start;
-          (if should_start then t.startpoints <- pid :: t.startpoints
-           else t.startpoints <- List.filter (fun x -> x <> pid) t.startpoints);
+          sts_dirty := true;
           mark_fwd pid
         end;
         match (should_end, t.ep_of.(pid)) with
@@ -856,10 +1761,7 @@ let refresh ?(rebuild_threshold = 0.25) t =
         | Some k, Some k' when k = k' -> ()
         | _ ->
           t.ep_of.(pid) <- should_end;
-          t.endpoints <- List.filter (fun (x, _) -> x <> pid) t.endpoints;
-          (match should_end with
-          | Some k -> t.endpoints <- (pid, k) :: t.endpoints
-          | None -> ());
+          sts_dirty := true;
           mark_bwd pid
       in
       Hashtbl.iter
@@ -931,55 +1833,101 @@ let refresh ?(rebuild_threshold = 0.25) t =
         Array.iteri (fun idx pid -> tp.(pid) <- idx) t.topo;
         t.topo_pos <- tp
       end;
-      (* 6. worklist propagation in topological order; a pin is
-         recomputed from scratch off its (final) predecessors, and its
-         cone is chased only while values actually change. All corners
-         ride one worklist: a pin requeues when any corner moved, and
-         every corner's value is committed together. *)
+      (* 5b. start/endpoint lists, rebuilt from the flag arrays in one
+         pass over the pins *)
+      if !sts_dirty then begin
+        let sts = ref [] and eps = ref [] in
+        for pid = t.n - 1 downto 0 do
+          if t.is_start.(pid) then sts := pid :: !sts;
+          match t.ep_of.(pid) with
+          | Some k -> eps := (pid, k) :: !eps
+          | None -> ()
+        done;
+        t.startpoints <- !sts;
+        t.endpoints <- !eps
+      end);
+      (* 6. numeric repair. The splice reshaped the arc lists, so any
+         cached propagation plan is stale either way; the delays it
+         would serve are also stale on dirty nets without a
+         [delay_gen] bump, and both invalidations travel through one
+         [struct_gen] tick. *)
+      Mbr_obs.Trace.with_span ~name:"sta.repair" @@ fun () ->
+      t.struct_gen <- t.struct_gen + 1;
       let n_dirty = ref 0 in
       for pid = 0 to t.n - 1 do
         if fwd_dirty.(pid) || bwd_dirty.(pid) then incr n_dirty
       done;
       Mbr_obs.Metrics.incr ~by:!n_dirty m_dirty_pins;
-      let tmp = Array.make nc 0.0 in
-      let fq = Pq.create () in
-      let fqueued = Array.make t.n false in
-      let fpush pid =
-        if t.in_graph.(pid) && t.topo_pos.(pid) >= 0 && not fqueued.(pid)
-        then begin
-          fqueued.(pid) <- true;
-          Pq.push fq (t.topo_pos.(pid), pid)
-        end
-      in
-      for pid = 0 to t.n - 1 do
-        if fwd_dirty.(pid) then fpush pid
-      done;
-      while not (Pq.is_empty fq) do
-        let pid = Pq.pop fq in
-        if recompute_arrival t tmp pid then begin
-          commit_arrival t tmp pid;
-          List.iter (fun e -> fpush e.e_dst) t.succs.(pid)
-        end
-      done;
-      let bq = Pq.create () in
-      let bqueued = Array.make t.n false in
-      let bpush pid =
-        if t.in_graph.(pid) && t.topo_pos.(pid) >= 0 && not bqueued.(pid)
-        then begin
-          bqueued.(pid) <- true;
-          Pq.push bq (-t.topo_pos.(pid), pid)
-        end
-      in
-      for pid = 0 to t.n - 1 do
-        if bwd_dirty.(pid) then bpush pid
-      done;
-      while not (Pq.is_empty bq) do
-        let pid = Pq.pop bq in
-        if recompute_required t tmp pid then begin
-          commit_required t tmp pid;
-          List.iter (fun e -> bpush e.e_src) t.preds.(pid)
-        end
-      done;
+      if !n_dirty * 64 >= t.n then begin
+        (* Big batch (a composition pass just replaced thousands of
+           registers): the per-pin heap worklist below would chase
+           most of the graph through the arc *lists*. Build the
+           shared propagation plan now — the skew sweeps that follow
+           reuse it as-is, so the build is moved earlier, not added —
+           and repair both planes with the mark-skip scans. A pin is
+           still recomputed from scratch off its final predecessors
+           and its cone chased only while values actually change, so
+           the planes land bit-identical to the worklist's. *)
+        let p = ensure_plan t in
+        let scr = plan_scratch_for p 0 in
+        let fseeds = ref [] and bseeds = ref [] in
+        for pid = t.n - 1 downto 0 do
+          if fwd_dirty.(pid) then fseeds := pid :: !fseeds;
+          if bwd_dirty.(pid) then bseeds := pid :: !bseeds
+        done;
+        ignore
+          (forward_scan t p scr ~k0:0 ~k1:(nc - 1) ~seeds:!fseeds
+             ~changed:None ~cancel:None);
+        ignore
+          (backward_scan t p scr ~k0:0 ~k1:(nc - 1) ~seeds:!bseeds
+             ~changed:None ~cancel:None)
+      end
+      else begin
+        (* worklist propagation in topological order; a pin is
+           recomputed from scratch off its (final) predecessors, and
+           its cone is chased only while values actually change. All
+           corners ride one worklist: a pin requeues when any corner
+           moved, and every corner's value is committed together. *)
+        let tmp = Array.make nc 0.0 in
+        let fq = Pq.create () in
+        let fqueued = Array.make t.n false in
+        let fpush pid =
+          if t.in_graph.(pid) && t.topo_pos.(pid) >= 0 && not fqueued.(pid)
+          then begin
+            fqueued.(pid) <- true;
+            Pq.push fq (t.topo_pos.(pid), pid)
+          end
+        in
+        for pid = 0 to t.n - 1 do
+          if fwd_dirty.(pid) then fpush pid
+        done;
+        while not (Pq.is_empty fq) do
+          let pid = Pq.pop fq in
+          if recompute_arrival t tmp pid then begin
+            commit_arrival t tmp pid;
+            List.iter (fun e -> fpush e.e_dst) t.succs.(pid)
+          end
+        done;
+        let bq = Pq.create () in
+        let bqueued = Array.make t.n false in
+        let bpush pid =
+          if t.in_graph.(pid) && t.topo_pos.(pid) >= 0 && not bqueued.(pid)
+          then begin
+            bqueued.(pid) <- true;
+            Pq.push bq (-t.topo_pos.(pid), pid)
+          end
+        in
+        for pid = 0 to t.n - 1 do
+          if bwd_dirty.(pid) then bpush pid
+        done;
+        while not (Pq.is_empty bq) do
+          let pid = Pq.pop bq in
+          if recompute_required t tmp pid then begin
+            commit_required t tmp pid;
+            List.iter (fun e -> bpush e.e_src) t.preds.(pid)
+          end
+        done
+      end;
       t.dsg_cursor <- dsg_rev;
       t.pl_cursor <- pl_rev;
       t.analyzed <- true;
@@ -993,19 +1941,36 @@ let full_builds t = t.n_full_builds
 
 let refreshes t = t.n_refreshes
 
-(* Incremental re-timing after skew-only changes. Arc delays are
-   untouched (they depend on placement/loads, not on clock arrivals), so
-   only the forward cone of the changed Q pins (arrivals) and the
-   backward cone of the changed D pins (requireds) need recomputation.
+(* Telemetry for the skew-update hot path: [sta.skew.frontier_pins]
+   accumulates pins processed by the propagation passes (frontier pins
+   in frontier mode, every in-graph pin in full-sweep mode),
+   [sta.skew.level_passes] the non-empty levels the frontier passes
+   walked, [sta.skew.corner_par] the corners fanned out to parallel
+   per-corner sweeps. *)
+let m_skew_frontier = Mbr_obs.Metrics.counter "sta.skew.frontier_pins"
 
-   [collect_touched] additionally reports which registers own a D or Q
+let m_skew_levels = Mbr_obs.Metrics.counter "sta.skew.level_passes"
+
+let m_skew_corner_par = Mbr_obs.Metrics.counter "sta.skew.corner_par"
+
+(* [collect_touched] additionally reports which registers own a D or Q
    pin whose arrival or required actually changed — the complete set of
    registers whose [reg_d_slack]/[reg_q_slack] can differ from before
    the call. The worklist-driven skew optimizer uses this to re-examine
-   only those registers. *)
-let update_skews_impl t ~collect_touched assignments =
+   only those registers.
+
+   With [jobs > 1] and more than one corner, corners propagate in
+   parallel on [Mbr_util.Pool]: corner [k]'s fixpoint at a pin depends
+   only on corner-[k] predecessor values, so per-corner passes reach
+   exactly the per-corner fixpoints of the all-corners pass, and the
+   union of per-corner changed sets equals the serial changed set.
+   Each task owns its corner's interleaved plane columns and its own
+   plan scratch slot;
+   everything else it touches (plan, skew table, design) is read-only
+   for the duration of the call. *)
+let update_skews_impl ?(jobs = 1) ?cancel t ~collect_touched assignments =
   if not t.analyzed then begin
-    List.iter (fun (cid, s) -> Hashtbl.replace t.skews cid s) assignments;
+    List.iter (fun (cid, s) -> write_skew t cid s) assignments;
     analyze t;
     if collect_touched then
       (* a full analysis may have moved any slack *)
@@ -1013,10 +1978,8 @@ let update_skews_impl t ~collect_touched assignments =
     else []
   end
   else begin
-    let changed =
-      List.filter (fun (cid, s) -> skew t cid <> s) assignments
-    in
-    List.iter (fun (cid, s) -> Hashtbl.replace t.skews cid s) changed;
+    let moved = List.filter (fun (cid, s) -> skew t cid <> s) assignments in
+    List.iter (fun (cid, s) -> write_skew t cid s) moved;
     t.analyzed <- true;
     (* seed pins *)
     let q_seeds = ref [] and d_seeds = ref [] in
@@ -1030,62 +1993,111 @@ let update_skews_impl t ~collect_touched assignments =
             | Types.Pin_d _ when t.in_graph.(pid) -> d_seeds := pid :: !d_seeds
             | _ -> ())
           (Design.pins_of t.dsg cid))
-      changed;
-    (* Convergence-driven propagation instead of whole-cone recompute: a
-       pin is re-evaluated only when a fan-in (arrivals) or fan-out
-       (requireds) value actually changed, and propagation stops where
-       the recomputed values equal the stored ones in every corner. The
-       recompute formula is the full analysis's, so the fixpoint — and
-       every slack — is bit-identical to sweeping the whole cone;
-       reconvergent paths whose other side dominates just stop the wave
-       early. *)
-    let nc = Array.length t.corners in
-    let tmp = Array.make nc 0.0 in
-    let need_f = Array.make t.n false in
-    List.iter (fun pid -> need_f.(pid) <- true) !q_seeds;
-    let changed = ref [] in
-    Array.iter
-      (fun pid ->
-        if need_f.(pid) then begin
-          if recompute_arrival t tmp pid then begin
-            commit_arrival t tmp pid;
-            changed := pid :: !changed;
-            List.iter (fun e -> need_f.(e.e_dst) <- true) t.succs.(pid)
-          end
-        end)
-      t.topo;
-    let need_b = Array.make t.n false in
-    List.iter (fun pid -> need_b.(pid) <- true) !d_seeds;
-    for i = Array.length t.topo - 1 downto 0 do
-      let pid = t.topo.(i) in
-      if need_b.(pid) then begin
-        if recompute_required t tmp pid then begin
-          commit_required t tmp pid;
-          changed := pid :: !changed;
-          List.iter (fun e -> need_b.(e.e_src) <- true) t.preds.(pid)
-        end
-      end
-    done;
-    if not collect_touched then []
+      moved;
+    if !q_seeds = [] && !d_seeds = [] then []
     else begin
-      let owners = Hashtbl.create 64 in
-      List.iter
-        (fun pid ->
-          let p = Design.pin t.dsg pid in
-          match p.Types.p_kind with
+      let p = ensure_plan t in
+      let nc = Array.length t.corners in
+      (* Mode pick: a moved register's cone typically fans out to
+         orders of magnitude more pins than it has seeds, so once the
+         seed set passes ~1/64 of the graph the union frontier covers
+         most levels and the sequential mark-skip scan beats the
+         frontier bookkeeping (measured crossover on the D1 ladder
+         sits well above this — the constant errs toward keeping
+         genuinely small batches on the frontier path). *)
+      let n_seeds = List.length !q_seeds + List.length !d_seeds in
+      let big = n_seeds * 64 >= Array.length t.topo in
+      let fwd scr ~k0 ~k1 ~changed =
+        if big then
+          ( forward_scan t p scr ~k0 ~k1 ~seeds:!q_seeds ~changed ~cancel,
+            1 )
+        else forward_pass t p scr ~k0 ~k1 ~seeds:!q_seeds ~changed ~cancel
+      in
+      let bwd scr ~k0 ~k1 ~changed =
+        if big then
+          ( backward_scan t p scr ~k0 ~k1 ~seeds:!d_seeds ~changed ~cancel,
+            1 )
+        else backward_pass t p scr ~k0 ~k1 ~seeds:!d_seeds ~changed ~cancel
+      in
+      let changed =
+        if jobs > 1 && nc > 1 then begin
+          Mbr_obs.Metrics.incr ~by:nc m_skew_corner_par;
+          let per =
+            Mbr_util.Pool.map_array ~jobs:(min jobs nc)
+              (fun k ->
+                let scr = plan_scratch_for p k in
+                let cv = if collect_touched then Some (ivec_create ()) else None in
+                let pf, lf = fwd scr ~k0:k ~k1:k ~changed:cv in
+                let pb, lb = bwd scr ~k0:k ~k1:k ~changed:cv in
+                (cv, pf + pb, lf + lb))
+              (Array.init nc Fun.id)
+          in
+          let pins = Array.fold_left (fun a (_, c, _) -> a + c) 0 per in
+          let lvls = Array.fold_left (fun a (_, _, c) -> a + c) 0 per in
+          Mbr_obs.Metrics.incr ~by:pins m_skew_frontier;
+          Mbr_obs.Metrics.incr ~by:lvls m_skew_levels;
+          if not collect_touched then None
+          else begin
+            (* union of the per-corner changed sets, deduped with an
+               epoch mark (slot 0's scratch — the fan-out has joined) *)
+            let scr = plan_scratch_for p 0 in
+            scr.ps_epoch <- scr.ps_epoch + 1;
+            let epoch = scr.ps_epoch in
+            let u = ivec_create () in
+            Array.iter
+              (fun (cv, _, _) ->
+                match cv with
+                | Some v ->
+                  for i = 0 to v.iv_len - 1 do
+                    let pid = v.iv_a.(i) in
+                    if scr.ps_mark.(pid) <> epoch then begin
+                      scr.ps_mark.(pid) <- epoch;
+                      ivec_push u pid
+                    end
+                  done
+                | None -> ())
+              per;
+            Some u
+          end
+        end
+        else begin
+          let scr = plan_scratch_for p 0 in
+          let cv = if collect_touched then Some (ivec_create ()) else None in
+          let pf, lf = fwd scr ~k0:0 ~k1:(nc - 1) ~changed:cv in
+          let pb, lb = bwd scr ~k0:0 ~k1:(nc - 1) ~changed:cv in
+          Mbr_obs.Metrics.incr ~by:(pf + pb) m_skew_frontier;
+          Mbr_obs.Metrics.incr ~by:(lf + lb) m_skew_levels;
+          cv
+        end
+      in
+      match changed with
+      | None -> []
+      | Some v ->
+        let regs, slot = register_index t in
+        let seen = Array.make (max (Array.length regs) 1) false in
+        let acc = ref [] in
+        for i = 0 to v.iv_len - 1 do
+          let pid = v.iv_a.(i) in
+          let pn = Design.pin t.dsg pid in
+          match pn.Types.p_kind with
           | Types.Pin_d _ | Types.Pin_q _ ->
-            Hashtbl.replace owners p.Types.p_cell ()
-          | _ -> ())
-        !changed;
-      List.sort compare (Hashtbl.fold (fun cid () acc -> cid :: acc) owners [])
+            let cid = pn.Types.p_cell in
+            let s = if cid < Array.length slot then slot.(cid) else -1 in
+            if s >= 0 && not seen.(s) then begin
+              seen.(s) <- true;
+              acc := cid :: !acc
+            end
+          | _ -> ()
+        done;
+        List.sort compare !acc
     end
   end
 
-let update_skews t assignments =
-  ignore (update_skews_impl t ~collect_touched:false assignments)
+let update_skews ?jobs ?cancel t assignments =
+  ignore (update_skews_impl ?jobs ?cancel t ~collect_touched:false assignments)
 
-let update_skews_touched t assignments =
-  update_skews_impl t ~collect_touched:true assignments
+let update_skews_touched ?jobs ?cancel t assignments =
+  update_skews_impl ?jobs ?cancel t ~collect_touched:true assignments
 
 (* ---- worst-corner accessors ----
 
@@ -1096,6 +2108,22 @@ let update_skews_touched t assignments =
    is NOT (min required) - (max arrival), which could pair values from
    different corners. *)
 
+(* Worst slack over the corner planes for an in-graph pin, or +inf when
+   unreached in every corner. The allocation-free core under [slack],
+   [wns_tns] and [reg_pin_slack]: no option, no intermediate list. *)
+let pin_worst_slack t pid =
+  let nc = Array.length t.corners in
+  let worst = ref infinity in
+  for k = 0 to nc - 1 do
+    let a = pget t.arrival ((pid * nc) + k)
+    and r = pget t.required ((pid * nc) + k) in
+    if a > neg_infinity && r < infinity then begin
+      let s = r -. a in
+      if s < !worst then worst := s
+    end
+  done;
+  !worst
+
 let arrival t pid =
   ensure t;
   if pid < 0 || pid >= t.n || not t.in_graph.(pid) then None
@@ -1103,7 +2131,8 @@ let arrival t pid =
     let nc = Array.length t.corners in
     let best = ref neg_infinity in
     for k = 0 to nc - 1 do
-      if t.arrival.(k).(pid) > !best then best := t.arrival.(k).(pid)
+      if pget t.arrival ((pid * nc) + k) > !best then
+        best := pget t.arrival ((pid * nc) + k)
     done;
     if !best = neg_infinity then None else Some !best
   end
@@ -1115,7 +2144,8 @@ let required t pid =
     let nc = Array.length t.corners in
     let best = ref infinity in
     for k = 0 to nc - 1 do
-      if t.required.(k).(pid) < !best then best := t.required.(k).(pid)
+      if pget t.required ((pid * nc) + k) < !best then
+        best := pget t.required ((pid * nc) + k)
     done;
     if !best = infinity then None else Some !best
   end
@@ -1124,18 +2154,20 @@ let slack t pid =
   ensure t;
   if pid < 0 || pid >= t.n || not t.in_graph.(pid) then None
   else begin
-    let nc = Array.length t.corners in
-    let worst = ref infinity in
-    let valid = ref false in
-    for k = 0 to nc - 1 do
-      let a = t.arrival.(k).(pid) and r = t.required.(k).(pid) in
-      if a > neg_infinity && r < infinity then begin
-        valid := true;
-        let s = r -. a in
-        if s < !worst then worst := s
-      end
-    done;
-    if !valid then Some !worst else None
+    let s = pin_worst_slack t pid in
+    if s < infinity then Some s
+    else begin
+      (* +inf is also a legal slack value; distinguish unreached *)
+      let nc = Array.length t.corners in
+      let valid = ref false in
+      for k = 0 to nc - 1 do
+        if
+          pget t.arrival ((pid * nc) + k) > neg_infinity
+          && pget t.required ((pid * nc) + k) < infinity
+        then valid := true
+      done;
+      if !valid then Some s else None
+    end
   end
 
 let corner_slack t k pid =
@@ -1144,7 +2176,9 @@ let corner_slack t k pid =
     invalid_arg "Sta.corner_slack: corner index out of range";
   if pid < 0 || pid >= t.n || not t.in_graph.(pid) then None
   else begin
-    let a = t.arrival.(k).(pid) and r = t.required.(k).(pid) in
+    let nc = Array.length t.corners in
+    let a = pget t.arrival ((pid * nc) + k)
+    and r = pget t.required ((pid * nc) + k) in
     if a > neg_infinity && r < infinity then Some (r -. a) else None
   end
 
@@ -1155,26 +2189,47 @@ let endpoint_slacks t =
       match slack t pid with Some s -> Some (pid, s) | None -> None)
     t.endpoints
 
-let wns t =
-  List.fold_left (fun acc (_, s) -> Float.min acc s) infinity (endpoint_slacks t)
-
-let tns t =
-  List.fold_left
-    (fun acc (_, s) -> if s < 0.0 then acc +. s else acc)
-    0.0 (endpoint_slacks t)
-
+(* Single endpoint sweep over the planes — no [endpoint_slacks] list is
+   materialized. The fold visits [t.endpoints] in list order, so the
+   TNS float-summation order (and hence the bits) matches the historical
+   list-based fold exactly. *)
 let wns_tns t =
-  List.fold_left
-    (fun (w, tn) (_, s) -> (Float.min w s, if s < 0.0 then tn +. s else tn))
-    (infinity, 0.0) (endpoint_slacks t)
+  ensure t;
+  let w = ref infinity and tn = ref 0.0 in
+  List.iter
+    (fun (pid, _) ->
+      let s = pin_worst_slack t pid in
+      if s < infinity then begin
+        if s < !w then w := s;
+        if s < 0.0 then tn := !tn +. s
+      end
+      else begin
+        let nc = Array.length t.corners in
+        let valid = ref false in
+        for k = 0 to nc - 1 do
+          if
+            pget t.arrival ((pid * nc) + k) > neg_infinity
+            && pget t.required ((pid * nc) + k) < infinity
+          then valid := true
+        done;
+        if !valid && s < !w then w := s
+      end)
+    t.endpoints;
+  (!w, !tn)
+
+let wns t = fst (wns_tns t)
+
+let tns t = snd (wns_tns t)
 
 let corner_wns_tns t k =
   ensure t;
   if k < 0 || k >= Array.length t.corners then
     invalid_arg "Sta.corner_wns_tns: corner index out of range";
+  let nc = Array.length t.corners in
   List.fold_left
     (fun (w, tn) (pid, _) ->
-      let a = t.arrival.(k).(pid) and r = t.required.(k).(pid) in
+      let a = pget t.arrival ((pid * nc) + k)
+      and r = pget t.required ((pid * nc) + k) in
       if a > neg_infinity && r < infinity then begin
         let s = r -. a in
         (Float.min w s, if s < 0.0 then tn +. s else tn)
@@ -1192,7 +2247,10 @@ let per_corner_wns_tns t =
        t.corners)
 
 let failing_endpoints t =
-  List.length (List.filter (fun (_, s) -> s < 0.0) (endpoint_slacks t))
+  ensure t;
+  List.fold_left
+    (fun acc (pid, _) -> if pin_worst_slack t pid < 0.0 then acc + 1 else acc)
+    0 t.endpoints
 
 let n_endpoints t = List.length t.endpoints
 
@@ -1202,6 +2260,7 @@ let output_load t pid =
   else match p.Types.p_net with Some nid -> net_load t nid | None -> 0.0
 
 let reg_pin_slack t cid want_d =
+  ensure t;
   let c = Design.cell t.dsg cid in
   (match c.Types.c_kind with
   | Types.Register _ -> ()
@@ -1216,8 +2275,10 @@ let reg_pin_slack t cid want_d =
         | Types.Pin_q _ -> (not want_d) && p.Types.p_net <> None
         | _ -> false
       in
-      if relevant then
-        match slack t pid with Some s -> Float.min acc s | None -> acc
+      if relevant && pid >= 0 && pid < t.n && t.in_graph.(pid) then begin
+        let s = pin_worst_slack t pid in
+        if s < acc then s else acc
+      end
       else acc)
     infinity c.Types.c_pins
 

@@ -20,10 +20,11 @@
     more of the graph than recomputing it would cost.
 
     The engine is corner-indexed: it carries a set of {!Corner.t}
-    derate factors and maintains one arrival/required array per corner
-    over the single shared graph — every propagation (full analyze,
-    refresh worklists, skew cones) walks each arc once and relaxes all
-    corners against its per-corner memoized delays. Plain accessors
+    derate factors and maintains one flat [Bigarray] float64
+    arrival/required plane per corner over the single shared graph —
+    every propagation (full analyze, refresh worklists, levelized skew
+    passes) walks each arc once and relaxes all corners against its
+    per-corner memoized delays, reading and writing unboxed doubles. Plain accessors
     ({!slack}, {!wns_tns}, {!reg_d_slack}, ...) report worst-corner
     values (worst slack = min over per-corner slacks); use
     {!corner_slack} / {!per_corner_wns_tns} to see individual corners,
@@ -125,18 +126,46 @@ val full_builds : t -> int
 val refreshes : t -> int
 (** Refreshes that took the incremental path. *)
 
-val update_skews : t -> (Mbr_netlist.Types.cell_id * float) list -> unit
+val update_skews :
+  ?jobs:int ->
+  ?cancel:Mbr_util.Cancel.t ->
+  t ->
+  (Mbr_netlist.Types.cell_id * float) list ->
+  unit
 (** Incremental re-timing after changing only clock skews: applies the
-    assignments and patches arrivals in the forward cone of the changed
-    registers' Q pins and requireds in the backward cone of their D
-    pins, reusing cached arc delays (placement and netlist must be
-    unchanged since the last {!analyze}). Orders of magnitude cheaper
-    than a full pass when few registers move; produces bit-identical
-    slacks (property-tested against {!analyze}). Falls back to a full
-    analysis when the engine has never been analyzed. *)
+    assignments, collects the union forward frontier of the changed
+    registers' Q pins and the union backward frontier of their D pins
+    once (epoch-stamped marks — no per-register cone chasing), and runs
+    one topo-level-ordered batched pass per direction over flat
+    per-corner planes, reusing cached arc delays (placement and netlist
+    must be unchanged since the last {!analyze}). Orders of magnitude
+    cheaper than a full pass when few registers move; produces
+    bit-identical slacks to the convergence-driven worklist and to
+    {!analyze} (property-tested). Falls back to a full analysis when
+    the engine has never been analyzed.
+
+    With [jobs > 1] on a multi-corner engine the corners propagate in
+    parallel on [Mbr_util.Pool] (capped at one task per corner):
+    per-corner fixpoints are independent, so the result is bit-identical
+    to the serial pass (property-tested) and multi-corner cost
+    approaches max-over-corners instead of sum.
+
+    [cancel] is polled once per processed level so a deadline or check
+    budget trips promptly, but a batch is atomic — the pass always
+    completes, leaving exactly the planes an uncancelled call would.
+    Callers act on the tripped token at their own step boundary
+    (see {!Skew.optimize}).
+
+    Telemetry: [sta.skew.frontier_pins] accumulates processed frontier
+    pins, [sta.skew.level_passes] the non-empty levels swept, and
+    [sta.skew.corner_par] the corners fanned out in parallel. *)
 
 val update_skews_touched :
-  t -> (Mbr_netlist.Types.cell_id * float) list -> Mbr_netlist.Types.cell_id list
+  ?jobs:int ->
+  ?cancel:Mbr_util.Cancel.t ->
+  t ->
+  (Mbr_netlist.Types.cell_id * float) list ->
+  Mbr_netlist.Types.cell_id list
 (** {!update_skews} that also reports the registers owning a D or Q pin
     whose arrival or required actually changed, sorted by cell id — a
     superset of every register whose {!reg_d_slack} or {!reg_q_slack}
@@ -145,6 +174,14 @@ val update_skews_touched :
     set is guaranteed unchanged, which is what lets the worklist-driven
     skew optimizer skip it. On the never-analyzed fallback every
     register is reported. *)
+
+val register_index :
+  t -> Mbr_netlist.Types.cell_id array * int array
+(** The design's registers, packed: [(regs, slot)] where [regs] lists
+    every register in [Design.registers] order and [slot] maps a cell
+    id to its index in [regs] (-1 for non-registers). Cached per design
+    revision, so repeated calls (one per skew sweep, say) cost a
+    revision check. Callers must not mutate either array. *)
 
 val arrival : t -> Mbr_netlist.Types.pin_id -> float option
 (** Worst-corner (latest) arrival; [None] for pins outside the data

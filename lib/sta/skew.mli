@@ -29,23 +29,38 @@ type report = {
 }
 
 val optimize :
-  ?config:config -> ?full_sweep:bool -> ?cancel:Mbr_util.Cancel.t -> Engine.t -> report
+  ?config:config ->
+  ?full_sweep:bool ->
+  ?jobs:int ->
+  ?cancel:Mbr_util.Cancel.t ->
+  Engine.t ->
+  report
 (** Assign per-register skews on the engine (visible via
     {!Engine.skew}) and re-analyze. Never returns a solution worse than
     the zero-skew start: the final sweep keeps the best-TNS
     assignment encountered.
 
     By default each sweep examines only the worklist of registers with
-    a negative connected-side slack, maintained from the registers
-    {!Engine.update_skews_touched} reports after each move batch —
-    [step] returns 0 for every other register, so the move set (and
-    hence the result, bit for bit) is identical to examining every
-    register. [~full_sweep:true] forces the whole-design sweep; it
-    exists as the reference implementation for the equivalence property
-    test and for diagnostics.
+    a negative connected-side slack — worst criticality first, with an
+    early exit at the zero-slack frontier — maintained as cached D/Q
+    slacks refreshed from the registers
+    {!Engine.update_skews_touched} reports after each move batch:
+    [step] returns 0 for every register outside the worklist and the
+    sweep is Jacobi (deltas all read under the pre-sweep assignment),
+    so the move set (and hence the result, bit for bit) is identical to
+    examining every register in any order. [~full_sweep:true] forces
+    the whole-design sweep; it exists as the reference implementation
+    for the equivalence property test and for diagnostics. The register
+    index comes from {!Engine.register_index} — no per-call hashing.
 
-    [cancel] is polled once per sweep, before any move is read or
-    applied: a tripped token ends the optimization exactly as
+    [jobs] is handed to {!Engine.update_skews_touched}: with
+    [jobs > 1] on a multi-corner engine each move batch propagates its
+    corners in parallel (bit-identical to serial).
+
+    [cancel] is polled once per sweep before any move is read, and
+    once per propagation level inside {!Engine.update_skews_touched}
+    (which always completes its batch — see its doc): a tripped token
+    ends the optimization at the next sweep boundary exactly as
     convergence does, restoring the best complete assignment seen so
     far — never a half-applied sweep. The never-worse-than-zero-skew
     guarantee above holds for cancelled runs too. *)

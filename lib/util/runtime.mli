@@ -1,0 +1,9 @@
+(** Process-level runtime tuning for scale-oriented binaries. *)
+
+val minor_heap_words : int
+(** Minor heap size [tune] raises to (words). *)
+
+val tune : unit -> unit
+(** Raise the minor heap to {!minor_heap_words} if it is currently
+    smaller. Never shrinks: an explicit [OCAMLRUNPARAM s=...] larger
+    than this wins. Call once at binary startup, before the flow. *)

@@ -158,13 +158,159 @@ let unit_corner_matches_default =
       done;
       true)
 
+(* The levelized batched [update_skews] must be bit-identical to the
+   brute-force reference: set the same skews and run a full [analyze].
+   Exercised over random skew batches interleaved with real ECO
+   perturbations + [refresh] (which invalidates the cached propagation
+   plan), under 1- and 3-corner sets, and with a cancel token tripping
+   mid-batch — a batch is atomic, so a tripped token must leave exactly
+   the planes an uncancelled call would. Also checks the
+   [update_skews_touched] contract: any register whose D/Q slack moved
+   is in the reported set. *)
+let batched_update_skews_matches_analyze =
+  QCheck.Test.make ~name:"batched update_skews = set_skew + analyze"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = G.generate (P.scaled (P.tiny ~seed:(seed mod 37)) 0.5) in
+      let corners =
+        if seed mod 2 = 0 then [| Corner.default.(0) |]
+        else
+          [|
+            Corner.make ~name:"fast" ~cell:0.9 ~wire:0.85 ~setup:1.0;
+            Corner.make ~name:"typ" ~cell:1.0 ~wire:1.0 ~setup:1.0;
+            Corner.make ~name:"slow" ~cell:1.15 ~wire:1.25 ~setup:1.05;
+          |]
+      in
+      let config =
+        { g.G.sta_config with
+          Engine.clock_period = g.G.sta_config.Engine.clock_period *. 0.7 }
+      in
+      let eng = Engine.build ~config ~corners g.G.placement in
+      let ref_eng = Engine.build ~config ~corners g.G.placement in
+      Engine.analyze eng;
+      Engine.analyze ref_eng;
+      let rng = Rng.create ((seed * 31) + 7) in
+      let regs = Array.of_list (Design.registers g.G.design) in
+      let fail fmt = QCheck.Test.fail_reportf fmt in
+      let compare_engines what =
+        if Engine.wns_tns eng <> Engine.wns_tns ref_eng then
+          fail "seed %d (%s): wns/tns differ" seed what;
+        for pid = 0 to Design.n_pins g.G.design - 1 do
+          for k = 0 to Array.length corners - 1 do
+            if Engine.corner_slack eng k pid <> Engine.corner_slack ref_eng k pid
+            then
+              fail "seed %d (%s): corner %d slack mismatch at pin %d" seed what
+                k pid
+          done
+        done
+      in
+      let slacks_of e =
+        Array.map
+          (fun r -> (Engine.reg_d_slack e r, Engine.reg_q_slack e r))
+          regs
+      in
+      for round = 1 to 4 do
+        (* a random batch: some fresh offsets, some reverts to 0 *)
+        let batch = ref [] in
+        let n_moves = 1 + Rng.int rng 8 in
+        for _ = 1 to n_moves do
+          let r = regs.(Rng.int rng (Array.length regs)) in
+          let s =
+            if Rng.chance rng 0.25 then 0.0 else Rng.float rng 40.0 -. 20.0
+          in
+          if not (List.mem_assoc r !batch) then batch := (r, s) :: !batch
+        done;
+        let before = slacks_of eng in
+        (* cancel tokens tripping mid-batch must not change the result:
+           the batch is atomic *)
+        let cancel =
+          if round mod 2 = 0 then
+            Some (Mbr_util.Cancel.after_checks (1 + Rng.int rng 3))
+          else None
+        in
+        let touched = Engine.update_skews_touched ?cancel eng !batch in
+        List.iter (fun (r, s) -> Engine.set_skew ref_eng r s) !batch;
+        Engine.analyze ref_eng;
+        compare_engines (Printf.sprintf "round %d" round);
+        let after = slacks_of eng in
+        Array.iteri
+          (fun i r ->
+            if before.(i) <> after.(i) && not (List.mem r touched) then
+              fail "seed %d round %d: register %d slack moved but not touched"
+                seed round r)
+          regs;
+        (* every other round, a real ECO + refresh: the cached
+           propagation plan must be rebuilt, not reused stale *)
+        if round mod 2 = 1 then begin
+          ignore (Eco.perturb rng g);
+          Engine.refresh eng;
+          Engine.refresh ref_eng;
+          compare_engines (Printf.sprintf "post-eco %d" round)
+        end
+      done;
+      true)
+
+(* Per-corner parallel propagation must be bit-identical to the serial
+   all-corners pass — planes, wns/tns, and the touched-register list. *)
+let parallel_corners_match_serial =
+  QCheck.Test.make ~name:"parallel per-corner update_skews = serial"
+    ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = G.generate (P.scaled (P.tiny ~seed:(seed mod 37)) 0.5) in
+      let corners =
+        [|
+          Corner.make ~name:"fast" ~cell:0.9 ~wire:0.85 ~setup:1.0;
+          Corner.make ~name:"typ" ~cell:1.0 ~wire:1.0 ~setup:1.0;
+          Corner.make ~name:"slow" ~cell:1.15 ~wire:1.25 ~setup:1.05;
+        |]
+      in
+      let config =
+        { g.G.sta_config with
+          Engine.clock_period = g.G.sta_config.Engine.clock_period *. 0.7 }
+      in
+      let par = Engine.build ~config ~corners g.G.placement in
+      let ser = Engine.build ~config ~corners g.G.placement in
+      Engine.analyze par;
+      Engine.analyze ser;
+      let rng = Rng.create ((seed * 17) + 3) in
+      let regs = Array.of_list (Design.registers g.G.design) in
+      let fail fmt = QCheck.Test.fail_reportf fmt in
+      for round = 1 to 3 do
+        let batch = ref [] in
+        for _ = 1 to 1 + Rng.int rng 6 do
+          let r = regs.(Rng.int rng (Array.length regs)) in
+          if not (List.mem_assoc r !batch) then
+            batch := (r, Rng.float rng 40.0 -. 20.0) :: !batch
+        done;
+        let t_par = Engine.update_skews_touched ~jobs:4 par !batch in
+        let t_ser = Engine.update_skews_touched ser !batch in
+        if t_par <> t_ser then
+          fail "seed %d round %d: touched lists differ (%d vs %d)" seed round
+            (List.length t_par) (List.length t_ser);
+        if Engine.wns_tns par <> Engine.wns_tns ser then
+          fail "seed %d round %d: wns/tns differ" seed round;
+        for pid = 0 to Design.n_pins g.G.design - 1 do
+          for k = 0 to 2 do
+            if Engine.corner_slack par k pid <> Engine.corner_slack ser k pid
+            then fail "seed %d round %d: corner %d pin %d differs" seed round k pid
+          done
+        done
+      done;
+      true)
+
 let () =
   Alcotest.run "mbr.equivalence"
     [
       ( "streaming",
         [ QCheck_alcotest.to_alcotest streaming_matches_materialized ] );
       ( "skew",
-        [ QCheck_alcotest.to_alcotest worklist_skew_matches_full_sweep ] );
+        [
+          QCheck_alcotest.to_alcotest worklist_skew_matches_full_sweep;
+          QCheck_alcotest.to_alcotest batched_update_skews_matches_analyze;
+          QCheck_alcotest.to_alcotest parallel_corners_match_serial;
+        ] );
       ( "corners",
         [ QCheck_alcotest.to_alcotest unit_corner_matches_default ] );
     ]

@@ -250,6 +250,188 @@ let occupancy_matches_oracle =
       done;
       !ok)
 
+(* ---- find_nearest property: the gap-map walk vs the historical
+   full-gap-scan reference, bit for bit ---- *)
+
+(* Reference implementation: the pre-gap-map algorithm — per query,
+   build every free gap in each candidate row from the sorted interval
+   list and scan the (right-to-left) gap list keeping the first
+   strictly better candidate. [Occupancy.find_nearest] must reproduce
+   its answer exactly, including equal-cost tie-breaks. *)
+let reference_find_nearest fp rows ?region ~w (desired : Point.t) =
+  let nearest_x_in_row intervals ~w ~xmin ~xmax ~desired =
+    if xmax -. xmin < w -. 1e-9 then None
+    else begin
+      let gaps = ref [] in
+      let cursor = ref xmin in
+      List.iter
+        (fun (a, b) ->
+          if a > !cursor then gaps := (!cursor, Float.min a xmax) :: !gaps;
+          cursor := Float.max !cursor b)
+        intervals;
+      if !cursor < xmax then gaps := (!cursor, xmax) :: !gaps;
+      let best = ref None in
+      List.iter
+        (fun (glo, ghi) ->
+          if ghi -. glo >= w -. 1e-9 then begin
+            let x = Float.max glo (Float.min (ghi -. w) desired) in
+            let cost = Float.abs (x -. desired) in
+            match !best with
+            | Some (_, c) when c <= cost -> ()
+            | Some _ | None -> best := Some (x, cost)
+          end)
+        !gaps;
+      Option.map fst !best
+    end
+  in
+  let core = fp.Floorplan.core in
+  let h = fp.Floorplan.row_height in
+  let xmin, xmax, ymin, ymax =
+    match region with
+    | Some r ->
+      ( Float.max core.Rect.lx r.Rect.lx,
+        Float.min (core.Rect.hx -. w) (r.Rect.hx -. w),
+        Float.max core.Rect.ly r.Rect.ly,
+        Float.min (core.Rect.hy -. h) (r.Rect.hy -. h) )
+    | None -> (core.Rect.lx, core.Rect.hx -. w, core.Rect.ly, core.Rect.hy -. h)
+  in
+  if xmax < xmin -. 1e-9 || ymax < ymin -. 1e-9 then None
+  else begin
+    let n_rows = Floorplan.n_rows fp in
+    let desired_row = Floorplan.row_of_y fp desired.Point.y in
+    let best = ref None in
+    let consider row =
+      if row >= 0 && row < n_rows then begin
+        let y = Floorplan.row_y fp row in
+        if y >= ymin -. 1e-9 && y <= ymax +. 1e-9 then begin
+          let dy = Float.abs (y -. desired.Point.y) in
+          let prune = match !best with Some (_, c) -> dy >= c | None -> false in
+          if not prune then begin
+            match
+              nearest_x_in_row rows.(row) ~w ~xmin ~xmax:(xmax +. w)
+                ~desired:desired.Point.x
+            with
+            | Some x ->
+              let cost = dy +. Float.abs (x -. desired.Point.x) in
+              (match !best with
+              | Some (_, c) when c <= cost -> ()
+              | Some _ | None -> best := Some (Point.make x y, cost))
+            | None -> ()
+          end
+        end
+      end
+    in
+    let rec expand r =
+      if r <= n_rows then begin
+        let continue_ =
+          match !best with
+          | Some (_, c) -> float_of_int (r - 1) *. h <= c
+          | None -> true
+        in
+        if continue_ then begin
+          consider (desired_row + r);
+          if r > 0 then consider (desired_row - r);
+          expand (r + 1)
+        end
+      end
+    in
+    expand 0;
+    Option.map fst !best
+  end
+
+let find_nearest_matches_reference =
+  QCheck.Test.make ~name:"find_nearest = full-scan reference" ~count:300
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let f = fp () in
+      let d, _ = design_with_regs 0 dff1 in
+      let pl = Placement.create f d in
+      let occ = Legalizer.Occupancy.of_placement pl in
+      (* mirror of the occupancy as sorted per-row interval lists,
+         maintained with the historical insert/remove code *)
+      let rows = Array.make (Floorplan.n_rows f) [] in
+      let rows_of_rect (r : Rect.t) =
+        let row_floor y =
+          let i =
+            int_of_float
+              (Float.floor ((y -. core.Rect.ly) /. f.Floorplan.row_height))
+          in
+          max 0 (min (Floorplan.n_rows f - 1) i)
+        in
+        let lo = row_floor (r.Rect.ly +. 1e-6) in
+        let hi = row_floor (r.Rect.hy -. 1e-6) in
+        List.init (hi - lo + 1) (fun k -> lo + k)
+      in
+      let insert_interval intervals (lo, hi) =
+        let rec go = function
+          | [] -> [ (lo, hi) ]
+          | (a, b) :: rest when a < lo -> (a, b) :: go rest
+          | rest -> (lo, hi) :: rest
+        in
+        go intervals
+      in
+      let mirror_add (r : Rect.t) =
+        List.iter
+          (fun i -> rows.(i) <- insert_interval rows.(i) (r.Rect.lx, r.Rect.hx))
+          (rows_of_rect r)
+      in
+      let mirror_remove (r : Rect.t) =
+        List.iter
+          (fun i ->
+            let eq (a, b) =
+              Float.abs (a -. r.Rect.lx) < 1e-9
+              && Float.abs (b -. r.Rect.hx) < 1e-9
+            in
+            let rec drop_first = function
+              | [] -> []
+              | iv :: rest -> if eq iv then rest else iv :: drop_first rest
+            in
+            rows.(i) <- drop_first rows.(i))
+          (rows_of_rect r)
+      in
+      let live = ref [] in
+      let random_rect () =
+        let w = 0.5 +. Rng.float rng 5.0 in
+        let row = Rng.int rng 18 in
+        let x = Rng.float rng (24.0 -. w) in
+        let y = 1.2 *. float_of_int row in
+        Rect.make ~lx:x ~ly:y ~hx:(x +. w) ~hy:(y +. 1.2)
+      in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        (* mutate: mostly adds (rows pack up), occasional removes *)
+        if !live <> [] && Rng.chance rng 0.2 then begin
+          let victim = Rng.pick_list rng !live in
+          Legalizer.Occupancy.remove occ victim;
+          mirror_remove victim;
+          live := List.filter (fun o -> o <> victim) !live
+        end
+        else begin
+          let r = random_rect () in
+          Legalizer.Occupancy.add occ r;
+          mirror_add r;
+          live := r :: !live
+        end;
+        let w = 0.3 +. Rng.float rng 6.0 in
+        let desired = Point.make (Rng.float rng 26.0 -. 1.0) (Rng.float rng 26.0 -. 1.0) in
+        let region =
+          if Rng.chance rng 0.3 then begin
+            let lx = Rng.float rng 20.0 and ly = Rng.float rng 20.0 in
+            Some
+              (Rect.make ~lx ~ly
+                 ~hx:(lx +. 2.0 +. Rng.float rng 8.0)
+                 ~hy:(ly +. 1.2 +. Rng.float rng 6.0))
+          end
+          else None
+        in
+        let got = Legalizer.Occupancy.find_nearest occ ?region ~w desired in
+        let want = reference_find_nearest f rows ?region ~w desired in
+        (* bit-for-bit: same Some/None, same exact floats *)
+        if got <> want then ok := false
+      done;
+      !ok)
+
 (* ---- legalize_all ---- *)
 
 let test_legalize_all_removes_overlaps () =
@@ -310,6 +492,7 @@ let () =
           Alcotest.test_case "region constraint" `Quick test_occupancy_region_constraint;
           Alcotest.test_case "full row skipped" `Quick test_occupancy_full_row_skips;
           QCheck_alcotest.to_alcotest occupancy_matches_oracle;
+          QCheck_alcotest.to_alcotest find_nearest_matches_reference;
         ] );
       ( "legalize_all",
         [

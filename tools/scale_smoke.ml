@@ -11,19 +11,26 @@
    RSS ~580 MB on a loaded 1-core host) so the check survives machine
    noise while still catching complexity-class regressions.
 
-   Usage: scale_smoke.exe [SCALE] [WALL_CEILING_S] [RSS_CEILING_MB]
-   Defaults: 8.0, 180 s, 2048 MB. *)
+   The skew stage gets its own ceiling: it used to dominate large runs
+   (convergence-driven per-register cone chasing), and the levelized
+   batched propagation is exactly the kind of win a quadratic slip
+   would silently undo while hiding inside the total wall headroom.
+
+   Usage: scale_smoke.exe [SCALE] [WALL_CEILING_S] [RSS_CEILING_MB] [SKEW_CEILING_S]
+   Defaults: 8.0, 180 s, 2048 MB, 20 s. *)
 
 module P = Mbr_designgen.Profile
 module G = Mbr_designgen.Generate
 
 let () =
+  Mbr_util.Runtime.tune ();
   let arg i default =
     if Array.length Sys.argv > i then float_of_string Sys.argv.(i) else default
   in
   let scale = arg 1 8.0 in
   let wall_ceiling = arg 2 180.0 in
   let rss_ceiling = arg 3 2048.0 in
+  let skew_ceiling = arg 4 20.0 in
   let p = P.scaled P.d1 scale in
   Printf.printf "scale-smoke: scale %.1f (%d registers), jobs 1\n%!" scale
     p.P.n_registers;
@@ -39,7 +46,18 @@ let () =
     "scale-smoke: wall %.1f s (flow %.1f s), merges %d, peak rss %s\n%!" wall
     r.Mbr_core.Flow.runtime_s r.Mbr_core.Flow.n_merges
     (match rss with Some m -> Printf.sprintf "%.0f MB" m | None -> "n/a");
+  let skew_s =
+    match List.assoc_opt "skew" r.Mbr_core.Flow.stage_times with
+    | Some s -> s
+    | None -> 0.0
+  in
+  Printf.printf "scale-smoke: skew stage %.2f s\n%!" skew_s;
   let failed = ref false in
+  if skew_s > skew_ceiling then begin
+    Printf.printf "scale-smoke: FAIL skew stage %.2f s > ceiling %.0f s\n%!"
+      skew_s skew_ceiling;
+    failed := true
+  end;
   if wall > wall_ceiling then begin
     Printf.printf "scale-smoke: FAIL wall %.1f s > ceiling %.0f s\n%!" wall
       wall_ceiling;
